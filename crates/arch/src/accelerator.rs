@@ -1,0 +1,171 @@
+//! The [`Accelerator`] evaluation interface and run reports.
+//!
+//! YOCO and the three baselines all implement [`Accelerator`]: given a GEMM
+//! workload they return energy, latency, and operation counts. Reports
+//! aggregate over a model's layers and compute the normalized metrics of
+//! Fig 8 (energy efficiency in TOPS/W, throughput in TOPS, and their
+//! geometric means across models).
+
+use crate::workload::MatmulWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Cost of evaluating one workload on an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Total energy, pJ.
+    pub energy_pj: f64,
+    /// Latency, ns (after the accelerator's internal parallelism).
+    pub latency_ns: f64,
+    /// 8-bit operations performed (2 per MAC).
+    pub ops: u64,
+}
+
+impl LayerCost {
+    /// Component-wise accumulation (energies add, latencies add — layers
+    /// run back to back unless a pipeline model says otherwise).
+    pub fn accumulate(&mut self, other: LayerCost) {
+        self.energy_pj += other.energy_pj;
+        self.latency_ns += other.latency_ns;
+        self.ops += other.ops;
+    }
+
+    /// Energy efficiency, TOPS/W.
+    pub fn tops_per_watt(&self) -> f64 {
+        if self.energy_pj == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.energy_pj * 1e-12) / 1e12
+        }
+    }
+
+    /// Throughput, TOPS.
+    pub fn tops(&self) -> f64 {
+        if self.latency_ns == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.latency_ns * 1e-9) / 1e12
+        }
+    }
+}
+
+/// An accelerator that can be evaluated on GEMM workloads.
+pub trait Accelerator {
+    /// Short name for reports ("yoco", "isaac", …).
+    fn name(&self) -> &str;
+
+    /// Evaluates one workload.
+    fn evaluate(&self, workload: &MatmulWorkload) -> LayerCost;
+
+    /// Evaluates a whole model (sequence of workloads) and produces a
+    /// report.
+    fn evaluate_model(&self, model_name: &str, workloads: &[MatmulWorkload]) -> RunReport {
+        let mut total = LayerCost::default();
+        let mut per_layer = Vec::with_capacity(workloads.len());
+        for w in workloads {
+            let c = self.evaluate(w);
+            per_layer.push((w.name.clone(), c));
+            total.accumulate(c);
+        }
+        RunReport {
+            accelerator: self.name().to_owned(),
+            model: model_name.to_owned(),
+            total,
+            per_layer,
+        }
+    }
+}
+
+/// Aggregated evaluation of one model on one accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Model name.
+    pub model: String,
+    /// Whole-model totals.
+    pub total: LayerCost,
+    /// Per-layer costs in execution order.
+    pub per_layer: Vec<(String, LayerCost)>,
+}
+
+impl RunReport {
+    /// Energy efficiency, TOPS/W.
+    pub fn tops_per_watt(&self) -> f64 {
+        self.total.tops_per_watt()
+    }
+
+    /// Throughput, TOPS.
+    pub fn tops(&self) -> f64 {
+        self.total.tops()
+    }
+}
+
+/// Geometric mean of a set of ratios (Fig 8's summary statistic).
+///
+/// Returns 0 for an empty slice or if any ratio is non-positive.
+pub fn geometric_mean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() || ratios.iter().any(|&r| r <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Flat;
+    impl Accelerator for Flat {
+        fn name(&self) -> &str {
+            "flat"
+        }
+        fn evaluate(&self, w: &MatmulWorkload) -> LayerCost {
+            LayerCost {
+                energy_pj: w.macs() as f64 * 0.01,
+                latency_ns: w.macs() as f64 * 1e-6,
+                ops: w.ops(),
+            }
+        }
+    }
+
+    #[test]
+    fn model_report_accumulates_layers() {
+        let acc = Flat;
+        let layers = vec![
+            MatmulWorkload::new("a", 1, 100, 100),
+            MatmulWorkload::new("b", 1, 200, 200),
+        ];
+        let r = acc.evaluate_model("toy", &layers);
+        assert_eq!(r.per_layer.len(), 2);
+        assert_eq!(r.total.ops, 2 * (100 * 100 + 200 * 200));
+        assert!(r.tops_per_watt() > 0.0);
+        assert!(r.tops() > 0.0);
+    }
+
+    #[test]
+    fn tops_math() {
+        let c = LayerCost {
+            energy_pj: 4235.0,                // 4.235 nJ
+            latency_ns: 15.0,
+            ops: 2 * 1024 * 256,
+        };
+        assert!((c.tops_per_watt() - 123.8).abs() < 0.1);
+        assert!((c.tops() - 34.95).abs() < 0.1);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[4.0, 16.0]) - 8.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, -1.0]), 0.0);
+        assert!((geometric_mean(&[3.3]) - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_costs_do_not_divide_by_zero() {
+        let c = LayerCost::default();
+        assert_eq!(c.tops_per_watt(), 0.0);
+        assert_eq!(c.tops(), 0.0);
+    }
+}

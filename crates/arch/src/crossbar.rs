@@ -1,0 +1,65 @@
+//! The intra-tile crossbar switch.
+//!
+//! Dynamic and static IMAs inside a tile exchange data (freshly computed
+//! Q/K/V vectors, exponentiated scores) through an internal crossbar
+//! (Fig 4). The model is a contention-free port-to-port switch with a fixed
+//! per-bit energy and a bandwidth shared per port pair.
+
+use serde::{Deserialize, Serialize};
+use yoco_mem::AccessCost;
+
+/// An `n × n` crossbar switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrossbarSwitch {
+    /// Ports on each side (8 for a YOCO tile: 4 DIMA + 4 SIMA).
+    pub ports: usize,
+    /// Per-port bandwidth, GB/s.
+    pub port_bandwidth_gbps: f64,
+    /// Switching energy, pJ per bit.
+    pub energy_pj_per_bit: f64,
+}
+
+impl CrossbarSwitch {
+    /// The YOCO tile crossbar: 8 ports, 32 GB/s each, 0.15 pJ/bit.
+    pub fn tile_default() -> Self {
+        Self {
+            ports: 8,
+            port_bandwidth_gbps: 32.0,
+            energy_pj_per_bit: 0.15,
+        }
+    }
+
+    /// Cost of one port-to-port transfer of `bits`.
+    pub fn transfer(&self, bits: u64) -> AccessCost {
+        let bytes = bits as f64 / 8.0;
+        AccessCost::new(
+            bits as f64 * self.energy_pj_per_bit,
+            bytes / (self.port_bandwidth_gbps * 1e9) * 1e9,
+        )
+    }
+
+    /// Peak concurrent transfers (distinct port pairs).
+    pub fn max_concurrent_transfers(&self) -> usize {
+        self.ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_eight_ports() {
+        let x = CrossbarSwitch::tile_default();
+        assert_eq!(x.ports, 8);
+        assert_eq!(x.max_concurrent_transfers(), 8);
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let x = CrossbarSwitch::tile_default();
+        let small = x.transfer(256);
+        let big = x.transfer(2560);
+        assert!((big.energy_pj / small.energy_pj - 10.0).abs() < 1e-9);
+    }
+}

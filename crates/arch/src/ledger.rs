@@ -1,0 +1,139 @@
+//! Accelergy-style energy accounting.
+//!
+//! An [`EnergyLedger`] accumulates `(component, action)` energy entries so a
+//! whole-model evaluation can report both the total and the per-component
+//! breakdown — the style of analysis behind the paper's Fig 1(c) claim that
+//! ADCs/DACs consume up to 85 % of classic AiMC power.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One accumulated account line.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccountLine {
+    /// Number of actions recorded.
+    pub count: u64,
+    /// Total energy, pJ.
+    pub energy_pj: f64,
+}
+
+/// Per-component, per-action energy ledger.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    accounts: BTreeMap<String, AccountLine>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` actions of `component` totalling `energy_pj`.
+    pub fn record(&mut self, component: &str, count: u64, energy_pj: f64) {
+        let line = self.accounts.entry(component.to_owned()).or_default();
+        line.count += count;
+        line.energy_pj += energy_pj;
+    }
+
+    /// Total energy across all components, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.accounts.values().map(|l| l.energy_pj).sum()
+    }
+
+    /// Energy of one component, pJ (0 if never recorded).
+    pub fn component_pj(&self, component: &str) -> f64 {
+        self.accounts.get(component).map_or(0.0, |l| l.energy_pj)
+    }
+
+    /// Fraction of total energy attributed to `component` (0 if the ledger
+    /// is empty).
+    pub fn share(&self, component: &str) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.component_pj(component) / total
+        }
+    }
+
+    /// Iterates account lines sorted by component name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AccountLine)> {
+        self.accounts.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (name, line) in &other.accounts {
+            let entry = self.accounts.entry(name.clone()).or_default();
+            entry.count += line.count;
+            entry.energy_pj += line.energy_pj;
+        }
+    }
+
+    /// Breakdown sorted by descending energy.
+    pub fn breakdown(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .accounts
+            .iter()
+            .map(|(k, l)| (k.clone(), l.energy_pj))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_totals() {
+        let mut l = EnergyLedger::new();
+        l.record("adc", 10, 77.0);
+        l.record("adc", 5, 38.5);
+        l.record("array", 1, 26.5);
+        assert!((l.total_pj() - 142.0).abs() < 1e-9);
+        assert!((l.component_pj("adc") - 115.5).abs() < 1e-9);
+        assert_eq!(l.iter().count(), 2);
+    }
+
+    #[test]
+    fn share_reflects_dominance() {
+        // Reproduce the ISAAC-style "ADCs dominate" observation.
+        let mut l = EnergyLedger::new();
+        l.record("adc", 1, 85.0);
+        l.record("crossbar", 1, 10.0);
+        l.record("other", 1, 5.0);
+        assert!((l.share("adc") - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = EnergyLedger::new();
+        a.record("x", 1, 1.0);
+        let mut b = EnergyLedger::new();
+        b.record("x", 2, 2.0);
+        b.record("y", 1, 3.0);
+        a.merge(&b);
+        assert!((a.total_pj() - 6.0).abs() < 1e-12);
+        assert!((a.component_pj("x") - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_is_sorted_descending() {
+        let mut l = EnergyLedger::new();
+        l.record("small", 1, 1.0);
+        l.record("big", 1, 10.0);
+        let b = l.breakdown();
+        assert_eq!(b[0].0, "big");
+        assert_eq!(b[1].0, "small");
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = EnergyLedger::new();
+        assert_eq!(l.total_pj(), 0.0);
+        assert_eq!(l.share("anything"), 0.0);
+    }
+}

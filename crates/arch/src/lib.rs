@@ -1,0 +1,50 @@
+//! # yoco-arch — architecture-level cost framework
+//!
+//! The paper evaluates YOCO and its baselines (ISAAC, RAELLA, TIMELY) in the
+//! timeloop/accelergy framework \[12\]: per-component action energies are
+//! counted along a mapping of each DNN layer onto the hardware. This crate
+//! is our equivalent substrate:
+//!
+//! * [`workload`] — matrix-multiply workload descriptors (every DNN layer
+//!   reduces to GEMMs; convolutions via im2col)
+//! * [`mapper`] — tiles a GEMM onto fixed-size analog macros, counting
+//!   invocations, partial-sum traffic, and utilization
+//! * [`ledger`] — accelergy-style per-component energy accounting
+//! * [`noc`] — Hyper-Transport link model (ISAAC specs)
+//! * [`crossbar`] — the intra-tile crossbar switch
+//! * [`sfu`] — special function unit (exp/softmax expansion)
+//! * [`quant`] — the 8-bit requantization unit
+//! * [`accelerator`] — the [`Accelerator`] trait and run reports shared by
+//!   YOCO and every baseline
+//!
+//! ```
+//! use yoco_arch::workload::MatmulWorkload;
+//! use yoco_arch::mapper::{map_matmul, MacroSpec};
+//!
+//! let layer = MatmulWorkload::new("fc", 1, 1024, 256);
+//! let mapping = map_matmul(&layer, &MacroSpec::new(1024, 256));
+//! assert_eq!(mapping.total_blocks(), 1);
+//! assert!((mapping.utilization - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accelerator;
+pub mod crossbar;
+pub mod ledger;
+pub mod mapper;
+pub mod noc;
+pub mod power;
+pub mod quant;
+pub mod schedule;
+pub mod sfu;
+pub mod workload;
+
+pub use accelerator::{Accelerator, LayerCost, RunReport};
+pub use ledger::EnergyLedger;
+pub use mapper::{map_matmul, MacroSpec, Mapping};
+pub use noc::HyperTransportLink;
+pub use power::{power_of, PowerReport};
+pub use schedule::{schedule, ScheduleReport, ScheduledLayer};
+pub use workload::{LayerKind, MatmulWorkload};

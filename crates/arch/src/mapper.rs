@@ -1,0 +1,170 @@
+//! Timeloop-style mapping of a GEMM onto fixed-size in-memory macros.
+//!
+//! In-memory architectures compute in *blocks*: the `K × N` weight operand
+//! is cut into tiles matching the macro's `rows × outputs` footprint, every
+//! block is invoked once per activation row, and partial sums along the `K`
+//! direction must be combined downstream. The paper's §II-C emphasizes that
+//! converts/MAC — and therefore ADC energy — is proportional to the block
+//! count, which is why YOCO's large effective block (1024×256 per IMA)
+//! matters.
+
+use crate::workload::MatmulWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Footprint of one analog compute macro (an IMA for YOCO, a crossbar +
+/// ADC group for the baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacroSpec {
+    /// Input rows the macro accepts per invocation.
+    pub rows: usize,
+    /// Outputs the macro produces per invocation.
+    pub outputs: usize,
+}
+
+impl MacroSpec {
+    /// Creates a macro footprint.
+    pub fn new(rows: usize, outputs: usize) -> Self {
+        Self { rows, outputs }
+    }
+
+    /// Weights resident in one macro instance.
+    pub fn weights_per_block(&self) -> u64 {
+        self.rows as u64 * self.outputs as u64
+    }
+}
+
+/// The result of mapping one GEMM onto a macro footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Blocks along the contraction (`K`) direction.
+    pub row_blocks: u64,
+    /// Blocks along the output (`N`) direction.
+    pub col_blocks: u64,
+    /// Activation rows processed per invocation via block-diagonal weight
+    /// replication (1 when the weight tile fills the macro).
+    pub replication: u64,
+    /// Macro invocations for the whole GEMM (`blocks × ceil(M /
+    /// replication)`).
+    pub invocations: u64,
+    /// Fraction of macro cells holding real weights (edge blocks waste the
+    /// remainder).
+    pub utilization: f64,
+    /// Partial-sum combine operations needed downstream (K-direction blocks
+    /// beyond the first, per output element).
+    pub psum_adds: u64,
+}
+
+impl Mapping {
+    /// Total weight blocks (`row_blocks × col_blocks`).
+    pub fn total_blocks(&self) -> u64 {
+        self.row_blocks * self.col_blocks
+    }
+}
+
+/// Maps a GEMM onto macros of the given footprint.
+///
+/// ```
+/// use yoco_arch::mapper::{map_matmul, MacroSpec};
+/// use yoco_arch::workload::MatmulWorkload;
+///
+/// // A 2048x512 weight matrix on 1024x256 macros: 2x2 blocks.
+/// let w = MatmulWorkload::new("fc", 16, 2048, 512);
+/// let m = map_matmul(&w, &MacroSpec::new(1024, 256));
+/// assert_eq!(m.total_blocks(), 4);
+/// assert_eq!(m.invocations, 4 * 16);
+/// ```
+pub fn map_matmul(workload: &MatmulWorkload, spec: &MacroSpec) -> Mapping {
+    let row_blocks = workload.k.div_ceil(spec.rows as u64).max(1);
+    let col_blocks = workload.n.div_ceil(spec.outputs as u64).max(1);
+    let blocks = row_blocks * col_blocks;
+    let m = workload.m.max(1);
+    // Small weight tiles are replicated block-diagonally: `r` independent
+    // activation rows occupy disjoint row segments and output columns of
+    // one macro, so one invocation serves `r` of the GEMM's M rows. This is
+    // the standard duplication mapping for depthwise and other small
+    // layers.
+    let replication = if blocks == 1 {
+        let by_rows = (spec.rows as u64 / workload.k.max(1)).max(1);
+        let by_cols = (spec.outputs as u64 / workload.n.max(1)).max(1);
+        by_rows.min(by_cols).min(m)
+    } else {
+        1
+    };
+    let invocations = blocks * m.div_ceil(replication);
+    let capacity = blocks * spec.weights_per_block();
+    let used = (workload.k * workload.n * replication).min(capacity);
+    let utilization = if capacity == 0 {
+        0.0
+    } else {
+        used as f64 / capacity as f64
+    };
+    // Each output element accumulates row_blocks partial sums; combining
+    // them takes (row_blocks - 1) adds.
+    let psum_adds = (row_blocks - 1) * workload.n * m;
+    Mapping {
+        row_blocks,
+        col_blocks,
+        replication,
+        invocations,
+        utilization,
+        psum_adds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_has_full_utilization() {
+        let w = MatmulWorkload::new("fc", 1, 1024, 256);
+        let m = map_matmul(&w, &MacroSpec::new(1024, 256));
+        assert_eq!(m.row_blocks, 1);
+        assert_eq!(m.col_blocks, 1);
+        assert_eq!(m.invocations, 1);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+        assert_eq!(m.psum_adds, 0);
+    }
+
+    #[test]
+    fn edge_blocks_waste_capacity() {
+        // 1025 x 257 needs 2x2 blocks, utilization just over 25 %.
+        let w = MatmulWorkload::new("fc", 1, 1025, 257);
+        let m = map_matmul(&w, &MacroSpec::new(1024, 256));
+        assert_eq!(m.total_blocks(), 4);
+        assert!(m.utilization > 0.25 && m.utilization < 0.26);
+    }
+
+    #[test]
+    fn small_layer_on_big_macro_underutilizes() {
+        let w = MatmulWorkload::new("fc", 1, 64, 64);
+        let m = map_matmul(&w, &MacroSpec::new(1024, 256));
+        assert_eq!(m.total_blocks(), 1);
+        assert!((m.utilization - (64.0 * 64.0) / (1024.0 * 256.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psum_adds_scale_with_k_blocks() {
+        let w = MatmulWorkload::new("fc", 10, 4096, 256);
+        let m = map_matmul(&w, &MacroSpec::new(1024, 256));
+        assert_eq!(m.row_blocks, 4);
+        assert_eq!(m.psum_adds, 3 * 256 * 10);
+    }
+
+    #[test]
+    fn smaller_macros_mean_more_blocks() {
+        // The §II-C argument: converts/MAC grows with block count.
+        let w = MatmulWorkload::new("fc", 1, 1024, 256);
+        let big = map_matmul(&w, &MacroSpec::new(1024, 256));
+        let small = map_matmul(&w, &MacroSpec::new(128, 128));
+        assert_eq!(big.total_blocks(), 1);
+        assert_eq!(small.total_blocks(), 8 * 2);
+    }
+
+    #[test]
+    fn invocations_scale_with_m() {
+        let w = MatmulWorkload::new("fc", 100, 1024, 256);
+        let m = map_matmul(&w, &MacroSpec::new(1024, 256));
+        assert_eq!(m.invocations, 100);
+    }
+}

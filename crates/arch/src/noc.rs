@@ -1,0 +1,88 @@
+//! On-chip and off-chip interconnect models.
+//!
+//! Tiles are interconnected via Hyper-Transport links following ISAAC's
+//! specification, as the paper's Table II records: one link at 1.6 GHz with
+//! 6.4 GB/s line bandwidth (and 5.7 mm² of area). The on-chip network
+//! between tiles is modelled with the same interface at higher bandwidth
+//! and lower per-bit energy.
+
+use serde::{Deserialize, Serialize};
+use yoco_mem::AccessCost;
+
+/// A bandwidth/energy link model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyperTransportLink {
+    /// Line bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Transfer energy, pJ per bit.
+    pub energy_pj_per_bit: f64,
+    /// Link clock, GHz.
+    pub freq_ghz: f64,
+}
+
+impl HyperTransportLink {
+    /// The ISAAC-spec Hyper-Transport link of Table II: 1.6 GHz, 6.4 GB/s.
+    /// The 1.6 pJ/bit transfer energy follows ISAAC's HT power budget.
+    pub fn isaac_spec() -> Self {
+        Self {
+            bandwidth_gbps: 6.4,
+            energy_pj_per_bit: 1.6,
+            freq_ghz: 1.6,
+        }
+    }
+
+    /// The intra-chip tile network: wider and cheaper than the off-chip HT
+    /// link (0.2 pJ/bit at 64 GB/s).
+    pub fn on_chip_network() -> Self {
+        Self {
+            bandwidth_gbps: 64.0,
+            energy_pj_per_bit: 0.2,
+            freq_ghz: 1.6,
+        }
+    }
+
+    /// Cost of moving `bits` across the link.
+    pub fn transfer(&self, bits: u64) -> AccessCost {
+        let bytes = bits as f64 / 8.0;
+        AccessCost::new(
+            bits as f64 * self.energy_pj_per_bit,
+            bytes / (self.bandwidth_gbps * 1e9) * 1e9,
+        )
+    }
+
+    /// Time to move `bits`, in nanoseconds.
+    pub fn transfer_latency_ns(&self, bits: u64) -> f64 {
+        self.transfer(bits).latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isaac_spec_matches_table2() {
+        let l = HyperTransportLink::isaac_spec();
+        assert!((l.bandwidth_gbps - 6.4).abs() < 1e-12);
+        assert!((l.freq_ghz - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_cost_scales_linearly() {
+        let l = HyperTransportLink::isaac_spec();
+        let one = l.transfer(1024);
+        let two = l.transfer(2048);
+        assert!((two.energy_pj / one.energy_pj - 2.0).abs() < 1e-9);
+        assert!((two.latency_ns / one.latency_ns - 2.0).abs() < 1e-9);
+        // 6.4 GB/s moves 6.4 bytes per ns: 64 bytes -> 10 ns.
+        assert!((l.transfer_latency_ns(64 * 8) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn on_chip_is_cheaper_and_faster() {
+        let ht = HyperTransportLink::isaac_spec();
+        let noc = HyperTransportLink::on_chip_network();
+        assert!(noc.energy_pj_per_bit < ht.energy_pj_per_bit);
+        assert!(noc.transfer_latency_ns(4096) < ht.transfer_latency_ns(4096));
+    }
+}

@@ -1,0 +1,88 @@
+//! Power reporting: turning (energy, latency) pairs into watts.
+//!
+//! TOPS/W describes efficiency; deployments also need the absolute power
+//! envelope. This module converts evaluated costs into average power and
+//! adds the always-on background draws (eDRAM refresh, clocking).
+
+use crate::accelerator::LayerCost;
+use serde::{Deserialize, Serialize};
+
+/// Power summary of an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Average dynamic power during the run, W.
+    pub dynamic_w: f64,
+    /// Background (refresh + clock) power, W.
+    pub background_w: f64,
+}
+
+impl PowerReport {
+    /// Total average power.
+    pub fn total_w(&self) -> f64 {
+        self.dynamic_w + self.background_w
+    }
+}
+
+/// Computes the power report of an evaluated run with the given background
+/// draw.
+pub fn power_of(cost: &LayerCost, background_w: f64) -> PowerReport {
+    let dynamic_w = if cost.latency_ns > 0.0 {
+        cost.energy_pj * 1e-12 / (cost.latency_ns * 1e-9)
+    } else {
+        0.0
+    };
+    PowerReport {
+        dynamic_w,
+        background_w,
+    }
+}
+
+/// Background power of a YOCO chip: per-tile eDRAM refresh plus a clocking
+/// allowance per tile (mW).
+pub fn yoco_background_w(tiles: usize, edram_refresh_w_per_tile: f64) -> f64 {
+    const CLOCK_MW_PER_TILE: f64 = 18.0;
+    tiles as f64 * (edram_refresh_w_per_tile + CLOCK_MW_PER_TILE * 1e-3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_vmm_power_is_sub_watt() {
+        // 4.235 nJ / 15 ns = 282 mW while an IMA computes.
+        let cost = LayerCost {
+            energy_pj: 4235.0,
+            latency_ns: 15.0,
+            ops: 0,
+        };
+        let p = power_of(&cost, 0.0);
+        assert!((p.dynamic_w - 0.282).abs() < 0.005, "{}", p.dynamic_w);
+    }
+
+    #[test]
+    fn chip_under_full_load_is_a_few_watts() {
+        // All 32 IMAs computing continuously.
+        let cost = LayerCost {
+            energy_pj: 32.0 * 4235.0,
+            latency_ns: 15.0,
+            ops: 0,
+        };
+        let p = power_of(&cost, yoco_background_w(4, 0.005));
+        assert!(p.total_w() > 5.0 && p.total_w() < 15.0, "{}", p.total_w());
+    }
+
+    #[test]
+    fn zero_latency_is_handled() {
+        let p = power_of(
+            &LayerCost {
+                energy_pj: 1.0,
+                latency_ns: 0.0,
+                ops: 0,
+            },
+            0.1,
+        );
+        assert_eq!(p.dynamic_w, 0.0);
+        assert!((p.total_w() - 0.1).abs() < 1e-12);
+    }
+}

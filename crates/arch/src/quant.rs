@@ -1,0 +1,64 @@
+//! The tile quantization unit.
+//!
+//! YOCO computes in 8-bit fixed point end to end; between layers, outputs
+//! must be rescaled back into the 8-bit activation range (scale multiply,
+//! round, clamp). Each tile has a quantization circuit with 32 KB of scale/
+//! zero-point memory (Table II).
+
+use serde::{Deserialize, Serialize};
+use yoco_mem::AccessCost;
+
+/// The per-tile requantization unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantUnit {
+    /// Energy per requantized element, pJ.
+    pub energy_pj_per_elem: f64,
+    /// Elements processed per ns.
+    pub throughput_per_ns: f64,
+    /// Scale/zero-point memory capacity, bytes.
+    pub table_bytes: u64,
+}
+
+impl QuantUnit {
+    /// The YOCO tile design point: 32 KB of table memory; the datapath is a
+    /// fused multiply-round-clamp at 0.25 pJ per element, 64 elements/ns.
+    pub fn tile_default() -> Self {
+        Self {
+            energy_pj_per_elem: 0.25,
+            throughput_per_ns: 64.0,
+            table_bytes: 32 * 1024,
+        }
+    }
+
+    /// Cost of requantizing `elements` outputs.
+    pub fn requantize(&self, elements: u64) -> AccessCost {
+        AccessCost::new(
+            elements as f64 * self.energy_pj_per_elem,
+            elements as f64 / self.throughput_per_ns,
+        )
+    }
+
+    /// How many per-channel scales fit in the table (4 bytes each).
+    pub fn scale_capacity(&self) -> u64 {
+        self.table_bytes / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requantize_scales_linearly() {
+        let q = QuantUnit::tile_default();
+        let c = q.requantize(256);
+        assert!((c.energy_pj - 64.0).abs() < 1e-9);
+        assert!((c.latency_ns - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_holds_8k_channel_scales() {
+        let q = QuantUnit::tile_default();
+        assert_eq!(q.scale_capacity(), 8192);
+    }
+}

@@ -1,0 +1,116 @@
+//! The special function unit (SFU).
+//!
+//! Each tile integrates 128 SFU lanes (Table II: 0.6 pJ and 0.1 ns per
+//! operation) for the non-GEMM math of DNNs: the exponential of the
+//! attention flow (Fig 5's `exp(S_new)`), softmax normalization, activation
+//! functions, and the running-max/renormalization bookkeeping of the
+//! flash-attention-style streaming update.
+
+use serde::{Deserialize, Serialize};
+use yoco_mem::AccessCost;
+
+/// Operations the SFU supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SfuOp {
+    /// Exponential (score transformation).
+    Exp,
+    /// Reciprocal / division (softmax denominator).
+    Reciprocal,
+    /// Running maximum (online softmax).
+    Max,
+    /// Multiply-add in the digital domain (renormalization).
+    MulAdd,
+    /// ReLU / clamp activation.
+    Relu,
+    /// GeLU activation (lookup + mul).
+    Gelu,
+}
+
+impl SfuOp {
+    /// Relative cost weight of the op (Exp is the Table II reference).
+    pub fn cost_weight(self) -> f64 {
+        match self {
+            SfuOp::Exp => 1.0,
+            SfuOp::Reciprocal => 1.2,
+            SfuOp::Max => 0.3,
+            SfuOp::MulAdd => 0.4,
+            SfuOp::Relu => 0.2,
+            SfuOp::Gelu => 1.4,
+        }
+    }
+}
+
+/// A bank of SFU lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SfuBank {
+    /// Number of parallel lanes (128 per tile).
+    pub lanes: usize,
+    /// Energy per reference op, pJ.
+    pub energy_pj: f64,
+    /// Latency per reference op, ns.
+    pub latency_ns: f64,
+}
+
+impl SfuBank {
+    /// The Table II design point: 128 lanes, 0.6 pJ, 0.1 ns.
+    pub fn tile_default() -> Self {
+        Self {
+            lanes: 128,
+            energy_pj: 0.6,
+            latency_ns: 0.1,
+        }
+    }
+
+    /// Cost of applying `op` to `elements` values, exploiting all lanes.
+    pub fn apply(&self, op: SfuOp, elements: u64) -> AccessCost {
+        let w = op.cost_weight();
+        let waves = (elements as f64 / self.lanes as f64).ceil().max(1.0);
+        AccessCost::new(
+            elements as f64 * self.energy_pj * w,
+            waves * self.latency_ns * w,
+        )
+    }
+
+    /// Cost of a full softmax over `n` scores: max-scan, `n` exponentials,
+    /// a sum (folded into MulAdd), and `n` renormalizing multiplies.
+    pub fn softmax(&self, n: u64) -> AccessCost {
+        self.apply(SfuOp::Max, n)
+            .plus(self.apply(SfuOp::Exp, n))
+            .plus(self.apply(SfuOp::MulAdd, n))
+            .plus(self.apply(SfuOp::Reciprocal, 1))
+            .plus(self.apply(SfuOp::MulAdd, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_op_matches_table2() {
+        let sfu = SfuBank::tile_default();
+        let c = sfu.apply(SfuOp::Exp, 1);
+        assert!((c.energy_pj - 0.6).abs() < 1e-12);
+        assert!((c.latency_ns - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lanes_parallelize_latency_not_energy() {
+        let sfu = SfuBank::tile_default();
+        let c = sfu.apply(SfuOp::Exp, 128);
+        assert!((c.energy_pj - 128.0 * 0.6).abs() < 1e-9);
+        assert!((c.latency_ns - 0.1).abs() < 1e-12);
+        let c2 = sfu.apply(SfuOp::Exp, 256);
+        assert!((c2.latency_ns - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_cost_is_superlinear_in_pieces() {
+        let sfu = SfuBank::tile_default();
+        let s = sfu.softmax(512);
+        // At least the exp cost alone.
+        assert!(s.energy_pj > sfu.apply(SfuOp::Exp, 512).energy_pj);
+        assert!(s.latency_ns > 0.0);
+    }
+}

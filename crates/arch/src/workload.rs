@@ -1,0 +1,169 @@
+//! Matrix-multiply workload descriptors.
+//!
+//! Every layer the paper benchmarks — fully connected, convolution (via
+//! im2col), and the four attention GEMMs — reduces to one or more
+//! `M × K × N` matrix multiplications. The descriptor also records whether
+//! the *weight* operand is static (model parameters, mappable to ReRAM
+//! SIMAs once) or dynamic (activation-dependent matrices such as attention's
+//! K and Q, which must live in SRAM DIMAs and be rewritten per token).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of layer produced a workload (used for reporting and for the
+/// baselines' layer-specific penalties).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// Fully connected / linear projection.
+    Linear,
+    /// Convolution lowered to GEMM via im2col.
+    Convolution,
+    /// Attention score GEMM (`Q·Kᵀ`) — dynamic weights.
+    AttentionScore,
+    /// Attention context GEMM (`A·V`) — dynamic weights.
+    AttentionContext,
+    /// Depthwise convolution lowered to small GEMMs.
+    Depthwise,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayerKind::Linear => "linear",
+            LayerKind::Convolution => "conv",
+            LayerKind::AttentionScore => "attn-score",
+            LayerKind::AttentionContext => "attn-context",
+            LayerKind::Depthwise => "depthwise",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One `M × K × N` GEMM: `M` activation rows, shared `K` dimension, `N`
+/// output columns; the `K × N` operand is the *weight* side that in-memory
+/// macros hold stationary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatmulWorkload {
+    /// Human-readable layer name (e.g. `"conv3_2"`).
+    pub name: String,
+    /// Activation rows (batch × spatial positions, or sequence length).
+    pub m: u64,
+    /// Contraction dimension.
+    pub k: u64,
+    /// Output columns.
+    pub n: u64,
+    /// Layer kind.
+    pub kind: LayerKind,
+    /// Whether the weight operand changes at inference time (attention K/Q/V
+    /// score and context matmuls) — the hybrid-memory discriminator.
+    pub dynamic_weights: bool,
+}
+
+impl MatmulWorkload {
+    /// Creates a static-weight linear workload.
+    pub fn new(name: &str, m: u64, k: u64, n: u64) -> Self {
+        Self {
+            name: name.to_owned(),
+            m,
+            k,
+            n,
+            kind: LayerKind::Linear,
+            dynamic_weights: false,
+        }
+    }
+
+    /// Sets the layer kind (builder style).
+    pub fn with_kind(mut self, kind: LayerKind) -> Self {
+        self.kind = kind;
+        self.dynamic_weights = matches!(
+            kind,
+            LayerKind::AttentionScore | LayerKind::AttentionContext
+        );
+        self
+    }
+
+    /// Creates a convolution workload from its tensor shape, lowered via
+    /// im2col: `M = out_h·out_w`, `K = in_ch·kh·kw`, `N = out_ch`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        name: &str,
+        in_ch: u64,
+        out_ch: u64,
+        kh: u64,
+        kw: u64,
+        out_h: u64,
+        out_w: u64,
+    ) -> Self {
+        Self {
+            name: name.to_owned(),
+            m: out_h * out_w,
+            k: in_ch * kh * kw,
+            n: out_ch,
+            kind: LayerKind::Convolution,
+            dynamic_weights: false,
+        }
+    }
+
+    /// Number of multiply-accumulate operations: `M·K·N`.
+    pub fn macs(&self) -> u64 {
+        self.m * self.k * self.n
+    }
+
+    /// Number of 8-bit operations (2 per MAC), the unit of TOPS.
+    pub fn ops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Weight operand size in bits at the given precision.
+    pub fn weight_bits(&self, bits_per_weight: u64) -> u64 {
+        self.k * self.n * bits_per_weight
+    }
+
+    /// Activation operand size in bits at the given precision.
+    pub fn activation_bits(&self, bits_per_act: u64) -> u64 {
+        self.m * self.k * bits_per_act
+    }
+
+    /// Output size in bits at the given precision.
+    pub fn output_bits(&self, bits_per_out: u64) -> u64 {
+        self.m * self.n * bits_per_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_lowering_matches_im2col() {
+        // 3x3 conv, 64 -> 128 channels, 56x56 output.
+        let w = MatmulWorkload::conv2d("conv", 64, 128, 3, 3, 56, 56);
+        assert_eq!(w.m, 56 * 56);
+        assert_eq!(w.k, 64 * 9);
+        assert_eq!(w.n, 128);
+        assert_eq!(w.macs(), 56 * 56 * 64 * 9 * 128);
+        assert_eq!(w.ops(), 2 * w.macs());
+    }
+
+    #[test]
+    fn attention_kinds_are_dynamic() {
+        let s = MatmulWorkload::new("qk", 1, 64, 512).with_kind(LayerKind::AttentionScore);
+        assert!(s.dynamic_weights);
+        let l = MatmulWorkload::new("fc", 1, 64, 512).with_kind(LayerKind::Linear);
+        assert!(!l.dynamic_weights);
+    }
+
+    #[test]
+    fn operand_sizes() {
+        let w = MatmulWorkload::new("fc", 4, 1024, 256);
+        assert_eq!(w.weight_bits(8), 1024 * 256 * 8);
+        assert_eq!(w.activation_bits(8), 4 * 1024 * 8);
+        assert_eq!(w.output_bits(8), 4 * 256 * 8);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(LayerKind::AttentionScore.to_string(), "attn-score");
+    }
+}

@@ -1,0 +1,34 @@
+//! # yoco-baselines — baseline accelerators and survey data
+//!
+//! The comparison side of the paper's evaluation:
+//!
+//! * [`model`] — the parametric bit-sliced IMC accelerator template
+//! * [`isaac`] / [`raella`] / [`timely`] — the three SOTA baselines of
+//!   Fig 8, instantiated from their published design points
+//! * [`adc_dac`] — ADC/DAC cost models and the Fig 9 conversion arithmetic
+//! * [`prior`] — the eight published macros of Fig 7 and the Fig 6(e)
+//!   error ladder
+//! * [`taxonomy`] — the Table I qualitative cost comparison
+//!
+//! ```
+//! use yoco_arch::accelerator::Accelerator;
+//! use yoco_arch::workload::MatmulWorkload;
+//!
+//! let isaac = yoco_baselines::isaac::isaac();
+//! let cost = isaac.evaluate(&MatmulWorkload::new("fc", 64, 1024, 1024));
+//! assert!(cost.energy_pj > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adc_dac;
+pub mod cladder;
+pub mod isaac;
+pub mod model;
+pub mod prior;
+pub mod raella;
+pub mod taxonomy;
+pub mod timely;
+
+pub use model::{BitSliceImc, DynamicWeightPolicy};

@@ -1,0 +1,222 @@
+//! The parametric bit-sliced analog IMC accelerator model.
+//!
+//! ISAAC, RAELLA, and TIMELY are all instances of the same template (§II-C):
+//! a grid of `rows × cols` memory crossbars computing with `cell_bits` per
+//! device, inputs streamed in `input_slice_bits` per cycle, per-column
+//! converters digitizing partial sums, and digital shift-and-add combining
+//! the slices. The template exposes exactly the knobs Table I taxonomizes —
+//! slicing, block size, converter class, memory technology — and charges the
+//! costs the paper's motivation section identifies: converts/MAC
+//! proportional to `input_slices × weight_columns × blocks`, and ReRAM write
+//! energy/latency for dynamic matrices.
+
+use crate::adc_dac::{AdcSpec, DacSpec};
+use serde::{Deserialize, Serialize};
+use yoco_arch::accelerator::{Accelerator, LayerCost};
+use yoco_arch::mapper::{map_matmul, MacroSpec};
+use yoco_arch::workload::MatmulWorkload;
+
+/// How the accelerator hosts *dynamic* weight matrices (attention K/Q/V).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DynamicWeightPolicy {
+    /// Weights must be written into ReRAM before computing (energy per bit
+    /// in pJ, latency per written row in ns). The low-endurance,
+    /// write-expensive path the paper's §I criticizes.
+    ReramWrite {
+        /// Write energy, pJ per bit.
+        pj_per_bit: f64,
+        /// Write latency per crossbar row, ns (rows written serially).
+        ns_per_row: f64,
+    },
+    /// Weights land in SRAM-backed cells (YOCO's DIMA path).
+    SramWrite {
+        /// Write energy, pJ per bit.
+        pj_per_bit: f64,
+        /// Write latency per crossbar row, ns.
+        ns_per_row: f64,
+    },
+}
+
+/// A bit-sliced analog IMC accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitSliceImc {
+    /// Accelerator name.
+    pub name: String,
+    /// Crossbar rows.
+    pub rows: usize,
+    /// Crossbar physical columns.
+    pub cols: usize,
+    /// Bits stored per memory cell.
+    pub cell_bits: u8,
+    /// Input bits applied per cycle (DAC resolution).
+    pub input_slice_bits: u8,
+    /// Operand precision (8 for all Fig 8 comparisons).
+    pub operand_bits: u8,
+    /// The column converter.
+    pub adc: AdcSpec,
+    /// Columns whose partial sums are accumulated in analog before one
+    /// conversion (1 = per-column ADC; TIMELY's local analog buffers raise
+    /// this).
+    pub analog_accum_columns: usize,
+    /// Crossbar compute cycle (one input slice), ns.
+    pub cycle_ns: f64,
+    /// Read energy per active cell per cycle, fJ.
+    pub cell_read_fj: f64,
+    /// The input driver.
+    pub dac: DacSpec,
+    /// Digital partial-sum add energy, pJ per add.
+    pub psum_pj: f64,
+    /// Activation/buffer movement energy, pJ per bit.
+    pub buffer_pj_per_bit: f64,
+    /// Crossbars operating in parallel chip-wide.
+    pub parallel_macros: usize,
+    /// Dynamic-weight hosting policy.
+    pub dynamic_policy: DynamicWeightPolicy,
+}
+
+impl BitSliceImc {
+    /// Weight columns per output (`operand_bits / cell_bits`).
+    pub fn weight_columns(&self) -> u32 {
+        (self.operand_bits / self.cell_bits) as u32
+    }
+
+    /// Outputs produced per crossbar invocation.
+    pub fn outputs_per_crossbar(&self) -> usize {
+        self.cols / self.weight_columns() as usize
+    }
+
+    /// Input cycles per invocation (`operand_bits / input_slice_bits`).
+    pub fn input_cycles(&self) -> u32 {
+        (self.operand_bits / self.input_slice_bits) as u32
+    }
+
+    /// ADC conversions per crossbar invocation.
+    pub fn conversions_per_invocation(&self) -> u64 {
+        let converted_columns = (self.cols / self.analog_accum_columns).max(1) as u64;
+        self.input_cycles() as u64 * converted_columns
+    }
+
+    /// ADC conversions per useful 8-bit MAC at full utilization — the
+    /// paper's converts/MAC metric.
+    pub fn converts_per_mac(&self) -> f64 {
+        let macs = self.rows as f64 * self.outputs_per_crossbar() as f64;
+        self.conversions_per_invocation() as f64 / macs
+    }
+
+    /// The macro footprint seen by the mapper.
+    pub fn macro_spec(&self) -> MacroSpec {
+        MacroSpec::new(self.rows, self.outputs_per_crossbar())
+    }
+
+    fn invocation_energy_pj(&self, activity: f64) -> f64 {
+        let cycles = self.input_cycles() as f64;
+        let cells = (self.rows * self.cols) as f64;
+        let cell_e = cells * activity * self.cell_read_fj * 1e-3 * cycles;
+        let dac_e = self.rows as f64 * cycles * self.dac.energy_pj;
+        let adc_e = self.conversions_per_invocation() as f64 * self.adc.energy_pj;
+        // Digital shift-and-add across input slices and weight columns.
+        let slice_adds = self.outputs_per_crossbar() as f64
+            * (cycles * self.weight_columns() as f64 - 1.0).max(0.0);
+        cell_e + dac_e + adc_e + slice_adds * self.psum_pj
+    }
+
+    fn invocation_latency_ns(&self) -> f64 {
+        self.input_cycles() as f64 * self.cycle_ns
+    }
+}
+
+impl Accelerator for BitSliceImc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&self, w: &MatmulWorkload) -> LayerCost {
+        let mapping = map_matmul(w, &self.macro_spec());
+        let activity = 0.5;
+
+        let mut energy_pj = mapping.invocations as f64 * self.invocation_energy_pj(activity);
+        // Cross-block partial-sum combination.
+        energy_pj += mapping.psum_adds as f64 * self.psum_pj;
+        // Activation traffic: inputs fetched once per column-block pass,
+        // outputs written once.
+        let act_bits =
+            w.activation_bits(self.operand_bits as u64) * mapping.col_blocks.max(1);
+        let out_bits = w.output_bits(self.operand_bits as u64);
+        energy_pj += (act_bits + out_bits) as f64 * self.buffer_pj_per_bit;
+
+        // Compute latency with chip-level parallelism across macros.
+        let serial_rounds =
+            (mapping.invocations as f64 / self.parallel_macros as f64).ceil().max(1.0);
+        let mut latency_ns = serial_rounds * self.invocation_latency_ns();
+
+        // Dynamic matrices must first be written into the crossbars.
+        if w.dynamic_weights {
+            let (pj_per_bit, ns_per_row) = match self.dynamic_policy {
+                DynamicWeightPolicy::ReramWrite {
+                    pj_per_bit,
+                    ns_per_row,
+                }
+                | DynamicWeightPolicy::SramWrite {
+                    pj_per_bit,
+                    ns_per_row,
+                } => (pj_per_bit, ns_per_row),
+            };
+            let weight_bits = w.weight_bits(self.operand_bits as u64);
+            energy_pj += weight_bits as f64 * pj_per_bit;
+            // Rows are written serially within a crossbar; blocks write in
+            // parallel across macros where available.
+            let rows_to_write = (w.k.min(self.rows as u64 * mapping.row_blocks)) as f64;
+            let write_rounds = (mapping.total_blocks() as f64
+                / self.parallel_macros as f64)
+                .ceil()
+                .max(1.0);
+            latency_ns += write_rounds * rows_to_write.min(self.rows as f64) * ns_per_row;
+        }
+
+        LayerCost {
+            energy_pj,
+            latency_ns,
+            ops: w.ops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isaac::isaac;
+
+    #[test]
+    fn converts_per_mac_matches_slicing_arithmetic() {
+        let i = isaac();
+        // ISAAC: 8 input cycles, 4 weight columns (2-bit cells), per-column
+        // ADC -> converts/MAC = 8 * 128 / (128 * 32) = 0.25.
+        assert_eq!(i.input_cycles(), 8);
+        assert_eq!(i.weight_columns(), 4);
+        assert!((i.converts_per_mac() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_weights_cost_extra() {
+        let i = isaac();
+        let static_w = MatmulWorkload::new("fc", 64, 512, 512);
+        let dynamic_w = MatmulWorkload::new("scores", 64, 512, 512)
+            .with_kind(yoco_arch::workload::LayerKind::AttentionScore);
+        let cs = i.evaluate(&static_w);
+        let cd = i.evaluate(&dynamic_w);
+        assert!(cd.energy_pj > cs.energy_pj);
+        assert!(cd.latency_ns > cs.latency_ns);
+        assert_eq!(cs.ops, cd.ops);
+    }
+
+    #[test]
+    fn parallel_macros_cut_latency_not_energy() {
+        let mut a = isaac();
+        let w = MatmulWorkload::new("fc", 256, 2048, 2048);
+        let c1 = a.evaluate(&w);
+        a.parallel_macros *= 4;
+        let c4 = a.evaluate(&w);
+        assert!((c1.energy_pj - c4.energy_pj).abs() / c1.energy_pj < 1e-9);
+        assert!(c4.latency_ns < c1.latency_ns / 3.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The prior-circuit survey behind Fig 7, Fig 1(c), and Fig 6(e).
+//!
+//! Fig 7 normalizes eight published IMC macros \[9, 14–20\] against YOCO's
+//! IMA on energy efficiency, throughput, and the figure of merit
+//! `FoM = EE × throughput × IN bits × W bits × OUT bits`. The macro entries
+//! below are reconstructed from the cited publications' 8-bit-equivalent
+//! operating points; where a paper reports ranges we use a representative
+//! point, preserving the normalized spans the paper quotes (EE 1.5–40×,
+//! throughput 12–1164×, FoM 36–14 000×).
+
+use serde::{Deserialize, Serialize};
+
+/// One published IMC macro.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorCircuit {
+    /// Citation tag as used in the paper ("\[9\]" … "\[20\]").
+    pub reference: &'static str,
+    /// Short description.
+    pub description: &'static str,
+    /// Input precision, bits.
+    pub in_bits: u8,
+    /// Weight precision, bits.
+    pub w_bits: u8,
+    /// Output precision, bits.
+    pub out_bits: u8,
+    /// Energy efficiency at the 8-bit-equivalent point, TOPS/W.
+    pub tops_per_watt: f64,
+    /// Throughput, TOPS.
+    pub tops: f64,
+    /// Reported end-to-end MAC error, percent (None if not reported).
+    pub mac_error_pct: Option<f64>,
+    /// Whether the macro is digital (for the Fig 1c scatter split).
+    pub digital: bool,
+}
+
+impl PriorCircuit {
+    /// Figure of merit: `EE × TOPS × in × w × out`.
+    pub fn fom(&self) -> f64 {
+        self.tops_per_watt
+            * self.tops
+            * self.in_bits as f64
+            * self.w_bits as f64
+            * self.out_bits as f64
+    }
+}
+
+/// YOCO's IMA operating point as a [`PriorCircuit`] entry (the
+/// normalization reference of Fig 7).
+pub fn yoco_ima() -> PriorCircuit {
+    PriorCircuit {
+        reference: "ours",
+        description: "YOCO in-situ multiply arithmetic (this work)",
+        in_bits: 8,
+        w_bits: 8,
+        out_bits: 8,
+        tops_per_watt: 123.8,
+        tops: 34.9,
+        mac_error_pct: Some(0.98),
+        digital: false,
+    }
+}
+
+/// The eight prior macros of Fig 7, in citation order.
+pub fn fig7_circuits() -> Vec<PriorCircuit> {
+    vec![
+        PriorCircuit {
+            reference: "[9]",
+            description: "C-2C ladder SRAM CIM, 22 nm FinFET, 8-bit MAC",
+            in_bits: 8,
+            w_bits: 8,
+            out_bits: 8,
+            tops_per_watt: 32.0,
+            tops: 0.03,
+            mac_error_pct: None,
+            digital: false,
+        },
+        PriorCircuit {
+            reference: "[14]",
+            description: "28 nm reconfigurable digital CIM, 36.5 TOPS/W INT8",
+            in_bits: 8,
+            w_bits: 8,
+            out_bits: 8,
+            tops_per_watt: 36.5,
+            tops: 2.9,
+            mac_error_pct: None,
+            digital: true,
+        },
+        PriorCircuit {
+            reference: "[15]",
+            description: "scalable programmable CIM inference accelerator",
+            in_bits: 8,
+            w_bits: 8,
+            out_bits: 8,
+            tops_per_watt: 30.0,
+            tops: 0.6,
+            mac_error_pct: Some(4.0),
+            digital: false,
+        },
+        PriorCircuit {
+            reference: "[16]",
+            description: "28 nm 1 Mb time-domain CIM 6T-SRAM, 37.01 TOPS/W 8b",
+            in_bits: 8,
+            w_bits: 8,
+            out_bits: 8,
+            tops_per_watt: 37.01,
+            tops: 1.241,
+            mac_error_pct: Some(1.94),
+            digital: false,
+        },
+        PriorCircuit {
+            reference: "[17]",
+            description: "local computing cell 6T-SRAM CIM, 8-bit MAC",
+            in_bits: 8,
+            w_bits: 8,
+            out_bits: 8,
+            tops_per_watt: 22.75,
+            tops: 0.45,
+            mac_error_pct: Some(4.17),
+            digital: false,
+        },
+        PriorCircuit {
+            reference: "[18]",
+            description: "CAP-RAM charge-domain 6T-SRAM, precision-programmable",
+            in_bits: 8,
+            w_bits: 8,
+            out_bits: 8,
+            tops_per_watt: 3.1,
+            tops: 0.1,
+            mac_error_pct: Some(9.0),
+            digital: false,
+        },
+        PriorCircuit {
+            reference: "[19]",
+            description: "28 nm separate-WL 6T-SRAM CIM for depthwise NNs",
+            in_bits: 8,
+            w_bits: 8,
+            out_bits: 8,
+            tops_per_watt: 55.0,
+            tops: 0.3,
+            mac_error_pct: None,
+            digital: false,
+        },
+        PriorCircuit {
+            reference: "[20]",
+            description: "PVT-insensitive 8b word-wise ACIM, 70.85-86.27 TOPS/W",
+            in_bits: 8,
+            w_bits: 8,
+            out_bits: 8,
+            tops_per_watt: 82.5,
+            tops: 1.45,
+            mac_error_pct: Some(0.89),
+            digital: false,
+        },
+    ]
+}
+
+/// Normalized Fig 7 row: YOCO ÷ prior, per metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// Citation tag.
+    pub reference: &'static str,
+    /// Energy-efficiency ratio.
+    pub ee_ratio: f64,
+    /// Throughput ratio.
+    pub throughput_ratio: f64,
+    /// FoM ratio.
+    pub fom_ratio: f64,
+}
+
+/// Computes the normalized Fig 7 table.
+pub fn fig7_rows() -> Vec<Fig7Row> {
+    let ours = yoco_ima();
+    fig7_circuits()
+        .iter()
+        .map(|p| Fig7Row {
+            reference: p.reference,
+            ee_ratio: ours.tops_per_watt / p.tops_per_watt,
+            throughput_ratio: ours.tops / p.tops,
+            fom_ratio: ours.fom() / p.fom(),
+        })
+        .collect()
+}
+
+/// One bar of the Fig 6(e) MAC-error comparison (designs that report an
+/// error figure, plus YOCO).
+pub fn fig6e_error_ladder() -> Vec<(&'static str, f64)> {
+    let mut v: Vec<(&'static str, f64)> = fig7_circuits()
+        .iter()
+        .filter_map(|p| p.mac_error_pct.map(|e| (p.reference, e)))
+        .collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    v.push(("ours", 0.98));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_circuits_in_citation_order() {
+        let c = fig7_circuits();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c[0].reference, "[9]");
+        assert_eq!(c[7].reference, "[20]");
+    }
+
+    #[test]
+    fn fig7_ranges_match_paper() {
+        // Paper: EE 1.5-40x, throughput 12-1164x, FoM 36-14000x.
+        let rows = fig7_rows();
+        let ee_min = rows.iter().map(|r| r.ee_ratio).fold(f64::INFINITY, f64::min);
+        let ee_max = rows.iter().map(|r| r.ee_ratio).fold(0.0, f64::max);
+        assert!(ee_min > 1.4 && ee_min < 1.6, "ee_min {ee_min}");
+        assert!(ee_max > 38.0 && ee_max < 42.0, "ee_max {ee_max}");
+
+        let tp_min = rows.iter().map(|r| r.throughput_ratio).fold(f64::INFINITY, f64::min);
+        let tp_max = rows.iter().map(|r| r.throughput_ratio).fold(0.0, f64::max);
+        assert!(tp_min > 11.0 && tp_min < 13.0, "tp_min {tp_min}");
+        assert!(tp_max > 1100.0 && tp_max < 1230.0, "tp_max {tp_max}");
+
+        let fom_min = rows.iter().map(|r| r.fom_ratio).fold(f64::INFINITY, f64::min);
+        let fom_max = rows.iter().map(|r| r.fom_ratio).fold(0.0, f64::max);
+        assert!(fom_min > 33.0 && fom_min < 40.0, "fom_min {fom_min}");
+        assert!(fom_max > 12_000.0 && fom_max < 16_000.0, "fom_max {fom_max}");
+    }
+
+    #[test]
+    fn yoco_fom_uses_all_three_bitwidths() {
+        let y = yoco_ima();
+        assert!((y.fom() - 123.8 * 34.9 * 512.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig6e_ladder_descends_to_ours() {
+        let ladder = fig6e_error_ladder();
+        assert_eq!(ladder.last().expect("nonempty").0, "ours");
+        assert!((ladder.last().expect("nonempty").1 - 0.98).abs() < 1e-9);
+        // Errors are sorted descending before ours: 9 > 4.17 > 4 > 1.94 > 0.89.
+        let vals: Vec<f64> = ladder[..ladder.len() - 1].iter().map(|x| x.1).collect();
+        assert_eq!(vals, vec![9.0, 4.17, 4.0, 1.94, 0.89]);
+    }
+}

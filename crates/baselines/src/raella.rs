@@ -1,0 +1,68 @@
+//! The RAELLA baseline \[6\].
+//!
+//! RAELLA (ISCA 2023) reforms ISAAC-style arithmetic to keep ADC resolution
+//! low without retraining: center+offset weight encoding concentrates
+//! partial sums near zero so a cheap low-resolution ADC (speculate/recover)
+//! digitizes most slices, and denser 512×512 crossbars with 2-bit input
+//! slices cut cycles. It remains a bit-sliced, per-column-converted,
+//! pure-ReRAM design — converts/MAC falls but does not approach YOCO's
+//! single conversion per 1024-row MAC.
+
+use crate::adc_dac::{AdcSpec, DacSpec};
+use crate::model::{BitSliceImc, DynamicWeightPolicy};
+
+/// RAELLA at the paper's 28 nm, 8-bit comparison point.
+pub fn raella() -> BitSliceImc {
+    BitSliceImc {
+        name: "raella".into(),
+        rows: 512,
+        cols: 512,
+        cell_bits: 2,
+        input_slice_bits: 2,
+        operand_bits: 8,
+        adc: AdcSpec::raella_7b(),
+        analog_accum_columns: 1,
+        cycle_ns: 110.0,
+        cell_read_fj: 4.4,
+        dac: DacSpec {
+            bits: 2,
+            energy_pj: 0.05,
+            latency_ns: 0.2,
+            area_um2: 14.0,
+        },
+        psum_pj: 0.06,
+        buffer_pj_per_bit: 0.08,
+        parallel_macros: 125,
+        dynamic_policy: DynamicWeightPolicy::ReramWrite {
+            pj_per_bit: 2.0,
+            ns_per_row: 50.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yoco_arch::accelerator::Accelerator;
+    use yoco_arch::workload::MatmulWorkload;
+
+    #[test]
+    fn raella_beats_isaac_on_energy() {
+        let w = MatmulWorkload::new("fc", 512, 2048, 2048);
+        let r = raella().evaluate(&w);
+        let i = crate::isaac::isaac().evaluate(&w);
+        assert!(
+            r.tops_per_watt() > 2.0 * i.tops_per_watt(),
+            "raella {} vs isaac {}",
+            r.tops_per_watt(),
+            i.tops_per_watt()
+        );
+    }
+
+    #[test]
+    fn converts_per_mac_below_isaac() {
+        let r = raella();
+        let i = crate::isaac::isaac();
+        assert!(r.converts_per_mac() < i.converts_per_mac());
+    }
+}

@@ -1,0 +1,176 @@
+//! Table I — the ADCs/DACs cost taxonomy of recent IMC architectures.
+//!
+//! A qualitative comparison of slicing strategy, block size, converter
+//! cost, memory technology, and accuracy loss across the six designs the
+//! paper tabulates. The rows are generated from structured data so the
+//! `table1` bench bin can print the table and tests can check its claims
+//! against the quantitative models elsewhere in this crate.
+
+use serde::{Deserialize, Serialize};
+
+/// Qualitative cost levels used by Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostLevel {
+    /// Low cost / loss.
+    Low,
+    /// Medium.
+    Mid,
+    /// High cost / loss.
+    High,
+}
+
+impl std::fmt::Display for CostLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CostLevel::Low => "Low",
+            CostLevel::Mid => "Mid",
+            CostLevel::High => "High",
+        })
+    }
+}
+
+/// Block-size classes of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockSize {
+    /// Small analog blocks (≤128×128).
+    Small,
+    /// Medium blocks.
+    Mid,
+    /// Large blocks (≥512 rows).
+    Large,
+}
+
+impl std::fmt::Display for BlockSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BlockSize::Small => "Small",
+            BlockSize::Mid => "Mid",
+            BlockSize::Large => "Large",
+        })
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaxonomyRow {
+    /// Architecture name.
+    pub architecture: &'static str,
+    /// Weight bit-slicing used.
+    pub slice_weight: bool,
+    /// Input bit-slicing used.
+    pub slice_input: bool,
+    /// Analog block size class.
+    pub block_size: BlockSize,
+    /// ADC cost level.
+    pub adc_cost: CostLevel,
+    /// DAC cost level.
+    pub dac_cost: CostLevel,
+    /// Memory technology.
+    pub memory: &'static str,
+    /// Accuracy loss level.
+    pub accuracy_loss: CostLevel,
+}
+
+/// Table I, row for row.
+pub fn table1_rows() -> Vec<TaxonomyRow> {
+    vec![
+        TaxonomyRow {
+            architecture: "ISAAC [4]",
+            slice_weight: true,
+            slice_input: true,
+            block_size: BlockSize::Small,
+            adc_cost: CostLevel::High,
+            dac_cost: CostLevel::Low,
+            memory: "ReRAM",
+            accuracy_loss: CostLevel::High,
+        },
+        TaxonomyRow {
+            architecture: "RAELLA [6]",
+            slice_weight: true,
+            slice_input: true,
+            block_size: BlockSize::Mid,
+            adc_cost: CostLevel::High,
+            dac_cost: CostLevel::Low,
+            memory: "ReRAM",
+            accuracy_loss: CostLevel::Low,
+        },
+        TaxonomyRow {
+            architecture: "TIMELY [7]",
+            slice_weight: true,
+            slice_input: false,
+            block_size: BlockSize::Large,
+            adc_cost: CostLevel::Low,
+            dac_cost: CostLevel::Low,
+            memory: "ReRAM",
+            accuracy_loss: CostLevel::High,
+        },
+        TaxonomyRow {
+            architecture: "C-Ladder [8]",
+            slice_weight: true,
+            slice_input: false,
+            block_size: BlockSize::Small,
+            adc_cost: CostLevel::High,
+            dac_cost: CostLevel::High,
+            memory: "DRAM",
+            accuracy_loss: CostLevel::Low,
+        },
+        TaxonomyRow {
+            architecture: "C-2C [9]",
+            slice_weight: false,
+            slice_input: false,
+            block_size: BlockSize::Small,
+            adc_cost: CostLevel::Low,
+            dac_cost: CostLevel::High,
+            memory: "SRAM",
+            accuracy_loss: CostLevel::Low,
+        },
+        TaxonomyRow {
+            architecture: "Our (YOCO)",
+            slice_weight: false,
+            slice_input: false,
+            block_size: BlockSize::Large,
+            adc_cost: CostLevel::Low,
+            dac_cost: CostLevel::Low,
+            memory: "Hybrid",
+            accuracy_loss: CostLevel::Low,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_ending_with_yoco() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[5].architecture, "Our (YOCO)");
+    }
+
+    #[test]
+    fn yoco_is_the_only_slice_free_low_cost_large_block_design() {
+        let rows = table1_rows();
+        let winners: Vec<_> = rows
+            .iter()
+            .filter(|r| {
+                !r.slice_weight
+                    && !r.slice_input
+                    && r.block_size == BlockSize::Large
+                    && r.adc_cost == CostLevel::Low
+                    && r.dac_cost == CostLevel::Low
+                    && r.accuracy_loss == CostLevel::Low
+            })
+            .collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(winners[0].architecture, "Our (YOCO)");
+    }
+
+    #[test]
+    fn taxonomy_is_consistent_with_quantitative_models() {
+        use crate::{isaac::isaac, raella::raella, timely::timely};
+        // "High ADC cost" designs convert more often per MAC than "Low".
+        assert!(isaac().converts_per_mac() > timely().converts_per_mac());
+        assert!(raella().converts_per_mac() > timely().converts_per_mac());
+    }
+}

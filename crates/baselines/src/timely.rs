@@ -1,0 +1,68 @@
+//! The TIMELY baseline \[7\].
+//!
+//! TIMELY (ISCA 2020) pushes data movement local and into the time domain:
+//! analog local buffers carry partial sums between sub-arrays without
+//! intermediate digitization, and time-domain interfaces (DTC/TDC) replace
+//! the voltage-domain DAC/ADC pairs. That gives it large effective blocks
+//! (768×768) and by far the fewest converts/MAC of the three baselines —
+//! the paper's Table I rates its ADC cost "Low" — at the price of analog
+//! accuracy (Table I: accuracy loss "High") and, being pure ReRAM, the same
+//! dynamic-matrix write problem.
+
+use crate::adc_dac::{AdcSpec, DacSpec};
+use crate::model::{BitSliceImc, DynamicWeightPolicy};
+
+/// TIMELY at the paper's 28 nm, 8-bit comparison point.
+pub fn timely() -> BitSliceImc {
+    BitSliceImc {
+        name: "timely".into(),
+        rows: 768,
+        cols: 768,
+        cell_bits: 1,
+        input_slice_bits: 8,
+        operand_bits: 8,
+        adc: AdcSpec::timely_tdc(),
+        // Analog local buffers accumulate 8 weight columns (one full 8-bit
+        // weight) into a single time-domain conversion.
+        analog_accum_columns: 8,
+        cycle_ns: 150.0,
+        cell_read_fj: 13.4,
+        dac: DacSpec {
+            bits: 8,
+            energy_pj: 0.35, // DTC-based input interface
+            latency_ns: 1.0,
+            area_um2: 48.0,
+        },
+        psum_pj: 0.02,
+        buffer_pj_per_bit: 0.05,
+        parallel_macros: 142,
+        dynamic_policy: DynamicWeightPolicy::ReramWrite {
+            pj_per_bit: 2.0,
+            ns_per_row: 50.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yoco_arch::accelerator::Accelerator;
+    use yoco_arch::workload::MatmulWorkload;
+
+    #[test]
+    fn timely_has_lowest_converts_per_mac_of_baselines() {
+        let t = timely();
+        assert!(t.converts_per_mac() < crate::raella::raella().converts_per_mac());
+        assert!(t.converts_per_mac() < crate::isaac::isaac().converts_per_mac());
+    }
+
+    #[test]
+    fn timely_is_most_efficient_baseline() {
+        let w = MatmulWorkload::new("fc", 512, 3072, 3072);
+        let t = timely().evaluate(&w);
+        let r = crate::raella::raella().evaluate(&w);
+        let i = crate::isaac::isaac().evaluate(&w);
+        assert!(t.tops_per_watt() > r.tops_per_watt());
+        assert!(t.tops_per_watt() > i.tops_per_watt());
+    }
+}

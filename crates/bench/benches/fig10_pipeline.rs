@@ -1,0 +1,41 @@
+//! Criterion benches for the Fig 10 workload: token-level pipeline
+//! simulation for each transformer, and the streaming-attention kernel the
+//! pipeline computes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use yoco::{AttentionDims, AttentionPipeline, YocoConfig};
+use yoco_nn::attention::streaming_attention;
+use yoco_nn::Matrix;
+
+fn bench_pipeline_simulation(c: &mut Criterion) {
+    let pipeline = AttentionPipeline::new(YocoConfig::paper_default());
+    for (name, dims) in [
+        ("mobilebert", AttentionDims { seq: 128, d_model: 512, heads: 4 }),
+        ("gpt_large", AttentionDims { seq: 1024, d_model: 1280, heads: 20 }),
+        ("llama3_7b", AttentionDims { seq: 2048, d_model: 4096, heads: 32 }),
+    ] {
+        c.bench_function(&format!("fig10_pipeline_sim_{name}"), |b| {
+            b.iter(|| pipeline.simulate(black_box(&dims)))
+        });
+    }
+}
+
+fn bench_streaming_attention_kernel(c: &mut Criterion) {
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+    let (l, d) = (64usize, 64usize);
+    let mut mk = || {
+        let data: Vec<f32> = (0..l * d).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        Matrix::from_vec(l, d, data).expect("sized")
+    };
+    let q = mk();
+    let k = mk();
+    let v = mk();
+    c.bench_function("fig10_streaming_attention_64x64", |b| {
+        b.iter(|| streaming_attention(black_box(&q), black_box(&k), black_box(&v)).expect("ok"))
+    });
+}
+
+criterion_group!(benches, bench_pipeline_simulation, bench_streaming_attention_kernel);
+criterion_main!(benches);

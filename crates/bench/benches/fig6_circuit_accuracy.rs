@@ -1,0 +1,67 @@
+//! Criterion benches for the Fig 6 circuit-accuracy workloads: the
+//! per-capacitor array simulation, the DAC transfer sweep, and one
+//! Monte-Carlo instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yoco_circuit::dac::DacTransfer;
+use yoco_circuit::{ArrayGeometry, DetailedArray, MemoryKind, NoiseModel};
+
+fn bench_detailed_vmm(c: &mut Criterion) {
+    let geom = ArrayGeometry::yoco_default();
+    let weights: Vec<Vec<u32>> = (0..128)
+        .map(|r| (0..32).map(|cb| ((r * 17 + cb * 5) % 256) as u32).collect())
+        .collect();
+    let array =
+        DetailedArray::with_seeded_noise(geom, &weights, MemoryKind::Sram, NoiseModel::tt_corner(), 7)
+            .expect("valid");
+    let inputs: Vec<u32> = (0..128).map(|r| ((r * 31) % 256) as u32).collect();
+    c.bench_function("fig6b_detailed_array_vmm_128x256", |b| {
+        b.iter(|| array.compute_vmm_seeded(black_box(&inputs), 3).expect("valid"))
+    });
+}
+
+fn bench_dac_transfer(c: &mut Criterion) {
+    c.bench_function("fig6a_dac_transfer_256_codes", |b| {
+        b.iter(|| {
+            DacTransfer::measure(
+                ArrayGeometry::yoco_default(),
+                black_box(NoiseModel::tt_corner()),
+                11,
+            )
+            .expect("valid")
+            .linearity()
+        })
+    });
+}
+
+fn bench_monte_carlo_instance(c: &mut Criterion) {
+    let geom = ArrayGeometry::yoco_default();
+    let weights: Vec<Vec<u32>> = (0..128)
+        .map(|r| (0..32).map(|cb| ((r * 11 + cb * 3) % 256) as u32).collect())
+        .collect();
+    let inputs: Vec<u32> = (0..128).map(|r| ((r * 97) % 256) as u32).collect();
+    c.bench_function("fig6d_monte_carlo_one_instance", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let inst = DetailedArray::with_seeded_noise(
+                geom,
+                &weights,
+                MemoryKind::Sram,
+                NoiseModel::tt_corner(),
+                seed,
+            )
+            .expect("valid");
+            inst.compute_vmm_seeded(black_box(&inputs), seed).expect("valid")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_detailed_vmm,
+    bench_dac_transfer,
+    bench_monte_carlo_instance
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches for the Fig 7 workload: the functional IMA VMM through
+//! arrays, TDA chains, and TDC readout, plus the normalization table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use yoco::{Ima, ImaRole, YocoConfig};
+use yoco_baselines::prior::fig7_rows;
+
+fn bench_functional_ima(c: &mut Criterion) {
+    let config = YocoConfig::builder()
+        .ima_stack(2)
+        .ima_width(2)
+        .build()
+        .expect("valid config");
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(5);
+    let weights: Vec<Vec<u32>> = (0..config.ima_rows())
+        .map(|_| (0..config.ima_outputs()).map(|_| rng.gen_range(0..256)).collect())
+        .collect();
+    let ima = Ima::new(&config, ImaRole::Static, &weights).expect("valid weights");
+    let inputs: Vec<u32> = (0..config.ima_rows()).map(|_| rng.gen_range(0..256)).collect();
+    c.bench_function("fig7_functional_ima_vmm_256x64", |b| {
+        b.iter(|| ima.compute_vmm(black_box(&inputs), 9).expect("valid"))
+    });
+}
+
+fn bench_fig7_rows(c: &mut Criterion) {
+    c.bench_function("fig7_normalization_table", |b| {
+        b.iter(|| black_box(fig7_rows()))
+    });
+}
+
+criterion_group!(benches, bench_functional_ima, bench_fig7_rows);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the Fig 8 workload: whole-model evaluation on the
+//! YOCO chip and each baseline, plus the full 10-model table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yoco::YocoChip;
+use yoco_arch::accelerator::Accelerator;
+use yoco_baselines::{isaac::isaac, raella::raella, timely::timely};
+use yoco_nn::models::{qdqbert, resnet18};
+
+fn bench_model_on_each_accelerator(c: &mut Criterion) {
+    let resnet = resnet18();
+    let bert = qdqbert();
+    let resnet_w = resnet.workloads();
+    let bert_w = bert.workloads();
+    let chip = YocoChip::paper_default();
+    c.bench_function("fig8_yoco_resnet18", |b| {
+        b.iter(|| chip.evaluate_model("resnet18", black_box(&resnet_w)))
+    });
+    c.bench_function("fig8_yoco_qdqbert", |b| {
+        b.iter(|| chip.evaluate_model("qdqbert", black_box(&bert_w)))
+    });
+    let i = isaac();
+    c.bench_function("fig8_isaac_resnet18", |b| {
+        b.iter(|| i.evaluate_model("resnet18", black_box(&resnet_w)))
+    });
+    let r = raella();
+    c.bench_function("fig8_raella_resnet18", |b| {
+        b.iter(|| r.evaluate_model("resnet18", black_box(&resnet_w)))
+    });
+    let t = timely();
+    c.bench_function("fig8_timely_resnet18", |b| {
+        b.iter(|| t.evaluate_model("resnet18", black_box(&resnet_w)))
+    });
+}
+
+fn bench_full_fig8_table(c: &mut Criterion) {
+    c.bench_function("fig8_full_table_10_models_4_accelerators", |b| {
+        b.iter(|| black_box(yoco_bench::fig8_table()))
+    });
+}
+
+criterion_group!(benches, bench_model_on_each_accelerator, bench_full_fig8_table);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benches for the Fig 9 workload: the DAC-less row conversion
+//! (the physical operation Fig 9a compares) and the converts/MAC
+//! arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yoco_baselines::adc_dac::{fig9a_dac_ratios, fig9b_schemes};
+use yoco_circuit::{ArrayGeometry, DetailedArray};
+
+fn bench_row_conversion(c: &mut Criterion) {
+    // The DAC replacement: one phase-1 row charge sharing across 256 unit
+    // capacitors for all 128 rows.
+    let geom = ArrayGeometry::yoco_default();
+    let weights = vec![vec![0u32; 32]; 128];
+    let array = DetailedArray::new(geom, &weights).expect("valid");
+    let inputs: Vec<u32> = (0..128).map(|r| ((r * 3) % 256) as u32).collect();
+    c.bench_function("fig9a_dacless_input_conversion_128_rows", |b| {
+        b.iter(|| array.convert_inputs(black_box(&inputs)).expect("valid"))
+    });
+}
+
+fn bench_ratio_tables(c: &mut Criterion) {
+    c.bench_function("fig9_ratio_tables", |b| {
+        b.iter(|| (black_box(fig9a_dac_ratios()), black_box(fig9b_schemes())))
+    });
+}
+
+criterion_group!(benches, bench_row_conversion, bench_ratio_tables);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion benches for the table regenerators: Table I taxonomy and the
+//! Table II component roll-up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yoco_baselines::taxonomy::table1_rows;
+use yoco_circuit::energy::{ima_vmm_cost, table2};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_taxonomy_rows", |b| b.iter(|| black_box(table1_rows())));
+}
+
+fn bench_table2_rollup(c: &mut Criterion) {
+    c.bench_function("table2_ima_cost_rollup", |b| {
+        b.iter(|| black_box(ima_vmm_cost(table2::DEFAULT_ACTIVITY)))
+    });
+}
+
+criterion_group!(benches, bench_table1, bench_table2_rollup);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Prints the four ablation studies of DESIGN.md §5.
+
+use yoco_bench::ablations::{
+    corner_sweep, hybrid_ablation, pipeline_depth_sweep, slicing_sweep, tda_ablation,
+};
+use yoco_bench::output::write_json;
+
+fn main() {
+    println!("== Ablation 1: input bit-slicing (charge-once vs bit-serial) ==");
+    println!(
+        "{:>12} {:>8} {:>18} {:>16} {:>14}",
+        "slice bits", "cycles", "converts/MAC (m)", "pJ per MAC", "latency (ns)"
+    );
+    let slicing = slicing_sweep();
+    for p in &slicing {
+        println!(
+            "{:>12} {:>8} {:>18.1} {:>16.3} {:>14.0}",
+            p.input_slice_bits,
+            p.cycles,
+            p.converts_per_mac_milli,
+            p.energy_per_mac_pj,
+            p.invocation_latency_ns
+        );
+    }
+    println!("(YOCO converts once per 1024-row MAC: ~0.98 m converts/MAC)");
+    write_json("ablation_slicing", &slicing);
+
+    println!();
+    println!("== Ablation 2: time-domain vs voltage-domain accumulation ==");
+    println!(
+        "{:>6} {:>14} {:>14} {:>16} {:>16} {:>12} {:>14}",
+        "stack", "convs (TDA)", "convs (ADC)", "pJ/out (TDA)", "pJ/out (ADC)", "V swing", "time win (ns)"
+    );
+    let tda = tda_ablation();
+    for p in &tda {
+        println!(
+            "{:>6} {:>14} {:>14} {:>16.2} {:>16.2} {:>12.3} {:>14.3}",
+            p.stack,
+            p.conversions_with_tda,
+            p.conversions_without_tda,
+            p.readout_pj_with_tda,
+            p.readout_pj_without_tda,
+            p.voltage_domain_swing_v,
+            p.time_domain_window_ns
+        );
+    }
+    write_json("ablation_tda", &tda);
+
+    println!();
+    println!("== Ablation 3: memory composition of a tile ==");
+    println!(
+        "{:<20} {:>16} {:>18} {:>20}",
+        "variant", "weights/tile", "dyn write (nJ)", "endurance @1k rw/s"
+    );
+    let hybrid = hybrid_ablation();
+    for p in &hybrid {
+        let endurance = if p.endurance_hours_at_1k.is_infinite() {
+            "unlimited".to_string()
+        } else {
+            format!("{:.1} h", p.endurance_hours_at_1k)
+        };
+        println!(
+            "{:<20} {:>16} {:>18.1} {:>20}",
+            p.variant, p.weight_capacity, p.dynamic_write_nj, endurance
+        );
+    }
+    write_json("ablation_hybrid", &hybrid);
+
+    println!();
+    println!("== Ablation 4: pipeline benefit vs sequence length (BERT-base dims) ==");
+    let depth = pipeline_depth_sweep();
+    for p in &depth {
+        println!("  seq {:>5} -> {:.2}x", p.seq, p.speedup);
+    }
+    write_json("ablation_pipeline", &depth);
+
+    println!();
+    println!("== Ablation 5: PVT corner sweep, raw vs digitally calibrated ==");
+    println!("{:>6} {:>8} {:>14} {:>18}", "corner", "temp", "peak err (%)", "calibrated (%)");
+    let corners = corner_sweep();
+    for p in &corners {
+        println!(
+            "{:>6} {:>7}C {:>14.3} {:>18.4}",
+            p.corner,
+            p.temp_c,
+            p.peak_error * 100.0,
+            p.calibrated_error * 100.0
+        );
+    }
+    write_json("ablation_corners", &corners);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Fig 10: attention-pipeline speedup on five transformers.
+
+use yoco_bench::output::write_json;
+
+fn main() {
+    let t = yoco_bench::fig10_table();
+    println!("== Fig 10: attention inference speedup, pipelined vs layer-wise ==");
+    for r in &t.rows {
+        println!(
+            "  {:<20} seq {:>4}, d {:>4}: layer-wise {:>12.0} ns, pipelined {:>12.0} ns -> {:.2}x",
+            r.model, r.dims.seq, r.dims.d_model, r.layerwise_ns, r.pipelined_ns, r.speedup
+        );
+    }
+    println!("  geometric mean: {:.2}x  (paper: 1.8-3.7x per model, geomean 2.33x)", t.geomean);
+    write_json("fig10", &t);
+}

@@ -1,0 +1,46 @@
+//! Regenerates Fig 1(c): the throughput-vs-energy-efficiency scatter of
+//! recent IMC macros, with YOCO in the top-right corner.
+
+use yoco_baselines::prior::{fig7_circuits, yoco_ima};
+use yoco_bench::output::write_json;
+
+fn main() {
+    println!("== Fig 1(c): analog IMC throughput vs energy efficiency ==");
+    println!("{:<6} {:>12} {:>10} {:>8}", "ref", "EE (TOPS/W)", "TP (TOPS)", "kind");
+    let mut points: Vec<(String, f64, f64, String)> = fig7_circuits()
+        .iter()
+        .map(|c| {
+            (
+                c.reference.to_string(),
+                c.tops_per_watt,
+                c.tops,
+                if c.digital { "digital".to_string() } else { "analog".to_string() },
+            )
+        })
+        .collect();
+    let ours = yoco_ima();
+    points.push((
+        "ours".into(),
+        ours.tops_per_watt,
+        ours.tops,
+        "analog (this work)".into(),
+    ));
+    for (name, ee, tp, kind) in &points {
+        println!("{name:<6} {ee:>12.1} {tp:>10.2} {kind:>8}");
+    }
+    // YOCO dominates both axes.
+    let best_other_ee = points[..points.len() - 1]
+        .iter()
+        .map(|p| p.1)
+        .fold(0.0, f64::max);
+    let best_other_tp = points[..points.len() - 1]
+        .iter()
+        .map(|p| p.2)
+        .fold(0.0, f64::max);
+    println!(
+        "YOCO sits {:.1}x right and {:.1}x up from the best prior point.",
+        ours.tops_per_watt / best_other_ee,
+        ours.tops / best_other_tp
+    );
+    write_json("fig1c", &points);
+}

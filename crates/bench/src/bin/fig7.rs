@@ -1,0 +1,38 @@
+//! Regenerates Fig 7: YOCO's IMA vs eight prior IMC macros, normalized
+//! energy efficiency, throughput, and figure of merit.
+
+use yoco_baselines::prior::{fig7_circuits, fig7_rows, yoco_ima};
+use yoco_bench::output::write_json;
+
+fn main() {
+    let ours = yoco_ima();
+    println!("== Fig 7: normalized VMM energy efficiency / throughput / FoM ==");
+    println!(
+        "  YOCO IMA reference: {:.1} TOPS/W, {:.1} TOPS, FoM {:.3e}",
+        ours.tops_per_watt,
+        ours.tops,
+        ours.fom()
+    );
+    println!(
+        "{:<6} {:>12} {:>12} {:>12}   {}",
+        "ref", "EE ratio", "TP ratio", "FoM ratio", "description"
+    );
+    let rows = fig7_rows();
+    let circuits = fig7_circuits();
+    for (r, c) in rows.iter().zip(&circuits) {
+        println!(
+            "{:<6} {:>11.1}x {:>11.1}x {:>11.0}x   {}",
+            r.reference, r.ee_ratio, r.throughput_ratio, r.fom_ratio, c.description
+        );
+    }
+    let ee_min = rows.iter().map(|r| r.ee_ratio).fold(f64::INFINITY, f64::min);
+    let ee_max = rows.iter().map(|r| r.ee_ratio).fold(0.0, f64::max);
+    let tp_min = rows.iter().map(|r| r.throughput_ratio).fold(f64::INFINITY, f64::min);
+    let tp_max = rows.iter().map(|r| r.throughput_ratio).fold(0.0, f64::max);
+    let fom_min = rows.iter().map(|r| r.fom_ratio).fold(f64::INFINITY, f64::min);
+    let fom_max = rows.iter().map(|r| r.fom_ratio).fold(0.0, f64::max);
+    println!(
+        "ranges: EE {ee_min:.1}-{ee_max:.1}x (paper 1.5-40x), TP {tp_min:.0}-{tp_max:.0}x (paper 12-1164x), FoM {fom_min:.0}-{fom_max:.0}x (paper 36-14000x)"
+    );
+    write_json("fig7", &rows);
+}

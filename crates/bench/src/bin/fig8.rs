@@ -1,0 +1,37 @@
+//! Regenerates Fig 8: chip-level energy efficiency and throughput of YOCO
+//! vs ISAAC / RAELLA / TIMELY on the 10-model zoo.
+
+use yoco_bench::output::write_json;
+
+fn main() {
+    let t = yoco_bench::fig8_table();
+    println!("== Fig 8: normalized to ISAAC / RAELLA / TIMELY ==");
+    println!(
+        "{:<20} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "model", "EE/isaac", "EE/raella", "EE/timely", "TP/isaac", "TP/raella", "TP/timely"
+    );
+    for r in &t.rows {
+        println!(
+            "{:<20} | {:>8.1}x {:>8.1}x {:>8.1}x | {:>8.1}x {:>8.1}x {:>8.1}x",
+            r.model,
+            r.ee_ratio[0],
+            r.ee_ratio[1],
+            r.ee_ratio[2],
+            r.tp_ratio[0],
+            r.tp_ratio[1],
+            r.tp_ratio[2]
+        );
+    }
+    println!(
+        "{:<20} | {:>8.1}x {:>8.1}x {:>8.1}x | {:>8.1}x {:>8.1}x {:>8.1}x",
+        "GEOMEAN",
+        t.ee_geomean[0],
+        t.ee_geomean[1],
+        t.ee_geomean[2],
+        t.tp_geomean[0],
+        t.tp_geomean[1],
+        t.tp_geomean[2]
+    );
+    println!("(paper geomeans: EE 19.9 / 4.7 / 3.9; throughput 33.6 / 20.4 / 6.8)");
+    write_json("fig8", &t);
+}

@@ -1,0 +1,52 @@
+//! Regenerates Fig 9: DAC (a) and ADC (b) overhead comparisons.
+
+use yoco_baselines::adc_dac::{fig9a_dac_ratios, fig9b_schemes, DacSpec};
+use yoco_bench::output::write_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
+    if run("dac") {
+        fig9a();
+    }
+    if run("adc") {
+        fig9b();
+    }
+}
+
+fn fig9a() {
+    println!("== Fig 9(a): DAC overhead, conventional 8-bit DAC vs YOCO row capacitors ==");
+    let conv = DacSpec::conventional_8b();
+    let ours = DacSpec::yoco_rowcap();
+    println!(
+        "  conventional: {:.0} um2, {:.2} pJ, {:.2} ns per conversion",
+        conv.area_um2, conv.energy_pj, conv.latency_ns
+    );
+    println!(
+        "  YOCO:         {:.2} um2, {:.3} pJ, {:.2} ns per conversion",
+        ours.area_um2, ours.energy_pj, ours.latency_ns
+    );
+    let (area, energy, latency) = fig9a_dac_ratios();
+    println!(
+        "  reductions: area {area:.0}x, energy {energy:.1}x, latency {latency:.1}x  (paper: 352x / 9x / 1.6x)"
+    );
+    write_json("fig9a", &(area, energy, latency));
+}
+
+fn fig9b() {
+    println!("== Fig 9(b): ADC overhead per 8-bit MAC output ==");
+    let schemes = fig9b_schemes();
+    let yoco = schemes[2].conversions as f64;
+    for s in &schemes {
+        let reduction = 1.0 - yoco / s.conversions as f64;
+        println!(
+            "  {:<45} {:>3} conversions, {:>2} serial passes  (YOCO saves {:.1} %)",
+            s.name,
+            s.conversions,
+            s.serial_passes,
+            reduction * 100.0
+        );
+    }
+    println!("  (paper: -98.4 % vs bit-wise input, -87.5 % vs digital weighting, no delay cost)");
+    write_json("fig9b", &schemes);
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table I: the ADCs/DACs cost taxonomy.
+
+use yoco_baselines::taxonomy::table1_rows;
+use yoco_bench::output::write_json;
+
+fn main() {
+    let rows = table1_rows();
+    println!("TABLE I. ADCS/DACS COST COMPARISON");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>9} {:>9} {:>8} {:>14}",
+        "Architecture", "Slice Weight", "Slice Input", "Block Size", "ADC Cost", "DAC Cost", "Memory", "Accuracy Loss"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>12} {:>12} {:>10} {:>9} {:>9} {:>8} {:>14}",
+            r.architecture,
+            if r.slice_weight { "Yes" } else { "No" },
+            if r.slice_input { "Yes" } else { "No" },
+            r.block_size.to_string(),
+            r.adc_cost.to_string(),
+            r.dac_cost.to_string(),
+            r.memory,
+            r.accuracy_loss.to_string()
+        );
+    }
+    write_json("table1", &rows);
+}

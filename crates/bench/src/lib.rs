@@ -1,0 +1,15 @@
+//! # yoco-bench — the figure/table regeneration harness
+//!
+//! Shared plumbing for the `fig*`/`table*` bins and the Criterion benches:
+//! building the comparison set, computing the Fig 8 table, and writing
+//! machine-readable results under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig8;
+pub mod output;
+
+pub use fig10::{fig10_table, Fig10Row, Fig10Table};
+pub use fig8::{fig8_table, Fig8Row, Fig8Table};

@@ -1,0 +1,39 @@
+//! Result output helpers: aligned console tables and JSON records under
+//! `results/`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Writes a serializable result as pretty JSON under `results/<name>.json`
+/// (relative to the workspace root if it exists, else the current
+/// directory). Errors are reported, not fatal — figures still print.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = if Path::new("results").exists() {
+        Path::new("results").to_path_buf()
+    } else if Path::new("../../results").exists() {
+        Path::new("../../results").to_path_buf()
+    } else {
+        let _ = fs::create_dir_all("results");
+        Path::new("results").to_path_buf()
+    };
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Prints a rule line of the given width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a ratio like the paper's figures (`19.9x`).
+pub fn ratio(x: f64) -> String {
+    format!("{x:.1}x")
+}

@@ -1,0 +1,170 @@
+//! Digital post-calibration of the analog readout.
+//!
+//! Production AiMC macros trim their deterministic errors digitally: a
+//! one-time foreground sweep measures the transfer curve, a low-order model
+//! (gain + parabolic bow — exactly the signature of settling loss and
+//! charge injection) is fitted, and the inverse is applied to every readout
+//! code. This module implements that flow against the behavioural
+//! simulator, quantifying how much of the Fig 6 error budget digital
+//! calibration recovers.
+
+use crate::fast::MacErrorModel;
+use serde::{Deserialize, Serialize};
+
+/// A fitted second-order correction `y ≈ g·x + b·x·(1−x)` on normalized
+/// values `x ∈ \[0, 1\]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DigitalCalibration {
+    /// Fitted linear gain.
+    pub gain: f64,
+    /// Fitted bow coefficient.
+    pub bow: f64,
+}
+
+impl DigitalCalibration {
+    /// Fits the model to measured `(ideal, observed)` normalized pairs by
+    /// least squares on the two basis functions `x` and `x(1−x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given.
+    pub fn fit(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "calibration needs at least two points");
+        // Normal equations for [gain, bow].
+        let (mut sxx, mut sxb, mut sbb, mut sxy, mut sby) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+        for &(x, y) in points {
+            let b = x * (1.0 - x);
+            sxx += x * x;
+            sxb += x * b;
+            sbb += b * b;
+            sxy += x * y;
+            sby += b * y;
+        }
+        let det = sxx * sbb - sxb * sxb;
+        if det.abs() < 1e-18 {
+            return Self {
+                gain: if sxx > 0.0 { sxy / sxx } else { 1.0 },
+                bow: 0.0,
+            };
+        }
+        Self {
+            gain: (sxy * sbb - sby * sxb) / det,
+            bow: (sby * sxx - sxy * sxb) / det,
+        }
+    }
+
+    /// Characterizes a [`MacErrorModel`] with a foreground sweep of `n`
+    /// points (no random noise during characterization, as a real trim
+    /// averages it out).
+    pub fn characterize(model: &MacErrorModel, n: usize) -> Self {
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let x = i as f64 / (n - 1).max(1) as f64 * 0.996;
+                (x, model.apply_deterministic(x))
+            })
+            .collect();
+        Self::fit(&points)
+    }
+
+    /// Applies the forward model.
+    pub fn forward(&self, x: f64) -> f64 {
+        self.gain * x + self.bow * x * (1.0 - x)
+    }
+
+    /// Inverts an observed value back to the ideal domain (one Newton step
+    /// from the linear estimate is enough for the small corrections here,
+    /// iterated to convergence for safety).
+    pub fn correct(&self, y: f64) -> f64 {
+        let mut x = y / self.gain.max(1e-9);
+        for _ in 0..8 {
+            let f = self.forward(x) - y;
+            let df = self.gain + self.bow * (1.0 - 2.0 * x);
+            if df.abs() < 1e-12 {
+                break;
+            }
+            x -= f / df;
+        }
+        x
+    }
+
+    /// Residual deterministic error of a model after correction, as a
+    /// fraction of full scale.
+    pub fn residual_error(&self, model: &MacErrorModel) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..=1000 {
+            let x = i as f64 / 1000.0 * 0.996;
+            let corrected = self.correct(model.apply_deterministic(x));
+            worst = worst.max((corrected - x).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation::NoiseModel;
+
+    #[test]
+    fn fit_recovers_known_coefficients() {
+        let truth = DigitalCalibration {
+            gain: 0.995,
+            bow: 0.012,
+        };
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64 / 49.0;
+                (x, truth.forward(x))
+            })
+            .collect();
+        let fit = DigitalCalibration::fit(&pts);
+        assert!((fit.gain - truth.gain).abs() < 1e-9);
+        assert!((fit.bow - truth.bow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correction_inverts_forward() {
+        let c = DigitalCalibration {
+            gain: 0.99,
+            bow: 0.01,
+        };
+        for i in 0..20 {
+            let x = i as f64 / 20.0;
+            let back = c.correct(c.forward(x));
+            assert!((back - x).abs() < 1e-9, "{x}: {back}");
+        }
+    }
+
+    #[test]
+    fn calibration_recovers_most_of_the_deterministic_budget() {
+        // The TT-corner deterministic error is dominated by exactly the
+        // gain + bow the calibration models; trimming should cut it by an
+        // order of magnitude.
+        let model = MacErrorModel::from_noise(&NoiseModel::tt_corner(), 128);
+        let before = model.peak_deterministic_error();
+        let cal = DigitalCalibration::characterize(&model, 64);
+        let after = cal.residual_error(&model);
+        assert!(
+            after < before / 8.0,
+            "before {before}, after {after} — calibration too weak"
+        );
+    }
+
+    #[test]
+    fn calibration_cannot_remove_random_noise() {
+        use rand_chacha::rand_core::SeedableRng;
+        let model = MacErrorModel::from_noise(&NoiseModel::tt_corner(), 128);
+        let cal = DigitalCalibration::characterize(&model, 64);
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(5);
+        // With random noise on, the corrected error floor is the noise
+        // sigma, not zero.
+        let mut worst = 0.0f64;
+        for i in 0..500 {
+            let x = (i % 97) as f64 / 97.0 * 0.99;
+            let y = model.apply(x, &mut rng);
+            worst = worst.max((cal.correct(y) - x).abs());
+        }
+        assert!(worst > model.sigma_add / 2.0);
+        assert!(worst < 0.01);
+    }
+}

@@ -1,0 +1,160 @@
+//! Charge-sharing primitives.
+//!
+//! Everything in the in-charge computing array reduces to one operation:
+//! connecting a set of capacitors and letting them settle to the common
+//! voltage dictated by charge conservation,
+//!
+//! ```text
+//! V_shared = Σᵢ Cᵢ·Vᵢ / Σᵢ Cᵢ
+//! ```
+//!
+//! [`share`] implements the ideal operation; [`share_with_settling`] models a
+//! finite settling window (the residue decays as `e^(-t/τ)`), which is one of
+//! the non-idealities folded into [`crate::NoiseModel`].
+
+use crate::units::{Coulomb, Farad, Volt};
+
+/// A capacitor node participating in a charge-sharing event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapNode {
+    /// Capacitance of the node.
+    pub cap: Farad,
+    /// Voltage on the node before sharing.
+    pub volt: Volt,
+}
+
+impl CapNode {
+    /// Creates a node from a capacitance and initial voltage.
+    pub fn new(cap: Farad, volt: Volt) -> Self {
+        Self { cap, volt }
+    }
+
+    /// Charge stored on this node.
+    pub fn charge(&self) -> Coulomb {
+        self.cap.charge_at(self.volt)
+    }
+}
+
+/// Total charge on a set of nodes.
+pub fn total_charge(nodes: &[CapNode]) -> Coulomb {
+    nodes.iter().map(|n| n.charge()).sum()
+}
+
+/// Total capacitance of a set of nodes.
+pub fn total_capacitance(nodes: &[CapNode]) -> Farad {
+    nodes.iter().map(|n| n.cap).sum()
+}
+
+/// Ideal charge sharing: connects all nodes and returns the settled voltage.
+///
+/// Charge is conserved exactly: the returned voltage satisfies
+/// `V · ΣC = ΣQ`. Returns `Volt::ZERO` for an empty node set.
+///
+/// ```
+/// use yoco_circuit::charge::{share, CapNode};
+/// use yoco_circuit::units::{Farad, Volt};
+///
+/// let nodes = [
+///     CapNode::new(Farad::from_femto(2.0), Volt::new(0.9)),
+///     CapNode::new(Farad::from_femto(2.0), Volt::new(0.0)),
+/// ];
+/// let v = share(&nodes);
+/// assert!((v.value() - 0.45).abs() < 1e-12);
+/// ```
+pub fn share(nodes: &[CapNode]) -> Volt {
+    if nodes.is_empty() {
+        return Volt::ZERO;
+    }
+    total_charge(nodes).voltage_on(total_capacitance(nodes))
+}
+
+/// Charge sharing with incomplete settling.
+///
+/// Every node moves toward the shared voltage but retains a fraction
+/// `residue` of its initial deviation (`residue = e^{-t_settle/τ}`); the
+/// *observed* output voltage is taken at the node with index `probe`.
+///
+/// With `residue = 0` this is identical to [`share`].
+///
+/// # Panics
+///
+/// Panics if `probe` is out of bounds for `nodes`.
+pub fn share_with_settling(nodes: &[CapNode], residue: f64, probe: usize) -> Volt {
+    let ideal = share(nodes);
+    let initial = nodes[probe].volt;
+    ideal + (initial - ideal) * residue
+}
+
+/// Energy dissipated by a charge-sharing event.
+///
+/// Charge redistribution across resistive switches dissipates the difference
+/// between the initial and final stored energies:
+/// `E = ½ΣCᵢVᵢ² − ½(ΣCᵢ)V̄²`. This is what makes the multiple-charge-sharing
+/// scheme cheap: after the single initial charging, each share only
+/// dissipates the (small) redistribution energy.
+pub fn sharing_dissipation(nodes: &[CapNode]) -> crate::units::Joule {
+    let v_final = share(nodes);
+    let before: f64 = nodes
+        .iter()
+        .map(|n| 0.5 * n.cap.value() * n.volt.value() * n.volt.value())
+        .sum();
+    let after = 0.5 * total_capacitance(nodes).value() * v_final.value() * v_final.value();
+    crate::units::Joule::new((before - after).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Farad, Volt};
+
+    fn node(c_ff: f64, v: f64) -> CapNode {
+        CapNode::new(Farad::from_femto(c_ff), Volt::new(v))
+    }
+
+    #[test]
+    fn equal_caps_average() {
+        let v = share(&[node(2.0, 0.9), node(2.0, 0.0), node(2.0, 0.0), node(2.0, 0.9)]);
+        assert!((v.value() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_share_follows_cap_ratio() {
+        // 1:2 capacitance ratio performs the paper's in-situ shift-and-add:
+        // V = (V0 + 2*V1) / 3.
+        let v = share(&[node(2.0, 0.3), node(4.0, 0.6)]);
+        assert!((v.value() - (0.3 + 2.0 * 0.6) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_is_zero() {
+        assert_eq!(share(&[]), Volt::ZERO);
+    }
+
+    #[test]
+    fn charge_is_conserved() {
+        let nodes = [node(2.0, 0.9), node(3.0, 0.2), node(1.5, 0.7)];
+        let before = total_charge(&nodes);
+        let v = share(&nodes);
+        let after = total_capacitance(&nodes).charge_at(v);
+        assert!((before.value() - after.value()).abs() < 1e-30);
+    }
+
+    #[test]
+    fn settling_residue_interpolates() {
+        let nodes = [node(2.0, 0.9), node(2.0, 0.0)];
+        let full = share_with_settling(&nodes, 0.0, 0);
+        assert!((full.value() - 0.45).abs() < 1e-12);
+        let half = share_with_settling(&nodes, 0.5, 0);
+        assert!((half.value() - 0.675).abs() < 1e-12);
+        let none = share_with_settling(&nodes, 1.0, 0);
+        assert!((none.value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dissipation_nonnegative_and_zero_when_equal() {
+        let equal = [node(2.0, 0.5), node(2.0, 0.5)];
+        assert!(sharing_dissipation(&equal).value().abs() < 1e-30);
+        let uneq = [node(2.0, 0.9), node(2.0, 0.0)];
+        assert!(sharing_dissipation(&uneq).value() > 0.0);
+    }
+}

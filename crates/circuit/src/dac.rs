@@ -1,0 +1,172 @@
+//! DAC-less input conversion: transfer curve and linearity (Fig 6a).
+//!
+//! YOCO replaces a conventional 8-bit DAC per row with the row's own unit
+//! capacitors, grouped by the eDAC switches in binary ratios. This module
+//! sweeps the full input code range through the phase-1 conversion of a
+//! [`DetailedArray`] and computes the standard converter linearity metrics:
+//! integral nonlinearity (INL, endpoint-fit) and differential nonlinearity
+//! (DNL), both in LSBs.
+
+use crate::detailed::DetailedArray;
+use crate::geometry::ArrayGeometry;
+use crate::mcc::MemoryKind;
+use crate::units::Volt;
+use crate::variation::NoiseModel;
+use crate::CircuitError;
+use serde::{Deserialize, Serialize};
+
+/// A measured input-conversion transfer curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DacTransfer {
+    /// Input codes, `0..=2^N − 1`.
+    pub codes: Vec<u32>,
+    /// Measured conversion voltages, one per code.
+    pub volts: Vec<Volt>,
+    /// Ideal LSB size in volts (`VDD / 2^N`).
+    pub lsb: f64,
+}
+
+impl DacTransfer {
+    /// Sweeps every input code through the phase-1 conversion of row 0 of a
+    /// freshly instantiated array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation errors.
+    pub fn measure(
+        geom: ArrayGeometry,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Result<Self, CircuitError> {
+        let weights = vec![vec![0u32; geom.num_cbs()]; geom.rows()];
+        let array =
+            DetailedArray::with_seeded_noise(geom, &weights, MemoryKind::Sram, noise, seed)?;
+        let mut codes = Vec::with_capacity(geom.max_input() as usize + 1);
+        let mut volts = Vec::with_capacity(codes.capacity());
+        let mut inputs = vec![0u32; geom.rows()];
+        for code in 0..=geom.max_input() {
+            inputs[0] = code;
+            let (rows, _) = array.convert_inputs(&inputs)?;
+            codes.push(code);
+            volts.push(rows[0]);
+        }
+        Ok(Self {
+            codes,
+            volts,
+            lsb: crate::VDD / (1u64 << geom.input_bits()) as f64,
+        })
+    }
+
+    /// Computes INL and DNL from the measured curve.
+    pub fn linearity(&self) -> LinearityReport {
+        LinearityReport::from_curve(&self.volts, self.lsb)
+    }
+}
+
+/// INL/DNL of a converter transfer curve, in LSBs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearityReport {
+    /// Endpoint-fit integral nonlinearity per code, in LSBs.
+    pub inl: Vec<f64>,
+    /// Differential nonlinearity per code transition, in LSBs.
+    pub dnl: Vec<f64>,
+    /// Worst-case |INL|.
+    pub max_inl: f64,
+    /// Worst-case |DNL|.
+    pub max_dnl: f64,
+}
+
+impl LinearityReport {
+    /// Builds the report from a voltage curve and the ideal LSB size.
+    ///
+    /// INL uses the endpoint fit: a straight line through the first and last
+    /// measured points; DNL compares each code step against the fitted step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve has fewer than two points.
+    pub fn from_curve(volts: &[Volt], _ideal_lsb: f64) -> Self {
+        assert!(volts.len() >= 2, "linearity needs at least two points");
+        let n = volts.len();
+        let v0 = volts[0].value();
+        let vn = volts[n - 1].value();
+        // Actual LSB from the endpoint fit.
+        let lsb_fit = (vn - v0) / (n - 1) as f64;
+        let inl: Vec<f64> = volts
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.value() - (v0 + lsb_fit * i as f64)) / lsb_fit)
+            .collect();
+        let dnl: Vec<f64> = volts
+            .windows(2)
+            .map(|w| (w[1].value() - w[0].value()) / lsb_fit - 1.0)
+            .collect();
+        let max_inl = inl.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let max_dnl = dnl.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        Self {
+            inl,
+            dnl,
+            max_inl,
+            max_dnl,
+        }
+    }
+
+    /// The paper's acceptance criterion for Fig 6(a): conversion errors
+    /// within two LSBs.
+    pub fn within_two_lsb(&self) -> bool {
+        self.max_inl < 2.0 && self.max_dnl < 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_transfer_curve_is_perfectly_linear() {
+        let t = DacTransfer::measure(ArrayGeometry::yoco_default(), NoiseModel::ideal(), 0)
+            .unwrap();
+        assert_eq!(t.codes.len(), 256);
+        // V(code) = VDD * code / 256 exactly.
+        for (i, v) in t.volts.iter().enumerate() {
+            let ideal = crate::VDD * i as f64 / 256.0;
+            assert!((v.value() - ideal).abs() < 1e-12);
+        }
+        let lin = t.linearity();
+        assert!(lin.max_inl < 1e-9);
+        assert!(lin.max_dnl < 1e-9);
+    }
+
+    #[test]
+    fn tt_corner_linearity_within_two_lsb() {
+        // Fig 6(a): conversion errors within two LSBs, typically under one.
+        let t = DacTransfer::measure(ArrayGeometry::yoco_default(), NoiseModel::tt_corner(), 11)
+            .unwrap();
+        let lin = t.linearity();
+        assert!(lin.within_two_lsb(), "INL {} DNL {}", lin.max_inl, lin.max_dnl);
+    }
+
+    #[test]
+    fn transfer_curve_is_monotonic_at_tt_corner() {
+        let t = DacTransfer::measure(ArrayGeometry::yoco_default(), NoiseModel::tt_corner(), 3)
+            .unwrap();
+        for w in t.volts.windows(2) {
+            assert!(w[1].value() >= w[0].value() - 1e-9, "non-monotonic step");
+        }
+    }
+
+    #[test]
+    fn linearity_of_synthetic_bowed_curve() {
+        // A curve with a known parabolic bow of 1 LSB peak.
+        let n = 257usize;
+        let lsb = crate::VDD / 256.0;
+        let volts: Vec<Volt> = (0..n)
+            .map(|i| {
+                let x = i as f64 / (n - 1) as f64;
+                Volt::new(crate::VDD * x + 4.0 * lsb * x * (1.0 - x))
+            })
+            .collect();
+        let lin = LinearityReport::from_curve(&volts, lsb);
+        assert!((lin.max_inl - 1.0).abs() < 0.05, "max INL {}", lin.max_inl);
+    }
+}

@@ -1,0 +1,258 @@
+//! Table II design-point constants and circuit-level cost roll-ups.
+//!
+//! Every number here is traceable to Table II of the paper (energies in
+//! femto/pico-joules, latencies in nano/picoseconds, areas in µm²). The
+//! roll-up functions compose them into the per-VMM figures the paper quotes
+//! in §IV-B: 4.235 nJ and 15 ns for an 8-bit 1024×256 VMM, which yield
+//! 123.8 TOPS/W and 34.9 TOPS.
+
+use crate::units::{Joule, Second, SquareMicron};
+use serde::{Deserialize, Serialize};
+
+/// Table II constants (per-component, per-action).
+pub mod table2 {
+    /// Energy per unit-capacitor activation: `C·VDD² = 1.62 fJ`.
+    pub const MCC_CAP_ENERGY_FJ: f64 = 1.62;
+    /// Area of one MCC including the stacked MOM capacitor, µm².
+    pub const MCC_AREA_UM2: f64 = 0.8;
+    /// Area of one memory cluster bit cell, µm².
+    pub const MEM_CELL_AREA_UM2: f64 = 0.096;
+    /// Array rows.
+    pub const ARRAY_ROWS: usize = 128;
+    /// Array columns.
+    pub const ARRAY_COLS: usize = 256;
+    /// Array VMM energy at 50 % MCC activation, pJ.
+    pub const ARRAY_ENERGY_PJ: f64 = 26.5;
+    /// Array compute latency, ns.
+    pub const ARRAY_LATENCY_NS: f64 = 13.0;
+    /// Array area, µm² (`128 × 256 × 0.8`).
+    pub const ARRAY_AREA_UM2: f64 = 26_214.0;
+    /// Row drivers per array.
+    pub const ROW_DRIVERS_PER_ARRAY: usize = 128;
+    /// Energy per row-driver activation, fJ.
+    pub const ROW_DRIVER_ENERGY_FJ: f64 = 9.36;
+    /// Row driver latency, ps.
+    pub const ROW_DRIVER_LATENCY_PS: f64 = 30.0;
+    /// Row driver area, µm².
+    pub const ROW_DRIVER_AREA_UM2: f64 = 0.18;
+    /// Time accumulators per array (one per CB column).
+    pub const TDAS_PER_ARRAY: usize = 32;
+    /// Energy per time-accumulator activation, fJ.
+    pub const TDA_ENERGY_FJ: f64 = 58.5;
+    /// Time accumulator stage latency, ps.
+    pub const TDA_LATENCY_PS: f64 = 113.0;
+    /// Time accumulator area, µm².
+    pub const TDA_AREA_UM2: f64 = 5.3;
+    /// Arrays per IMA (8 vertical × 8 horizontal).
+    pub const ARRAYS_PER_IMA: usize = 64;
+    /// Vertical array stack depth in an IMA (rows direction).
+    pub const IMA_STACK: usize = 8;
+    /// TDCs per IMA (32 CB columns × 8 horizontal arrays).
+    pub const TDCS_PER_IMA: usize = 256;
+    /// TDC energy per 8-bit conversion, pJ (silicon-verified, \[10\]).
+    pub const TDC_ENERGY_PJ: f64 = 7.7;
+    /// TDC latency per conversion, ns.
+    pub const TDC_LATENCY_NS: f64 = 0.9;
+    /// TDC area, µm².
+    pub const TDC_AREA_UM2: f64 = 6_865.0;
+    /// IMA I/O buffer capacity (input + output), bytes.
+    pub const IMA_BUFFER_BYTES: usize = 4096;
+    /// Buffer access energy per 256-bit word, pJ.
+    pub const BUFFER_ENERGY_PER_256B_PJ: f64 = 2.9;
+    /// Buffer access latency per 256-bit word, ns.
+    pub const BUFFER_LATENCY_PER_256B_NS: f64 = 0.112;
+    /// Buffer area, µm².
+    pub const BUFFER_AREA_UM2: f64 = 4_656.0;
+    /// Control and clocking overhead per IMA VMM, pJ (closes the gap between
+    /// the summed component energies and the paper's 4.235 nJ total).
+    pub const IMA_CONTROL_ENERGY_PJ: f64 = 255.3;
+    /// IMAs per tile (4 dynamic + 4 static).
+    pub const IMAS_PER_TILE: usize = 8;
+    /// SFU ops per tile.
+    pub const SFUS_PER_TILE: usize = 128;
+    /// SFU energy per operation, pJ.
+    pub const SFU_ENERGY_PJ: f64 = 0.6;
+    /// SFU latency per operation, ns.
+    pub const SFU_LATENCY_NS: f64 = 0.1;
+    /// SFU area (all 128 units), µm².
+    pub const SFU_AREA_UM2: f64 = 1_398.0;
+    /// Tile eDRAM capacity (inputs/outputs cache), bytes.
+    pub const TILE_EDRAM_BYTES: usize = 128 * 1024;
+    /// Quantization-unit memory, bytes.
+    pub const QUANT_MEM_BYTES: usize = 32 * 1024;
+    /// eDRAM access energy, pJ/bit.
+    pub const EDRAM_ENERGY_PJ_PER_BIT: f64 = 0.1;
+    /// eDRAM bandwidth, GB/s.
+    pub const EDRAM_BANDWIDTH_GBPS: f64 = 128.0;
+    /// eDRAM area per tile, mm².
+    pub const EDRAM_AREA_MM2: f64 = 0.2;
+    /// Tile compute area, mm².
+    pub const TILE_AREA_MM2: f64 = 3.45;
+    /// Tiles per chip.
+    pub const TILES_PER_CHIP: usize = 4;
+    /// Chip area, mm² (as printed in Table II; see EXPERIMENTS.md for the
+    /// internal inconsistency of the paper's area rows).
+    pub const CHIP_AREA_MM2: f64 = 27.8;
+    /// Package total area, mm².
+    pub const TOTAL_AREA_MM2: f64 = 111.2;
+    /// Hyper-Transport links per chip and frequency, GHz.
+    pub const HYPERLINK_FREQ_GHZ: f64 = 1.6;
+    /// Hyper-Transport line bandwidth, GB/s.
+    pub const HYPERLINK_BW_GBPS: f64 = 6.4;
+    /// Hyper-Transport area, mm².
+    pub const HYPERLINK_AREA_MM2: f64 = 5.7;
+    /// System clock, MHz (set by the 15 ns IMA latency).
+    pub const SYSTEM_CLOCK_MHZ: f64 = 50.0;
+    /// Average MCC activation probability assumed by the paper (from \[13\]).
+    pub const DEFAULT_ACTIVITY: f64 = 0.5;
+}
+
+/// Circuit-level cost of one IMA-scale VMM (1024×256, 8-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmmCost {
+    /// Total energy.
+    pub energy: Joule,
+    /// Critical-path latency.
+    pub latency: Second,
+    /// 8-bit operations performed.
+    pub ops: u64,
+}
+
+impl VmmCost {
+    /// Energy efficiency in TOPS/W (`ops / energy / 1e12`).
+    pub fn tops_per_watt(&self) -> f64 {
+        self.ops as f64 / self.energy.value() / 1e12
+    }
+
+    /// Throughput in TOPS (`ops / latency / 1e12`).
+    pub fn tops(&self) -> f64 {
+        self.ops as f64 / self.latency.value() / 1e12
+    }
+
+    /// Figure of merit used by Fig 7:
+    /// `EE × throughput × in_bits × w_bits × out_bits`.
+    pub fn fom(&self, in_bits: u8, w_bits: u8, out_bits: u8) -> f64 {
+        self.tops_per_watt() * self.tops() * in_bits as f64 * w_bits as f64 * out_bits as f64
+    }
+}
+
+/// Energy of one array VMM at a given MCC activation probability.
+///
+/// At the paper's default 50 % activity this returns Table II's 26.5 pJ.
+pub fn array_vmm_energy(activity: f64) -> Joule {
+    let cells = (table2::ARRAY_ROWS * table2::ARRAY_COLS) as f64;
+    Joule::from_femto(cells * activity * table2::MCC_CAP_ENERGY_FJ)
+}
+
+/// Full IMA VMM cost roll-up (64 arrays, TDA chains, 256 TDC reads, buffer
+/// traffic, control) at the given activation probability.
+pub fn ima_vmm_cost(activity: f64) -> VmmCost {
+    use table2::*;
+    let arrays = ARRAYS_PER_IMA as f64;
+    let array_e = array_vmm_energy(activity).as_pico() * arrays;
+    let drivers_e =
+        ROW_DRIVER_ENERGY_FJ * 1e-3 * (ROW_DRIVERS_PER_ARRAY * ARRAYS_PER_IMA) as f64;
+    let tda_e = TDA_ENERGY_FJ * 1e-3 * (TDAS_PER_ARRAY * ARRAYS_PER_IMA) as f64;
+    let tdc_e = TDC_ENERGY_PJ * TDCS_PER_IMA as f64;
+    // Input: 1024 bytes in, 256 bytes out -> 256-bit (32-byte) words.
+    let input_words = (IMA_STACK * ARRAY_ROWS) as f64 / 32.0;
+    let output_words = TDCS_PER_IMA as f64 / 32.0;
+    let buffer_e = BUFFER_ENERGY_PER_256B_PJ * (input_words + output_words);
+    let total_pj = array_e + drivers_e + tda_e + tdc_e + buffer_e + IMA_CONTROL_ENERGY_PJ;
+
+    let latency_ns = ARRAY_LATENCY_NS
+        + IMA_STACK as f64 * TDA_LATENCY_PS * 1e-3
+        + TDC_LATENCY_NS
+        + ROW_DRIVER_LATENCY_PS * 1e-3
+        + BUFFER_LATENCY_PER_256B_NS;
+    // Rows x outputs, 2 ops per MAC.
+    let ops = 2 * (IMA_STACK * ARRAY_ROWS) as u64 * TDCS_PER_IMA as u64;
+    VmmCost {
+        energy: Joule::from_pico(total_pj),
+        latency: Second::from_nano(latency_ns),
+        ops,
+    }
+}
+
+/// The paper's nominal IMA VMM cost: 4.235 nJ / 15 ns / 524 288 ops, i.e.
+/// 123.8 TOPS/W and 34.9 TOPS.
+pub fn ima_vmm_cost_nominal() -> VmmCost {
+    VmmCost {
+        energy: Joule::from_nano(4.235),
+        latency: Second::from_nano(15.0),
+        ops: 2 * 1024 * 256,
+    }
+}
+
+/// Area of one array including peripherals, µm².
+pub fn array_area() -> SquareMicron {
+    SquareMicron::new(
+        table2::ARRAY_AREA_UM2
+            + table2::ROW_DRIVERS_PER_ARRAY as f64 * table2::ROW_DRIVER_AREA_UM2
+            + table2::TDAS_PER_ARRAY as f64 * table2::TDA_AREA_UM2,
+    )
+}
+
+/// Area of one IMA (arrays + TDCs + buffers), µm².
+pub fn ima_area() -> SquareMicron {
+    SquareMicron::new(
+        array_area().value() * table2::ARRAYS_PER_IMA as f64
+            + table2::TDC_AREA_UM2
+            + table2::BUFFER_AREA_UM2,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_energy_matches_table2_at_half_activity() {
+        let e = array_vmm_energy(0.5);
+        assert!((e.as_pico() - 26.5).abs() < 0.1, "array energy {} pJ", e.as_pico());
+    }
+
+    #[test]
+    fn ima_rollup_reproduces_headline_numbers() {
+        let cost = ima_vmm_cost(table2::DEFAULT_ACTIVITY);
+        // Paper: ~4.235 nJ, 15 ns -> 123.8 TOPS/W, 34.9 TOPS. Allow 2 %.
+        assert!(
+            (cost.energy.as_nano() - 4.235).abs() / 4.235 < 0.02,
+            "IMA energy {} nJ",
+            cost.energy.as_nano()
+        );
+        assert!(cost.latency.as_nano() <= 15.05, "latency {}", cost.latency.as_nano());
+        let ee = cost.tops_per_watt();
+        assert!((ee - 123.8).abs() / 123.8 < 0.03, "EE {ee} TOPS/W");
+        let tp = cost.tops();
+        assert!((tp - 34.9).abs() / 34.9 < 0.03, "throughput {tp} TOPS");
+    }
+
+    #[test]
+    fn nominal_cost_is_exact() {
+        let c = ima_vmm_cost_nominal();
+        assert!((c.tops_per_watt() - 123.8).abs() < 0.1);
+        assert!((c.tops() - 34.95).abs() < 0.1);
+    }
+
+    #[test]
+    fn fom_scales_with_bit_widths() {
+        let c = ima_vmm_cost_nominal();
+        let f8 = c.fom(8, 8, 8);
+        let f1 = c.fom(1, 1, 1);
+        assert!((f8 / f1 - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_grows_with_activity() {
+        let lo = ima_vmm_cost(0.25).energy;
+        let hi = ima_vmm_cost(0.75).energy;
+        assert!(hi.value() > lo.value());
+    }
+
+    #[test]
+    fn areas_are_positive_and_ordered() {
+        assert!(array_area().value() > table2::ARRAY_AREA_UM2);
+        assert!(ima_area().value() > 64.0 * table2::ARRAY_AREA_UM2);
+    }
+}

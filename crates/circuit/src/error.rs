@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Errors produced by the circuit simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An array geometry parameter is invalid (zero rows, unsupported bit
+    /// width, or an inconsistent grouping ratio).
+    InvalidGeometry {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An input or weight vector does not match the array geometry.
+    ShapeMismatch {
+        /// What was being supplied (e.g. `"input vector"`).
+        what: &'static str,
+        /// The length the geometry requires.
+        expected: usize,
+        /// The length that was supplied.
+        actual: usize,
+    },
+    /// A digital code exceeds the resolution of the target converter.
+    CodeOutOfRange {
+        /// The offending code.
+        code: u32,
+        /// Number of bits of the converter.
+        bits: u8,
+    },
+    /// A voltage fell outside the converter's valid full-scale range.
+    VoltageOutOfRange {
+        /// The offending voltage in volts.
+        volts: f64,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidGeometry { reason } => {
+                write!(f, "invalid array geometry: {reason}")
+            }
+            CircuitError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            CircuitError::CodeOutOfRange { code, bits } => {
+                write!(f, "code {code} exceeds {bits}-bit resolution")
+            }
+            CircuitError::VoltageOutOfRange { volts } => {
+                write!(f, "voltage {volts} V outside converter full-scale range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CircuitError::ShapeMismatch {
+            what: "input vector",
+            expected: 128,
+            actual: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("input vector"));
+        assert!(s.contains("128"));
+        assert!(s.contains('3'));
+
+        let e = CircuitError::InvalidGeometry {
+            reason: "rows must be a power of two".into(),
+        };
+        assert!(e.to_string().starts_with("invalid array geometry"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

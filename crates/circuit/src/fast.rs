@@ -1,0 +1,425 @@
+//! Closed-form array model and the statistical MAC-error surrogate.
+//!
+//! [`FastArray`] evaluates the four-phase in-charge MAC with fused loops and
+//! a nominal (mismatch-free) capacitor field; it matches [`crate::DetailedArray`]
+//! with an ideal mismatch field to floating-point tolerance, at a fraction of
+//! the cost. [`MacErrorModel`] goes one step further: it is a calibrated
+//! statistical surrogate of the whole analog path (bow + gain + noise +
+//! optional TDC quantization) that downstream crates (e.g. `yoco-nn`'s
+//! noisy-inference engine) apply directly to exact integer dot products.
+
+use crate::geometry::ArrayGeometry;
+use crate::units::Volt;
+use crate::variation::{standard_normal, NoiseModel};
+use crate::CircuitError;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Nominal-capacitor in-charge array with fused-loop evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastArray {
+    geom: ArrayGeometry,
+    /// Multi-bit weight codes, `rows x num_cbs`.
+    weights: Vec<u32>,
+    noise: NoiseModel,
+}
+
+impl FastArray {
+    /// Creates a noise-free fast array.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/range errors if `weights` is not `rows x num_cbs` or a
+    /// code exceeds the weight resolution.
+    pub fn new(geom: ArrayGeometry, weights: &[Vec<u32>]) -> Result<Self, CircuitError> {
+        Self::with_noise(geom, weights, NoiseModel::ideal())
+    }
+
+    /// Creates a fast array with deterministic noise transforms enabled.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FastArray::new`].
+    pub fn with_noise(
+        geom: ArrayGeometry,
+        weights: &[Vec<u32>],
+        noise: NoiseModel,
+    ) -> Result<Self, CircuitError> {
+        if weights.len() != geom.rows() {
+            return Err(CircuitError::ShapeMismatch {
+                what: "weight matrix rows",
+                expected: geom.rows(),
+                actual: weights.len(),
+            });
+        }
+        let mut flat = Vec::with_capacity(geom.rows() * geom.num_cbs());
+        for row in weights {
+            if row.len() != geom.num_cbs() {
+                return Err(CircuitError::ShapeMismatch {
+                    what: "weight matrix columns",
+                    expected: geom.num_cbs(),
+                    actual: row.len(),
+                });
+            }
+            for &w in row {
+                if w > geom.max_weight() {
+                    return Err(CircuitError::CodeOutOfRange {
+                        code: w,
+                        bits: geom.weight_bits(),
+                    });
+                }
+                flat.push(w);
+            }
+        }
+        Ok(Self {
+            geom,
+            weights: flat,
+            noise,
+        })
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &ArrayGeometry {
+        &self.geom
+    }
+
+    /// Ideal per-CB MAC voltages (no noise transforms at all).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/range errors on invalid input vectors.
+    pub fn compute_vmm_ideal(&self, inputs: &[u32]) -> Result<Vec<Volt>, CircuitError> {
+        let dots = self.dots(inputs)?;
+        Ok(dots.iter().map(|&d| self.geom.dot_to_voltage(d)).collect())
+    }
+
+    /// Per-CB MAC voltages with the deterministic noise transforms (bow,
+    /// settling) applied at each of the three sharing phases, mirroring
+    /// [`crate::DetailedArray`] with a nominal capacitor field.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/range errors on invalid input vectors.
+    pub fn compute_vmm(&self, inputs: &[u32]) -> Result<Vec<Volt>, CircuitError> {
+        self.compute_inner(inputs, None)
+    }
+
+    /// Like [`FastArray::compute_vmm`], adding the random readout offset
+    /// drawn deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/range errors on invalid input vectors.
+    pub fn compute_vmm_seeded(
+        &self,
+        inputs: &[u32],
+        seed: u64,
+    ) -> Result<Vec<Volt>, CircuitError> {
+        self.compute_inner(inputs, Some(seed))
+    }
+
+    fn compute_inner(&self, inputs: &[u32], seed: Option<u64>) -> Result<Vec<Volt>, CircuitError> {
+        self.validate_inputs(inputs)?;
+        let rows = self.geom.rows();
+        let wb = self.geom.weight_bits() as usize;
+        let denom_in = (1u64 << self.geom.input_bits()) as f64;
+        // Phase 1: row voltages.
+        let row_v: Vec<f64> = inputs
+            .iter()
+            .map(|&x| {
+                self.noise
+                    .settle(self.noise.inject(crate::VDD * x as f64 / denom_in))
+            })
+            .collect();
+        let mut rng = seed.map(ChaCha12Rng::seed_from_u64);
+        let mut out = Vec::with_capacity(self.geom.num_cbs());
+        for cb in 0..self.geom.num_cbs() {
+            // Phases 2+3 fused: per weight-bit column average.
+            let mut weighted = 0.0f64;
+            let esa_total = self.geom.esa_total_caps() as f64;
+            for b in 0..wb {
+                let mut col_sum = 0.0f64;
+                for (r, &v) in row_v.iter().enumerate() {
+                    if (self.weights[r * self.geom.num_cbs() + cb] >> b) & 1 == 1 {
+                        col_sum += v;
+                    }
+                }
+                let col_v = self.noise.settle(self.noise.inject(col_sum / rows as f64));
+                // Phase 4: column b contributes 2^b of the 2^wb - 1 caps.
+                weighted += (1u64 << b) as f64 * col_v;
+            }
+            let mut v = self.noise.settle(self.noise.inject(weighted / esa_total));
+            if let Some(rng) = rng.as_mut() {
+                v += self.noise.readout_offset_sigma * standard_normal(rng);
+            }
+            out.push(Volt::new(v));
+        }
+        Ok(out)
+    }
+
+    /// Exact integer dot products, one per CB.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/range errors on invalid input vectors.
+    pub fn dots(&self, inputs: &[u32]) -> Result<Vec<f64>, CircuitError> {
+        self.validate_inputs(inputs)?;
+        let mut dots = vec![0.0f64; self.geom.num_cbs()];
+        for (r, &x) in inputs.iter().enumerate() {
+            let base = r * self.geom.num_cbs();
+            for (cb, dot) in dots.iter_mut().enumerate() {
+                *dot += x as f64 * self.weights[base + cb] as f64;
+            }
+        }
+        Ok(dots)
+    }
+
+    fn validate_inputs(&self, inputs: &[u32]) -> Result<(), CircuitError> {
+        if inputs.len() != self.geom.rows() {
+            return Err(CircuitError::ShapeMismatch {
+                what: "input vector",
+                expected: self.geom.rows(),
+                actual: inputs.len(),
+            });
+        }
+        for &x in inputs {
+            if x > self.geom.max_input() {
+                return Err(CircuitError::CodeOutOfRange {
+                    code: x,
+                    bits: self.geom.input_bits(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Calibrated statistical surrogate of the full analog MAC path.
+///
+/// Operates on *normalized* MAC values `x = V/VDD ∈ [0, 1)`:
+///
+/// 1. three charge-injection bows (one per sharing phase),
+/// 2. settling and VTC gain errors folded into one multiplicative gain,
+/// 3. additive Gaussian noise (readout offset + VTC jitter, input-referred),
+/// 4. mismatch-induced proportional noise,
+/// 5. optional uniform quantization by the 8-bit TDC.
+///
+/// ```
+/// use yoco_circuit::fast::MacErrorModel;
+/// use yoco_circuit::NoiseModel;
+///
+/// let m = MacErrorModel::from_noise(&NoiseModel::tt_corner(), 128).with_quantization(256);
+/// let mut rng = rand::thread_rng();
+/// let y = m.apply(0.5, &mut rng);
+/// assert!((y - 0.5).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacErrorModel {
+    /// Multiplicative gain of the analog path (1.0 = ideal).
+    pub gain: f64,
+    /// Charge-injection bow coefficient applied per sharing phase.
+    pub bow: f64,
+    /// Number of sharing phases the bow applies to (3 in YOCO).
+    pub bow_phases: u8,
+    /// 1σ additive noise, as a fraction of `VDD`.
+    pub sigma_add: f64,
+    /// 1σ proportional noise (mismatch averaging residue), relative.
+    pub sigma_prop: f64,
+    /// Quantization levels of the readout (e.g. 256 for the 8-bit TDC);
+    /// `None` keeps the output analog.
+    pub quant_levels: Option<u32>,
+}
+
+impl MacErrorModel {
+    /// An error-free surrogate.
+    pub fn ideal() -> Self {
+        Self {
+            gain: 1.0,
+            bow: 0.0,
+            bow_phases: 3,
+            sigma_add: 0.0,
+            sigma_prop: 0.0,
+            quant_levels: None,
+        }
+    }
+
+    /// Derives a surrogate from a [`NoiseModel`] for an array with `rows`
+    /// accumulation channels.
+    ///
+    /// Mismatch of `rows` averaged capacitors leaves a residual proportional
+    /// error of roughly `σ_c/√rows`; settling acts three times.
+    pub fn from_noise(noise: &NoiseModel, rows: usize) -> Self {
+        let gain = (1.0 - noise.settling_residue).powi(3) * (1.0 + noise.vtc_gain_error);
+        Self {
+            gain,
+            bow: noise.charge_injection,
+            bow_phases: 3,
+            sigma_add: (noise.readout_offset_sigma / crate::VDD).hypot(noise.vtc_jitter_sigma),
+            sigma_prop: noise.cap_mismatch_sigma / (rows.max(1) as f64).sqrt(),
+            quant_levels: None,
+        }
+    }
+
+    /// Adds uniform quantization at the given number of levels.
+    pub fn with_quantization(mut self, levels: u32) -> Self {
+        self.quant_levels = Some(levels);
+        self
+    }
+
+    /// Applies the deterministic part of the model (no random noise, no
+    /// quantization) to a normalized value.
+    pub fn apply_deterministic(&self, x: f64) -> f64 {
+        let mut v = x;
+        for _ in 0..self.bow_phases {
+            v += self.bow * v * (1.0 - v);
+        }
+        v * self.gain
+    }
+
+    /// Applies the full model to a normalized value `x ∈ [0, 1)`.
+    pub fn apply<R: Rng + ?Sized>(&self, x: f64, rng: &mut R) -> f64 {
+        let mut v = self.apply_deterministic(x);
+        if self.sigma_add > 0.0 {
+            v += self.sigma_add * standard_normal(rng);
+        }
+        if self.sigma_prop > 0.0 {
+            v += self.sigma_prop * x * standard_normal(rng);
+        }
+        if let Some(levels) = self.quant_levels {
+            let l = levels as f64;
+            v = (v * l).round().clamp(0.0, l - 1.0) / l;
+        }
+        v
+    }
+
+    /// Worst-case deterministic error over the full range, as a fraction of
+    /// full scale (used by the Fig 6e error-budget comparison).
+    pub fn peak_deterministic_error(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..=1000 {
+            let x = i as f64 / 1000.0;
+            worst = worst.max((self.apply_deterministic(x) - x).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detailed::DetailedArray;
+    use crate::variation::MismatchField;
+
+    fn weights(geom: &ArrayGeometry) -> Vec<Vec<u32>> {
+        (0..geom.rows())
+            .map(|r| {
+                (0..geom.num_cbs())
+                    .map(|c| ((r * 17 + c * 5 + 3) % (geom.max_weight() as usize + 1)) as u32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_matches_detailed_with_nominal_caps() {
+        let geom = ArrayGeometry::yoco_default();
+        let w = weights(&geom);
+        let noise = NoiseModel {
+            cap_mismatch_sigma: 0.0,
+            ..NoiseModel::tt_corner()
+        };
+        let fast = FastArray::with_noise(geom, &w, noise).unwrap();
+        let detailed = DetailedArray::with_noise(
+            geom,
+            &w,
+            crate::MemoryKind::Sram,
+            noise,
+            MismatchField::ideal(geom.rows(), geom.cols()),
+        )
+        .unwrap();
+        let inputs: Vec<u32> = (0..geom.rows()).map(|r| ((r * 37 + 11) % 256) as u32).collect();
+        let f = fast.compute_vmm(&inputs).unwrap();
+        let d = detailed.compute_vmm(&inputs).unwrap();
+        for cb in 0..geom.num_cbs() {
+            assert!(
+                (f[cb].value() - d.cb_voltages[cb].value()).abs() < 1e-9,
+                "cb {cb}: fast {} detailed {}",
+                f[cb].value(),
+                d.cb_voltages[cb].value()
+            );
+        }
+    }
+
+    #[test]
+    fn ideal_fast_array_is_exact() {
+        let geom = ArrayGeometry::yoco_default();
+        let w = weights(&geom);
+        let fast = FastArray::new(geom, &w).unwrap();
+        let inputs: Vec<u32> = (0..geom.rows()).map(|r| ((r * 3) % 256) as u32).collect();
+        let v = fast.compute_vmm_ideal(&inputs).unwrap();
+        let dots = fast.dots(&inputs).unwrap();
+        for cb in 0..geom.num_cbs() {
+            assert!((geom.voltage_to_dot(v[cb]) - dots[cb]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn seeded_noise_is_reproducible() {
+        let geom = ArrayGeometry::yoco_default();
+        let w = weights(&geom);
+        let fast = FastArray::with_noise(geom, &w, NoiseModel::tt_corner()).unwrap();
+        let inputs = vec![100u32; 128];
+        assert_eq!(
+            fast.compute_vmm_seeded(&inputs, 3).unwrap(),
+            fast.compute_vmm_seeded(&inputs, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn surrogate_tracks_noise_model() {
+        let m = MacErrorModel::from_noise(&NoiseModel::tt_corner(), 128);
+        // Deterministic error should stay inside the paper's analog budget.
+        assert!(m.peak_deterministic_error() < 0.0079);
+        let ideal = MacErrorModel::ideal();
+        assert_eq!(ideal.apply_deterministic(0.4), 0.4);
+    }
+
+    #[test]
+    fn quantization_snaps_to_grid() {
+        let m = MacErrorModel::ideal().with_quantization(256);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let y = m.apply(0.5, &mut rng);
+        assert!((y * 256.0 - (y * 256.0).round()).abs() < 1e-12);
+        assert!((y - 0.5).abs() <= 0.5 / 256.0 + 1e-12);
+    }
+
+    #[test]
+    fn surrogate_statistics_match_detailed_array() {
+        // The surrogate's end-to-end error must agree with the per-capacitor
+        // simulation to within a fraction of the paper's error budget.
+        let geom = ArrayGeometry::yoco_default();
+        let w = weights(&geom);
+        let noise = NoiseModel::tt_corner();
+        let detailed =
+            DetailedArray::with_seeded_noise(geom, &w, crate::MemoryKind::Sram, noise, 21)
+                .unwrap();
+        let surrogate = MacErrorModel::from_noise(&noise, geom.rows());
+        let mut rng = ChaCha12Rng::seed_from_u64(77);
+        let mut max_gap = 0.0f64;
+        for t in 0..6u64 {
+            let inputs: Vec<u32> =
+                (0..128).map(|r| ((r as u64 * 13 + t * 41) % 256) as u32).collect();
+            let out = detailed.compute_vmm_seeded(&inputs, t).unwrap();
+            let dots = detailed.expected_dots(&inputs).unwrap();
+            for cb in 0..32 {
+                let x = geom.dot_to_voltage(dots[cb]).value() / crate::VDD;
+                let sim = out.cb_voltages[cb].value() / crate::VDD;
+                let sur = surrogate.apply(x, &mut rng);
+                max_gap = max_gap.max((sim - sur).abs());
+            }
+        }
+        assert!(max_gap < 0.004, "surrogate diverges from detailed sim: {max_gap}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Fault injection: stuck-at defects in the in-charge array.
+//!
+//! ReRAM cells fail stuck-at-ON/OFF and SRAM cells suffer stuck bits; an
+//! analog macro also sees dead unit capacitors and stuck sharing switches.
+//! This module injects such defects into a [`DetailedArray`] and measures
+//! how the MAC error grows — the kind of yield analysis a silicon team
+//! would run on the paper's design.
+
+use crate::detailed::DetailedArray;
+use crate::geometry::ArrayGeometry;
+use crate::mcc::MemoryKind;
+use crate::variation::NoiseModel;
+use crate::CircuitError;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stuck-at defect in one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fault {
+    /// The stored weight bit reads as 1 regardless of the written value
+    /// (ReRAM stuck-ON / SRAM stuck-high).
+    StuckAtOne {
+        /// Cell row.
+        row: usize,
+        /// Cell column.
+        col: usize,
+    },
+    /// The stored weight bit reads as 0 (stuck-OFF).
+    StuckAtZero {
+        /// Cell row.
+        row: usize,
+        /// Cell column.
+        col: usize,
+    },
+    /// The unit capacitor is open (contributes no charge and no
+    /// capacitance — its branch switch never closes).
+    DeadCapacitor {
+        /// Cell row.
+        row: usize,
+        /// Cell column.
+        col: usize,
+    },
+}
+
+/// Result of a fault-injection campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultCampaign {
+    /// Injected fault count.
+    pub faults: usize,
+    /// Worst observed MAC error across trials, fraction of full scale.
+    pub worst_error: f64,
+    /// Mean observed MAC error, fraction of full scale.
+    pub mean_error: f64,
+}
+
+/// Applies a fault to an array by rewriting the affected weight bit (for
+/// stuck-at faults) or zeroing the cell's mismatch multiplier (for a dead
+/// capacitor, approximated as a near-zero capacitance).
+///
+/// Returns a faulted copy of the array.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::ShapeMismatch`] if a fault location is outside
+/// the array.
+pub fn inject(array: &DetailedArray, faults: &[Fault]) -> Result<DetailedArray, CircuitError> {
+    let geom = *array.geometry();
+    let wb = geom.weight_bits() as usize;
+    // Reconstruct the weight matrix, flip stuck bits.
+    let mut weights: Vec<Vec<u32>> = (0..geom.rows())
+        .map(|r| (0..geom.num_cbs()).map(|cb| array.weight(r, cb)).collect())
+        .collect();
+    let mut dead: Vec<(usize, usize)> = Vec::new();
+    for f in faults {
+        let (row, col, kind) = match *f {
+            Fault::StuckAtOne { row, col } => (row, col, Some(true)),
+            Fault::StuckAtZero { row, col } => (row, col, Some(false)),
+            Fault::DeadCapacitor { row, col } => (row, col, None),
+        };
+        if row >= geom.rows() || col >= geom.cols() {
+            return Err(CircuitError::ShapeMismatch {
+                what: "fault location",
+                expected: geom.num_mccs(),
+                actual: row * geom.cols() + col,
+            });
+        }
+        match kind {
+            Some(bit) => {
+                let cb = col / wb;
+                let b = col % wb;
+                let w = &mut weights[row][cb];
+                if bit {
+                    *w |= 1 << b;
+                } else {
+                    *w &= !(1u32 << b);
+                }
+            }
+            None => dead.push((row, col)),
+        }
+    }
+    let mut out = array.clone();
+    out.write_weights(&weights)?;
+    for (row, col) in dead {
+        out.kill_capacitor(row, col);
+    }
+    Ok(out)
+}
+
+/// Runs a random stuck-at campaign: injects `n_faults` random faults into a
+/// fresh TT-corner array and measures the MAC error over random stimuli.
+pub fn random_campaign(
+    geom: ArrayGeometry,
+    n_faults: usize,
+    trials: usize,
+    seed: u64,
+) -> FaultCampaign {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let weights: Vec<Vec<u32>> = (0..geom.rows())
+        .map(|_| {
+            (0..geom.num_cbs())
+                .map(|_| rng.gen_range(0..=geom.max_weight()))
+                .collect()
+        })
+        .collect();
+    let golden = DetailedArray::with_noise(
+        geom,
+        &weights,
+        MemoryKind::ReRam,
+        NoiseModel::ideal(),
+        crate::variation::MismatchField::ideal(geom.rows(), geom.cols()),
+    )
+    .expect("valid weights");
+
+    let faults: Vec<Fault> = (0..n_faults)
+        .map(|_| {
+            let row = rng.gen_range(0..geom.rows());
+            let col = rng.gen_range(0..geom.cols());
+            match rng.gen_range(0..3) {
+                0 => Fault::StuckAtOne { row, col },
+                1 => Fault::StuckAtZero { row, col },
+                _ => Fault::DeadCapacitor { row, col },
+            }
+        })
+        .collect();
+    let faulted = inject(&golden, &faults).expect("in-bounds faults");
+
+    let fs = geom.full_scale_voltage().value();
+    let mut worst = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for _ in 0..trials {
+        let inputs: Vec<u32> = (0..geom.rows())
+            .map(|_| rng.gen_range(0..=geom.max_input()))
+            .collect();
+        let good = golden.compute_vmm(&inputs).expect("valid");
+        let bad = faulted.compute_vmm(&inputs).expect("valid");
+        for (g, b) in good.cb_voltages.iter().zip(&bad.cb_voltages) {
+            let e = (g.value() - b.value()).abs() / fs;
+            worst = worst.max(e);
+            sum += e;
+            count += 1;
+        }
+    }
+    FaultCampaign {
+        faults: n_faults,
+        worst_error: worst,
+        mean_error: sum / count.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (ArrayGeometry, DetailedArray) {
+        let geom = ArrayGeometry::new(8, 4, 4, 4).expect("valid");
+        let weights: Vec<Vec<u32>> = (0..8).map(|r| (0..4).map(|c| ((r + c) % 16) as u32).collect()).collect();
+        let array = DetailedArray::new(geom, &weights).expect("valid");
+        (geom, array)
+    }
+
+    #[test]
+    fn stuck_at_one_raises_the_affected_output_only() {
+        let (geom, array) = small();
+        // Column 3 = CB 0, bit 3 (MSB of the first CB).
+        let faulted = inject(
+            &array,
+            &[Fault::StuckAtOne { row: 0, col: 3 }],
+        )
+        .expect("in bounds");
+        let inputs = vec![15u32; 8];
+        let good = array.compute_vmm(&inputs).expect("valid");
+        let bad = faulted.compute_vmm(&inputs).expect("valid");
+        // CB 0 changes iff the original bit was 0; other CBs untouched.
+        let w0 = array.weight(0, 0);
+        if w0 & 0b1000 == 0 {
+            assert!(bad.cb_voltages[0].value() > good.cb_voltages[0].value());
+        }
+        for cb in 1..geom.num_cbs() {
+            assert!(
+                (bad.cb_voltages[cb].value() - good.cb_voltages[cb].value()).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn stuck_at_zero_is_bounded_by_the_bit_weight() {
+        let (geom, array) = small();
+        // MSB stuck at zero on one row: worst-case output change is
+        // maxX * 2^3 / full-scale dot.
+        let faulted = inject(&array, &[Fault::StuckAtZero { row: 2, col: 3 }]).expect("ok");
+        let inputs = vec![15u32; 8];
+        let good = array.compute_vmm(&inputs).expect("valid");
+        let bad = faulted.compute_vmm(&inputs).expect("valid");
+        let delta_dot =
+            geom.voltage_to_dot(good.cb_voltages[0]) - geom.voltage_to_dot(bad.cb_voltages[0]);
+        assert!(delta_dot >= -1e-9);
+        assert!(delta_dot <= 15.0 * 8.0 + 1e-9, "delta {delta_dot}");
+    }
+
+    #[test]
+    fn single_cell_faults_are_diluted_by_row_averaging() {
+        // One dead capacitor perturbs its column's charge denominator by
+        // 1/128 and one stuck MSB changes one row's contribution — both
+        // stay under ~1.5 % of full scale on a 128-row array.
+        let geom = ArrayGeometry::yoco_default();
+        let dead = random_campaign_with(geom, &[Fault::DeadCapacitor { row: 5, col: 250 }], 4, 9);
+        let stuck = random_campaign_with(geom, &[Fault::StuckAtOne { row: 5, col: 255 }], 4, 9);
+        assert!(dead.worst_error < 0.015, "dead {}", dead.worst_error);
+        assert!(stuck.worst_error < 0.015, "stuck {}", stuck.worst_error);
+    }
+
+    #[test]
+    fn stuck_at_one_on_a_set_bit_is_a_no_op() {
+        let geom = ArrayGeometry::new(8, 4, 4, 4).expect("valid");
+        // All-ones weights: every bit already 1.
+        let weights = vec![vec![15u32; 4]; 8];
+        let array = DetailedArray::new(geom, &weights).expect("valid");
+        let faulted = inject(&array, &[Fault::StuckAtOne { row: 3, col: 7 }]).expect("ok");
+        let inputs = vec![9u32; 8];
+        assert_eq!(
+            array.compute_vmm(&inputs).expect("valid").cb_voltages,
+            faulted.compute_vmm(&inputs).expect("valid").cb_voltages
+        );
+    }
+
+    fn random_campaign_with(
+        geom: ArrayGeometry,
+        faults: &[Fault],
+        trials: usize,
+        seed: u64,
+    ) -> FaultCampaign {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let weights: Vec<Vec<u32>> = (0..geom.rows())
+            .map(|_| (0..geom.num_cbs()).map(|_| rng.gen_range(0..256)).collect())
+            .collect();
+        let golden = DetailedArray::new(geom, &weights).expect("valid");
+        let faulted = inject(&golden, faults).expect("ok");
+        let fs = geom.full_scale_voltage().value();
+        let mut worst = 0.0f64;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for _ in 0..trials {
+            let inputs: Vec<u32> =
+                (0..geom.rows()).map(|_| rng.gen_range(0..256)).collect();
+            let g = golden.compute_vmm(&inputs).expect("valid");
+            let b = faulted.compute_vmm(&inputs).expect("valid");
+            for (x, y) in g.cb_voltages.iter().zip(&b.cb_voltages) {
+                let e = (x.value() - y.value()).abs() / fs;
+                worst = worst.max(e);
+                sum += e;
+                n += 1;
+            }
+        }
+        FaultCampaign {
+            faults: faults.len(),
+            worst_error: worst,
+            mean_error: sum / n as f64,
+        }
+    }
+
+    #[test]
+    fn sparse_faults_stay_inside_the_noise_budget() {
+        // A handful of random defects in a 32k-cell array should not push
+        // the MAC error past the paper's analog budget: single-cell faults
+        // are diluted by the 128-row averaging.
+        let geom = ArrayGeometry::yoco_default();
+        let c = random_campaign(geom, 4, 4, 123);
+        assert!(c.worst_error < 0.02, "worst {}", c.worst_error);
+        assert!(c.mean_error < 0.004, "mean {}", c.mean_error);
+    }
+
+    #[test]
+    fn error_grows_with_fault_count() {
+        let geom = ArrayGeometry::yoco_default();
+        let few = random_campaign(geom, 2, 3, 7);
+        let many = random_campaign(geom, 64, 3, 7);
+        assert!(many.mean_error > few.mean_error);
+    }
+
+    #[test]
+    fn out_of_bounds_fault_is_rejected() {
+        let (_, array) = small();
+        assert!(inject(&array, &[Fault::StuckAtOne { row: 99, col: 0 }]).is_err());
+    }
+}

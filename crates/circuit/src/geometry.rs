@@ -1,0 +1,313 @@
+//! Array geometry: dimensions, bit widths, and the eDAC/eACC/eSA grouping
+//! ratios that make the in-charge array compute multi-bit MACs.
+//!
+//! A YOCO array is a grid of `rows × cols` MCCs where `cols = num_cbs ×
+//! weight_bits`. Three families of low-cost switches reorganize the unit
+//! capacitors (paper §III-A, Fig 2):
+//!
+//! * **eDAC** — groups the MCCs of one *row* with ratios `1:1:2:4:…:2^(N−1)`
+//!   so the row's capacitors form an N-bit DAC (the extra leading `1` is the
+//!   VSS-fixed group). This requires `cols = 2^input_bits`.
+//! * **eACC** — connects all MCCs of one *column* for parallel accumulation.
+//! * **eSA** — within one compute bar (CB) of `weight_bits` columns, connects
+//!   `2^b` capacitors from the column holding weight bit `b` to the final
+//!   output line, realizing shift-and-add as a capacitance-weighted share.
+
+use crate::CircuitError;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one in-charge computing array.
+///
+/// Use [`ArrayGeometry::yoco_default`] for the paper's 128×256 configuration
+/// or [`ArrayGeometry::new`] for custom sizes (e.g. the 3×4 teaching example
+/// of Fig 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayGeometry {
+    rows: usize,
+    input_bits: u8,
+    weight_bits: u8,
+    num_cbs: usize,
+}
+
+impl ArrayGeometry {
+    /// Creates and validates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidGeometry`] unless all of the following
+    /// hold:
+    ///
+    /// * `rows ≥ 2^(weight_bits−1)` (the eSA ratio needs that many unit
+    ///   capacitors per column),
+    /// * `1 ≤ input_bits ≤ 12` and `1 ≤ weight_bits ≤ 12`,
+    /// * `num_cbs × weight_bits = 2^input_bits` (the row eDAC grouping uses
+    ///   every column's capacitor exactly once).
+    pub fn new(
+        rows: usize,
+        input_bits: u8,
+        weight_bits: u8,
+        num_cbs: usize,
+    ) -> Result<Self, CircuitError> {
+        let invalid = |reason: String| CircuitError::InvalidGeometry { reason };
+        if rows == 0 {
+            return Err(invalid("rows must be nonzero".into()));
+        }
+        if !(1..=12).contains(&input_bits) {
+            return Err(invalid(format!(
+                "input_bits must be in 1..=12, got {input_bits}"
+            )));
+        }
+        if !(1..=12).contains(&weight_bits) {
+            return Err(invalid(format!(
+                "weight_bits must be in 1..=12, got {weight_bits}"
+            )));
+        }
+        if num_cbs == 0 {
+            return Err(invalid("num_cbs must be nonzero".into()));
+        }
+        let cols = num_cbs * weight_bits as usize;
+        if cols != 1usize << input_bits {
+            return Err(invalid(format!(
+                "num_cbs * weight_bits = {cols} must equal 2^input_bits = {}",
+                1usize << input_bits
+            )));
+        }
+        if rows < 1usize << (weight_bits - 1) {
+            return Err(invalid(format!(
+                "rows = {rows} must be at least 2^(weight_bits-1) = {} for the eSA ratio",
+                1usize << (weight_bits - 1)
+            )));
+        }
+        Ok(Self {
+            rows,
+            input_bits,
+            weight_bits,
+            num_cbs,
+        })
+    }
+
+    /// The paper's array: 128 rows × 256 columns, 8-bit inputs and weights,
+    /// 32 compute bars of 8 columns (Table II).
+    pub fn yoco_default() -> Self {
+        Self::new(128, 8, 8, 32).expect("default geometry is valid")
+    }
+
+    /// The 3×4 teaching example of Fig 2: 2-bit inputs and weights, two
+    /// compute bars of two columns.
+    pub fn fig2_example() -> Self {
+        Self::new(3, 2, 2, 2).expect("example geometry is valid")
+    }
+
+    /// Number of rows (input channels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Input resolution in bits.
+    pub fn input_bits(&self) -> u8 {
+        self.input_bits
+    }
+
+    /// Weight resolution in bits.
+    pub fn weight_bits(&self) -> u8 {
+        self.weight_bits
+    }
+
+    /// Number of compute bars (output channels).
+    pub fn num_cbs(&self) -> usize {
+        self.num_cbs
+    }
+
+    /// Number of columns: `num_cbs × weight_bits`.
+    pub fn cols(&self) -> usize {
+        self.num_cbs * self.weight_bits as usize
+    }
+
+    /// Total number of MCCs in the array.
+    pub fn num_mccs(&self) -> usize {
+        self.rows * self.cols()
+    }
+
+    /// Largest representable input code (`2^input_bits − 1`).
+    pub fn max_input(&self) -> u32 {
+        (1u32 << self.input_bits) - 1
+    }
+
+    /// Largest representable weight code (`2^weight_bits − 1`).
+    pub fn max_weight(&self) -> u32 {
+        (1u32 << self.weight_bits) - 1
+    }
+
+    /// eDAC group sizes along one row: `[1, 1, 2, 4, …, 2^(N−1)]`.
+    ///
+    /// The leading group is tied to VSS; group `n+1` carries input bit `n`.
+    /// The sizes sum to [`Self::cols`].
+    pub fn edac_group_sizes(&self) -> Vec<usize> {
+        let mut sizes = Vec::with_capacity(self.input_bits as usize + 1);
+        sizes.push(1);
+        for bit in 0..self.input_bits {
+            sizes.push(1usize << bit);
+        }
+        sizes
+    }
+
+    /// Number of unit capacitors the eSA connects from the column holding
+    /// weight bit `bit` to the final output line: `2^bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= weight_bits`.
+    pub fn esa_caps_for_bit(&self, bit: u8) -> usize {
+        assert!(bit < self.weight_bits, "bit {bit} out of range");
+        1usize << bit
+    }
+
+    /// Total unit capacitors participating in the final CB share:
+    /// `2^weight_bits − 1`.
+    pub fn esa_total_caps(&self) -> usize {
+        (1usize << self.weight_bits) - 1
+    }
+
+    /// Ideal input-conversion voltage for a digital code:
+    /// `VDD · code / 2^input_bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CodeOutOfRange`] if `code > max_input()`.
+    pub fn input_voltage(&self, code: u32) -> Result<crate::units::Volt, CircuitError> {
+        if code > self.max_input() {
+            return Err(CircuitError::CodeOutOfRange {
+                code,
+                bits: self.input_bits,
+            });
+        }
+        Ok(crate::units::Volt::new(
+            crate::VDD * code as f64 / (1u64 << self.input_bits) as f64,
+        ))
+    }
+
+    /// Ideal MAC voltage for a dot product `D = Σᵢ Xᵢ·Wᵢ`:
+    /// `VDD · D / (2^input_bits · rows · (2^weight_bits − 1))`.
+    pub fn dot_to_voltage(&self, dot: f64) -> crate::units::Volt {
+        crate::units::Volt::new(crate::VDD * dot / self.full_scale_dot_divisor())
+    }
+
+    /// Inverse of [`Self::dot_to_voltage`]: recovers the dot product encoded
+    /// by a MAC voltage.
+    pub fn voltage_to_dot(&self, v: crate::units::Volt) -> f64 {
+        v.value() / crate::VDD * self.full_scale_dot_divisor()
+    }
+
+    /// The divisor relating dot product to voltage:
+    /// `2^input_bits · rows · (2^weight_bits − 1)`.
+    pub fn full_scale_dot_divisor(&self) -> f64 {
+        (1u64 << self.input_bits) as f64 * self.rows as f64 * self.max_weight() as f64
+    }
+
+    /// Largest achievable dot product: `rows · maxX · maxW`.
+    pub fn max_dot(&self) -> f64 {
+        self.rows as f64 * self.max_input() as f64 * self.max_weight() as f64
+    }
+
+    /// Full-scale MAC voltage (`dot = max_dot`): `VDD · maxX / 2^input_bits`.
+    pub fn full_scale_voltage(&self) -> crate::units::Volt {
+        self.dot_to_voltage(self.max_dot())
+    }
+
+    /// Number of 8-bit-equivalent operations one full VMM performs:
+    /// `2 · rows · num_cbs` (each CB output is a `rows`-long multiply and
+    /// accumulate).
+    pub fn ops_per_vmm(&self) -> u64 {
+        2 * self.rows as u64 * self.num_cbs as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let g = ArrayGeometry::yoco_default();
+        assert_eq!(g.rows(), 128);
+        assert_eq!(g.cols(), 256);
+        assert_eq!(g.num_cbs(), 32);
+        assert_eq!(g.num_mccs(), 128 * 256);
+        assert_eq!(g.max_input(), 255);
+        assert_eq!(g.max_weight(), 255);
+    }
+
+    #[test]
+    fn fig2_example_is_3x4() {
+        let g = ArrayGeometry::fig2_example();
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.num_cbs(), 2);
+        assert_eq!(g.edac_group_sizes(), vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn edac_groups_cover_all_columns() {
+        let g = ArrayGeometry::yoco_default();
+        let sizes = g.edac_group_sizes();
+        assert_eq!(sizes.len(), 9);
+        assert_eq!(sizes.iter().sum::<usize>(), g.cols());
+        assert_eq!(sizes, vec![1, 1, 2, 4, 8, 16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn esa_ratios() {
+        let g = ArrayGeometry::yoco_default();
+        assert_eq!(g.esa_caps_for_bit(0), 1);
+        assert_eq!(g.esa_caps_for_bit(7), 128);
+        assert_eq!(g.esa_total_caps(), 255);
+    }
+
+    #[test]
+    fn rejects_inconsistent_grouping() {
+        // 3 CBs of 8 columns = 24 != 2^8.
+        assert!(matches!(
+            ArrayGeometry::new(128, 8, 8, 3),
+            Err(CircuitError::InvalidGeometry { .. })
+        ));
+        // Too few rows for the eSA ratio.
+        assert!(matches!(
+            ArrayGeometry::new(64, 8, 8, 32),
+            Err(CircuitError::InvalidGeometry { .. })
+        ));
+        assert!(ArrayGeometry::new(0, 8, 8, 32).is_err());
+        assert!(ArrayGeometry::new(128, 0, 8, 32).is_err());
+        assert!(ArrayGeometry::new(128, 8, 8, 0).is_err());
+    }
+
+    #[test]
+    fn input_voltage_is_linear() {
+        let g = ArrayGeometry::yoco_default();
+        let half = g.input_voltage(128).unwrap();
+        assert!((half.value() - crate::VDD / 2.0).abs() < 1e-12);
+        assert!(g.input_voltage(256).is_err());
+    }
+
+    #[test]
+    fn dot_voltage_round_trip() {
+        let g = ArrayGeometry::yoco_default();
+        for dot in [0.0, 1.0, 768.0, g.max_dot()] {
+            let v = g.dot_to_voltage(dot);
+            assert!((g.voltage_to_dot(v) - dot).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn full_scale_voltage_matches_fig6b() {
+        // Fig 6(b): the MAC voltage tops out near 0.9 V (255/256 * VDD).
+        let g = ArrayGeometry::yoco_default();
+        let fs = g.full_scale_voltage();
+        assert!((fs.value() - crate::VDD * 255.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ops_per_vmm_counts_macs_times_two() {
+        let g = ArrayGeometry::yoco_default();
+        assert_eq!(g.ops_per_vmm(), 2 * 128 * 32);
+    }
+}

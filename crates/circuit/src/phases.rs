@@ -1,0 +1,161 @@
+//! The four charge-sharing phases of one in-situ multi-bit MAC (Fig 3).
+//!
+//! The key claim of the paper ("You Only Charge Once") is that the unit
+//! capacitors are charged exactly once — during input conversion — and every
+//! later step merely redistributes that charge along switch-selected paths:
+//!
+//! 1. **Input conversion** (1st charge sharing, along a row): with `EN = 1`
+//!    and eDAC open, the bit groups charge to `VDD` or `VSS` per the input
+//!    code; closing eDAC shares the row to `VDD·X/2^N`.
+//! 2. **Multiply** (no sharing): `RWL` opens `M0`; the stored 1-bit weight on
+//!    `M1`'s gate either keeps (`W = 1`) or discharges (`W = 0`) the cell.
+//! 3. **Column accumulation** (2nd charge sharing): `S0` closes, eACC closes,
+//!    every cell of a column settles to the column average.
+//! 4. **Weighted summation** (3rd charge sharing): eACC opens and eSA closes,
+//!    connecting `2^b` capacitors of the bit-`b` column to the final output
+//!    line — an in-situ shift-and-add by capacitance ratio.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the four operation phases of the in-charge array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Phase 1 — DAC-less input conversion by row charge sharing.
+    InputConversion,
+    /// Phase 2 — bit-wise multiplication with the stored 1-bit weight.
+    Multiply,
+    /// Phase 3 — parallel accumulation by column charge sharing.
+    ColumnAccumulate,
+    /// Phase 4 — weighted summation by multi-column (CB) charge sharing.
+    WeightedSum,
+}
+
+impl Phase {
+    /// All four phases in execution order.
+    pub const ALL: [Phase; 4] = [
+        Phase::InputConversion,
+        Phase::Multiply,
+        Phase::ColumnAccumulate,
+        Phase::WeightedSum,
+    ];
+
+    /// The switch settings that realize this phase (Fig 3).
+    pub fn switch_config(self) -> SwitchConfig {
+        match self {
+            Phase::InputConversion => SwitchConfig {
+                en: false,
+                edac_closed: true,
+                rwl: false,
+                s0: false,
+                s1: true,
+                eacc_closed: false,
+                esa_closed: false,
+            },
+            Phase::Multiply => SwitchConfig {
+                en: false,
+                edac_closed: false,
+                rwl: true,
+                s0: false,
+                s1: false,
+                eacc_closed: false,
+                esa_closed: false,
+            },
+            Phase::ColumnAccumulate => SwitchConfig {
+                en: false,
+                edac_closed: false,
+                rwl: false,
+                s0: true,
+                s1: false,
+                eacc_closed: true,
+                esa_closed: false,
+            },
+            Phase::WeightedSum => SwitchConfig {
+                en: false,
+                edac_closed: false,
+                rwl: false,
+                s0: true,
+                s1: false,
+                eacc_closed: false,
+                esa_closed: true,
+            },
+        }
+    }
+
+    /// How many charge-sharing events this phase performs per array
+    /// (`0` for the multiply phase, which only gates charge to ground).
+    pub fn sharing_events(self) -> usize {
+        match self {
+            Phase::InputConversion | Phase::ColumnAccumulate | Phase::WeightedSum => 1,
+            Phase::Multiply => 0,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::InputConversion => "input conversion (1st charge sharing)",
+            Phase::Multiply => "1-bit multiply",
+            Phase::ColumnAccumulate => "column accumulation (2nd charge sharing)",
+            Phase::WeightedSum => "weighted summation (3rd charge sharing)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Switch settings of the array during one phase.
+///
+/// Field names follow Fig 2/Fig 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwitchConfig {
+    /// Tri-state input gate enable (charges the bit groups when high).
+    pub en: bool,
+    /// Row eDAC switches closed (row-wide sharing path).
+    pub edac_closed: bool,
+    /// Read word line active (enables the `M0`/`M1` multiplier).
+    pub rwl: bool,
+    /// `S0` closed (cell connected to the column output line).
+    pub s0: bool,
+    /// `S1` closed (cell connected to the row input line).
+    pub s1: bool,
+    /// Column eACC switches closed (column-wide sharing path).
+    pub eacc_closed: bool,
+    /// eSA switches closed (final output line sharing path).
+    pub esa_closed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_are_ordered_and_distinct() {
+        assert_eq!(Phase::ALL.len(), 4);
+        assert_eq!(Phase::ALL[0], Phase::InputConversion);
+        assert_eq!(Phase::ALL[3], Phase::WeightedSum);
+    }
+
+    #[test]
+    fn exactly_three_charge_sharings_per_mac() {
+        // "the fully multi-bit computing process only requires charging once"
+        // — three sharings, zero recharges.
+        let total: usize = Phase::ALL.iter().map(|p| p.sharing_events()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn exclusive_sharing_paths() {
+        // No phase closes both eACC and eSA: the column path and the final
+        // output path are mutually exclusive.
+        for p in Phase::ALL {
+            let c = p.switch_config();
+            assert!(!(c.eacc_closed && c.esa_closed), "{p} closes both paths");
+        }
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(Phase::WeightedSum.to_string().contains("3rd"));
+    }
+}

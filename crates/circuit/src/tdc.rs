@@ -1,0 +1,151 @@
+//! 8-bit time-to-digital conversion.
+//!
+//! The TDC digitizes the time difference produced by a
+//! [`crate::TimeDomainAccumulator`]. Its design point (energy, latency,
+//! resolution) follows the silicon-verified time-domain ADC of reference
+//! \[10\] as quoted in Table II: 8 bits, 7.7 pJ and 0.9 ns per conversion.
+
+use crate::units::{Joule, Second};
+use crate::CircuitError;
+use serde::{Deserialize, Serialize};
+
+/// An N-bit time-to-digital converter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tdc {
+    bits: u8,
+    full_scale: Second,
+}
+
+impl Tdc {
+    /// Creates a TDC with the given resolution and full-scale time window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidGeometry`] if `bits` is 0 or greater
+    /// than 16, or if the full-scale window is not positive.
+    pub fn new(bits: u8, full_scale: Second) -> Result<Self, CircuitError> {
+        if bits == 0 || bits > 16 {
+            return Err(CircuitError::InvalidGeometry {
+                reason: format!("tdc resolution must be 1..=16 bits, got {bits}"),
+            });
+        }
+        if full_scale.value() <= 0.0 {
+            return Err(CircuitError::InvalidGeometry {
+                reason: "tdc full-scale window must be positive".into(),
+            });
+        }
+        Ok(Self { bits, full_scale })
+    }
+
+    /// The YOCO readout TDC: 8 bits across the full-scale window of the
+    /// default 8-stage time-domain accumulator.
+    pub fn yoco_default() -> Self {
+        let fs = crate::vtc::TimeDomainAccumulator::yoco_default().full_scale();
+        Self::new(8, fs).expect("default TDC parameters are valid")
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of quantization levels (`2^bits`).
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Full-scale time window.
+    pub fn full_scale(&self) -> Second {
+        self.full_scale
+    }
+
+    /// Time corresponding to one LSB.
+    pub fn lsb(&self) -> Second {
+        Second::new(self.full_scale.value() / self.levels() as f64)
+    }
+
+    /// Converts a time difference into a digital code.
+    ///
+    /// The code is the nearest level, saturating at the rails (a time
+    /// slightly above full scale clips to the maximum code rather than
+    /// erroring, as real converters do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::VoltageOutOfRange`] if `t` is negative or
+    /// exceeds full scale by more than one LSB (a sign of a broken upstream
+    /// chain rather than normal clipping).
+    pub fn convert(&self, t: Second) -> Result<u32, CircuitError> {
+        let lsb = self.lsb().value();
+        if t.value() < -lsb || t.value() > self.full_scale.value() + lsb {
+            return Err(CircuitError::VoltageOutOfRange { volts: t.value() });
+        }
+        let code = (t.value() / lsb).round();
+        Ok((code.max(0.0) as u32).min(self.levels() - 1))
+    }
+
+    /// The analog value a code maps back to (mid-tread reconstruction).
+    pub fn reconstruct(&self, code: u32) -> Second {
+        Second::new(code as f64 * self.lsb().value())
+    }
+
+    /// Energy per conversion (Table II: 7.7 pJ).
+    pub fn energy(&self) -> Joule {
+        Joule::from_pico(7.7)
+    }
+
+    /// Latency per conversion (Table II: 0.9 ns).
+    pub fn latency(&self) -> Second {
+        Second::from_nano(0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_error_is_at_most_half_lsb() {
+        let tdc = Tdc::yoco_default();
+        let fs = tdc.full_scale().value();
+        let lsb = tdc.lsb().value();
+        for i in 0..1000 {
+            let t = Second::new(fs * i as f64 / 1000.0 * 0.999);
+            let code = tdc.convert(t).unwrap();
+            let back = tdc.reconstruct(code);
+            assert!(
+                (back.value() - t.value()).abs() <= 0.5 * lsb + 1e-18,
+                "code {code}: err {}",
+                (back.value() - t.value()).abs() / lsb
+            );
+        }
+    }
+
+    #[test]
+    fn clips_at_rails_but_rejects_nonsense() {
+        let tdc = Tdc::yoco_default();
+        let fs = tdc.full_scale();
+        // Slight over-range clips to max code.
+        let code = tdc.convert(Second::new(fs.value() * 1.001)).unwrap();
+        assert_eq!(code, 255);
+        // Far over-range is an upstream bug.
+        assert!(tdc.convert(Second::new(fs.value() * 1.5)).is_err());
+        assert!(tdc.convert(Second::new(-fs.value())).is_err());
+    }
+
+    #[test]
+    fn default_matches_table2() {
+        let tdc = Tdc::yoco_default();
+        assert_eq!(tdc.bits(), 8);
+        assert_eq!(tdc.levels(), 256);
+        assert!((tdc.energy().as_pico() - 7.7).abs() < 1e-12);
+        assert!((tdc.latency().as_nano() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Tdc::new(0, Second::from_nano(1.0)).is_err());
+        assert!(Tdc::new(17, Second::from_nano(1.0)).is_err());
+        assert!(Tdc::new(8, Second::ZERO).is_err());
+    }
+}

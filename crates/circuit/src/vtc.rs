@@ -1,0 +1,216 @@
+//! Voltage-to-time conversion and time-domain accumulation (§III-B).
+//!
+//! Each compute bar produces an analog partial-sum voltage. Instead of
+//! digitizing every CB with an ADC, YOCO chains voltage-to-time converters
+//! (VTCs) head-to-tail: each VTC stretches a trigger pulse by a duration
+//! proportional to its CB voltage and releases the pulse to the next stage.
+//! The time between the start and stop edges therefore encodes the *sum* of
+//! all stacked CB voltages — accumulation happens in the time domain, where
+//! the signal margin grows with every stage instead of shrinking.
+//!
+//! A redundant reference column of CBs, shared across the macro, feeds the
+//! TDC's start input so that the fixed per-stage propagation delay cancels.
+
+use crate::units::{Joule, Second, Volt};
+use crate::variation::{standard_normal, NoiseModel};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// One voltage-to-time converter stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vtc {
+    /// Conversion gain in seconds per volt.
+    pub gain: f64,
+    /// Fixed propagation delay per stage (cancelled by the reference column).
+    pub base_delay: Second,
+}
+
+impl Vtc {
+    /// The YOCO design point: the per-stage latency budget of Table II is
+    /// 113 ps, and the gain maps a full-scale CB voltage (≈0.9 V) onto that
+    /// window.
+    pub fn yoco_default() -> Self {
+        Self {
+            gain: Self::YOCO_GAIN,
+            base_delay: Second::from_pico(30.0),
+        }
+    }
+
+    /// Gain of the default design point, s/V (113 ps across 0.9 V).
+    pub const YOCO_GAIN: f64 = 113.0e-12 / crate::VDD;
+
+    /// Ideal conversion: pulse stretch for a CB voltage.
+    pub fn convert(&self, v: Volt) -> Second {
+        self.base_delay + Second::new(self.gain * v.value())
+    }
+}
+
+/// A chain of serial head-to-tail VTCs forming one time-domain accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeDomainAccumulator {
+    vtc: Vtc,
+    stages: usize,
+    noise: NoiseModel,
+}
+
+impl TimeDomainAccumulator {
+    /// Creates an accumulator of `stages` VTCs (one per vertically stacked
+    /// array; 8 in a YOCO IMA).
+    pub fn new(vtc: Vtc, stages: usize, noise: NoiseModel) -> Self {
+        Self {
+            vtc,
+            stages,
+            noise,
+        }
+    }
+
+    /// The YOCO IMA configuration: 8 stages at the default design point.
+    pub fn yoco_default() -> Self {
+        Self::new(Vtc::yoco_default(), 8, NoiseModel::tt_corner())
+    }
+
+    /// Number of VTC stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Ideal accumulated time for a set of CB voltages, after reference
+    /// subtraction (the `stages · base_delay` term cancels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages.len() != stages`.
+    pub fn accumulate_ideal(&self, voltages: &[Volt]) -> Second {
+        assert_eq!(voltages.len(), self.stages, "one voltage per stage");
+        let total: f64 = voltages.iter().map(|v| self.vtc.gain * v.value()).sum();
+        Second::new(total)
+    }
+
+    /// Accumulated time including per-stage gain error and random jitter,
+    /// drawn deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltages.len() != stages`.
+    pub fn accumulate_seeded(&self, voltages: &[Volt], seed: u64) -> Second {
+        assert_eq!(voltages.len(), self.stages, "one voltage per stage");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let gain = self.vtc.gain * (1.0 + self.noise.vtc_gain_error);
+        let stage_fs = self.vtc.gain * crate::VDD;
+        let mut total = 0.0f64;
+        for v in voltages {
+            total += gain * v.value();
+            total += self.noise.vtc_jitter_sigma * stage_fs * standard_normal(&mut rng);
+        }
+        Second::new(total.max(0.0))
+    }
+
+    /// Full-scale accumulated time: every stage at full-scale voltage.
+    pub fn full_scale(&self) -> Second {
+        Second::new(self.stages as f64 * self.vtc.gain * crate::VDD)
+    }
+
+    /// Mean accumulated voltage encoded by a time value (inverse transform).
+    pub fn time_to_mean_voltage(&self, t: Second) -> Volt {
+        Volt::new(t.value() / (self.stages as f64 * self.vtc.gain))
+    }
+
+    /// Chain latency: the pulse traverses every stage once.
+    ///
+    /// At the default design point this is `8 × 113 ps ≈ 0.9 ns`, matching
+    /// the gap between the array latency (13 ns) and the IMA latency budget
+    /// (<14.1 ns) in Table II.
+    pub fn latency(&self) -> Second {
+        Second::new(self.stages as f64 * (self.vtc.base_delay.value() + self.vtc.gain * crate::VDD))
+    }
+
+    /// Energy per accumulation: Table II quotes 58.5 fJ per time
+    /// accumulator activation.
+    pub fn energy(&self) -> Joule {
+        Joule::from_femto(58.5)
+    }
+
+    /// Worst-case relative accumulation error over random stimuli, as a
+    /// fraction of full scale. The paper bounds this at 0.11 %.
+    pub fn worst_case_relative_error(&self, trials: usize, seed: u64) -> f64 {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut worst = 0.0f64;
+        let fs = self.full_scale().value();
+        for t in 0..trials {
+            let voltages: Vec<Volt> = (0..self.stages)
+                .map(|_| Volt::new(crate::VDD * rng_unit(&mut rng)))
+                .collect();
+            let ideal = self.accumulate_ideal(&voltages).value();
+            let noisy = self.accumulate_seeded(&voltages, seed ^ (t as u64)).value();
+            worst = worst.max((noisy - ideal).abs() / fs);
+        }
+        worst
+    }
+}
+
+fn rng_unit(rng: &mut ChaCha12Rng) -> f64 {
+    use rand::Rng;
+    rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_accumulation_is_sum_of_stage_times() {
+        let tda = TimeDomainAccumulator::new(Vtc::yoco_default(), 4, NoiseModel::ideal());
+        let volts = vec![Volt::new(0.1), Volt::new(0.2), Volt::new(0.3), Volt::new(0.4)];
+        let t = tda.accumulate_ideal(&volts);
+        let expected = Vtc::YOCO_GAIN * 1.0;
+        assert!((t.value() - expected).abs() < 1e-18);
+        let mean = tda.time_to_mean_voltage(t);
+        assert!((mean.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_column_cancels_base_delay() {
+        // accumulate_* never includes base_delay: a zero-voltage chain reads
+        // exactly zero after reference subtraction.
+        let tda = TimeDomainAccumulator::new(Vtc::yoco_default(), 8, NoiseModel::ideal());
+        let t = tda.accumulate_ideal(&vec![Volt::ZERO; 8]);
+        assert_eq!(t.value(), 0.0);
+    }
+
+    #[test]
+    fn chain_latency_matches_table2_budget() {
+        let tda = TimeDomainAccumulator::yoco_default();
+        // 8 stages: ~0.9 ns signal + small base delays, under 1.2 ns.
+        let ns = tda.latency().as_nano();
+        assert!(ns > 0.8 && ns < 1.2, "latency {ns} ns");
+    }
+
+    #[test]
+    fn signal_margin_grows_with_stages() {
+        // Time-domain accumulation *adds* stage signals; the full-scale
+        // window grows linearly with stages instead of dividing a fixed
+        // voltage range (the paper's high-signal-margin argument).
+        let short = TimeDomainAccumulator::new(Vtc::yoco_default(), 2, NoiseModel::ideal());
+        let long = TimeDomainAccumulator::new(Vtc::yoco_default(), 16, NoiseModel::ideal());
+        assert!(long.full_scale().value() > 7.9 * short.full_scale().value());
+    }
+
+    #[test]
+    fn tt_corner_error_below_paper_bound() {
+        // Paper: time accumulator error under 0.11 %.
+        let tda = TimeDomainAccumulator::yoco_default();
+        let worst = tda.worst_case_relative_error(200, 42);
+        assert!(worst < 0.0011, "worst-case TDA error {worst}");
+    }
+
+    #[test]
+    fn seeded_accumulation_is_reproducible() {
+        let tda = TimeDomainAccumulator::yoco_default();
+        let volts = vec![Volt::new(0.5); 8];
+        assert_eq!(
+            tda.accumulate_seeded(&volts, 9).value(),
+            tda.accumulate_seeded(&volts, 9).value()
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the charge-domain invariants.
+
+use proptest::prelude::*;
+use yoco_circuit::charge::{share, total_capacitance, total_charge, CapNode};
+use yoco_circuit::units::{Farad, Volt};
+use yoco_circuit::{ArrayGeometry, DetailedArray, FastArray, NoiseModel, Tdc};
+
+fn cap_node_strategy() -> impl Strategy<Value = CapNode> {
+    (0.5f64..4.0, 0.0f64..0.9).prop_map(|(c_ff, v)| {
+        CapNode::new(Farad::from_femto(c_ff), Volt::new(v))
+    })
+}
+
+proptest! {
+    /// Charge conservation: the settled voltage redistributes exactly the
+    /// initial charge, for any node set.
+    #[test]
+    fn charge_is_conserved(nodes in prop::collection::vec(cap_node_strategy(), 1..64)) {
+        let before = total_charge(&nodes).value();
+        let v = share(&nodes);
+        let after = total_capacitance(&nodes).charge_at(v).value();
+        prop_assert!((before - after).abs() <= 1e-25 * before.abs().max(1.0));
+    }
+
+    /// The shared voltage is bounded by the extreme node voltages.
+    #[test]
+    fn shared_voltage_is_a_weighted_mean(nodes in prop::collection::vec(cap_node_strategy(), 1..64)) {
+        let v = share(&nodes).value();
+        let lo = nodes.iter().map(|n| n.volt.value()).fold(f64::INFINITY, f64::min);
+        let hi = nodes.iter().map(|n| n.volt.value()).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    /// An ideal (noise-free) array computes the exact integer dot product
+    /// for every input/weight combination, at several geometries.
+    #[test]
+    fn ideal_array_equals_integer_dot(
+        seed in 0u64..1000,
+        rows_pow in 1usize..=3,
+        bits in 2u8..=4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let rows = 1usize << (rows_pow + bits as usize - 1);
+        let num_cbs = (1usize << bits) / bits as usize;
+        // Geometry requires num_cbs * bits == 2^bits: only bits in {1,2,4,8}.
+        let bits = if bits == 3 { 4 } else { bits };
+        let num_cbs = (1usize << bits) / bits as usize;
+        let geom = ArrayGeometry::new(rows, bits, bits, num_cbs).unwrap();
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let weights: Vec<Vec<u32>> = (0..rows)
+            .map(|_| (0..num_cbs).map(|_| rng.gen_range(0..=geom.max_weight())).collect())
+            .collect();
+        let inputs: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..=geom.max_input())).collect();
+        let array = DetailedArray::new(geom, &weights).unwrap();
+        let out = array.compute_vmm(&inputs).unwrap();
+        let dots = array.expected_dots(&inputs).unwrap();
+        for cb in 0..num_cbs {
+            let got = geom.voltage_to_dot(out.cb_voltages[cb]);
+            prop_assert!((got - dots[cb]).abs() < 1e-6,
+                "cb {}: got {} want {}", cb, got, dots[cb]);
+        }
+    }
+
+    /// FastArray and DetailedArray agree exactly when capacitors are nominal,
+    /// across random noise settings for the deterministic transforms.
+    #[test]
+    fn fast_and_detailed_agree(
+        seed in 0u64..500,
+        injection in 0.0f64..0.01,
+        residue in 0.0f64..0.005,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let geom = ArrayGeometry::new(8, 4, 4, 4).unwrap();
+        let noise = NoiseModel {
+            cap_mismatch_sigma: 0.0,
+            charge_injection: injection,
+            settling_residue: residue,
+            readout_offset_sigma: 0.0,
+            vtc_gain_error: 0.0,
+            vtc_jitter_sigma: 0.0,
+        };
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let weights: Vec<Vec<u32>> = (0..8)
+            .map(|_| (0..4).map(|_| rng.gen_range(0..16)).collect())
+            .collect();
+        let inputs: Vec<u32> = (0..8).map(|_| rng.gen_range(0..16)).collect();
+        let fast = FastArray::with_noise(geom, &weights, noise).unwrap();
+        let detailed = DetailedArray::with_noise(
+            geom, &weights, yoco_circuit::MemoryKind::Sram, noise,
+            yoco_circuit::variation::MismatchField::ideal(8, 16),
+        ).unwrap();
+        let f = fast.compute_vmm(&inputs).unwrap();
+        let d = detailed.compute_vmm(&inputs).unwrap();
+        for cb in 0..4 {
+            prop_assert!((f[cb].value() - d.cb_voltages[cb].value()).abs() < 1e-12);
+        }
+    }
+
+    /// The DAC transfer of an ideal row is strictly linear and monotonic.
+    #[test]
+    fn ideal_input_conversion_is_linear(code in 0u32..256) {
+        let geom = ArrayGeometry::yoco_default();
+        let v = geom.input_voltage(code).unwrap();
+        prop_assert!((v.value() - yoco_circuit::VDD * code as f64 / 256.0).abs() < 1e-12);
+    }
+
+    /// TDC round trip never errs by more than half an LSB in the linear
+    /// region (below the top-code saturation point at 255.5 LSB).
+    #[test]
+    fn tdc_roundtrip_half_lsb(frac in 0.0f64..0.997) {
+        let tdc = Tdc::yoco_default();
+        let t = yoco_circuit::units::Second::new(tdc.full_scale().value() * frac);
+        let code = tdc.convert(t).unwrap();
+        let back = tdc.reconstruct(code);
+        prop_assert!((back.value() - t.value()).abs() <= tdc.lsb().value() * 0.5 + 1e-18);
+    }
+
+    /// Above the linear region the TDC saturates at the top code instead of
+    /// wrapping or erroring.
+    #[test]
+    fn tdc_saturates_at_top_code(frac in 0.998f64..1.003) {
+        let tdc = Tdc::yoco_default();
+        let t = yoco_circuit::units::Second::new(tdc.full_scale().value() * frac);
+        let code = tdc.convert(t).unwrap();
+        prop_assert!(code == 255);
+    }
+
+    /// Monotonicity: increasing any single input never decreases any CB
+    /// voltage (all weights are unsigned).
+    #[test]
+    fn array_output_is_monotone_in_inputs(seed in 0u64..200, row in 0usize..8) {
+        use rand::{Rng, SeedableRng};
+        let geom = ArrayGeometry::new(8, 4, 4, 4).unwrap();
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let weights: Vec<Vec<u32>> = (0..8)
+            .map(|_| (0..4).map(|_| rng.gen_range(0..16)).collect())
+            .collect();
+        let array = DetailedArray::new(geom, &weights).unwrap();
+        let mut inputs: Vec<u32> = (0..8).map(|_| rng.gen_range(0..15)).collect();
+        let lo = array.compute_vmm(&inputs).unwrap();
+        inputs[row] += 1;
+        let hi = array.compute_vmm(&inputs).unwrap();
+        for cb in 0..4 {
+            prop_assert!(hi.cb_voltages[cb].value() >= lo.cb_voltages[cb].value() - 1e-12);
+        }
+    }
+}

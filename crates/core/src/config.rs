@@ -1,0 +1,230 @@
+//! YOCO configuration (Table II defaults) and its builder.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use yoco_circuit::NoiseModel;
+
+/// Errors produced when assembling a YOCO configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A structural parameter is zero or otherwise unusable.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidParameter { name, reason } => {
+                write!(f, "invalid configuration parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full configuration of a YOCO chip.
+///
+/// Defaults reproduce Table II: 128×256 arrays, 8×8 arrays per IMA, 8 IMAs
+/// per tile (half dynamic, half static), 4 tiles per chip, 50 MHz system
+/// clock, 50 % MCC activity, TT-corner noise.
+///
+/// ```
+/// use yoco::YocoConfig;
+///
+/// let config = YocoConfig::builder().tiles(2).build()?;
+/// assert_eq!(config.tiles, 2);
+/// assert_eq!(config.total_imas(), 16);
+/// # Ok::<(), yoco::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YocoConfig {
+    /// Arrays stacked vertically per IMA (rows direction).
+    pub ima_stack: usize,
+    /// Arrays placed horizontally per IMA (outputs direction).
+    pub ima_width: usize,
+    /// Dynamic (SRAM) IMAs per tile.
+    pub dimas_per_tile: usize,
+    /// Static (ReRAM) IMAs per tile.
+    pub simas_per_tile: usize,
+    /// Tiles per chip.
+    pub tiles: usize,
+    /// Average MCC activation probability (paper default 0.5, from \[13\]).
+    pub activity: f64,
+    /// Circuit noise model for functional simulation.
+    pub noise: NoiseModel,
+}
+
+impl YocoConfig {
+    /// The Table II design point.
+    pub fn paper_default() -> Self {
+        Self {
+            ima_stack: 8,
+            ima_width: 8,
+            dimas_per_tile: 4,
+            simas_per_tile: 4,
+            tiles: 4,
+            activity: 0.5,
+            noise: NoiseModel::tt_corner(),
+        }
+    }
+
+    /// Starts a builder from the paper defaults.
+    pub fn builder() -> YocoConfigBuilder {
+        YocoConfigBuilder {
+            config: Self::paper_default(),
+        }
+    }
+
+    /// Input rows one IMA accepts per VMM (`stack × 128`).
+    pub fn ima_rows(&self) -> usize {
+        self.ima_stack * 128
+    }
+
+    /// Outputs one IMA produces per VMM (`width × 32` compute bars).
+    pub fn ima_outputs(&self) -> usize {
+        self.ima_width * 32
+    }
+
+    /// IMAs per tile.
+    pub fn imas_per_tile(&self) -> usize {
+        self.dimas_per_tile + self.simas_per_tile
+    }
+
+    /// IMAs chip-wide.
+    pub fn total_imas(&self) -> usize {
+        self.tiles * self.imas_per_tile()
+    }
+
+    /// Arrays chip-wide.
+    pub fn total_arrays(&self) -> usize {
+        self.total_imas() * self.ima_stack * self.ima_width
+    }
+}
+
+impl Default for YocoConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Builder for [`YocoConfig`].
+#[derive(Debug, Clone)]
+pub struct YocoConfigBuilder {
+    config: YocoConfig,
+}
+
+impl YocoConfigBuilder {
+    /// Sets the number of tiles.
+    pub fn tiles(mut self, tiles: usize) -> Self {
+        self.config.tiles = tiles;
+        self
+    }
+
+    /// Sets the vertical array stack per IMA.
+    pub fn ima_stack(mut self, stack: usize) -> Self {
+        self.config.ima_stack = stack;
+        self
+    }
+
+    /// Sets the horizontal array count per IMA.
+    pub fn ima_width(mut self, width: usize) -> Self {
+        self.config.ima_width = width;
+        self
+    }
+
+    /// Sets the dynamic/static IMA split per tile.
+    pub fn ima_split(mut self, dimas: usize, simas: usize) -> Self {
+        self.config.dimas_per_tile = dimas;
+        self.config.simas_per_tile = simas;
+        self
+    }
+
+    /// Sets the MCC activation probability.
+    pub fn activity(mut self, activity: f64) -> Self {
+        self.config.activity = activity;
+        self
+    }
+
+    /// Sets the circuit noise model.
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.config.noise = noise;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidParameter`] for zero-sized structures,
+    /// an activity outside `(0, 1]`, or a tile with no IMAs.
+    pub fn build(self) -> Result<YocoConfig, ConfigError> {
+        let c = self.config;
+        let bad = |name: &'static str, reason: &str| {
+            Err(ConfigError::InvalidParameter {
+                name,
+                reason: reason.to_owned(),
+            })
+        };
+        if c.ima_stack == 0 || c.ima_stack > 64 {
+            return bad("ima_stack", "must be 1..=64");
+        }
+        if c.ima_width == 0 || c.ima_width > 64 {
+            return bad("ima_width", "must be 1..=64");
+        }
+        if c.tiles == 0 {
+            return bad("tiles", "must be nonzero");
+        }
+        if c.imas_per_tile() == 0 {
+            return bad("dimas_per_tile", "a tile needs at least one IMA");
+        }
+        if !(c.activity > 0.0 && c.activity <= 1.0) {
+            return bad("activity", "must be in (0, 1]");
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let c = YocoConfig::paper_default();
+        assert_eq!(c.ima_rows(), 1024);
+        assert_eq!(c.ima_outputs(), 256);
+        assert_eq!(c.imas_per_tile(), 8);
+        assert_eq!(c.total_imas(), 32);
+        assert_eq!(c.total_arrays(), 2048);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = YocoConfig::builder()
+            .tiles(2)
+            .ima_split(2, 6)
+            .activity(0.25)
+            .build()
+            .unwrap();
+        assert_eq!(c.tiles, 2);
+        assert_eq!(c.dimas_per_tile, 2);
+        assert_eq!(c.simas_per_tile, 6);
+        assert!((c.activity - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_bad_values() {
+        assert!(YocoConfig::builder().tiles(0).build().is_err());
+        assert!(YocoConfig::builder().ima_stack(0).build().is_err());
+        assert!(YocoConfig::builder().activity(0.0).build().is_err());
+        assert!(YocoConfig::builder().activity(1.5).build().is_err());
+        assert!(YocoConfig::builder().ima_split(0, 0).build().is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # yoco — the YOCO accelerator
+//!
+//! A from-scratch reproduction of *"YOCO: A Hybrid In-Memory Computing
+//! Architecture with 8-bit Sub-PetaOps/W In-Situ Multiply Arithmetic for
+//! Large-Scale AI"* (DAC 2025). This crate assembles the substrates of the
+//! workspace into the paper's hierarchy:
+//!
+//! * [`config`] — the Table II design point and its builder
+//! * [`ima`] — the in-situ multiply accumulate unit: 8×8 in-charge arrays,
+//!   time-domain accumulation, 8-bit TDC readout; functional *and* cost
+//!   models (123.8 TOPS/W, 34.9 TOPS at the 1024×256 operating point)
+//! * [`tile`] — the hybrid tile: 4 SRAM DIMAs + 4 ReRAM SIMAs, crossbar,
+//!   SFU, eDRAM, quantization unit
+//! * [`chip`] — the 4-tile chip as a [`yoco_arch::Accelerator`] (the Fig 8
+//!   comparison subject)
+//! * [`pipeline`] — the token-level attention pipeline of §III-D (Fig 10)
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use yoco::{YocoChip, YocoConfig};
+//! use yoco_arch::accelerator::Accelerator;
+//! use yoco_arch::workload::MatmulWorkload;
+//!
+//! let chip = YocoChip::paper_default();
+//! // The headline operating point:
+//! let peak = chip.peak_vmm_cost();
+//! assert!((peak.tops_per_watt() - 123.8).abs() < 4.0);
+//!
+//! // Evaluate a transformer projection on the chip:
+//! let cost = chip.evaluate(&MatmulWorkload::new("wq", 128, 768, 768));
+//! assert!(cost.tops_per_watt() > 10.0);
+//! # let _ = YocoConfig::paper_default();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chip;
+pub mod config;
+pub mod decode;
+pub mod flow;
+pub mod ima;
+pub mod pipeline;
+pub mod placement;
+pub mod tile;
+
+pub use chip::YocoChip;
+pub use config::{ConfigError, YocoConfig};
+pub use decode::{decode_attention_layer, DecodeReport};
+pub use flow::FunctionalAttentionFlow;
+pub use placement::{plan_placement, PlacementPlan};
+pub use ima::{Ima, ImaRole};
+pub use pipeline::{AttentionDims, AttentionPipeline, PipelineReport};
+pub use tile::Tile;

@@ -1,0 +1,189 @@
+//! The IMC-friendly attention computing pipeline (§III-D, Fig 5, Fig 10).
+//!
+//! For each new token the tile performs six stages:
+//!
+//! 1. **QKV** — SIMAs project the embedded token through `W_Q`, `W_K`, `W_V`;
+//! 2. **Store** — the fresh `q`/`k` vectors cross the tile crossbar and are
+//!    written into the Q-DIMA and K-DIMA SRAM clusters;
+//! 3. **Scores** — K-DIMA multiplies `q_new` against all stored keys
+//!    (row scores) while Q-DIMA multiplies `k_new` against historical
+//!    queries (column scores);
+//! 4. **Exp** — the SFU exponentiates both fresh score vectors and updates
+//!    the running max/normalizer (the online-softmax state);
+//! 5. **Buffer** — exponentiated scores and the updated `l`/`m` go to eDRAM;
+//! 6. **Update** — V-DIMA folds the scores into the attention accumulator.
+//!
+//! Layer-wise execution serializes all six stages for every token; the
+//! pipelined schedule overlaps stage `s` of token `t` with stage `s+1` of
+//! token `t−1` (Fig 5c). [`AttentionPipeline::simulate`] runs both schedules
+//! with the standard pipeline recurrence and reports the speedup.
+
+use crate::config::YocoConfig;
+use serde::{Deserialize, Serialize};
+use yoco_arch::crossbar::CrossbarSwitch;
+use yoco_arch::sfu::{SfuBank, SfuOp};
+use yoco_mem::edram::EdramArray;
+
+/// Number of pipeline stages.
+pub const STAGES: usize = 6;
+
+/// Attention-layer dimensions of one transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttentionDims {
+    /// Sequence length (tokens processed by the pipeline).
+    pub seq: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+}
+
+/// Result of simulating one attention layer's token schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Total latency of the layer-wise schedule, ns.
+    pub layerwise_ns: f64,
+    /// Total latency of the pipelined schedule, ns.
+    pub pipelined_ns: f64,
+}
+
+impl PipelineReport {
+    /// Speedup of pipelining over layer-wise execution (Fig 10's metric).
+    pub fn speedup(&self) -> f64 {
+        self.layerwise_ns / self.pipelined_ns
+    }
+}
+
+/// The per-tile attention pipeline model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionPipeline {
+    config: YocoConfig,
+    sfu: SfuBank,
+    crossbar: CrossbarSwitch,
+}
+
+impl AttentionPipeline {
+    /// Builds the pipeline model for a configuration.
+    pub fn new(config: YocoConfig) -> Self {
+        Self {
+            config,
+            sfu: SfuBank::tile_default(),
+            crossbar: CrossbarSwitch::tile_default(),
+        }
+    }
+
+    /// Latency of one IMA VMM covering `rows × outputs`, on `units`
+    /// parallel IMAs.
+    fn vmm_ns(&self, rows: usize, outputs: usize, units: usize) -> f64 {
+        let row_blocks = rows.div_ceil(self.config.ima_rows()).max(1);
+        let col_blocks = outputs.div_ceil(self.config.ima_outputs()).max(1);
+        let invocations = row_blocks * col_blocks;
+        let rounds = (invocations as f64 / units.max(1) as f64).ceil();
+        rounds * 15.0
+    }
+
+    /// Stage latencies for token index `t` (0-based; `t + 1` keys are live).
+    pub fn stage_latencies(&self, dims: &AttentionDims, t: usize) -> [f64; STAGES] {
+        let n = t + 1;
+        let simas = self.config.simas_per_tile.max(1);
+        // Stage 1: three d_model x d_model projections across the SIMAs.
+        let qkv = 3.0 * self.vmm_ns(dims.d_model, dims.d_model, simas) * (3.0 / simas as f64).max(1.0) / 3.0;
+        // Stage 2: crossbar hop + SRAM cluster write of q and k.
+        let bits = (2 * dims.d_model * 8) as u64;
+        let store = self.crossbar.transfer(bits).latency_ns + (dims.d_model as f64 / 32.0) * 0.35;
+        // Stage 3: K-DIMA and Q-DIMA run in parallel; each scores against n
+        // stored vectors.
+        let scores = self.vmm_ns(dims.d_model, n, 1);
+        // Stage 4: exponentials of both fresh score vectors + running
+        // max/normalizer updates.
+        let exp = self.sfu.apply(SfuOp::Exp, 2 * n as u64).latency_ns
+            + self.sfu.apply(SfuOp::Max, 2 * n as u64).latency_ns;
+        // Stage 5: scores and l/m state to eDRAM.
+        let buffer = EdramArray::transfer_latency_ns((2 * n * 8 + 64) as u64);
+        // Stage 6: V-DIMA folds scores into the accumulator (n x d_model).
+        let update = self.vmm_ns(n, dims.d_model, 1);
+        [qkv, store, scores, exp, buffer, update]
+    }
+
+    /// Simulates both schedules over the full sequence.
+    pub fn simulate(&self, dims: &AttentionDims) -> PipelineReport {
+        let mut layerwise = 0.0f64;
+        // finish[s] = completion time of stage s for the previous token.
+        let mut finish = [0.0f64; STAGES];
+        for t in 0..dims.seq {
+            let lat = self.stage_latencies(dims, t);
+            layerwise += lat.iter().sum::<f64>();
+            let mut prev_stage_done = 0.0f64;
+            for s in 0..STAGES {
+                let start = prev_stage_done.max(finish[s]);
+                finish[s] = start + lat[s];
+                prev_stage_done = finish[s];
+            }
+        }
+        PipelineReport {
+            layerwise_ns: layerwise,
+            pipelined_ns: finish[STAGES - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> AttentionPipeline {
+        AttentionPipeline::new(YocoConfig::paper_default())
+    }
+
+    #[test]
+    fn pipelining_always_helps_and_is_bounded_by_stage_count() {
+        let p = pipeline();
+        for dims in [
+            AttentionDims { seq: 128, d_model: 512, heads: 4 },
+            AttentionDims { seq: 1024, d_model: 1280, heads: 20 },
+            AttentionDims { seq: 197, d_model: 768, heads: 12 },
+        ] {
+            let r = p.simulate(&dims);
+            let s = r.speedup();
+            assert!(s > 1.0, "{dims:?}: speedup {s}");
+            assert!(s < STAGES as f64, "{dims:?}: speedup {s}");
+        }
+    }
+
+    #[test]
+    fn pipelined_time_is_at_least_the_bottleneck_stage_sum() {
+        let p = pipeline();
+        let dims = AttentionDims { seq: 64, d_model: 768, heads: 12 };
+        let r = p.simulate(&dims);
+        let bottleneck: f64 = (0..64)
+            .map(|t| {
+                p.stage_latencies(&dims, t)
+                    .iter()
+                    .cloned()
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        assert!(r.pipelined_ns >= bottleneck - 1e-9);
+        assert!(r.layerwise_ns >= r.pipelined_ns);
+    }
+
+    #[test]
+    fn speedups_land_in_the_fig10_band() {
+        // Paper: 1.8x - 3.7x across the five transformers, geomean ~2.3x.
+        let p = pipeline();
+        let dims = [
+            AttentionDims { seq: 1024, d_model: 1280, heads: 20 }, // gpt_large
+            AttentionDims { seq: 128, d_model: 512, heads: 4 },    // mobilebert
+            AttentionDims { seq: 128, d_model: 768, heads: 12 },   // qdqbert
+            AttentionDims { seq: 197, d_model: 768, heads: 12 },   // vit
+            AttentionDims { seq: 2048, d_model: 4096, heads: 32 }, // llama
+        ];
+        let speedups: Vec<f64> = dims.iter().map(|d| p.simulate(d).speedup()).collect();
+        for (d, s) in dims.iter().zip(&speedups) {
+            assert!(*s > 1.4 && *s < 4.2, "{d:?}: speedup {s}");
+        }
+        let geomean =
+            (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        assert!(geomean > 1.7 && geomean < 3.0, "geomean {geomean}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Static weight placement: fitting a model's parameters onto the chip.
+//!
+//! §III-C: "Depending on the weight size, the accelerator can allocate one
+//! or multiple tiles to match the size of DNN layers." This module plans
+//! that allocation: every static GEMM's weights go to SIMA ReRAM clusters
+//! (4 resident 8-bit weight sets per MCC), dynamic GEMMs reserve DIMA SRAM
+//! capacity, and models that exceed one chip spill across chips over the
+//! Hyper-Transport link. The plan also prices the one-time ReRAM
+//! programming pass (energy and wall-clock), which is why static weights
+//! are written once and *stay* resident.
+
+use crate::config::YocoConfig;
+use serde::{Deserialize, Serialize};
+use yoco_arch::workload::MatmulWorkload;
+use yoco_mem::reram::{RERAM_WRITE_ENERGY_PJ_PER_BIT, RERAM_WRITE_LATENCY_NS};
+use yoco_mem::sram::SRAM_WRITE_ENERGY_PJ_PER_BIT;
+
+/// The capacity plan of one model on YOCO hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// Static weights to host (8-bit each).
+    pub static_weights: u64,
+    /// Peak dynamic weights resident at once (8-bit each).
+    pub dynamic_weights_peak: u64,
+    /// SIMA capacity of one chip, weights.
+    pub sima_capacity_per_chip: u64,
+    /// DIMA capacity of one chip, weights.
+    pub dima_capacity_per_chip: u64,
+    /// Chips needed so all static weights stay resident.
+    pub chips_needed: u64,
+    /// Tiles touched on the last (partially filled) chip.
+    pub tiles_on_last_chip: u64,
+    /// One-time ReRAM programming energy for the full model, µJ.
+    pub program_energy_uj: f64,
+    /// One-time programming wall-clock with row-parallel writes across all
+    /// SIMAs, ms.
+    pub program_time_ms: f64,
+}
+
+impl PlacementPlan {
+    /// Whether the model fits a single chip with every weight resident.
+    pub fn fits_one_chip(&self) -> bool {
+        self.chips_needed <= 1
+    }
+
+    /// Static-capacity utilization of the allocated chips (0..=1).
+    pub fn utilization(&self) -> f64 {
+        if self.chips_needed == 0 {
+            return 0.0;
+        }
+        self.static_weights as f64
+            / (self.chips_needed * self.sima_capacity_per_chip) as f64
+    }
+}
+
+/// Plans the placement of a model (as lowered GEMMs) onto chips of the
+/// given configuration.
+pub fn plan_placement(config: &YocoConfig, workloads: &[MatmulWorkload]) -> PlacementPlan {
+    let cells_per_ima = (config.ima_stack * config.ima_width * 128 * 256) as u64;
+    // 32 ReRAM bits per cluster = 4 resident 8-bit weight sets.
+    let sima_capacity_per_chip =
+        (config.tiles * config.simas_per_tile) as u64 * cells_per_ima * 4;
+    let dima_capacity_per_chip = (config.tiles * config.dimas_per_tile) as u64 * cells_per_ima;
+
+    let static_weights: u64 = workloads
+        .iter()
+        .filter(|w| !w.dynamic_weights)
+        .map(|w| w.k * w.n)
+        .sum();
+    let dynamic_weights_peak = workloads
+        .iter()
+        .filter(|w| w.dynamic_weights)
+        .map(|w| w.k * w.n)
+        .max()
+        .unwrap_or(0);
+
+    let chips_needed = static_weights.div_ceil(sima_capacity_per_chip).max(1);
+    let per_tile = sima_capacity_per_chip / config.tiles as u64;
+    let remainder = static_weights
+        .checked_sub((chips_needed - 1) * sima_capacity_per_chip)
+        .unwrap_or(0);
+    let tiles_on_last_chip = remainder.div_ceil(per_tile.max(1)).clamp(1, config.tiles as u64);
+
+    // One-time programming: every static bit written once into ReRAM.
+    let bits = static_weights * 8;
+    let program_energy_uj = bits as f64 * RERAM_WRITE_ENERGY_PJ_PER_BIT / 1e6;
+    // Rows program serially within a cluster column but all SIMAs in
+    // parallel; each 256-bit row write takes RERAM_WRITE_LATENCY_NS.
+    let simas_total = (chips_needed * (config.tiles * config.simas_per_tile) as u64).max(1);
+    let row_writes = bits.div_ceil(256);
+    let program_time_ms = row_writes as f64 / simas_total as f64 * RERAM_WRITE_LATENCY_NS / 1e6;
+
+    PlacementPlan {
+        static_weights,
+        dynamic_weights_peak,
+        sima_capacity_per_chip,
+        dima_capacity_per_chip,
+        chips_needed,
+        tiles_on_last_chip,
+        program_energy_uj,
+        program_time_ms,
+    }
+}
+
+/// Amortized per-inference cost of keeping weights in ReRAM vs streaming
+/// them from off-chip every inference (the IMC locality argument):
+/// `(resident_pj, streamed_pj)` for one inference.
+pub fn residency_comparison(workloads: &[MatmulWorkload]) -> (f64, f64) {
+    let static_bits: u64 = workloads
+        .iter()
+        .filter(|w| !w.dynamic_weights)
+        .map(|w| w.weight_bits(8))
+        .sum();
+    // Resident: zero per-inference movement (programming amortized away).
+    // Streamed: every weight crosses the Hyper-Transport link and lands in
+    // SRAM-class buffers each inference.
+    let link = yoco_arch::noc::HyperTransportLink::isaac_spec();
+    let streamed = static_bits as f64
+        * (link.energy_pj_per_bit + SRAM_WRITE_ENERGY_PJ_PER_BIT);
+    (0.0, streamed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yoco_nn::models;
+
+    #[test]
+    fn capacities_match_the_hierarchy() {
+        let config = YocoConfig::paper_default();
+        let plan = plan_placement(&config, &[]);
+        // 16 SIMAs x 64 arrays x 32768 cells x 4 sets = 134M weights.
+        assert_eq!(plan.sima_capacity_per_chip, 16 * 64 * 32768 * 4);
+        assert_eq!(plan.dima_capacity_per_chip, 16 * 64 * 32768);
+    }
+
+    #[test]
+    fn resnet18_fits_one_chip() {
+        let config = YocoConfig::paper_default();
+        let model = models::resnet18();
+        let plan = plan_placement(&config, &model.workloads());
+        assert!(plan.fits_one_chip(), "chips {}", plan.chips_needed);
+        assert!(plan.utilization() < 0.15, "resnet is small: {}", plan.utilization());
+    }
+
+    #[test]
+    fn llama_7b_needs_a_multi_chip_pod() {
+        let config = YocoConfig::paper_default();
+        let model = models::llama3_7b();
+        let plan = plan_placement(&config, &model.workloads());
+        // ~6.7e9 weights / 134M per chip = ~50 chips.
+        assert!(
+            plan.chips_needed > 40 && plan.chips_needed < 70,
+            "chips {}",
+            plan.chips_needed
+        );
+        assert!(!plan.fits_one_chip());
+        // Programming a 7B model is a many-millisecond, multi-joule event —
+        // exactly why it happens once.
+        assert!(plan.program_energy_uj > 1e5, "{} uJ", plan.program_energy_uj);
+        assert!(plan.program_time_ms > 1.0);
+    }
+
+    #[test]
+    fn dynamic_peak_tracks_attention_size() {
+        let config = YocoConfig::paper_default();
+        let model = models::gpt_large();
+        let plan = plan_placement(&config, &model.workloads());
+        // Largest dynamic operand: context GEMM weight = seq x d_head
+        // aggregated per head layout (seq * seq score matrix dominates).
+        assert!(plan.dynamic_weights_peak > 0);
+        assert!(plan.dynamic_weights_peak <= plan.dima_capacity_per_chip);
+    }
+
+    #[test]
+    fn residency_beats_streaming() {
+        let model = models::qdqbert();
+        let (resident, streamed) = residency_comparison(&model.workloads());
+        assert_eq!(resident, 0.0);
+        assert!(streamed > 1e6, "streaming cost {streamed} pJ per inference");
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let config = YocoConfig::paper_default();
+        for model in models::fig8_benchmarks() {
+            let plan = plan_placement(&config, &model.workloads());
+            let u = plan.utilization();
+            assert!((0.0..=1.0).contains(&u), "{}: {u}", model.name);
+        }
+    }
+}

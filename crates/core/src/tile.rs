@@ -1,0 +1,113 @@
+//! The YOCO tile: hybrid-memory compute cluster (Fig 4).
+//!
+//! A tile combines four dynamic IMAs (SRAM clusters, for attention's K/Q/V
+//! matrices) and four static IMAs (ReRAM clusters, for model weights) behind
+//! an internal crossbar switch, plus a 128 KB eDRAM I/O cache, a 128-lane
+//! SFU, and the quantization unit with its 32 KB scale memory.
+
+use crate::config::YocoConfig;
+use crate::ima::ImaRole;
+use serde::{Deserialize, Serialize};
+use yoco_arch::crossbar::CrossbarSwitch;
+use yoco_arch::quant::QuantUnit;
+use yoco_arch::sfu::SfuBank;
+use yoco_mem::{EdramArray, MemoryModel, ReramArray, SramArray};
+
+/// Structural description and shared components of one tile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tile {
+    /// IMA roles in slot order (4 dynamic + 4 static by default).
+    pub ima_roles: Vec<ImaRole>,
+    /// The intra-tile crossbar.
+    pub crossbar: CrossbarSwitch,
+    /// The special function unit bank.
+    pub sfu: SfuBank,
+    /// The requantization unit.
+    pub quant: QuantUnit,
+}
+
+impl Tile {
+    /// Builds a tile from the configuration.
+    pub fn new(config: &YocoConfig) -> Self {
+        let mut ima_roles = vec![ImaRole::Dynamic; config.dimas_per_tile];
+        ima_roles.extend(vec![ImaRole::Static; config.simas_per_tile]);
+        Self {
+            ima_roles,
+            crossbar: CrossbarSwitch::tile_default(),
+            sfu: SfuBank::tile_default(),
+            quant: QuantUnit::tile_default(),
+        }
+    }
+
+    /// Number of dynamic IMAs.
+    pub fn dimas(&self) -> usize {
+        self.ima_roles.iter().filter(|r| **r == ImaRole::Dynamic).count()
+    }
+
+    /// Number of static IMAs.
+    pub fn simas(&self) -> usize {
+        self.ima_roles.iter().filter(|r| **r == ImaRole::Static).count()
+    }
+
+    /// The tile's eDRAM I/O cache model.
+    pub fn edram(&self) -> EdramArray {
+        EdramArray::tile_cache()
+    }
+
+    /// Weight-bearing storage capacity of the tile in 8-bit weights,
+    /// split `(dynamic, static)`.
+    ///
+    /// Each MCC cluster holds 8 SRAM bits (one resident 8-bit weight) or
+    /// 32 ReRAM bits (four resident weight sets).
+    pub fn weight_capacity(&self, config: &YocoConfig) -> (u64, u64) {
+        let cells_per_ima = (config.ima_stack * config.ima_width * 128 * 256) as u64;
+        let dynamic = self.dimas() as u64 * cells_per_ima; // 8 bits -> 1 weight
+        let static_cap = self.simas() as u64 * cells_per_ima * 4; // 32 bits -> 4 weights
+        (dynamic, static_cap)
+    }
+
+    /// Energy to host a dynamic `bits`-bit matrix in DIMA SRAM vs what the
+    /// same write would cost in SIMA ReRAM — the hybrid-memory trade
+    /// (§III-C) in one number: `(sram_pj, reram_pj)`.
+    pub fn dynamic_write_comparison(&self, bits: u64) -> (f64, f64) {
+        let sram = SramArray::new(bits / 8 + 1).write_cost(bits).energy_pj;
+        let reram = ReramArray::new(bits / 8 + 1).write_cost(bits).energy_pj;
+        (sram, reram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tile_is_half_dynamic_half_static() {
+        let t = Tile::new(&YocoConfig::paper_default());
+        assert_eq!(t.dimas(), 4);
+        assert_eq!(t.simas(), 4);
+        assert_eq!(t.ima_roles.len(), 8);
+    }
+
+    #[test]
+    fn static_side_stores_4x_the_weights() {
+        let config = YocoConfig::paper_default();
+        let t = Tile::new(&config);
+        let (d, s) = t.weight_capacity(&config);
+        assert_eq!(s, 4 * d);
+        // 4 DIMAs x 2048 arrays-worth: 4 * 8*8*128*256 = 8.4 M weights.
+        assert_eq!(d, 4 * 8 * 8 * 128 * 256);
+    }
+
+    #[test]
+    fn sram_writes_are_far_cheaper_than_reram() {
+        let t = Tile::new(&YocoConfig::paper_default());
+        let (sram, reram) = t.dynamic_write_comparison(128 * 1024);
+        assert!(reram > 50.0 * sram, "sram {sram} pJ vs reram {reram} pJ");
+    }
+
+    #[test]
+    fn edram_matches_table2() {
+        let t = Tile::new(&YocoConfig::paper_default());
+        assert_eq!(t.edram().capacity_bits(), 128 * 1024 * 8);
+    }
+}

@@ -1,0 +1,131 @@
+//! The 2 KB IMA input/output buffers.
+//!
+//! Each IMA owns a 2 KB input buffer and a 2 KB output buffer (Table II:
+//! 2.9 pJ and 0.112 ns per 256-bit word). Beyond the raw access cost this
+//! model tracks *reuse*: the paper's data-reuse argument (§II-A) is that a
+//! buffered operand served to several arrays amortizes its fill cost, so the
+//! buffer keeps a hit/miss account.
+
+use crate::model::{AccessCost, MemoryModel, MemoryStats};
+use serde::{Deserialize, Serialize};
+
+/// Access energy per 256-bit word, pJ (Table II).
+pub const BUFFER_ENERGY_PJ_PER_WORD: f64 = 2.9;
+/// Access latency per 256-bit word, ns (Table II).
+pub const BUFFER_LATENCY_NS_PER_WORD: f64 = 0.112;
+/// Word width in bits.
+pub const BUFFER_WORD_BITS: u64 = 256;
+/// Area of the 4 KB (input + output) buffer pair, µm² (Table II).
+pub const BUFFER_PAIR_AREA_UM2: f64 = 4_656.0;
+
+/// One IMA data buffer with reuse accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoBuffer {
+    capacity_bytes: u64,
+    stats: MemoryStats,
+    hits: u64,
+    misses: u64,
+}
+
+impl IoBuffer {
+    /// Creates a buffer of `capacity_bytes` bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            stats: MemoryStats::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The YOCO IMA buffer: 2 KB.
+    pub fn ima_default() -> Self {
+        Self::new(2 * 1024)
+    }
+
+    /// Records a reuse hit (operand already resident).
+    pub fn record_hit(&mut self, bits: u64) {
+        self.hits += 1;
+        self.stats.bits_read += bits;
+        self.stats.reads += 1;
+    }
+
+    /// Records a miss (operand had to be fetched from the tile eDRAM).
+    pub fn record_miss(&mut self, bits: u64) {
+        self.misses += 1;
+        self.stats.bits_written += bits;
+        self.stats.writes += 1;
+    }
+
+    /// Hit rate over all recorded lookups (0 when none recorded).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Cumulative access statistics.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+}
+
+impl MemoryModel for IoBuffer {
+    fn capacity_bits(&self) -> u64 {
+        self.capacity_bytes * 8
+    }
+
+    fn read_cost(&self, bits: u64) -> AccessCost {
+        let words = (bits as f64 / BUFFER_WORD_BITS as f64).ceil().max(1.0);
+        AccessCost::new(
+            words * BUFFER_ENERGY_PJ_PER_WORD,
+            words * BUFFER_LATENCY_NS_PER_WORD,
+        )
+    }
+
+    fn write_cost(&self, bits: u64) -> AccessCost {
+        self.read_cost(bits)
+    }
+
+    fn area_um2(&self) -> f64 {
+        // Half the buffer-pair area per 2 KB instance.
+        BUFFER_PAIR_AREA_UM2 / 2.0 * self.capacity_bytes as f64 / (2.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_granular_costs() {
+        let b = IoBuffer::ima_default();
+        // 1024 bytes = 32 words.
+        let c = b.read_cost(1024 * 8);
+        assert!((c.energy_pj - 32.0 * 2.9).abs() < 1e-9);
+        assert!((c.latency_ns - 32.0 * 0.112).abs() < 1e-9);
+        // Sub-word access still costs one word.
+        assert!((b.read_cost(8).energy_pj - 2.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reuse_accounting() {
+        let mut b = IoBuffer::ima_default();
+        assert_eq!(b.hit_rate(), 0.0);
+        b.record_miss(256);
+        b.record_hit(256);
+        b.record_hit(256);
+        b.record_hit(256);
+        assert!((b.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_matches_table2() {
+        let b = IoBuffer::ima_default();
+        assert_eq!(b.capacity_bits(), 2 * 1024 * 8);
+        assert!(b.area_um2() > 0.0);
+    }
+}

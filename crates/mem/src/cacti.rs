@@ -1,0 +1,96 @@
+//! CACTI-style analytical scaling of SRAM buffer cost with capacity.
+//!
+//! The paper models on-chip interconnect, SFU, buffers, and eDRAM with
+//! CACTI 6.0 \[11\]. For the baseline accelerators (ISAAC's eDRAM buffers,
+//! RAELLA's larger SRAM buffers, TIMELY's analog local buffers) we need
+//! access energy and area at capacities other than YOCO's design points.
+//! CACTI's detailed wire/bank model reduces, over the capacity range we
+//! care about (kilobytes to megabytes), to well-known power laws: access
+//! energy per bit grows roughly with the square root of capacity (bitline
+//! and H-tree length), and area grows slightly super-linearly (peripheral
+//! overhead amortizes, wires do not).
+
+use serde::{Deserialize, Serialize};
+
+/// Analytical SRAM cost model calibrated at YOCO's 2 KB buffer point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CactiModel {
+    /// Reference capacity, bytes.
+    pub ref_bytes: f64,
+    /// Access energy per 256-bit word at the reference point, pJ.
+    pub ref_word_energy_pj: f64,
+    /// Access latency per word at the reference point, ns.
+    pub ref_word_latency_ns: f64,
+    /// Area per bit at the reference point, µm².
+    pub ref_area_per_bit_um2: f64,
+    /// Energy scaling exponent vs capacity (≈0.5: bitline/H-tree length).
+    pub energy_exponent: f64,
+    /// Latency scaling exponent vs capacity.
+    pub latency_exponent: f64,
+}
+
+impl CactiModel {
+    /// Model calibrated at the Table II 2 KB / 2.9 pJ / 0.112 ns point.
+    pub fn sram_28nm() -> Self {
+        Self {
+            ref_bytes: 2.0 * 1024.0,
+            ref_word_energy_pj: 2.9,
+            ref_word_latency_ns: 0.112,
+            ref_area_per_bit_um2: 0.142, // cell + periphery at 2 KB
+            energy_exponent: 0.5,
+            latency_exponent: 0.45,
+        }
+    }
+
+    /// Access energy per 256-bit word at an arbitrary capacity, pJ.
+    pub fn word_energy_pj(&self, capacity_bytes: f64) -> f64 {
+        self.ref_word_energy_pj * (capacity_bytes / self.ref_bytes).powf(self.energy_exponent)
+    }
+
+    /// Access latency per word at an arbitrary capacity, ns.
+    pub fn word_latency_ns(&self, capacity_bytes: f64) -> f64 {
+        self.ref_word_latency_ns * (capacity_bytes / self.ref_bytes).powf(self.latency_exponent)
+    }
+
+    /// Total area at an arbitrary capacity, µm².
+    pub fn area_um2(&self, capacity_bytes: f64) -> f64 {
+        // Slightly super-linear: fixed periphery amortizes but wires grow.
+        let bits = capacity_bytes * 8.0;
+        bits * self.ref_area_per_bit_um2 * (capacity_bytes / self.ref_bytes).powf(0.05)
+    }
+
+    /// Energy per bit at an arbitrary capacity, pJ.
+    pub fn energy_per_bit_pj(&self, capacity_bytes: f64) -> f64 {
+        self.word_energy_pj(capacity_bytes) / 256.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_round_trips() {
+        let m = CactiModel::sram_28nm();
+        assert!((m.word_energy_pj(2048.0) - 2.9).abs() < 1e-9);
+        assert!((m.word_latency_ns(2048.0) - 0.112).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_grows_sublinearly_with_capacity() {
+        let m = CactiModel::sram_28nm();
+        let e2k = m.word_energy_pj(2048.0);
+        let e32k = m.word_energy_pj(32.0 * 1024.0);
+        // 16x capacity -> 4x word energy at exponent 0.5.
+        assert!((e32k / e2k - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_is_roughly_linear() {
+        let m = CactiModel::sram_28nm();
+        let a1 = m.area_um2(2048.0);
+        let a16 = m.area_um2(16.0 * 2048.0);
+        let ratio = a16 / a1;
+        assert!(ratio > 16.0 && ratio < 20.0, "ratio {ratio}");
+    }
+}

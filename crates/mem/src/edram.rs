@@ -1,0 +1,120 @@
+//! Embedded DRAM model (tile I/O cache).
+//!
+//! Each YOCO tile carries a 128 KB eDRAM for 8-bit inputs and outputs plus a
+//! 32 KB quantization memory (Table II: 0.1 pJ/bit, 128 GB/s, 0.2 mm²).
+//! eDRAM needs periodic refresh, which this model accounts as a background
+//! power draw.
+
+use crate::model::{AccessCost, MemoryModel, MemoryStats};
+use serde::{Deserialize, Serialize};
+
+/// Access energy, pJ per bit (Table II).
+pub const EDRAM_ENERGY_PJ_PER_BIT: f64 = 0.1;
+/// Peak bandwidth, GB/s (Table II).
+pub const EDRAM_BANDWIDTH_GBPS: f64 = 128.0;
+/// Retention time before a row must be refreshed, µs.
+pub const EDRAM_RETENTION_US: f64 = 40.0;
+/// Refresh energy per bit per refresh, pJ.
+pub const EDRAM_REFRESH_PJ_PER_BIT: f64 = 0.002;
+/// Area of the 128 KB instance, mm² (Table II).
+pub const EDRAM_128KB_AREA_MM2: f64 = 0.2;
+
+/// An eDRAM array of a given capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdramArray {
+    capacity_bytes: u64,
+    stats: MemoryStats,
+}
+
+impl EdramArray {
+    /// Creates an eDRAM array of `capacity_bytes` bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// The tile I/O cache: 128 KB.
+    pub fn tile_cache() -> Self {
+        Self::new(128 * 1024)
+    }
+
+    /// Transfer latency for `bits` at peak bandwidth, ns.
+    pub fn transfer_latency_ns(bits: u64) -> f64 {
+        let bytes = bits as f64 / 8.0;
+        bytes / (EDRAM_BANDWIDTH_GBPS * 1e9) * 1e9
+    }
+
+    /// Background refresh power for the whole array, in watts.
+    pub fn refresh_power_w(&self) -> f64 {
+        let refreshes_per_s = 1.0e6 / EDRAM_RETENTION_US;
+        self.capacity_bits() as f64 * EDRAM_REFRESH_PJ_PER_BIT * 1e-12 * refreshes_per_s
+    }
+
+    /// Cumulative access statistics.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Records a read for the statistics.
+    pub fn record_read(&mut self, bits: u64) {
+        self.stats.bits_read += bits;
+        self.stats.reads += 1;
+    }
+
+    /// Records a write for the statistics.
+    pub fn record_write(&mut self, bits: u64) {
+        self.stats.bits_written += bits;
+        self.stats.writes += 1;
+    }
+}
+
+impl MemoryModel for EdramArray {
+    fn capacity_bits(&self) -> u64 {
+        self.capacity_bytes * 8
+    }
+
+    fn read_cost(&self, bits: u64) -> AccessCost {
+        AccessCost::new(
+            bits as f64 * EDRAM_ENERGY_PJ_PER_BIT,
+            Self::transfer_latency_ns(bits),
+        )
+    }
+
+    fn write_cost(&self, bits: u64) -> AccessCost {
+        self.read_cost(bits)
+    }
+
+    fn area_um2(&self) -> f64 {
+        // Scale linearly from the 128 KB reference instance.
+        EDRAM_128KB_AREA_MM2 * 1e6 * self.capacity_bytes as f64 / (128.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_cache_matches_table2() {
+        let e = EdramArray::tile_cache();
+        assert_eq!(e.capacity_bits(), 128 * 1024 * 8);
+        assert!((e.area_um2() - 0.2e6).abs() < 1.0);
+        assert!((e.read_cost(8).energy_pj - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_bounds_latency() {
+        // 128 bytes at 128 GB/s = 1 ns.
+        let ns = EdramArray::transfer_latency_ns(128 * 8);
+        assert!((ns - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refresh_power_is_small_but_nonzero() {
+        let e = EdramArray::tile_cache();
+        let p = e.refresh_power_w();
+        assert!(p > 0.0 && p < 0.01, "refresh power {p} W");
+    }
+}

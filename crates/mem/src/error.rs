@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors produced by the memory models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// An access exceeds the device capacity.
+    OutOfCapacity {
+        /// Bits requested.
+        requested_bits: u64,
+        /// Bits available.
+        capacity_bits: u64,
+    },
+    /// A ReRAM region has consumed its write endurance budget.
+    EnduranceExceeded {
+        /// Writes performed.
+        writes: u64,
+        /// Rated endurance in write cycles.
+        rated: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfCapacity {
+                requested_bits,
+                capacity_bits,
+            } => write!(
+                f,
+                "access of {requested_bits} bits exceeds capacity of {capacity_bits} bits"
+            ),
+            MemError::EnduranceExceeded { writes, rated } => {
+                write!(f, "{writes} writes exceed rated endurance of {rated} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_numbers() {
+        let e = MemError::EnduranceExceeded {
+            writes: 11,
+            rated: 10,
+        };
+        assert!(e.to_string().contains("11"));
+        assert!(e.to_string().contains("10"));
+    }
+}

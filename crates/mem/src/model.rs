@@ -1,0 +1,98 @@
+//! The [`MemoryModel`] trait and access-cost bookkeeping shared by every
+//! memory technology in the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccessCost {
+    /// Dynamic energy in picojoules.
+    pub energy_pj: f64,
+    /// Latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl AccessCost {
+    /// Creates a cost record.
+    pub fn new(energy_pj: f64, latency_ns: f64) -> Self {
+        Self {
+            energy_pj,
+            latency_ns,
+        }
+    }
+
+    /// Component-wise sum (energies add; latencies add, i.e. serial access).
+    pub fn plus(self, other: Self) -> Self {
+        Self {
+            energy_pj: self.energy_pj + other.energy_pj,
+            latency_ns: self.latency_ns + other.latency_ns,
+        }
+    }
+
+    /// Scales both components by a count of identical accesses.
+    pub fn scaled(self, count: f64) -> Self {
+        Self {
+            energy_pj: self.energy_pj * count,
+            latency_ns: self.latency_ns * count,
+        }
+    }
+}
+
+/// Cumulative access statistics of one memory instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Total bits read.
+    pub bits_read: u64,
+    /// Total bits written.
+    pub bits_written: u64,
+    /// Number of read transactions.
+    pub reads: u64,
+    /// Number of write transactions.
+    pub writes: u64,
+}
+
+/// Common interface of every memory technology model.
+///
+/// Implementations are *analytical*: they return the energy/latency of an
+/// access and keep aggregate statistics, but do not store data contents
+/// (functional storage lives with the consumers, e.g. the array weight
+/// matrices in `yoco-circuit`).
+pub trait MemoryModel {
+    /// Capacity in bits.
+    fn capacity_bits(&self) -> u64;
+
+    /// Cost of reading `bits` bits (bursting is up to the implementation).
+    fn read_cost(&self, bits: u64) -> AccessCost;
+
+    /// Cost of writing `bits` bits.
+    fn write_cost(&self, bits: u64) -> AccessCost;
+
+    /// Silicon area in square micrometres.
+    fn area_um2(&self) -> f64;
+
+    /// Energy per bit of a *read*, in picojoules (convenience).
+    fn read_energy_per_bit_pj(&self) -> f64 {
+        self.read_cost(1).energy_pj
+    }
+
+    /// Density in bits per square micrometre.
+    fn density_bits_per_um2(&self) -> f64 {
+        self.capacity_bits() as f64 / self.area_um2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_arithmetic() {
+        let a = AccessCost::new(2.0, 1.0);
+        let b = AccessCost::new(1.0, 0.5);
+        let s = a.plus(b);
+        assert!((s.energy_pj - 3.0).abs() < 1e-12);
+        assert!((s.latency_ns - 1.5).abs() < 1e-12);
+        let x = a.scaled(4.0);
+        assert!((x.energy_pj - 8.0).abs() < 1e-12);
+    }
+}

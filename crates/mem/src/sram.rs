@@ -1,0 +1,119 @@
+//! 6T SRAM model.
+//!
+//! SRAM backs the DIMA memory clusters (8 one-bit cells per MCC, Table II)
+//! and the 32 KB quantization memory. It is the performance-prioritized half
+//! of the hybrid design: sub-nanosecond writes and effectively unlimited
+//! endurance, at roughly 4× the area per bit of 1T1R ReRAM.
+
+use crate::model::{AccessCost, MemoryModel, MemoryStats};
+use serde::{Deserialize, Serialize};
+
+/// Area of one 6T SRAM bit cell at 28 nm, µm² (Table II memory-cell row).
+pub const SRAM_CELL_AREA_UM2: f64 = 0.096;
+/// Read energy per bit, pJ (CACTI-class small-array figure at 28 nm).
+pub const SRAM_READ_ENERGY_PJ_PER_BIT: f64 = 0.012;
+/// Write energy per bit, pJ.
+pub const SRAM_WRITE_ENERGY_PJ_PER_BIT: f64 = 0.015;
+/// Access latency per 256-bit word, ns.
+pub const SRAM_WORD_LATENCY_NS: f64 = 0.35;
+
+/// An SRAM array of a given capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramArray {
+    capacity_bytes: u64,
+    stats: MemoryStats,
+}
+
+impl SramArray {
+    /// Creates an SRAM array of `capacity_bytes` bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self {
+            capacity_bytes,
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// Cumulative access statistics.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Records a read for the statistics (costs are pure; recording is the
+    /// caller's choice).
+    pub fn record_read(&mut self, bits: u64) {
+        self.stats.bits_read += bits;
+        self.stats.reads += 1;
+    }
+
+    /// Records a write for the statistics.
+    pub fn record_write(&mut self, bits: u64) {
+        self.stats.bits_written += bits;
+        self.stats.writes += 1;
+    }
+}
+
+impl MemoryModel for SramArray {
+    fn capacity_bits(&self) -> u64 {
+        self.capacity_bytes * 8
+    }
+
+    fn read_cost(&self, bits: u64) -> AccessCost {
+        let words = (bits as f64 / 256.0).ceil().max(1.0);
+        AccessCost::new(
+            bits as f64 * SRAM_READ_ENERGY_PJ_PER_BIT,
+            words * SRAM_WORD_LATENCY_NS,
+        )
+    }
+
+    fn write_cost(&self, bits: u64) -> AccessCost {
+        let words = (bits as f64 / 256.0).ceil().max(1.0);
+        AccessCost::new(
+            bits as f64 * SRAM_WRITE_ENERGY_PJ_PER_BIT,
+            words * SRAM_WORD_LATENCY_NS,
+        )
+    }
+
+    fn area_um2(&self) -> f64 {
+        self.capacity_bits() as f64 * SRAM_CELL_AREA_UM2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_and_area() {
+        let s = SramArray::new(2048);
+        assert_eq!(s.capacity_bits(), 16384);
+        assert!((s.area_um2() - 16384.0 * 0.096).abs() < 1e-6);
+        assert!((s.density_bits_per_um2() - 1.0 / 0.096).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_cost_exceeds_read_cost() {
+        let s = SramArray::new(2048);
+        assert!(s.write_cost(256).energy_pj > s.read_cost(256).energy_pj);
+    }
+
+    #[test]
+    fn latency_scales_with_words() {
+        let s = SramArray::new(2048);
+        let one = s.read_cost(256).latency_ns;
+        let four = s.read_cost(1024).latency_ns;
+        assert!((four / one - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = SramArray::new(2048);
+        s.record_read(256);
+        s.record_write(128);
+        s.record_read(64);
+        let st = s.stats();
+        assert_eq!(st.bits_read, 320);
+        assert_eq!(st.bits_written, 128);
+        assert_eq!(st.reads, 2);
+        assert_eq!(st.writes, 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Quick check of the Fig 6(f) stand-in experiment: trains all six
+//! benchmarks and prints FP32 vs analog accuracy side by side.
+//!
+//! ```sh
+//! cargo run --release -p yoco-nn --example fig6f_check
+//! ```
+
+use yoco_nn::standins::fig6f_standins;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let standins = fig6f_standins(2025).expect("training succeeds");
+    println!("trained in {:?}", t0.elapsed());
+    for s in &standins {
+        let f = s.accuracy_f32();
+        let a = s.accuracy_analog(7);
+        println!(
+            "{:<14} class={:?} n={} f32={:.4} analog={:.4} loss={:+.4}",
+            s.name,
+            s.class,
+            s.test_len(),
+            f,
+            a,
+            f - a
+        );
+    }
+    println!("total {:?}", t0.elapsed());
+}

@@ -1,0 +1,246 @@
+//! Attention algorithms: exact scaled dot-product attention (Eq. 1 of the
+//! paper) and the flash-attention-style streaming form YOCO's pipeline uses.
+//!
+//! §III-D stores K in one DIMA and Q in another; each new token produces a
+//! score row/column pair whose exponentials are folded into a running
+//! accumulator together with the running maximum `m` and normalizer `l` —
+//! exactly the online-softmax recurrence. [`StreamingAttention`] implements
+//! that recurrence token by token and is property-tested against
+//! [`exact_attention`].
+
+use crate::tensor::{softmax_inplace, Matrix};
+use crate::NnError;
+use serde::{Deserialize, Serialize};
+
+/// Exact attention: `softmax(Q·Kᵀ/√d)·V`.
+///
+/// `q`, `k`, `v` are `L×d` matrices. With `causal`, position `i` only
+/// attends to positions `≤ i`.
+///
+/// # Errors
+///
+/// Returns [`NnError::DimensionMismatch`] if the shapes disagree.
+pub fn exact_attention(q: &Matrix, k: &Matrix, v: &Matrix, causal: bool) -> Result<Matrix, NnError> {
+    if q.cols() != k.cols() || k.rows() != v.rows() {
+        return Err(NnError::DimensionMismatch {
+            op: "attention",
+            lhs: (q.rows(), q.cols()),
+            rhs: (k.rows(), k.cols()),
+        });
+    }
+    let d = q.cols();
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut out = Matrix::zeros(q.rows(), v.cols());
+    let mut scores = vec![0.0f32; k.rows()];
+    for i in 0..q.rows() {
+        let limit = if causal { i + 1 } else { k.rows() };
+        for (j, s) in scores.iter_mut().take(limit).enumerate() {
+            *s = q
+                .row(i)
+                .iter()
+                .zip(k.row(j))
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+                * scale;
+        }
+        softmax_inplace(&mut scores[..limit]);
+        for j in 0..limit {
+            let a = scores[j];
+            for c in 0..v.cols() {
+                let cur = out.get(i, c);
+                out.set(i, c, cur + a * v.get(j, c));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Streaming (online-softmax) attention state for one query vector.
+///
+/// Keys/values arrive one at a time; the state keeps the running maximum
+/// `m`, normalizer `l`, and the unnormalized output accumulator — the same
+/// quantities YOCO stores in eDRAM between tokens (`lmax` and `mij` in the
+/// paper's Fig 5 description).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingAttention {
+    d_head: usize,
+    scale: f32,
+    m: f32,
+    l: f32,
+    acc: Vec<f32>,
+}
+
+impl StreamingAttention {
+    /// Creates an empty state for `d_head`-wide values.
+    pub fn new(d_head: usize) -> Self {
+        Self {
+            d_head,
+            scale: 1.0 / (d_head as f32).sqrt(),
+            m: f32::NEG_INFINITY,
+            l: 0.0,
+            acc: vec![0.0; d_head],
+        }
+    }
+
+    /// Folds one raw (unscaled) score and its value vector into the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value.len()` differs from `d_head`.
+    pub fn push_score(&mut self, raw_score: f32, value: &[f32]) {
+        assert_eq!(value.len(), self.d_head, "value width");
+        let s = raw_score * self.scale;
+        let m_new = self.m.max(s);
+        let correction = if self.m.is_finite() {
+            (self.m - m_new).exp()
+        } else {
+            0.0
+        };
+        let p = (s - m_new).exp();
+        self.l = self.l * correction + p;
+        for (a, &vv) in self.acc.iter_mut().zip(value) {
+            *a = *a * correction + p * vv;
+        }
+        self.m = m_new;
+    }
+
+    /// Folds one key/value pair, computing the score from the query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector widths disagree with `d_head`.
+    pub fn push(&mut self, query: &[f32], key: &[f32], value: &[f32]) {
+        assert_eq!(query.len(), self.d_head);
+        assert_eq!(key.len(), self.d_head);
+        let raw: f32 = query.iter().zip(key).map(|(a, b)| a * b).sum();
+        self.push_score(raw, value);
+    }
+
+    /// Number of accumulated positions is reflected in `l > 0`.
+    pub fn is_empty(&self) -> bool {
+        self.l == 0.0
+    }
+
+    /// Finalizes the attention output (`acc / l`).
+    ///
+    /// Returns zeros if no scores were pushed.
+    pub fn finish(&self) -> Vec<f32> {
+        if self.l == 0.0 {
+            return vec![0.0; self.d_head];
+        }
+        self.acc.iter().map(|a| a / self.l).collect()
+    }
+}
+
+/// Causal streaming attention over whole matrices (one
+/// [`StreamingAttention`] per query row), for equivalence testing and the
+/// functional pipeline model.
+///
+/// # Errors
+///
+/// Returns [`NnError::DimensionMismatch`] if the shapes disagree.
+pub fn streaming_attention(q: &Matrix, k: &Matrix, v: &Matrix) -> Result<Matrix, NnError> {
+    if q.cols() != k.cols() || k.rows() != v.rows() || v.cols() != q.cols() {
+        return Err(NnError::DimensionMismatch {
+            op: "streaming_attention",
+            lhs: (q.rows(), q.cols()),
+            rhs: (k.rows(), k.cols()),
+        });
+    }
+    let mut out = Matrix::zeros(q.rows(), v.cols());
+    for i in 0..q.rows() {
+        let mut state = StreamingAttention::new(q.cols());
+        for j in 0..=i.min(k.rows() - 1) {
+            state.push(q.row(i), k.row(j), v.row(j));
+        }
+        out.row_mut(i).copy_from_slice(&state.finish());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn streaming_equals_exact_causal() {
+        let (l, d) = (12, 8);
+        let q = random_matrix(l, d, 1);
+        let k = random_matrix(l, d, 2);
+        let v = random_matrix(l, d, 3);
+        let exact = exact_attention(&q, &k, &v, true).unwrap();
+        let streaming = streaming_attention(&q, &k, &v).unwrap();
+        for i in 0..l {
+            for c in 0..d {
+                assert!(
+                    (exact.get(i, c) - streaming.get(i, c)).abs() < 1e-5,
+                    "({i},{c}): {} vs {}",
+                    exact.get(i, c),
+                    streaming.get(i, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        let q = random_matrix(4, 4, 10);
+        let k = random_matrix(4, 4, 11);
+        let v = random_matrix(4, 4, 12);
+        let out = exact_attention(&q, &k, &v, false).unwrap();
+        // Each output element lies within the min/max of the value column.
+        for c in 0..4 {
+            let vmin = (0..4).map(|j| v.get(j, c)).fold(f32::INFINITY, f32::min);
+            let vmax = (0..4).map(|j| v.get(j, c)).fold(f32::NEG_INFINITY, f32::max);
+            for i in 0..4 {
+                let o = out.get(i, c);
+                assert!(o >= vmin - 1e-5 && o <= vmax + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn single_token_attends_to_itself() {
+        let q = random_matrix(1, 4, 20);
+        let k = q.clone();
+        let v = random_matrix(1, 4, 21);
+        let out = exact_attention(&q, &k, &v, true).unwrap();
+        for c in 0..4 {
+            assert!((out.get(0, c) - v.get(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn streaming_state_survives_large_scores() {
+        // Online softmax must be stable where naive exp overflows.
+        let mut s = StreamingAttention::new(2);
+        s.push_score(500.0, &[1.0, 0.0]);
+        s.push_score(1000.0, &[0.0, 1.0]);
+        let out = s.finish();
+        assert!(out.iter().all(|x| x.is_finite()));
+        // The much larger score dominates.
+        assert!(out[1] > 0.99);
+    }
+
+    #[test]
+    fn empty_state_yields_zeros() {
+        let s = StreamingAttention::new(3);
+        assert!(s.is_empty());
+        assert_eq!(s.finish(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let q = random_matrix(2, 4, 1);
+        let k = random_matrix(2, 6, 2);
+        let v = random_matrix(2, 4, 3);
+        assert!(exact_attention(&q, &k, &v, false).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Functional 2-D convolution via im2col, runnable through the quantized
+//! engines.
+//!
+//! The architecture evaluation only needs convolution *shapes*
+//! ([`crate::layers::LayerSpec::Conv`]), but the accuracy experiment
+//! benefits from the CNN stand-ins actually convolving: this module lowers
+//! a small conv layer to the same matrix-vector primitive the analog engine
+//! executes, so a conv forward pass exercises the identical charge-domain
+//! path as the paper's CNN benchmarks.
+
+use crate::inference::MatvecEngine;
+use crate::quantize::{QuantizedMatrix, QuantizedVector};
+use crate::tensor::Matrix;
+use crate::NnError;
+use serde::{Deserialize, Serialize};
+
+/// A small single-image conv layer: `out_ch` filters of `in_ch × k × k`,
+/// unit stride, no padding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    /// Filters as a GEMM operand: `out_ch × (in_ch·k·k)`, row-major.
+    weight: Matrix,
+    quantized: QuantizedMatrix,
+    bias: Vec<f32>,
+}
+
+/// A CHW-layout feature map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMap {
+    /// Channels.
+    pub ch: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Data, `ch·h·w` in CHW order.
+    pub data: Vec<f32>,
+}
+
+impl FeatureMap {
+    /// Creates a zero map.
+    pub fn zeros(ch: usize, h: usize, w: usize) -> Self {
+        Self {
+            ch,
+            h,
+            w,
+            data: vec![0.0; ch * h * w],
+        }
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        self.data[(c * self.h + y) * self.w + x] = v;
+    }
+}
+
+impl Conv2d {
+    /// Creates a conv layer from its filter bank (`out_ch × in_ch × k × k`,
+    /// flattened) and per-filter bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape or quantization errors.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        filters: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Result<Self, NnError> {
+        let cols = in_ch * k * k;
+        let weight = Matrix::from_vec(out_ch, cols, filters)?;
+        if bias.len() != out_ch {
+            return Err(NnError::DimensionMismatch {
+                op: "conv bias",
+                lhs: (out_ch, cols),
+                rhs: (bias.len(), 1),
+            });
+        }
+        let quantized = QuantizedMatrix::quantize(&weight)?;
+        Ok(Self {
+            in_ch,
+            out_ch,
+            k,
+            weight,
+            quantized,
+            bias,
+        })
+    }
+
+    /// Output spatial size for an input of `h × w` (valid convolution).
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 1 - self.k, w + 1 - self.k)
+    }
+
+    /// The im2col patch at output position `(y, x)`.
+    fn patch(&self, input: &FeatureMap, y: usize, x: usize, buf: &mut Vec<f32>) {
+        buf.clear();
+        for c in 0..self.in_ch {
+            for dy in 0..self.k {
+                for dx in 0..self.k {
+                    buf.push(input.get(c, y + dy, x + dx));
+                }
+            }
+        }
+    }
+
+    /// Full-precision forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the input channel count disagrees.
+    pub fn forward_f32(&self, input: &FeatureMap) -> Result<FeatureMap, NnError> {
+        self.check_input(input)?;
+        let (oh, ow) = self.out_hw(input.h, input.w);
+        let mut out = FeatureMap::zeros(self.out_ch, oh, ow);
+        let mut patch = Vec::with_capacity(self.in_ch * self.k * self.k);
+        for y in 0..oh {
+            for x in 0..ow {
+                self.patch(input, y, x, &mut patch);
+                for f in 0..self.out_ch {
+                    let dot: f32 = self
+                        .weight
+                        .row(f)
+                        .iter()
+                        .zip(&patch)
+                        .map(|(w, p)| w * p)
+                        .sum();
+                    out.set(f, y, x, dot + self.bias[f]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Quantized forward pass through a [`MatvecEngine`] — each im2col
+    /// patch becomes one quantized matvec, the operation the analog arrays
+    /// physically execute.
+    ///
+    /// Inputs are assumed non-negative (post-ReLU), as in the MLP engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape or quantization errors.
+    pub fn forward_quantized(
+        &self,
+        input: &FeatureMap,
+        engine: &mut dyn MatvecEngine,
+    ) -> Result<FeatureMap, NnError> {
+        self.check_input(input)?;
+        let (oh, ow) = self.out_hw(input.h, input.w);
+        let mut out = FeatureMap::zeros(self.out_ch, oh, ow);
+        let mut patch = Vec::with_capacity(self.in_ch * self.k * self.k);
+        for y in 0..oh {
+            for x in 0..ow {
+                self.patch(input, y, x, &mut patch);
+                let clamped: Vec<f32> = patch.iter().map(|&v| v.max(0.0)).collect();
+                let q = QuantizedVector::quantize(&clamped)?;
+                let dots = engine.matvec(&self.quantized, &q);
+                for (f, &d) in dots.iter().enumerate() {
+                    let v = d as f32 * self.quantized.scale * q.scale + self.bias[f];
+                    out.set(f, y, x, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_input(&self, input: &FeatureMap) -> Result<(), NnError> {
+        if input.ch != self.in_ch || input.h < self.k || input.w < self.k {
+            return Err(NnError::DimensionMismatch {
+                op: "conv input",
+                lhs: (self.in_ch, self.k),
+                rhs: (input.ch, input.h.min(input.w)),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Global average pooling over spatial dimensions — the usual bridge from
+/// a conv stack to a classifier head.
+pub fn global_avg_pool(input: &FeatureMap) -> Vec<f32> {
+    let n = (input.h * input.w) as f32;
+    (0..input.ch)
+        .map(|c| {
+            let mut s = 0.0f32;
+            for y in 0..input.h {
+                for x in 0..input.w {
+                    s += input.get(c, y, x);
+                }
+            }
+            s / n
+        })
+        .collect()
+}
+
+/// In-place ReLU over a feature map.
+pub fn relu_inplace(map: &mut FeatureMap) {
+    for v in map.data.iter_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::{AnalogEngine, ExactEngine};
+
+    fn identity_conv() -> Conv2d {
+        // One 1x1 filter per channel that passes channel 0 through.
+        Conv2d::new(2, 1, 1, vec![1.0, 0.0], vec![0.0]).expect("valid")
+    }
+
+    #[test]
+    fn one_by_one_conv_selects_channel() {
+        let conv = identity_conv();
+        let mut input = FeatureMap::zeros(2, 3, 3);
+        input.set(0, 1, 1, 0.7);
+        input.set(1, 1, 1, 0.3);
+        let out = conv.forward_f32(&input).expect("shapes ok");
+        assert_eq!(out.ch, 1);
+        assert!((out.get(0, 1, 1) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn known_3x3_edge_filter() {
+        // Horizontal gradient filter on a vertical edge image.
+        let filters = vec![-1.0, 0.0, 1.0, -1.0, 0.0, 1.0, -1.0, 0.0, 1.0];
+        let conv = Conv2d::new(1, 1, 3, filters, vec![0.0]).expect("valid");
+        let mut input = FeatureMap::zeros(1, 3, 4);
+        for y in 0..3 {
+            input.set(0, y, 2, 1.0);
+            input.set(0, y, 3, 1.0);
+        }
+        let out = conv.forward_f32(&input).expect("shapes ok");
+        // Edge at x transition: strong positive response.
+        assert!((out.get(0, 0, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantized_conv_tracks_f32() {
+        let mut rng = {
+            use rand::SeedableRng;
+            rand_chacha::ChaCha12Rng::seed_from_u64(8)
+        };
+        use rand::Rng;
+        let filters: Vec<f32> = (0..4 * 2 * 9).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let conv = Conv2d::new(2, 4, 3, filters, vec![0.05; 4]).expect("valid");
+        let mut input = FeatureMap::zeros(2, 6, 6);
+        for v in input.data.iter_mut() {
+            *v = rng.gen_range(0.0..1.0);
+        }
+        let f = conv.forward_f32(&input).expect("ok");
+        let mut engine = ExactEngine;
+        let q = conv.forward_quantized(&input, &mut engine).expect("ok");
+        for (a, b) in f.data.iter().zip(&q.data) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+        // And through the noisy analog engine, still close.
+        let mut analog = AnalogEngine::yoco_tt(3);
+        let n = conv.forward_quantized(&input, &mut analog).expect("ok");
+        for (a, b) in f.data.iter().zip(&n.data) {
+            assert!((a - b).abs() < 0.12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pooling_and_relu() {
+        let mut m = FeatureMap::zeros(2, 2, 2);
+        m.data = vec![1.0, -1.0, 3.0, 1.0, -2.0, -2.0, -2.0, -2.0];
+        let pooled = global_avg_pool(&m);
+        assert!((pooled[0] - 1.0).abs() < 1e-6);
+        assert!((pooled[1] + 2.0).abs() < 1e-6);
+        relu_inplace(&mut m);
+        assert!(m.data.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let conv = identity_conv();
+        let wrong_ch = FeatureMap::zeros(3, 4, 4);
+        assert!(conv.forward_f32(&wrong_ch).is_err());
+        assert!(Conv2d::new(1, 1, 3, vec![0.0; 8], vec![0.0]).is_err());
+        assert!(Conv2d::new(1, 2, 1, vec![1.0, 1.0], vec![0.0]).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Synthetic datasets for the stand-in accuracy benchmarks.
+//!
+//! The paper's Fig 6(f) measures inference accuracy on ImageNet/GLUE-class
+//! checkpoints we cannot ship. As documented in DESIGN.md §3, we substitute
+//! deterministic synthetic classification tasks: Gaussian clusters for the
+//! CNN-class stand-ins and labelled token sequences for the transformer
+//! stand-ins. Both are seeded, so every accuracy number in EXPERIMENTS.md is
+//! exactly reproducible.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// A labelled vector-classification dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorDataset {
+    /// Feature vectors.
+    pub samples: Vec<Vec<f32>>,
+    /// Class labels.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl VectorDataset {
+    /// Generates `n` samples of `dim`-dimensional Gaussian clusters, one
+    /// cluster per class, with the given intra-cluster noise.
+    pub fn gaussian_clusters(
+        n: usize,
+        dim: usize,
+        classes: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        // Well-separated random unit centers.
+        let centers: Vec<Vec<f32>> = (0..classes)
+            .map(|_| {
+                let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+                v.into_iter().map(|x| x / norm).collect()
+            })
+            .collect();
+        let mut samples = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % classes;
+            let sample: Vec<f32> = centers[class]
+                .iter()
+                .map(|&c| c + noise * gaussian(&mut rng))
+                .collect();
+            samples.push(sample);
+            labels.push(class);
+        }
+        Self {
+            samples,
+            labels,
+            classes,
+        }
+    }
+
+    /// Splits into `(train, test)` at the given train fraction, preserving
+    /// the interleaved class balance.
+    pub fn split(&self, train_fraction: f64) -> (VectorDataset, VectorDataset) {
+        let cut = (self.samples.len() as f64 * train_fraction) as usize;
+        let (tr_s, te_s) = self.samples.split_at(cut);
+        let (tr_l, te_l) = self.labels.split_at(cut);
+        (
+            VectorDataset {
+                samples: tr_s.to_vec(),
+                labels: tr_l.to_vec(),
+                classes: self.classes,
+            },
+            VectorDataset {
+                samples: te_s.to_vec(),
+                labels: te_l.to_vec(),
+                classes: self.classes,
+            },
+        )
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// A labelled sequence-classification dataset (for the transformer
+/// stand-ins): each sample is an `L × d` token sequence whose class is
+/// carried by a class-specific token pattern inserted at a random position
+/// among distractor tokens — a task attention is naturally good at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceDataset {
+    /// Token sequences (`L × d` each).
+    pub sequences: Vec<Matrix>,
+    /// Class labels.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl SequenceDataset {
+    /// Generates `n` sequences of `len` tokens of width `dim`.
+    pub fn token_patterns(
+        n: usize,
+        len: usize,
+        dim: usize,
+        classes: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let patterns: Vec<Vec<f32>> = (0..classes)
+            .map(|_| {
+                let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+                v.into_iter().map(|x| 1.5 * x / norm).collect()
+            })
+            .collect();
+        let mut sequences = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % classes;
+            let key_pos = rng.gen_range(0..len);
+            let mut m = Matrix::zeros(len, dim);
+            for t in 0..len {
+                for c in 0..dim {
+                    let base = if t == key_pos { patterns[class][c] } else { 0.0 };
+                    m.set(t, c, base + noise * gaussian(&mut rng));
+                }
+            }
+            sequences.push(m);
+            labels.push(class);
+        }
+        Self {
+            sequences,
+            labels,
+            classes,
+        }
+    }
+
+    /// Splits into `(train, test)`.
+    pub fn split(&self, train_fraction: f64) -> (SequenceDataset, SequenceDataset) {
+        let cut = (self.sequences.len() as f64 * train_fraction) as usize;
+        (
+            SequenceDataset {
+                sequences: self.sequences[..cut].to_vec(),
+                labels: self.labels[..cut].to_vec(),
+                classes: self.classes,
+            },
+            SequenceDataset {
+                sequences: self.sequences[cut..].to_vec(),
+                labels: self.labels[cut..].to_vec(),
+                classes: self.classes,
+            },
+        )
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+}
+
+fn gaussian(rng: &mut ChaCha12Rng) -> f32 {
+    yoco_circuit::variation::standard_normal(rng) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clusters_are_deterministic_and_balanced() {
+        let a = VectorDataset::gaussian_clusters(100, 8, 4, 0.1, 42);
+        let b = VectorDataset::gaussian_clusters(100, 8, 4, 0.1, 42);
+        assert_eq!(a, b);
+        for class in 0..4 {
+            let count = a.labels.iter().filter(|&&l| l == class).count();
+            assert_eq!(count, 25);
+        }
+    }
+
+    #[test]
+    fn low_noise_clusters_are_linearly_separable_by_centroid() {
+        let d = VectorDataset::gaussian_clusters(200, 16, 3, 0.05, 7);
+        // Nearest-centroid classification should be near perfect.
+        let mut centroids = vec![vec![0.0f32; 16]; 3];
+        let mut counts = [0usize; 3];
+        for (x, &y) in d.samples.iter().zip(&d.labels) {
+            for (c, v) in centroids[y].iter_mut().zip(x) {
+                *c += v;
+            }
+            counts[y] += 1;
+        }
+        for (c, &n) in centroids.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= n as f32;
+            }
+        }
+        let correct = d
+            .samples
+            .iter()
+            .zip(&d.labels)
+            .filter(|(x, &y)| {
+                let best = (0..3)
+                    .min_by(|&a, &b| {
+                        let da: f32 = x.iter().zip(&centroids[a]).map(|(u, v)| (u - v).powi(2)).sum();
+                        let db: f32 = x.iter().zip(&centroids[b]).map(|(u, v)| (u - v).powi(2)).sum();
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                best == y
+            })
+            .count();
+        assert!(correct >= 195, "{correct}/200");
+    }
+
+    #[test]
+    fn split_preserves_counts() {
+        let d = VectorDataset::gaussian_clusters(100, 4, 2, 0.1, 1);
+        let (tr, te) = d.split(0.8);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(te.len(), 20);
+        assert!(!tr.is_empty() && !te.is_empty());
+    }
+
+    #[test]
+    fn sequences_have_one_key_token() {
+        let d = SequenceDataset::token_patterns(10, 12, 8, 2, 0.01, 3);
+        assert_eq!(d.len(), 10);
+        for seq in &d.sequences {
+            // Exactly one token should have large norm (the pattern).
+            let strong = (0..12)
+                .filter(|&t| {
+                    seq.row(t).iter().map(|x| x * x).sum::<f32>().sqrt() > 0.75
+                })
+                .count();
+            assert_eq!(strong, 1);
+        }
+    }
+}

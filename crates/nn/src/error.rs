@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors produced by the DNN substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Matrix/vector dimensions do not agree.
+    DimensionMismatch {
+        /// What operation failed.
+        op: &'static str,
+        /// Left operand shape.
+        lhs: (usize, usize),
+        /// Right operand shape.
+        rhs: (usize, usize),
+    },
+    /// A quantization scale is zero or non-finite.
+    InvalidScale {
+        /// The offending scale value.
+        scale: f32,
+    },
+    /// A model has no layers or an otherwise unusable structure.
+    EmptyModel,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NnError::InvalidScale { scale } => {
+                write!(f, "invalid quantization scale {scale}")
+            }
+            NnError::EmptyModel => f.write_str("model has no layers"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_shapes() {
+        let e = NnError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("2x3") && s.contains("4x5"));
+    }
+}

@@ -1,0 +1,458 @@
+//! Int8 inference with pluggable matrix-vector engines.
+//!
+//! The accuracy experiment (Fig 6f) compares full-precision inference with
+//! inference through YOCO's analog MACs. [`ExactEngine`] computes integer
+//! dot products exactly; [`AnalogEngine`] routes every dot product through
+//! the calibrated [`MacErrorModel`] of `yoco-circuit`, operating on the
+//! *unsigned offset-encoded* accumulation the capacitor array physically
+//! performs (see [`crate::quantize`]), split into IMA-sized row blocks.
+
+use crate::quantize::{dot_unsigned_offset, QuantizedMatrix, QuantizedVector};
+use crate::tensor::Matrix;
+use crate::NnError;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use yoco_circuit::calib::DigitalCalibration;
+use yoco_circuit::fast::MacErrorModel;
+
+/// A matrix-vector engine over quantized operands.
+///
+/// Returns *signed* dot products (already offset-corrected), one per output
+/// row, as `f64` because the analog path is continuous before readout.
+pub trait MatvecEngine {
+    /// Computes `w · x` for every row of `w`.
+    fn matvec(&mut self, w: &QuantizedMatrix, x: &QuantizedVector) -> Vec<f64>;
+}
+
+/// Bit-exact integer engine (the FP32/quantized reference path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactEngine;
+
+impl MatvecEngine for ExactEngine {
+    fn matvec(&mut self, w: &QuantizedMatrix, x: &QuantizedVector) -> Vec<f64> {
+        (0..w.rows())
+            .map(|r| crate::quantize::dot_signed(w.row(r), &x.data) as f64)
+            .collect()
+    }
+}
+
+/// Analog engine: every row-block dot product goes through the calibrated
+/// MAC error model at the physical operating point of a YOCO IMA.
+#[derive(Debug, Clone)]
+pub struct AnalogEngine {
+    mac: MacErrorModel,
+    /// Physical accumulation rows per block (1024 for a full IMA).
+    rows_per_block: usize,
+    rng: ChaCha12Rng,
+    calibration: Option<DigitalCalibration>,
+}
+
+impl AnalogEngine {
+    /// Creates an engine with an explicit error model and block height.
+    pub fn new(mac: MacErrorModel, rows_per_block: usize, seed: u64) -> Self {
+        Self {
+            mac,
+            rows_per_block,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            calibration: None,
+        }
+    }
+
+    /// Enables digital post-calibration: a one-time foreground
+    /// characterization of the deterministic error (gain + bow), inverted
+    /// on every readout — the trim a production macro would apply.
+    pub fn with_calibration(mut self) -> Self {
+        self.calibration = Some(DigitalCalibration::characterize(&self.mac, 64));
+        self
+    }
+
+    /// The YOCO operating point: TT-corner noise, 1024-row IMA blocks,
+    /// 8-bit TDC readout.
+    pub fn yoco_tt(seed: u64) -> Self {
+        let mac = MacErrorModel::from_noise(&yoco_circuit::NoiseModel::tt_corner(), 128)
+            .with_quantization(256);
+        Self::new(mac, 1024, seed)
+    }
+
+    /// An ideal analog engine (sanity checks: must match [`ExactEngine`] up
+    /// to readout quantization).
+    pub fn ideal(rows_per_block: usize, seed: u64) -> Self {
+        Self::new(MacErrorModel::ideal(), rows_per_block, seed)
+    }
+
+    /// The normalization divisor of one block of `active_rows`:
+    /// `2^8 · active_rows · (2^8 − 1)`.
+    ///
+    /// Rows beyond the layer's contraction length are power-gated (§III-C);
+    /// their `S0` switches keep the idle capacitors off the column sharing
+    /// path, so the charge denominator — and with it the readout full
+    /// scale — tracks the active row count.
+    fn divisor(&self, active_rows: usize) -> f64 {
+        256.0 * active_rows as f64 * 255.0
+    }
+}
+
+impl MatvecEngine for AnalogEngine {
+    fn matvec(&mut self, w: &QuantizedMatrix, x: &QuantizedVector) -> Vec<f64> {
+        let block = self.rows_per_block;
+        (0..w.rows())
+            .map(|r| {
+                let row = w.row(r);
+                let mut signed = 0.0f64;
+                let mut k = 0usize;
+                while k < row.len() {
+                    let end = (k + block).min(row.len());
+                    let wb = &row[k..end];
+                    let xb = &x.data[k..end];
+                    let divisor = self.divisor(end - k);
+                    // The physical quantity: unsigned offset-encoded dot.
+                    let dot_u = dot_unsigned_offset(wb, xb) as f64;
+                    let normalized = dot_u / divisor;
+                    let mut perturbed = self.mac.apply(normalized, &mut self.rng);
+                    if let Some(cal) = &self.calibration {
+                        perturbed = cal.correct(perturbed);
+                    }
+                    let dot_u_noisy = perturbed * divisor;
+                    let code_sum: u64 = xb.iter().map(|&c| c as u64).sum();
+                    signed += crate::quantize::recover_signed(dot_u_noisy, code_sum);
+                    k = end;
+                }
+                signed
+            })
+            .collect()
+    }
+}
+
+/// One dense layer: float weights for the reference path plus their int8
+/// quantization for the analog path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Float weights, `out × in`.
+    pub weight: Matrix,
+    /// Bias, length `out`.
+    pub bias: Vec<f32>,
+    quantized: QuantizedMatrix,
+}
+
+impl DenseLayer {
+    /// Creates a layer, quantizing its weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `bias` does not match the
+    /// weight rows, or [`NnError::InvalidScale`] for degenerate weights.
+    pub fn new(weight: Matrix, bias: Vec<f32>) -> Result<Self, NnError> {
+        if bias.len() != weight.rows() {
+            return Err(NnError::DimensionMismatch {
+                op: "dense bias",
+                lhs: (weight.rows(), weight.cols()),
+                rhs: (bias.len(), 1),
+            });
+        }
+        let quantized = QuantizedMatrix::quantize(&weight)?;
+        Ok(Self {
+            weight,
+            bias,
+            quantized,
+        })
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The quantized weights.
+    pub fn quantized(&self) -> &QuantizedMatrix {
+        &self.quantized
+    }
+}
+
+/// A multi-layer perceptron with ReLU between layers and raw logits at the
+/// end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Builds an MLP from layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyModel`] for an empty layer list or
+    /// [`NnError::DimensionMismatch`] for inconsistent widths.
+    pub fn new(layers: Vec<DenseLayer>) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::EmptyModel);
+        }
+        for pair in layers.windows(2) {
+            if pair[0].out_features() != pair[1].in_features() {
+                return Err(NnError::DimensionMismatch {
+                    op: "mlp stacking",
+                    lhs: (pair[0].out_features(), 0),
+                    rhs: (pair[1].in_features(), 0),
+                });
+            }
+        }
+        Ok(Self { layers })
+    }
+
+    /// The layers.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Full-precision forward pass, returning logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the first layer.
+    pub fn forward_f32(&self, x: &[f32]) -> Result<Vec<f32>, NnError> {
+        let mut act = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut y = layer.weight.matvec(&act)?;
+            for (v, b) in y.iter_mut().zip(&layer.bias) {
+                *v += b;
+            }
+            if i + 1 < self.layers.len() {
+                for v in y.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            act = y;
+        }
+        Ok(act)
+    }
+
+    /// Quantized forward pass through a [`MatvecEngine`], returning logits.
+    ///
+    /// Activations are re-quantized to u8 before every layer (per-tensor
+    /// scale), mirroring the tile's quantization unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape or scale errors from the quantizer.
+    pub fn forward_quantized(
+        &self,
+        x: &[f32],
+        engine: &mut dyn MatvecEngine,
+    ) -> Result<Vec<f32>, NnError> {
+        // Inputs may be signed; shift into the non-negative range the
+        // unsigned activation path requires (a fixed, data-independent
+        // preprocessing step, compensated through the bias).
+        let mut act: Vec<f32> = x.iter().map(|&v| v.max(0.0)).collect();
+        let mut residual: Vec<f32> = x.iter().map(|&v| (-v).max(0.0)).collect();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let q_pos = QuantizedVector::quantize(&act)?;
+            let dots_pos = engine.matvec(&layer.quantized, &q_pos);
+            // Negative part (zero except at the input layer).
+            let has_neg = residual.iter().any(|&v| v > 0.0);
+            let dots_neg = if has_neg {
+                let q_neg = QuantizedVector::quantize(&residual)?;
+                let d = engine.matvec(&layer.quantized, &q_neg);
+                Some((d, q_neg.scale))
+            } else {
+                None
+            };
+            let w_scale = layer.quantized.scale;
+            let mut y: Vec<f32> = dots_pos
+                .iter()
+                .enumerate()
+                .map(|(r, &d)| {
+                    let mut v = d as f32 * w_scale * q_pos.scale;
+                    if let Some((neg, neg_scale)) = &dots_neg {
+                        v -= neg[r] as f32 * w_scale * neg_scale;
+                    }
+                    v + layer.bias[r]
+                })
+                .collect();
+            if i + 1 < self.layers.len() {
+                for v in y.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            act = y;
+            residual = vec![0.0; act.len()];
+        }
+        Ok(act)
+    }
+
+    /// Predicted class of the full-precision path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict_f32(&self, x: &[f32]) -> Result<usize, NnError> {
+        Ok(crate::tensor::argmax(&self.forward_f32(x)?).unwrap_or(0))
+    }
+
+    /// Predicted class of the quantized path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict_quantized(
+        &self,
+        x: &[f32],
+        engine: &mut dyn MatvecEngine,
+    ) -> Result<usize, NnError> {
+        Ok(crate::tensor::argmax(&self.forward_quantized(x, engine)?).unwrap_or(0))
+    }
+}
+
+/// Classification accuracy of a prediction function over a dataset.
+pub fn accuracy<F: FnMut(&[f32]) -> usize>(
+    samples: &[Vec<f32>],
+    labels: &[usize],
+    mut predict: F,
+) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = samples
+        .iter()
+        .zip(labels)
+        .filter(|(x, &y)| predict(x) == y)
+        .count();
+    correct as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_mlp(sizes: &[usize], seed: u64) -> Mlp {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| {
+                let data = (0..w[0] * w[1]).map(|_| rng.gen_range(-0.5..0.5)).collect();
+                let weight = Matrix::from_vec(w[1], w[0], data).unwrap();
+                let bias = (0..w[1]).map(|_| rng.gen_range(-0.1..0.1)).collect();
+                DenseLayer::new(weight, bias).unwrap()
+            })
+            .collect();
+        Mlp::new(layers).unwrap()
+    }
+
+    #[test]
+    fn exact_quantized_path_tracks_f32() {
+        let mlp = random_mlp(&[16, 32, 4], 3);
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let mut engine = ExactEngine;
+        let mut agreements = 0;
+        for _ in 0..50 {
+            let x: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let f = mlp.predict_f32(&x).unwrap();
+            let q = mlp.predict_quantized(&x, &mut engine).unwrap();
+            if f == q {
+                agreements += 1;
+            }
+        }
+        assert!(agreements >= 45, "only {agreements}/50 agree");
+    }
+
+    #[test]
+    fn ideal_analog_engine_matches_exact_engine_closely() {
+        let mlp = random_mlp(&[16, 32, 4], 5);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut exact = ExactEngine;
+        // No quantization, no noise: continuous ideal analog path.
+        let mut analog = AnalogEngine::ideal(1024, 0);
+        for _ in 0..20 {
+            let x: Vec<f32> = (0..16).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let e = mlp.forward_quantized(&x, &mut exact).unwrap();
+            let a = mlp.forward_quantized(&x, &mut analog).unwrap();
+            for (u, v) in e.iter().zip(&a) {
+                assert!((u - v).abs() < 1e-3, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_engine_perturbs_but_rarely_flips() {
+        let mlp = random_mlp(&[16, 32, 4], 7);
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let mut noisy = AnalogEngine::yoco_tt(11);
+        let mut flips = 0;
+        for _ in 0..100 {
+            let x: Vec<f32> = (0..16).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let f = mlp.predict_f32(&x).unwrap();
+            let q = mlp.predict_quantized(&x, &mut noisy).unwrap();
+            if f != q {
+                flips += 1;
+            }
+        }
+        // Quantization itself causes some flips on a random net; noise must
+        // not blow it up.
+        assert!(flips < 30, "{flips} flips of 100");
+    }
+
+    #[test]
+    fn offset_block_splitting_is_consistent() {
+        // A weight row longer than one block must give the same exact
+        // result regardless of block height (ideal engine).
+        let mlp = random_mlp(&[2048, 4], 13);
+        let mut rng = ChaCha12Rng::seed_from_u64(6);
+        let x: Vec<f32> = (0..2048).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut small = AnalogEngine::ideal(128, 0);
+        let mut big = AnalogEngine::ideal(4096, 0);
+        let a = mlp.forward_quantized(&x, &mut small).unwrap();
+        let b = mlp.forward_quantized(&x, &mut big).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-2, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn calibration_reduces_systematic_error() {
+        // Compare raw vs calibrated analog dots against the exact integer
+        // dot over many trials: the calibrated mean absolute error must be
+        // smaller (the deterministic bow is trimmed away).
+        use crate::quantize::{dot_signed, QuantizedMatrix, QuantizedVector};
+        let mut rng = ChaCha12Rng::seed_from_u64(31);
+        let k = 512usize;
+        let w: Vec<f32> = (0..k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let m = Matrix::from_vec(1, k, w).unwrap();
+        let q = QuantizedMatrix::quantize(&m).unwrap();
+        let mac = MacErrorModel::from_noise(&yoco_circuit::NoiseModel::tt_corner(), 128);
+        let mut raw = AnalogEngine::new(mac, 1024, 1);
+        let mut cal = AnalogEngine::new(mac, 1024, 1).with_calibration();
+        let (mut e_raw, mut e_cal) = (0.0f64, 0.0f64);
+        for _ in 0..60 {
+            let x: Vec<f32> = (0..k).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+            let qx = QuantizedVector::quantize(&x).unwrap();
+            let exact = dot_signed(q.row(0), &qx.data) as f64;
+            e_raw += (raw.matvec(&q, &qx)[0] - exact).abs();
+            e_cal += (cal.matvec(&q, &qx)[0] - exact).abs();
+        }
+        assert!(e_cal < e_raw * 0.75, "raw {e_raw}, calibrated {e_cal}");
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        assert!(Mlp::new(vec![]).is_err());
+        let w = Matrix::from_vec(2, 3, vec![1.0; 6]).unwrap();
+        assert!(DenseLayer::new(w.clone(), vec![0.0; 3]).is_err());
+        let l1 = DenseLayer::new(w, vec![0.0; 2]).unwrap();
+        let w2 = Matrix::from_vec(4, 5, vec![1.0; 20]).unwrap();
+        let l2 = DenseLayer::new(w2, vec![0.0; 4]).unwrap();
+        assert!(Mlp::new(vec![l1, l2]).is_err());
+    }
+
+    #[test]
+    fn accuracy_helper() {
+        let samples = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let labels = vec![0, 1, 0];
+        let acc = accuracy(&samples, &labels, |x| if x[0] > 0.5 { 1 } else { 0 });
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

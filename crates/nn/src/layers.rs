@@ -1,0 +1,251 @@
+//! Layer descriptors and their lowering to GEMM workloads.
+//!
+//! The architecture evaluation (Fig 8) needs each benchmark model as a
+//! sequence of `M×K×N` GEMMs. [`LayerSpec`] captures the usual DNN layer
+//! vocabulary — convolutions (including depthwise), linear layers, attention
+//! blocks, and (optionally gated) feed-forward blocks — and lowers each to
+//! one or more [`MatmulWorkload`]s with the correct static/dynamic weight
+//! classification.
+
+use serde::{Deserialize, Serialize};
+use yoco_arch::workload::{LayerKind, MatmulWorkload};
+
+/// One layer of a benchmark model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LayerSpec {
+    /// Standard convolution described by its *output* feature map (pooling
+    /// and stride are folded into `out_hw`).
+    Conv {
+        /// Layer name.
+        name: String,
+        /// Input channels.
+        in_ch: u64,
+        /// Output channels.
+        out_ch: u64,
+        /// Square kernel size.
+        kernel: u64,
+        /// Output spatial size (`out_h == out_w`).
+        out_hw: u64,
+    },
+    /// Depthwise convolution (one filter per channel).
+    Depthwise {
+        /// Layer name.
+        name: String,
+        /// Channels.
+        ch: u64,
+        /// Square kernel size.
+        kernel: u64,
+        /// Output spatial size.
+        out_hw: u64,
+    },
+    /// Fully connected layer applied to `tokens` activation rows.
+    Linear {
+        /// Layer name.
+        name: String,
+        /// Input features.
+        in_features: u64,
+        /// Output features.
+        out_features: u64,
+        /// Activation rows (1 for a classifier head, `seq` for a
+        /// transformer projection).
+        tokens: u64,
+    },
+    /// Multi-head self-attention block (QKV projections, scores, context,
+    /// output projection).
+    Attention {
+        /// Layer name.
+        name: String,
+        /// Sequence length.
+        seq: u64,
+        /// Model width.
+        d_model: u64,
+        /// Number of heads.
+        heads: u64,
+    },
+    /// Transformer feed-forward block; `gated` adds the third (gate)
+    /// projection of SwiGLU-style FFNs (LLaMA).
+    FeedForward {
+        /// Layer name.
+        name: String,
+        /// Sequence length.
+        seq: u64,
+        /// Model width.
+        d_model: u64,
+        /// Hidden width.
+        d_ff: u64,
+        /// Whether the FFN is gated (three projections instead of two).
+        gated: bool,
+    },
+}
+
+impl LayerSpec {
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerSpec::Conv { name, .. }
+            | LayerSpec::Depthwise { name, .. }
+            | LayerSpec::Linear { name, .. }
+            | LayerSpec::Attention { name, .. }
+            | LayerSpec::FeedForward { name, .. } => name,
+        }
+    }
+
+    /// Lowers the layer to GEMM workloads.
+    pub fn to_workloads(&self) -> Vec<MatmulWorkload> {
+        match self {
+            LayerSpec::Conv {
+                name,
+                in_ch,
+                out_ch,
+                kernel,
+                out_hw,
+            } => vec![MatmulWorkload::conv2d(
+                name, *in_ch, *out_ch, *kernel, *kernel, *out_hw, *out_hw,
+            )],
+            LayerSpec::Depthwise {
+                name,
+                ch,
+                kernel,
+                out_hw,
+            } => {
+                // Depthwise = ch independent 1-in-1-out convolutions; as a
+                // GEMM: M = out_hw^2 * ch rows of a kxk dot with one output.
+                vec![MatmulWorkload {
+                    name: name.clone(),
+                    m: out_hw * out_hw * ch,
+                    k: kernel * kernel,
+                    n: 1,
+                    kind: LayerKind::Depthwise,
+                    dynamic_weights: false,
+                }]
+            }
+            LayerSpec::Linear {
+                name,
+                in_features,
+                out_features,
+                tokens,
+            } => vec![MatmulWorkload::new(name, *tokens, *in_features, *out_features)],
+            LayerSpec::Attention {
+                name,
+                seq,
+                d_model,
+                heads,
+            } => {
+                let d_head = d_model / heads;
+                vec![
+                    MatmulWorkload::new(&format!("{name}.wq"), *seq, *d_model, *d_model),
+                    MatmulWorkload::new(&format!("{name}.wk"), *seq, *d_model, *d_model),
+                    MatmulWorkload::new(&format!("{name}.wv"), *seq, *d_model, *d_model),
+                    MatmulWorkload::new(&format!("{name}.scores"), seq * heads, d_head, *seq)
+                        .with_kind(LayerKind::AttentionScore),
+                    MatmulWorkload::new(&format!("{name}.context"), seq * heads, *seq, d_head)
+                        .with_kind(LayerKind::AttentionContext),
+                    MatmulWorkload::new(&format!("{name}.wo"), *seq, *d_model, *d_model),
+                ]
+            }
+            LayerSpec::FeedForward {
+                name,
+                seq,
+                d_model,
+                d_ff,
+                gated,
+            } => {
+                let mut v = vec![
+                    MatmulWorkload::new(&format!("{name}.fc1"), *seq, *d_model, *d_ff),
+                    MatmulWorkload::new(&format!("{name}.fc2"), *seq, *d_ff, *d_model),
+                ];
+                if *gated {
+                    v.push(MatmulWorkload::new(
+                        &format!("{name}.gate"),
+                        *seq,
+                        *d_model,
+                        *d_ff,
+                    ));
+                }
+                v
+            }
+        }
+    }
+
+    /// Total MACs of the layer.
+    pub fn macs(&self) -> u64 {
+        self.to_workloads().iter().map(|w| w.macs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_lowering() {
+        let l = LayerSpec::Conv {
+            name: "c1".into(),
+            in_ch: 3,
+            out_ch: 64,
+            kernel: 11,
+            out_hw: 55,
+        };
+        let w = l.to_workloads();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].k, 3 * 121);
+        assert_eq!(w[0].m, 55 * 55);
+        assert_eq!(w[0].n, 64);
+        // Torchvision AlexNet conv1 (64 filters) is ~70 MMACs.
+        assert!((l.macs() as f64 - 70.3e6).abs() / 70.3e6 < 0.05);
+    }
+
+    #[test]
+    fn attention_lowering_marks_dynamic_gemms() {
+        let l = LayerSpec::Attention {
+            name: "l0".into(),
+            seq: 128,
+            d_model: 768,
+            heads: 12,
+        };
+        let w = l.to_workloads();
+        assert_eq!(w.len(), 6);
+        let dynamic: Vec<_> = w.iter().filter(|x| x.dynamic_weights).collect();
+        assert_eq!(dynamic.len(), 2);
+        // Scores: (seq*heads) x d_head x seq.
+        assert_eq!(dynamic[0].m, 128 * 12);
+        assert_eq!(dynamic[0].k, 64);
+        assert_eq!(dynamic[0].n, 128);
+        // BERT-base attention block ~ 302 MMACs at seq 128.
+        let total = l.macs();
+        assert!(total > 250_000_000 && total < 350_000_000, "{total}");
+    }
+
+    #[test]
+    fn gated_ffn_has_three_projections() {
+        let l = LayerSpec::FeedForward {
+            name: "ffn".into(),
+            seq: 16,
+            d_model: 64,
+            d_ff: 256,
+            gated: true,
+        };
+        assert_eq!(l.to_workloads().len(), 3);
+        let l2 = LayerSpec::FeedForward {
+            name: "ffn".into(),
+            seq: 16,
+            d_model: 64,
+            d_ff: 256,
+            gated: false,
+        };
+        assert_eq!(l2.to_workloads().len(), 2);
+        assert_eq!(l.macs(), 3 * 16 * 64 * 256);
+    }
+
+    #[test]
+    fn depthwise_is_cheap() {
+        let dw = LayerSpec::Depthwise {
+            name: "dw".into(),
+            ch: 128,
+            kernel: 3,
+            out_hw: 28,
+        };
+        assert_eq!(dw.macs(), 28 * 28 * 128 * 9);
+    }
+}

@@ -1,0 +1,221 @@
+//! 8-bit quantization with the unsigned offset encoding used by the analog
+//! array.
+//!
+//! The in-charge array computes *unsigned* dot products: inputs are 8-bit
+//! codes `x ∈ \[0, 255\]` and stored weights are 8-bit codes `w_u ∈ \[0, 255\]`.
+//! Real networks have signed weights, so weights are stored offset by 128
+//! (`w_u = w_s + 128`) and the signed result is recovered digitally:
+//!
+//! ```text
+//! Σ x·w_s = Σ x·(w_s + 128) − 128·Σ x = dot_unsigned − 128·Σ x
+//! ```
+//!
+//! The analog error model perturbs `dot_unsigned` — that is the quantity the
+//! capacitors actually encode — and the offset correction runs exactly in
+//! the digital domain, which is how the noisy-inference engine of
+//! [`crate::inference`] stays physically faithful.
+
+use crate::tensor::Matrix;
+use crate::NnError;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric signed-weight quantization to `i8`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Quantized codes, row-major.
+    data: Vec<i8>,
+    /// De-quantization scale: `w_f32 ≈ code · scale`.
+    pub scale: f32,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a float matrix symmetrically into `i8` codes in
+    /// `[-127, 127]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidScale`] if the matrix is all zeros or
+    /// contains non-finite values.
+    pub fn quantize(m: &Matrix) -> Result<Self, NnError> {
+        let max = m.max_abs();
+        if max == 0.0 || !max.is_finite() {
+            return Err(NnError::InvalidScale { scale: max });
+        }
+        let scale = max / 127.0;
+        let data = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Ok(Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data,
+            scale,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Signed codes of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reconstructs the float matrix (`code · scale`).
+    pub fn dequantize(&self) -> Matrix {
+        let data = self.data.iter().map(|&c| c as f32 * self.scale).collect();
+        Matrix::from_vec(self.rows, self.cols, data).expect("shape preserved")
+    }
+}
+
+/// Unsigned activation quantization to `u8` (post-ReLU activations are
+/// non-negative, so the zero point is 0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedVector {
+    /// Unsigned codes.
+    pub data: Vec<u8>,
+    /// De-quantization scale: `x_f32 ≈ code · scale`.
+    pub scale: f32,
+}
+
+impl QuantizedVector {
+    /// Quantizes non-negative activations into `u8` codes in `\[0, 255\]`.
+    /// Negative values clamp to zero (the engine quantizes after ReLU).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidScale`] on non-finite input.
+    pub fn quantize(xs: &[f32]) -> Result<Self, NnError> {
+        let max = xs.iter().fold(0.0f32, |m, &x| m.max(x));
+        if !max.is_finite() {
+            return Err(NnError::InvalidScale { scale: max });
+        }
+        if max == 0.0 {
+            return Ok(Self {
+                data: vec![0; xs.len()],
+                scale: 1.0,
+            });
+        }
+        let scale = max / 255.0;
+        let data = xs
+            .iter()
+            .map(|&x| (x / scale).round().clamp(0.0, 255.0) as u8)
+            .collect();
+        Ok(Self { data, scale })
+    }
+
+    /// Reconstructs the float activations.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.data.iter().map(|&c| c as f32 * self.scale).collect()
+    }
+
+    /// Sum of the codes (the `Σ x` of the offset correction).
+    pub fn code_sum(&self) -> u64 {
+        self.data.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// Offset code of a signed weight: `w_u = w_s + 128 ∈ \[1, 255\]`.
+#[inline]
+pub fn offset_code(w: i8) -> u32 {
+    (w as i32 + 128) as u32
+}
+
+/// Exact signed integer dot product `Σ x·w`.
+pub fn dot_signed(w_row: &[i8], x: &[u8]) -> i64 {
+    w_row
+        .iter()
+        .zip(x)
+        .map(|(&w, &xv)| w as i64 * xv as i64)
+        .sum()
+}
+
+/// Exact *unsigned* dot product on offset codes: `Σ x·(w + 128)` — the
+/// quantity the analog array physically accumulates.
+pub fn dot_unsigned_offset(w_row: &[i8], x: &[u8]) -> u64 {
+    w_row
+        .iter()
+        .zip(x)
+        .map(|(&w, &xv)| offset_code(w) as u64 * xv as u64)
+        .sum()
+}
+
+/// Recovers the signed dot from the unsigned-offset dot:
+/// `signed = unsigned − 128·Σx`.
+pub fn recover_signed(dot_unsigned: f64, code_sum: u64) -> f64 {
+    dot_unsigned - 128.0 * code_sum as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_quantization_round_trip_error() {
+        let m = Matrix::from_vec(2, 3, vec![0.5, -1.0, 0.25, 0.75, -0.125, 1.0]).unwrap();
+        let q = QuantizedMatrix::quantize(&m).unwrap();
+        let back = q.dequantize();
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= q.scale / 2.0 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn activation_quantization_clamps_negatives() {
+        let q = QuantizedVector::quantize(&[1.0, -0.5, 0.0, 2.0]).unwrap();
+        assert_eq!(q.data[1], 0);
+        assert_eq!(q.data[3], 255);
+        assert_eq!(q.code_sum(), q.data.iter().map(|&c| c as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn all_zero_activations_are_fine() {
+        let q = QuantizedVector::quantize(&[0.0, 0.0]).unwrap();
+        assert_eq!(q.data, vec![0, 0]);
+        assert_eq!(q.dequantize(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn offset_identity_holds_exactly() {
+        // signed = unsigned - 128 * sum(x), for arbitrary codes.
+        let w: Vec<i8> = vec![-127, -1, 0, 1, 127, 55, -33, 100];
+        let x: Vec<u8> = vec![255, 0, 17, 200, 1, 99, 128, 64];
+        let signed = dot_signed(&w, &x);
+        let unsigned = dot_unsigned_offset(&w, &x);
+        let sum: u64 = x.iter().map(|&c| c as u64).sum();
+        assert_eq!(signed, unsigned as i64 - 128 * sum as i64);
+        assert_eq!(
+            recover_signed(unsigned as f64, sum),
+            signed as f64
+        );
+    }
+
+    #[test]
+    fn offset_codes_fit_the_array_range() {
+        assert_eq!(offset_code(-128i8 as i8), 0);
+        assert_eq!(offset_code(-127), 1);
+        assert_eq!(offset_code(0), 128);
+        assert_eq!(offset_code(127), 255);
+    }
+
+    #[test]
+    fn rejects_degenerate_matrices() {
+        let zeros = Matrix::zeros(2, 2);
+        assert!(QuantizedMatrix::quantize(&zeros).is_err());
+    }
+}

@@ -1,0 +1,340 @@
+//! Stand-in benchmarks for the Fig 6(f) accuracy experiment.
+//!
+//! The paper measures full-precision vs YOCO-based inference accuracy on
+//! six pretrained benchmarks (four CNNs, two transformers). Shipping those
+//! checkpoints and datasets is impossible here, so — per the substitution
+//! note in DESIGN.md §3 — each benchmark is replaced by a small trainable
+//! network of the same *family*, trained on a deterministic synthetic task,
+//! then evaluated twice: in `f32` and through the analog engine at YOCO's
+//! TT-corner operating point. The quantity of interest, the accuracy drop
+//! caused by analog computation, exercises the identical code path.
+
+use crate::datasets::{SequenceDataset, VectorDataset};
+use crate::inference::{accuracy, AnalogEngine, ExactEngine, MatvecEngine, Mlp};
+use crate::models::ModelClass;
+use crate::quantize::{QuantizedMatrix, QuantizedVector};
+use crate::tensor::Matrix;
+use crate::train::{train_mlp, TrainConfig};
+use crate::NnError;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// A frozen single-head attention encoder with a trained MLP head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TinyTransformer {
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    q_wq: QuantizedMatrix,
+    q_wk: QuantizedMatrix,
+    q_wv: QuantizedMatrix,
+    head: Mlp,
+    d: usize,
+}
+
+impl TinyTransformer {
+    /// Builds the encoder with frozen random projections and trains the
+    /// classification head on attention-pooled features.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization and training errors.
+    pub fn train(
+        train_set: &SequenceDataset,
+        hidden: usize,
+        config: &TrainConfig,
+    ) -> Result<Self, NnError> {
+        let d = train_set.sequences[0].cols();
+        let mut rng = ChaCha12Rng::seed_from_u64(config.seed ^ 0xF00D);
+        let mut random_proj = |scale: f32| -> Result<(Matrix, QuantizedMatrix), NnError> {
+            let data = (0..d * d)
+                .map(|_| scale * yoco_circuit::variation::standard_normal(&mut rng) as f32)
+                .collect();
+            let m = Matrix::from_vec(d, d, data)?;
+            let q = QuantizedMatrix::quantize(&m)?;
+            Ok((m, q))
+        };
+        let (wq, q_wq) = random_proj(0.6)?;
+        let (wk, q_wk) = random_proj(0.6)?;
+        let (wv, q_wv) = random_proj(0.6)?;
+
+        let mut shell = Self {
+            wq,
+            wk,
+            wv,
+            q_wq,
+            q_wk,
+            q_wv,
+            head: Mlp::new(vec![crate::inference::DenseLayer::new(
+                Matrix::from_vec(1, d, vec![0.1; d])?,
+                vec![0.0],
+            )?])?,
+            d,
+        };
+        // Pooled features through the exact path.
+        let mut engine = ExactEngine;
+        let features: Vec<Vec<f32>> = train_set
+            .sequences
+            .iter()
+            .map(|s| shell.encode(s, &mut engine))
+            .collect::<Result<Vec<_>, _>>()?;
+        shell.head = train_mlp(
+            &[d, hidden, train_set.classes],
+            &features,
+            &train_set.labels,
+            config,
+        )?;
+        Ok(shell)
+    }
+
+    /// Encodes a sequence: project to Q/K/V through `engine`, run exact
+    /// softmax attention, mean-pool over tokens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and quantization errors.
+    pub fn encode(
+        &self,
+        seq: &Matrix,
+        engine: &mut dyn MatvecEngine,
+    ) -> Result<Vec<f32>, NnError> {
+        let l = seq.rows();
+        let mut q = Matrix::zeros(l, self.d);
+        let mut k = Matrix::zeros(l, self.d);
+        let mut v = Matrix::zeros(l, self.d);
+        for t in 0..l {
+            let x = seq.row(t);
+            q.row_mut(t)
+                .copy_from_slice(&matvec_signed(&self.q_wq, x, engine)?);
+            k.row_mut(t)
+                .copy_from_slice(&matvec_signed(&self.q_wk, x, engine)?);
+            v.row_mut(t)
+                .copy_from_slice(&matvec_signed(&self.q_wv, x, engine)?);
+        }
+        let att = crate::attention::exact_attention(&q, &k, &v, false)?;
+        let mut pooled = vec![0.0f32; self.d];
+        for t in 0..l {
+            for (p, &a) in pooled.iter_mut().zip(att.row(t)) {
+                *p += a / l as f32;
+            }
+        }
+        Ok(pooled)
+    }
+
+    /// Predicted class for a sequence through the given engine (engine is
+    /// used for the projections *and* the head).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict(
+        &self,
+        seq: &Matrix,
+        engine: &mut dyn MatvecEngine,
+    ) -> Result<usize, NnError> {
+        let pooled = self.encode(seq, engine)?;
+        self.head.predict_quantized(&pooled, engine)
+    }
+
+    /// Full-precision prediction (exact projections + f32 head).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn predict_f32(&self, seq: &Matrix) -> Result<usize, NnError> {
+        let mut engine = ExactEngine;
+        let pooled = self.encode(seq, &mut engine)?;
+        self.head.predict_f32(&pooled)
+    }
+}
+
+/// Signed matvec through a quantized engine: splits the input into its
+/// positive and negative parts (both non-negative), runs both through the
+/// unsigned path, and recombines.
+fn matvec_signed(
+    w: &QuantizedMatrix,
+    x: &[f32],
+    engine: &mut dyn MatvecEngine,
+) -> Result<Vec<f32>, NnError> {
+    let pos: Vec<f32> = x.iter().map(|&v| v.max(0.0)).collect();
+    let neg: Vec<f32> = x.iter().map(|&v| (-v).max(0.0)).collect();
+    let qp = QuantizedVector::quantize(&pos)?;
+    let dp = engine.matvec(w, &qp);
+    let mut out: Vec<f32> = dp.iter().map(|&d| d as f32 * w.scale * qp.scale).collect();
+    if neg.iter().any(|&v| v > 0.0) {
+        let qn = QuantizedVector::quantize(&neg)?;
+        let dn = engine.matvec(w, &qn);
+        for (o, &d) in out.iter_mut().zip(&dn) {
+            *o -= d as f32 * w.scale * qn.scale;
+        }
+    }
+    Ok(out)
+}
+
+/// Which network family a stand-in represents.
+#[derive(Debug, Clone)]
+enum StandinNet {
+    Mlp(Mlp, VectorDataset),
+    Transformer(TinyTransformer, SequenceDataset),
+}
+
+/// One Fig 6(f) stand-in benchmark: a trained network plus its held-out
+/// test set.
+#[derive(Debug, Clone)]
+pub struct Standin {
+    /// Benchmark name (matching the paper's Fig 6f bar labels).
+    pub name: String,
+    /// Model family.
+    pub class: ModelClass,
+    net: StandinNet,
+}
+
+impl Standin {
+    /// Full-precision test accuracy.
+    pub fn accuracy_f32(&self) -> f64 {
+        match &self.net {
+            StandinNet::Mlp(m, test) => accuracy(&test.samples, &test.labels, |x| {
+                m.predict_f32(x).unwrap_or(0)
+            }),
+            StandinNet::Transformer(t, test) => {
+                let correct = test
+                    .sequences
+                    .iter()
+                    .zip(&test.labels)
+                    .filter(|(s, &y)| t.predict_f32(s).unwrap_or(0) == y)
+                    .count();
+                correct as f64 / test.len() as f64
+            }
+        }
+    }
+
+    /// Test accuracy through the analog engine at YOCO's TT corner.
+    pub fn accuracy_analog(&self, seed: u64) -> f64 {
+        let mut engine = AnalogEngine::yoco_tt(seed);
+        match &self.net {
+            StandinNet::Mlp(m, test) => accuracy(&test.samples, &test.labels, |x| {
+                m.predict_quantized(x, &mut engine).unwrap_or(0)
+            }),
+            StandinNet::Transformer(t, test) => {
+                let correct = test
+                    .sequences
+                    .iter()
+                    .zip(&test.labels)
+                    .filter(|(s, &y)| t.predict(s, &mut engine).unwrap_or(0) == y)
+                    .count();
+                correct as f64 / test.len() as f64
+            }
+        }
+    }
+
+    /// Test-set size (granularity of the accuracy estimate).
+    pub fn test_len(&self) -> usize {
+        match &self.net {
+            StandinNet::Mlp(_, t) => t.len(),
+            StandinNet::Transformer(_, t) => t.len(),
+        }
+    }
+}
+
+/// Builds and trains the six Fig 6(f) stand-ins: four CNN-class MLPs and
+/// two transformer-class encoders, all seeded from `seed`.
+///
+/// # Errors
+///
+/// Propagates training errors (should not occur for the fixed
+/// configurations).
+pub fn fig6f_standins(seed: u64) -> Result<Vec<Standin>, NnError> {
+    let mut out = Vec::with_capacity(6);
+    // (name, input dim, hidden, classes, noise)
+    let cnn_cfgs = [
+        ("alexnet_s", 24, 48, 4, 0.20f32),
+        ("vgg16_s", 32, 64, 5, 0.19),
+        ("resnet18_s", 28, 56, 4, 0.21),
+        ("mobilenet_s", 16, 24, 3, 0.20),
+    ];
+    for (i, (name, dim, hidden, classes, noise)) in cnn_cfgs.iter().enumerate() {
+        let data = VectorDataset::gaussian_clusters(
+            2400,
+            *dim,
+            *classes,
+            *noise,
+            seed.wrapping_add(i as u64 * 101),
+        );
+        let (train, test) = data.split(0.5);
+        let mlp = train_mlp(
+            &[*dim, *hidden, *classes],
+            &train.samples,
+            &train.labels,
+            &TrainConfig {
+                lr: 0.05,
+                epochs: 25,
+                seed: seed.wrapping_add(7 + i as u64),
+            },
+        )?;
+        out.push(Standin {
+            name: (*name).to_owned(),
+            class: ModelClass::Cnn,
+            net: StandinNet::Mlp(mlp, test),
+        });
+    }
+    let tf_cfgs = [("mobilebert_s", 10usize, 16usize, 3usize, 0.09f32), ("vit_s", 12, 16, 4, 0.08)];
+    for (i, (name, len, dim, classes, noise)) in tf_cfgs.iter().enumerate() {
+        let data = SequenceDataset::token_patterns(
+            2000,
+            *len,
+            *dim,
+            *classes,
+            *noise,
+            seed.wrapping_add(500 + i as u64 * 97),
+        );
+        let (train, test) = data.split(0.5);
+        let t = TinyTransformer::train(
+            &train,
+            32,
+            &TrainConfig {
+                lr: 0.04,
+                epochs: 35,
+                seed: seed.wrapping_add(900 + i as u64),
+            },
+        )?;
+        out.push(Standin {
+            name: (*name).to_owned(),
+            class: ModelClass::Transformer,
+            net: StandinNet::Transformer(t, test),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformer_standin_learns_the_token_task() {
+        let data = SequenceDataset::token_patterns(400, 8, 12, 3, 0.15, 21);
+        let (train, test) = data.split(0.5);
+        let t = TinyTransformer::train(&train, 16, &TrainConfig::default()).unwrap();
+        let correct = test
+            .sequences
+            .iter()
+            .zip(&test.labels)
+            .filter(|(s, &y)| t.predict_f32(s).unwrap() == y)
+            .count();
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.9, "transformer stand-in accuracy {acc}");
+    }
+
+    #[test]
+    fn signed_matvec_round_trips() {
+        let w = Matrix::from_vec(2, 3, vec![0.5, -0.25, 1.0, -1.0, 0.75, 0.5]).unwrap();
+        let q = QuantizedMatrix::quantize(&w).unwrap();
+        let x = [0.3f32, -0.6, 0.9];
+        let mut engine = ExactEngine;
+        let got = matvec_signed(&q, &x, &mut engine).unwrap();
+        let want = w.matvec(&x).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 0.02, "{g} vs {w}");
+        }
+    }
+}

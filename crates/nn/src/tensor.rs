@@ -1,0 +1,251 @@
+//! A minimal dense matrix type for the reference inference engine and the
+//! stand-in model trainer.
+//!
+//! This is deliberately small: the workloads that matter for the paper's
+//! evaluation are *shape* descriptors (see [`crate::models`]); functional
+//! math only runs on the small stand-in networks of the accuracy experiment
+//! (Fig 6f), so a row-major `f32` matrix with the obvious operations is all
+//! we need.
+
+use crate::NnError;
+use serde::{Deserialize, Serialize};
+
+/// A row-major `f32` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, NnError> {
+        if data.len() != rows * cols {
+            return Err(NnError::DimensionMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying row-major slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Matrix multiply `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if inner dimensions differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, NnError> {
+        if self.cols != rhs.rows {
+            return Err(NnError::DimensionMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector multiply `self · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, NnError> {
+        if x.len() != self.cols {
+            return Err(NnError::DimensionMismatch {
+                op: "matvec",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(x)
+                    .map(|(w, v)| w * v)
+                    .sum::<f32>()
+            })
+            .collect())
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Largest absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+/// Numerically stable softmax over a slice, in place.
+pub fn softmax_inplace(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Index of the maximum element (first on ties); `None` for empty input.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x2() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let x = [1.0, 0.5, -1.0];
+        let y = a.matvec(&x).unwrap();
+        assert_eq!(y, vec![1.0 + 1.0 - 3.0, 4.0 + 2.5 - 6.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let mut xs = vec![1000.0, 1001.0];
+        softmax_inplace(&mut xs);
+        assert!(xs.iter().all(|x| x.is_finite()));
+        assert!((xs[0] + xs[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_and_errors() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 3]).is_err());
+        let a = Matrix::zeros(2, 3);
+        assert!(a.matvec(&[0.0; 2]).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! A small SGD trainer for the stand-in networks of the accuracy experiment.
+//!
+//! Trains ReLU MLPs with softmax cross-entropy by plain backpropagation.
+//! Everything is seeded: the stand-in benchmarks of Fig 6(f) reproduce
+//! bit-identically across runs.
+
+use crate::inference::{DenseLayer, Mlp};
+use crate::tensor::{softmax_inplace, Matrix};
+use crate::NnError;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// RNG seed for initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            lr: 0.05,
+            epochs: 30,
+            seed: 1,
+        }
+    }
+}
+
+/// Trains an MLP with the given layer widths (`sizes\[0\]` inputs,
+/// `sizes.last()` classes) on a labelled dataset.
+///
+/// # Errors
+///
+/// Returns [`NnError::EmptyModel`] for fewer than two sizes or an empty
+/// dataset, and propagates shape errors.
+pub fn train_mlp(
+    sizes: &[usize],
+    samples: &[Vec<f32>],
+    labels: &[usize],
+    config: &TrainConfig,
+) -> Result<Mlp, NnError> {
+    if sizes.len() < 2 || samples.is_empty() {
+        return Err(NnError::EmptyModel);
+    }
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+    // He initialization.
+    let mut weights: Vec<Matrix> = sizes
+        .windows(2)
+        .map(|w| {
+            let std = (2.0 / w[0] as f32).sqrt();
+            let data = (0..w[0] * w[1])
+                .map(|_| std * yoco_circuit::variation::standard_normal(&mut rng) as f32)
+                .collect();
+            Matrix::from_vec(w[1], w[0], data).expect("sized data")
+        })
+        .collect();
+    let mut biases: Vec<Vec<f32>> = sizes.windows(2).map(|w| vec![0.0f32; w[1]]).collect();
+    let n_layers = weights.len();
+
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    for _ in 0..config.epochs {
+        // Fisher-Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &idx in &order {
+            let x = &samples[idx];
+            let y = labels[idx];
+            // Forward with cached activations.
+            let mut acts: Vec<Vec<f32>> = Vec::with_capacity(n_layers + 1);
+            acts.push(x.clone());
+            for (l, (w, b)) in weights.iter().zip(&biases).enumerate() {
+                let mut z = w.matvec(acts.last().expect("nonempty"))?;
+                for (zv, bv) in z.iter_mut().zip(b) {
+                    *zv += bv;
+                }
+                if l + 1 < n_layers {
+                    for zv in z.iter_mut() {
+                        *zv = zv.max(0.0);
+                    }
+                }
+                acts.push(z);
+            }
+            // Softmax cross-entropy gradient on logits.
+            let mut delta = acts.last().expect("logits").clone();
+            softmax_inplace(&mut delta);
+            delta[y] -= 1.0;
+            // Backward.
+            for l in (0..n_layers).rev() {
+                let a_in = &acts[l];
+                // Gradient step for this layer.
+                for r in 0..weights[l].rows() {
+                    let g = delta[r];
+                    if g != 0.0 {
+                        biases[l][r] -= config.lr * g;
+                        let row = weights[l].row_mut(r);
+                        for (wv, &av) in row.iter_mut().zip(a_in) {
+                            *wv -= config.lr * g * av;
+                        }
+                    }
+                }
+                if l > 0 {
+                    // Propagate through W and the ReLU of the previous layer.
+                    let mut next = vec![0.0f32; weights[l].cols()];
+                    for r in 0..weights[l].rows() {
+                        let g = delta[r];
+                        if g != 0.0 {
+                            for (nv, &wv) in next.iter_mut().zip(weights[l].row(r)) {
+                                *nv += g * wv;
+                            }
+                        }
+                    }
+                    for (nv, &av) in next.iter_mut().zip(&acts[l]) {
+                        if av <= 0.0 {
+                            *nv = 0.0;
+                        }
+                    }
+                    delta = next;
+                }
+            }
+        }
+    }
+
+    let layers = weights
+        .into_iter()
+        .zip(biases)
+        .map(|(w, b)| DenseLayer::new(w, b))
+        .collect::<Result<Vec<_>, _>>()?;
+    Mlp::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::VectorDataset;
+    use crate::inference::accuracy;
+
+    #[test]
+    fn learns_gaussian_clusters() {
+        let data = VectorDataset::gaussian_clusters(400, 16, 4, 0.25, 11);
+        let (train, test) = data.split(0.8);
+        let mlp = train_mlp(
+            &[16, 32, 4],
+            &train.samples,
+            &train.labels,
+            &TrainConfig::default(),
+        )
+        .unwrap();
+        let acc = accuracy(&test.samples, &test.labels, |x| mlp.predict_f32(x).unwrap());
+        assert!(acc >= 0.93, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = VectorDataset::gaussian_clusters(100, 8, 2, 0.2, 5);
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        };
+        let a = train_mlp(&[8, 16, 2], &data.samples, &data.labels, &cfg).unwrap();
+        let b = train_mlp(&[8, 16, 2], &data.samples, &data.labels, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_degenerate_setups() {
+        assert!(train_mlp(&[8], &[vec![0.0; 8]], &[0], &TrainConfig::default()).is_err());
+        assert!(train_mlp(&[8, 2], &[], &[], &TrainConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Why hybrid? Quantifies the ReRAM/SRAM trade-off that motivates YOCO's
+//! tile design (§III-C): density for static weights, endurance and write
+//! energy for dynamic attention matrices.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_memory_tradeoff
+//! ```
+
+use yoco::{Tile, YocoConfig};
+use yoco_mem::{MemoryModel, ReramArray, SramArray};
+
+fn main() {
+    let config = YocoConfig::paper_default();
+    let tile = Tile::new(&config);
+
+    println!("== density: weights resident per tile ==");
+    let (dynamic, static_cap) = tile.weight_capacity(&config);
+    println!("  4 DIMAs (SRAM clusters) : {dynamic:>12} 8-bit weights");
+    println!("  4 SIMAs (ReRAM clusters): {static_cap:>12} 8-bit weights (4 resident sets)");
+
+    println!();
+    println!("== write path: hosting one attention K matrix (2048 x 128, 8-bit) ==");
+    let bits = 2048 * 128 * 8u64;
+    let (sram_pj, reram_pj) = tile.dynamic_write_comparison(bits);
+    println!("  SRAM  write: {:>10.1} nJ", sram_pj / 1e3);
+    println!(
+        "  ReRAM write: {:>10.1} nJ  ({:.0}x more)",
+        reram_pj / 1e3,
+        reram_pj / sram_pj
+    );
+    let sram = SramArray::new(bits / 8);
+    let reram = ReramArray::new(bits / 8);
+    println!(
+        "  write latency: SRAM {:.0} ns vs ReRAM {:.0} ns",
+        sram.write_cost(bits).latency_ns,
+        reram.write_cost(bits).latency_ns
+    );
+
+    println!();
+    println!("== endurance: rewriting K/V every token ==");
+    for rate in [1.0e3, 1.0e6, 5.0e7] {
+        let secs = ReramArray::lifetime_seconds(rate);
+        println!(
+            "  {rate:>10.0} rewrites/s -> ReRAM cell worn out after {:>12.1} hours",
+            secs / 3600.0
+        );
+    }
+    println!("  SRAM endurance: effectively unlimited — hence DIMAs for dynamic matrices.");
+
+    println!();
+    println!("== area: bits per um^2 ==");
+    let s = SramArray::new(1024);
+    let r = ReramArray::new(1024);
+    println!("  SRAM : {:.1} bits/um2", s.density_bits_per_um2());
+    println!(
+        "  ReRAM: {:.1} bits/um2 ({:.0}x denser)",
+        r.density_bits_per_um2(),
+        r.density_bits_per_um2() / s.density_bits_per_um2()
+    );
+}

@@ -1,0 +1,51 @@
+//! How much accuracy does analog computation cost? A compact version of the
+//! Fig 6(f) experiment: train a stand-in classifier, then run inference
+//! exactly and through YOCO's calibrated analog MAC path.
+//!
+//! ```sh
+//! cargo run --release --example noise_accuracy
+//! ```
+
+use yoco_nn::datasets::VectorDataset;
+use yoco_nn::inference::{accuracy, AnalogEngine};
+use yoco_nn::train::{train_mlp, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = VectorDataset::gaussian_clusters(3000, 24, 4, 0.22, 99);
+    let (train, test) = data.split(0.5);
+    let mlp = train_mlp(&[24, 48, 4], &train.samples, &train.labels, &TrainConfig::default())?;
+
+    let f32_acc = accuracy(&test.samples, &test.labels, |x| {
+        mlp.predict_f32(x).unwrap_or(0)
+    });
+    println!("f32 inference accuracy        : {:.2} %", f32_acc * 100.0);
+
+    // The calibrated TT-corner analog path (8-bit readout included).
+    let mut engine = AnalogEngine::yoco_tt(1);
+    let analog_acc = accuracy(&test.samples, &test.labels, |x| {
+        mlp.predict_quantized(x, &mut engine).unwrap_or(0)
+    });
+    println!("YOCO analog inference accuracy: {:.2} %", analog_acc * 100.0);
+    println!(
+        "accuracy loss                 : {:+.2} %  (paper: < 0.5 % on CNNs)",
+        (f32_acc - analog_acc) * 100.0
+    );
+
+    // What if the circuit were much noisier? Scale the noise model up.
+    let noisy = yoco_circuit::NoiseModel {
+        readout_offset_sigma: 8.0e-3, // > 2 LSB of random offset
+        charge_injection: 0.02,
+        ..yoco_circuit::NoiseModel::tt_corner()
+    };
+    let mac = yoco_circuit::fast::MacErrorModel::from_noise(&noisy, 128).with_quantization(256);
+    let mut bad_engine = AnalogEngine::new(mac, 1024, 2);
+    let bad_acc = accuracy(&test.samples, &test.labels, |x| {
+        mlp.predict_quantized(x, &mut bad_engine).unwrap_or(0)
+    });
+    println!(
+        "with ~10x the analog noise    : {:.2} % ({:+.2} % loss) — why calibration matters",
+        bad_acc * 100.0,
+        (f32_acc - bad_acc) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a YOCO chip, run a real charge-domain VMM through one
+//! IMA, and print the headline operating point.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::{Rng, SeedableRng};
+use yoco::{Ima, ImaRole, YocoChip, YocoConfig};
+use yoco_arch::accelerator::Accelerator;
+use yoco_arch::workload::MatmulWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The Table II chip and its headline operating point.
+    let chip = YocoChip::paper_default();
+    let peak = chip.peak_vmm_cost();
+    println!(
+        "YOCO chip ({} tiles, {} IMAs, {} arrays)",
+        chip.config().tiles,
+        chip.config().total_imas(),
+        chip.config().total_arrays()
+    );
+    println!(
+        "peak 8-bit 1024x256 VMM: {:.2} nJ, {:.1} ns -> {:.1} TOPS/W, {:.1} TOPS",
+        peak.energy.as_nano(),
+        peak.latency.as_nano(),
+        peak.tops_per_watt(),
+        peak.tops()
+    );
+
+    // 2. A functional VMM through an actual (smaller) IMA: 2x1 arrays =
+    // 256 inputs, 32 outputs, with TT-corner analog noise.
+    let config = YocoConfig::builder().ima_stack(2).ima_width(1).build()?;
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(42);
+    let weights: Vec<Vec<u32>> = (0..256)
+        .map(|_| (0..32).map(|_| rng.gen_range(0..256)).collect())
+        .collect();
+    let ima = Ima::new(&config, ImaRole::Static, &weights)?;
+    let inputs: Vec<u32> = (0..256).map(|_| rng.gen_range(0..256)).collect();
+    let codes = ima.compute_vmm(&inputs, 7)?;
+    let exact: f64 = (0..256).map(|r| inputs[r] as f64 * weights[r][0] as f64).sum();
+    println!(
+        "functional VMM output[0]: code {} (exact dot {} -> expected code {})",
+        codes[0],
+        exact,
+        ima.dot_to_code(exact)
+    );
+
+    // 3. Evaluate a transformer projection layer on the whole chip.
+    let cost = chip.evaluate(&MatmulWorkload::new("bert.wq", 128, 768, 768));
+    println!(
+        "BERT W_Q projection on chip: {:.2} nJ, {:.0} ns, {:.1} TOPS/W",
+        cost.energy_pj / 1e3,
+        cost.latency_ns,
+        cost.tops_per_watt()
+    );
+    Ok(())
+}

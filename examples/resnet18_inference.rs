@@ -1,0 +1,67 @@
+//! Map ResNet-18 onto the YOCO chip and compare against the ISAAC baseline,
+//! layer by layer.
+//!
+//! ```sh
+//! cargo run --release --example resnet18_inference
+//! ```
+
+use yoco::YocoChip;
+use yoco_arch::accelerator::Accelerator;
+use yoco_baselines::isaac::isaac;
+use yoco_nn::models::resnet18;
+
+fn main() {
+    let model = resnet18();
+    let workloads = model.workloads();
+    let chip = YocoChip::paper_default();
+    let baseline = isaac();
+
+    println!(
+        "ResNet-18: {} GEMMs, {:.2} GMACs total",
+        workloads.len(),
+        model.macs() as f64 / 1e9
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "layer", "MACs (M)", "yoco (uJ)", "isaac (uJ)", "EE gain"
+    );
+    for (idx, w) in workloads.iter().enumerate() {
+        let y = chip.evaluate(w);
+        let i = baseline.evaluate(w);
+        if idx < 8 || w.name == "fc" {
+            println!(
+                "{:<22} {:>10.1} {:>12.2} {:>12.2} {:>9.1}x",
+                w.name,
+                w.macs() as f64 / 1e6,
+                y.energy_pj / 1e6,
+                i.energy_pj / 1e6,
+                y.tops_per_watt() / i.tops_per_watt()
+            );
+        } else if idx == 8 {
+            println!("{:<22} ...", "");
+        }
+    }
+
+    let y = chip.evaluate_model(&model.name, &workloads);
+    let i = baseline.evaluate_model(&model.name, &workloads);
+    println!();
+    println!(
+        "whole model on YOCO : {:.1} uJ, {:.0} us, {:.1} TOPS/W, {:.1} TOPS",
+        y.total.energy_pj / 1e6,
+        y.total.latency_ns / 1e3,
+        y.tops_per_watt(),
+        y.tops()
+    );
+    println!(
+        "whole model on ISAAC: {:.1} uJ, {:.0} us, {:.1} TOPS/W, {:.1} TOPS",
+        i.total.energy_pj / 1e6,
+        i.total.latency_ns / 1e3,
+        i.tops_per_watt(),
+        i.tops()
+    );
+    println!(
+        "YOCO advantage: {:.1}x energy efficiency, {:.1}x throughput",
+        y.tops_per_watt() / i.tops_per_watt(),
+        y.tops() / i.tops()
+    );
+}

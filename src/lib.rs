@@ -1,0 +1,19 @@
+//! Umbrella crate for the YOCO reproduction workspace.
+//!
+//! This package exists to host the repository-level `examples/` and `tests/`
+//! directories required by the project layout. All functionality lives in the
+//! member crates, re-exported here for convenience:
+//!
+//! * [`yoco`] — the YOCO accelerator (IMA / Tile / Chip, attention pipeline)
+//! * [`yoco_circuit`] — analog in-charge computing substrate
+//! * [`yoco_mem`] — SRAM / ReRAM / eDRAM memory models
+//! * [`yoco_arch`] — architecture cost framework and mapper
+//! * [`yoco_nn`] — DNN workload substrate and int8 inference
+//! * [`yoco_baselines`] — ISAAC / RAELLA / TIMELY baselines and prior circuits
+
+pub use yoco;
+pub use yoco_arch;
+pub use yoco_baselines;
+pub use yoco_circuit;
+pub use yoco_mem;
+pub use yoco_nn;

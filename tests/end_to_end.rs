@@ -1,0 +1,147 @@
+//! Cross-crate integration tests: the paper's headline claims, checked
+//! end to end through the public APIs.
+
+use rand::{Rng, SeedableRng};
+use yoco::{Ima, ImaRole, YocoChip, YocoConfig};
+use yoco_arch::accelerator::Accelerator;
+use yoco_arch::workload::{LayerKind, MatmulWorkload};
+use yoco_baselines::{isaac::isaac, raella::raella, timely::timely};
+use yoco_nn::models;
+
+/// The headline: one IMA executes an 8-bit 1024x256 VMM at 123.8 TOPS/W and
+/// 34.9 TOPS.
+#[test]
+fn headline_operating_point() {
+    let chip = YocoChip::paper_default();
+    let peak = chip.peak_vmm_cost();
+    assert!((peak.tops_per_watt() - 123.8).abs() / 123.8 < 0.03);
+    assert!((peak.tops() - 34.9).abs() / 34.9 < 0.03);
+    assert!((peak.energy.as_nano() - 4.235).abs() / 4.235 < 0.02);
+    assert!(peak.latency.as_nano() <= 15.05);
+}
+
+/// A functional charge-domain VMM through an IMA (arrays -> TDA -> TDC)
+/// digitizes exact dot products to within one output LSB (ideal noise).
+#[test]
+fn functional_ima_vmm_is_correct() {
+    let config = YocoConfig::builder()
+        .ima_stack(2)
+        .ima_width(2)
+        .noise(yoco_circuit::NoiseModel::ideal())
+        .build()
+        .expect("valid config");
+    let rows = config.ima_rows();
+    let outputs = config.ima_outputs();
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(11);
+    let weights: Vec<Vec<u32>> = (0..rows)
+        .map(|_| (0..outputs).map(|_| rng.gen_range(0..256)).collect())
+        .collect();
+    let ima = Ima::new(&config, ImaRole::Static, &weights).expect("valid weights");
+    let inputs: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..256)).collect();
+    let codes = ima.compute_vmm(&inputs, 0).expect("valid inputs");
+    for (j, &code) in codes.iter().enumerate() {
+        let exact: f64 = (0..rows)
+            .map(|r| inputs[r] as f64 * weights[r][j] as f64)
+            .sum();
+        assert!(
+            (code as i64 - ima.dot_to_code(exact) as i64).abs() <= 1,
+            "output {j}"
+        );
+    }
+}
+
+/// Fig 8 shape: YOCO beats every baseline on every benchmark's energy
+/// efficiency, and the geomeans land in a band around the paper's numbers.
+#[test]
+fn fig8_shape_holds() {
+    let chip = YocoChip::paper_default();
+    let baselines: [&dyn Accelerator; 3] = [&isaac(), &raella(), &timely()];
+    let mut ee_ratios = vec![Vec::new(); 3];
+    let mut tp_ratios = vec![Vec::new(); 3];
+    for model in models::fig8_benchmarks() {
+        let w = model.workloads();
+        let y = chip.evaluate_model(&model.name, &w);
+        for (i, b) in baselines.iter().enumerate() {
+            let r = b.evaluate_model(&model.name, &w);
+            let ee = y.tops_per_watt() / r.tops_per_watt();
+            let tp = y.tops() / r.tops();
+            assert!(ee > 1.0, "{}: EE ratio {ee} vs {}", model.name, b.name());
+            assert!(tp > 1.0, "{}: TP ratio {tp} vs {}", model.name, b.name());
+            ee_ratios[i].push(ee);
+            tp_ratios[i].push(tp);
+        }
+    }
+    let geomean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    // Paper geomeans: EE 19.9 / 4.7 / 3.9; TP 33.6 / 20.4 / 6.8. Accept a
+    // +-30 % band — shape, not silicon-exact numbers.
+    let ee_target = [19.9, 4.7, 3.9];
+    let tp_target = [33.6, 20.4, 6.8];
+    for i in 0..3 {
+        let ee = geomean(&ee_ratios[i]);
+        let tp = geomean(&tp_ratios[i]);
+        assert!(
+            (ee / ee_target[i] - 1.0).abs() < 0.3,
+            "EE geomean {} vs target {}",
+            ee,
+            ee_target[i]
+        );
+        assert!(
+            (tp / tp_target[i] - 1.0).abs() < 0.3,
+            "TP geomean {} vs target {}",
+            tp,
+            tp_target[i]
+        );
+    }
+}
+
+/// The ordering the paper's Table I implies: ISAAC < RAELLA < TIMELY < YOCO
+/// in energy efficiency on a clean GEMM.
+#[test]
+fn efficiency_ordering_on_clean_gemm() {
+    let w = MatmulWorkload::new("fc", 512, 2048, 2048);
+    let chip = YocoChip::paper_default();
+    let y = chip.evaluate(&w).tops_per_watt();
+    let i = isaac().evaluate(&w).tops_per_watt();
+    let r = raella().evaluate(&w).tops_per_watt();
+    let t = timely().evaluate(&w).tops_per_watt();
+    assert!(i < r && r < t && t < y, "ordering: isaac {i}, raella {r}, timely {t}, yoco {y}");
+}
+
+/// Hybrid-memory discriminator: on dynamic attention GEMMs the ReRAM
+/// baselines pay a much larger write penalty than YOCO's SRAM DIMAs.
+#[test]
+fn dynamic_gemm_penalty_is_asymmetric() {
+    let stat = MatmulWorkload::new("fc", 256, 1024, 1024);
+    let dynamic = MatmulWorkload::new("score", 256, 1024, 1024)
+        .with_kind(LayerKind::AttentionContext);
+    let chip = YocoChip::paper_default();
+    let yoco_overhead =
+        chip.evaluate(&dynamic).energy_pj / chip.evaluate(&stat).energy_pj;
+    let isaac_overhead =
+        isaac().evaluate(&dynamic).energy_pj / isaac().evaluate(&stat).energy_pj;
+    assert!(yoco_overhead < 1.1, "yoco dynamic overhead {yoco_overhead}");
+    assert!(
+        isaac_overhead > yoco_overhead,
+        "isaac {isaac_overhead} vs yoco {yoco_overhead}"
+    );
+}
+
+/// Model zoo sanity: every Fig 8 benchmark lowers to valid workloads and
+/// evaluates to finite, nonzero costs on all four accelerators.
+#[test]
+fn zoo_evaluates_everywhere() {
+    let chip = YocoChip::paper_default();
+    let baselines: [&dyn Accelerator; 3] = [&isaac(), &raella(), &timely()];
+    for model in models::fig8_benchmarks() {
+        let w = model.workloads();
+        assert!(!w.is_empty());
+        let y = chip.evaluate_model(&model.name, &w);
+        assert!(y.total.energy_pj.is_finite() && y.total.energy_pj > 0.0);
+        assert!(y.total.latency_ns.is_finite() && y.total.latency_ns > 0.0);
+        for b in &baselines {
+            let r = b.evaluate_model(&model.name, &w);
+            assert!(r.total.energy_pj > 0.0 && r.total.latency_ns > 0.0);
+            assert_eq!(r.total.ops, y.total.ops, "op counts must agree");
+        }
+    }
+}

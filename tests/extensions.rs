@@ -1,0 +1,126 @@
+//! Integration tests for the extension features: digital calibration,
+//! fault campaigns, PVT corners, placement, decode mode, scheduling, and
+//! wear leveling — the "beyond the figures" surface of the library.
+
+use yoco::{decode_attention_layer, plan_placement, YocoChip, YocoConfig};
+use yoco_circuit::calib::DigitalCalibration;
+use yoco_circuit::fast::MacErrorModel;
+use yoco_circuit::faults::{random_campaign, Fault};
+use yoco_circuit::{noise_at, ArrayGeometry, DetailedArray, ProcessCorner};
+use yoco_mem::{WearLeveledCluster, WearPolicy};
+use yoco_nn::models;
+
+/// Digital calibration characterized on the *behavioural array* (not just
+/// the surrogate) recovers most of the deterministic error.
+#[test]
+fn calibration_works_on_the_detailed_array() {
+    let geom = ArrayGeometry::yoco_default();
+    let weights = vec![vec![255u32; 32]; 128];
+    let noise = yoco_circuit::NoiseModel {
+        cap_mismatch_sigma: 0.0,
+        readout_offset_sigma: 0.0,
+        ..yoco_circuit::NoiseModel::tt_corner()
+    };
+    let array = DetailedArray::with_noise(
+        geom,
+        &weights,
+        yoco_circuit::MemoryKind::Sram,
+        noise,
+        yoco_circuit::variation::MismatchField::ideal(geom.rows(), geom.cols()),
+    )
+    .expect("valid");
+
+    // Foreground sweep: inputs 0..=255, observe normalized CB voltage.
+    let mut points = Vec::new();
+    for code in (0..=255u32).step_by(5) {
+        let out = array.compute_vmm(&vec![code; 128]).expect("valid");
+        let ideal = geom.dot_to_voltage(128.0 * (255 * code) as f64).value() / yoco_circuit::VDD;
+        points.push((ideal, out.cb_voltages[0].value() / yoco_circuit::VDD));
+    }
+    let cal = DigitalCalibration::fit(&points);
+
+    // Corrected worst-case error beats uncorrected by at least 5x.
+    let mut before = 0.0f64;
+    let mut after = 0.0f64;
+    for code in (0..=255u32).step_by(3) {
+        let out = array.compute_vmm(&vec![code; 128]).expect("valid");
+        let ideal = geom.dot_to_voltage(128.0 * (255 * code) as f64).value() / yoco_circuit::VDD;
+        let raw = out.cb_voltages[0].value() / yoco_circuit::VDD;
+        before = before.max((raw - ideal).abs());
+        after = after.max((cal.correct(raw) - ideal).abs());
+    }
+    assert!(after < before / 5.0, "before {before}, after {after}");
+}
+
+/// A Monte-Carlo corner sweep: the accuracy experiment's MAC surrogate
+/// stays usable (bounded error) at every corner, and TT@25 °C is at least
+/// as good as the hot slow corner.
+#[test]
+fn corner_sweep_is_ordered() {
+    let tt = MacErrorModel::from_noise(&noise_at(ProcessCorner::Tt, 25.0), 128)
+        .peak_deterministic_error();
+    let ss_hot = MacErrorModel::from_noise(&noise_at(ProcessCorner::Ss, 125.0), 128)
+        .peak_deterministic_error();
+    assert!(tt <= ss_hot);
+    assert!(ss_hot < 0.03);
+}
+
+/// Fault tolerance: the error from a few defects is within the noise floor;
+/// heavy defect densities visibly degrade.
+#[test]
+fn fault_density_sweep() {
+    let geom = ArrayGeometry::yoco_default();
+    let light = random_campaign(geom, 3, 3, 2024);
+    let heavy = random_campaign(geom, 128, 3, 2024);
+    assert!(light.mean_error < 0.005, "light {}", light.mean_error);
+    assert!(heavy.mean_error > light.mean_error);
+}
+
+/// Stuck-at injection is exact: re-injecting the same value is idempotent.
+#[test]
+fn fault_injection_is_idempotent() {
+    let geom = ArrayGeometry::new(8, 4, 4, 4).expect("valid");
+    let weights = vec![vec![5u32; 4]; 8];
+    let array = DetailedArray::new(geom, &weights).expect("valid");
+    let f = [Fault::StuckAtOne { row: 1, col: 2 }];
+    let once = yoco_circuit::faults::inject(&array, &f).expect("ok");
+    let twice = yoco_circuit::faults::inject(&once, &f).expect("ok");
+    assert_eq!(once, twice);
+}
+
+/// Placement + decode round trip: a model that fits one chip decodes with
+/// SRAM-cached KV at orders-of-magnitude lower write cost than ReRAM.
+#[test]
+fn placement_and_decode_compose() {
+    let config = YocoConfig::paper_default();
+    let model = models::qdqbert();
+    let plan = plan_placement(&config, &model.workloads());
+    assert!(plan.fits_one_chip());
+    let decode = decode_attention_layer(&config, 768, 128);
+    assert!(decode.kv_write_saving() > 100.0);
+    assert!(decode.reram_wear_fraction > 0.0);
+}
+
+/// Scheduling a real model hides some transfer time and yields a sane
+/// power figure.
+#[test]
+fn chip_schedule_on_vgg16() {
+    let chip = YocoChip::paper_default();
+    let model = models::vgg16();
+    let (sched, power) = chip.schedule_model(&model.workloads());
+    assert!(sched.double_buffered_ns <= sched.serial_ns);
+    assert!(power.total_w() > 0.1 && power.total_w() < 30.0, "{} W", power.total_w());
+}
+
+/// Wear leveling across the 32 ReRAM slots of a SIMA cluster extends the
+/// rated rewrite budget 32x.
+#[test]
+fn wear_leveling_extends_sima_life() {
+    let mut rr = WearLeveledCluster::sima_default(WearPolicy::RoundRobin);
+    let fixed = WearLeveledCluster::sima_default(WearPolicy::Fixed);
+    assert_eq!(rr.rated_rewrites(), 32 * fixed.rated_rewrites());
+    // Slots rotate.
+    let a = rr.rewrite().expect("ok");
+    let b = rr.rewrite().expect("ok");
+    assert_ne!(a, b);
+}

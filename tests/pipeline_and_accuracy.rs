@@ -1,0 +1,92 @@
+//! Integration tests for the attention pipeline (Fig 10) and the accuracy
+//! experiment (Fig 6f), spanning core, nn, and circuit crates.
+
+use yoco::{AttentionDims, AttentionPipeline, YocoConfig};
+
+/// Fig 10 shape: each of the five transformers speeds up within the paper's
+/// band and the geomean is near 2.3x.
+#[test]
+fn fig10_band() {
+    let pipeline = AttentionPipeline::new(YocoConfig::paper_default());
+    let dims = [
+        AttentionDims { seq: 1024, d_model: 1280, heads: 20 },
+        AttentionDims { seq: 128, d_model: 512, heads: 4 },
+        AttentionDims { seq: 128, d_model: 768, heads: 12 },
+        AttentionDims { seq: 197, d_model: 768, heads: 12 },
+        AttentionDims { seq: 2048, d_model: 4096, heads: 32 },
+    ];
+    let speedups: Vec<f64> = dims.iter().map(|d| pipeline.simulate(d).speedup()).collect();
+    for s in &speedups {
+        assert!(*s > 1.4 && *s < 4.2, "speedup {s}");
+    }
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / 5.0).exp();
+    assert!((geomean - 2.33).abs() < 0.7, "geomean {geomean}");
+}
+
+/// The pipeline speedup grows with sequence length until the bottleneck
+/// stage saturates.
+#[test]
+fn pipeline_speedup_is_stable_across_sequence_lengths() {
+    let pipeline = AttentionPipeline::new(YocoConfig::paper_default());
+    let mut last = 0.0;
+    for seq in [32, 128, 512, 2048] {
+        let r = pipeline.simulate(&AttentionDims { seq, d_model: 1024, heads: 16 });
+        assert!(r.speedup() > 1.0);
+        last = r.speedup();
+    }
+    assert!(last > 1.5);
+}
+
+/// Fig 6f: the analog accuracy loss stays inside the paper's bounds on all
+/// six stand-in benchmarks.
+#[test]
+fn fig6f_accuracy_bounds() {
+    let standins = yoco_nn::standins::fig6f_standins(2025).expect("training succeeds");
+    assert_eq!(standins.len(), 6);
+    let mut cnn = 0;
+    let mut tf = 0;
+    for s in &standins {
+        let f = s.accuracy_f32();
+        let a = s.accuracy_analog(7);
+        let loss = f - a;
+        match s.class {
+            yoco_nn::ModelClass::Cnn => {
+                cnn += 1;
+                assert!(f > 0.97, "{}: weak baseline {f}", s.name);
+                assert!(loss < 0.005, "{}: CNN loss {loss}", s.name);
+            }
+            yoco_nn::ModelClass::Transformer => {
+                tf += 1;
+                assert!(f > 0.95, "{}: weak baseline {f}", s.name);
+                assert!(loss < 0.0061, "{}: transformer loss {loss}", s.name);
+            }
+        }
+    }
+    assert_eq!(cnn, 4);
+    assert_eq!(tf, 2);
+}
+
+/// The streaming attention used by the pipeline matches exact attention
+/// through the cross-crate public API.
+#[test]
+fn streaming_attention_equivalence() {
+    use rand::{Rng, SeedableRng};
+    use yoco_nn::attention::{exact_attention, streaming_attention};
+    use yoco_nn::Matrix;
+    let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(3);
+    let mut mk = |seed_off: u64| {
+        let _ = seed_off;
+        let data: Vec<f32> = (0..24 * 8).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        Matrix::from_vec(24, 8, data).expect("sized")
+    };
+    let q = mk(0);
+    let k = mk(1);
+    let v = mk(2);
+    let a = exact_attention(&q, &k, &v, true).expect("shapes ok");
+    let b = streaming_attention(&q, &k, &v).expect("shapes ok");
+    for i in 0..24 {
+        for c in 0..8 {
+            assert!((a.get(i, c) - b.get(i, c)).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Cross-crate property tests.
+
+use proptest::prelude::*;
+use yoco::YocoChip;
+use yoco_arch::accelerator::Accelerator;
+use yoco_arch::workload::MatmulWorkload;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chip evaluation is monotone: strictly growing any GEMM dimension
+    /// never reduces energy.
+    #[test]
+    fn chip_energy_is_monotone(m in 1u64..256, k in 1u64..4096, n in 1u64..1024) {
+        let chip = YocoChip::paper_default();
+        let base = chip.evaluate(&MatmulWorkload::new("w", m, k, n));
+        let more_m = chip.evaluate(&MatmulWorkload::new("w", m * 2, k, n));
+        prop_assert!(more_m.energy_pj >= base.energy_pj * 0.999);
+        let more_k = chip.evaluate(&MatmulWorkload::new("w", m, k * 2, n));
+        prop_assert!(more_k.energy_pj >= base.energy_pj * 0.999);
+        let more_n = chip.evaluate(&MatmulWorkload::new("w", m, k, n * 2));
+        prop_assert!(more_n.energy_pj >= base.energy_pj * 0.999);
+    }
+
+    /// Energy efficiency never exceeds the physical peak of the IMA design
+    /// point, for any workload shape.
+    #[test]
+    fn chip_never_beats_its_peak(m in 1u64..512, k in 1u64..8192, n in 1u64..2048) {
+        let chip = YocoChip::paper_default();
+        let peak = chip.peak_vmm_cost().tops_per_watt();
+        let c = chip.evaluate(&MatmulWorkload::new("w", m, k, n));
+        prop_assert!(c.tops_per_watt() <= peak * 1.001,
+            "EE {} exceeds peak {}", c.tops_per_watt(), peak);
+    }
+
+    /// The mapper conserves work: every accelerator reports exactly the
+    /// GEMM's op count regardless of blocking.
+    #[test]
+    fn ops_are_conserved(m in 1u64..128, k in 1u64..4096, n in 1u64..512) {
+        let w = MatmulWorkload::new("w", m, k, n);
+        let chip = YocoChip::paper_default();
+        prop_assert_eq!(chip.evaluate(&w).ops, 2 * m * k * n);
+        let isaac = yoco_baselines::isaac::isaac();
+        prop_assert_eq!(isaac.evaluate(&w).ops, 2 * m * k * n);
+    }
+
+    /// Quantize/dequantize round trips stay within half a quantization step
+    /// per element (cross-crate: nn quantizer feeding the analog range).
+    #[test]
+    fn quantization_round_trip(vals in prop::collection::vec(-4.0f32..4.0, 1..64)) {
+        prop_assume!(vals.iter().any(|v| *v != 0.0));
+        let m = yoco_nn::Matrix::from_vec(1, vals.len(), vals.clone()).expect("sized");
+        let q = yoco_nn::quantize::QuantizedMatrix::quantize(&m).expect("nonzero");
+        let back = q.dequantize();
+        for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!((a - b).abs() <= q.scale / 2.0 + 1e-6);
+        }
+    }
+
+    /// The analog engine's signed recovery is exact when the error model is
+    /// ideal, regardless of block splitting.
+    #[test]
+    fn ideal_analog_engine_is_exact(seed in 0u64..500, k in 1usize..300) {
+        use rand::{Rng, SeedableRng};
+        use yoco_nn::inference::{AnalogEngine, MatvecEngine};
+        use yoco_nn::quantize::{dot_signed, QuantizedMatrix, QuantizedVector};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        prop_assume!(w.iter().any(|v| *v != 0.0));
+        let m = yoco_nn::Matrix::from_vec(1, k, w).expect("sized");
+        let q = QuantizedMatrix::quantize(&m).expect("nonzero");
+        let x: Vec<f32> = (0..k).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let qx = QuantizedVector::quantize(&x).expect("finite");
+        let mut engine = AnalogEngine::ideal(64, 0);
+        let got = engine.matvec(&q, &qx)[0];
+        let want = dot_signed(q.row(0), &qx.data) as f64;
+        prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+    }
+}
