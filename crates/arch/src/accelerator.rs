@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn tops_math() {
         let c = LayerCost {
-            energy_pj: 4235.0,                // 4.235 nJ
+            energy_pj: 4235.0, // 4.235 nJ
             latency_ns: 15.0,
             ops: 2 * 1024 * 256,
         };

@@ -139,14 +139,14 @@ impl Accelerator for BitSliceImc {
         energy_pj += mapping.psum_adds as f64 * self.psum_pj;
         // Activation traffic: inputs fetched once per column-block pass,
         // outputs written once.
-        let act_bits =
-            w.activation_bits(self.operand_bits as u64) * mapping.col_blocks.max(1);
+        let act_bits = w.activation_bits(self.operand_bits as u64) * mapping.col_blocks.max(1);
         let out_bits = w.output_bits(self.operand_bits as u64);
         energy_pj += (act_bits + out_bits) as f64 * self.buffer_pj_per_bit;
 
         // Compute latency with chip-level parallelism across macros.
-        let serial_rounds =
-            (mapping.invocations as f64 / self.parallel_macros as f64).ceil().max(1.0);
+        let serial_rounds = (mapping.invocations as f64 / self.parallel_macros as f64)
+            .ceil()
+            .max(1.0);
         let mut latency_ns = serial_rounds * self.invocation_latency_ns();
 
         // Dynamic matrices must first be written into the crossbars.
@@ -166,8 +166,7 @@ impl Accelerator for BitSliceImc {
             // Rows are written serially within a crossbar; blocks write in
             // parallel across macros where available.
             let rows_to_write = (w.k.min(self.rows as u64 * mapping.row_blocks)) as f64;
-            let write_rounds = (mapping.total_blocks() as f64
-                / self.parallel_macros as f64)
+            let write_rounds = (mapping.total_blocks() as f64 / self.parallel_macros as f64)
                 .ceil()
                 .max(1.0);
             latency_ns += write_rounds * rows_to_write.min(self.rows as f64) * ns_per_row;

@@ -209,20 +209,32 @@ mod tests {
     fn fig7_ranges_match_paper() {
         // Paper: EE 1.5-40x, throughput 12-1164x, FoM 36-14000x.
         let rows = fig7_rows();
-        let ee_min = rows.iter().map(|r| r.ee_ratio).fold(f64::INFINITY, f64::min);
+        let ee_min = rows
+            .iter()
+            .map(|r| r.ee_ratio)
+            .fold(f64::INFINITY, f64::min);
         let ee_max = rows.iter().map(|r| r.ee_ratio).fold(0.0, f64::max);
         assert!(ee_min > 1.4 && ee_min < 1.6, "ee_min {ee_min}");
         assert!(ee_max > 38.0 && ee_max < 42.0, "ee_max {ee_max}");
 
-        let tp_min = rows.iter().map(|r| r.throughput_ratio).fold(f64::INFINITY, f64::min);
+        let tp_min = rows
+            .iter()
+            .map(|r| r.throughput_ratio)
+            .fold(f64::INFINITY, f64::min);
         let tp_max = rows.iter().map(|r| r.throughput_ratio).fold(0.0, f64::max);
         assert!(tp_min > 11.0 && tp_min < 13.0, "tp_min {tp_min}");
         assert!(tp_max > 1100.0 && tp_max < 1230.0, "tp_max {tp_max}");
 
-        let fom_min = rows.iter().map(|r| r.fom_ratio).fold(f64::INFINITY, f64::min);
+        let fom_min = rows
+            .iter()
+            .map(|r| r.fom_ratio)
+            .fold(f64::INFINITY, f64::min);
         let fom_max = rows.iter().map(|r| r.fom_ratio).fold(0.0, f64::max);
         assert!(fom_min > 33.0 && fom_min < 40.0, "fom_min {fom_min}");
-        assert!(fom_max > 12_000.0 && fom_max < 16_000.0, "fom_max {fom_max}");
+        assert!(
+            fom_max > 12_000.0 && fom_max < 16_000.0,
+            "fom_max {fom_max}"
+        );
     }
 
     #[test]

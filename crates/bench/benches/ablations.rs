@@ -2,16 +2,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use yoco_bench::ablations::{
-    hybrid_ablation, pipeline_depth_sweep, slicing_sweep, tda_ablation,
-};
+use yoco_bench::ablations::{hybrid_ablation, pipeline_depth_sweep, slicing_sweep, tda_ablation};
 
 fn bench_ablations(c: &mut Criterion) {
     c.bench_function("ablation_slicing_sweep", |b| {
         b.iter(|| black_box(slicing_sweep()))
     });
     c.bench_function("ablation_tda", |b| b.iter(|| black_box(tda_ablation())));
-    c.bench_function("ablation_hybrid", |b| b.iter(|| black_box(hybrid_ablation())));
+    c.bench_function("ablation_hybrid", |b| {
+        b.iter(|| black_box(hybrid_ablation()))
+    });
     c.bench_function("ablation_pipeline_depth", |b| {
         b.iter(|| black_box(pipeline_depth_sweep()))
     });

@@ -12,11 +12,32 @@ use yoco_nn::Matrix;
 fn bench_pipeline_simulation(c: &mut Criterion) {
     let pipeline = AttentionPipeline::new(YocoConfig::paper_default());
     for (name, dims) in [
-        ("mobilebert", AttentionDims { seq: 128, d_model: 512, heads: 4 }),
-        ("gpt_large", AttentionDims { seq: 1024, d_model: 1280, heads: 20 }),
-        ("llama3_7b", AttentionDims { seq: 2048, d_model: 4096, heads: 32 }),
+        (
+            "mobilebert",
+            AttentionDims {
+                seq: 128,
+                d_model: 512,
+                heads: 4,
+            },
+        ),
+        (
+            "gpt_large",
+            AttentionDims {
+                seq: 1024,
+                d_model: 1280,
+                heads: 20,
+            },
+        ),
+        (
+            "llama3_7b",
+            AttentionDims {
+                seq: 2048,
+                d_model: 4096,
+                heads: 32,
+            },
+        ),
     ] {
-        c.bench_function(&format!("fig10_pipeline_sim_{name}"), |b| {
+        c.bench_function(format!("fig10_pipeline_sim_{name}"), |b| {
             b.iter(|| pipeline.simulate(black_box(&dims)))
         });
     }
@@ -37,5 +58,9 @@ fn bench_streaming_attention_kernel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pipeline_simulation, bench_streaming_attention_kernel);
+criterion_group!(
+    benches,
+    bench_pipeline_simulation,
+    bench_streaming_attention_kernel
+);
 criterion_main!(benches);

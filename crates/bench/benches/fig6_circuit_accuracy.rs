@@ -12,12 +12,21 @@ fn bench_detailed_vmm(c: &mut Criterion) {
     let weights: Vec<Vec<u32>> = (0..128)
         .map(|r| (0..32).map(|cb| ((r * 17 + cb * 5) % 256) as u32).collect())
         .collect();
-    let array =
-        DetailedArray::with_seeded_noise(geom, &weights, MemoryKind::Sram, NoiseModel::tt_corner(), 7)
-            .expect("valid");
+    let array = DetailedArray::with_seeded_noise(
+        geom,
+        &weights,
+        MemoryKind::Sram,
+        NoiseModel::tt_corner(),
+        7,
+    )
+    .expect("valid");
     let inputs: Vec<u32> = (0..128).map(|r| ((r * 31) % 256) as u32).collect();
     c.bench_function("fig6b_detailed_array_vmm_128x256", |b| {
-        b.iter(|| array.compute_vmm_seeded(black_box(&inputs), 3).expect("valid"))
+        b.iter(|| {
+            array
+                .compute_vmm_seeded(black_box(&inputs), 3)
+                .expect("valid")
+        })
     });
 }
 
@@ -53,7 +62,8 @@ fn bench_monte_carlo_instance(c: &mut Criterion) {
                 seed,
             )
             .expect("valid");
-            inst.compute_vmm_seeded(black_box(&inputs), seed).expect("valid")
+            inst.compute_vmm_seeded(black_box(&inputs), seed)
+                .expect("valid")
         })
     });
 }

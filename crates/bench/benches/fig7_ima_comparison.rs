@@ -15,10 +15,16 @@ fn bench_functional_ima(c: &mut Criterion) {
         .expect("valid config");
     let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(5);
     let weights: Vec<Vec<u32>> = (0..config.ima_rows())
-        .map(|_| (0..config.ima_outputs()).map(|_| rng.gen_range(0..256)).collect())
+        .map(|_| {
+            (0..config.ima_outputs())
+                .map(|_| rng.gen_range(0..256))
+                .collect()
+        })
         .collect();
     let ima = Ima::new(&config, ImaRole::Static, &weights).expect("valid weights");
-    let inputs: Vec<u32> = (0..config.ima_rows()).map(|_| rng.gen_range(0..256)).collect();
+    let inputs: Vec<u32> = (0..config.ima_rows())
+        .map(|_| rng.gen_range(0..256))
+        .collect();
     c.bench_function("fig7_functional_ima_vmm_256x64", |b| {
         b.iter(|| ima.compute_vmm(black_box(&inputs), 9).expect("valid"))
     });

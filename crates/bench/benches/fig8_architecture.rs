@@ -40,5 +40,9 @@ fn bench_full_fig8_table(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_model_on_each_accelerator, bench_full_fig8_table);
+criterion_group!(
+    benches,
+    bench_model_on_each_accelerator,
+    bench_full_fig8_table
+);
 criterion_main!(benches);

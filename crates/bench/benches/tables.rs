@@ -7,7 +7,9 @@ use yoco_baselines::taxonomy::table1_rows;
 use yoco_circuit::energy::{ima_vmm_cost, table2};
 
 fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_taxonomy_rows", |b| b.iter(|| black_box(table1_rows())));
+    c.bench_function("table1_taxonomy_rows", |b| {
+        b.iter(|| black_box(table1_rows()))
+    });
 }
 
 fn bench_table2_rollup(c: &mut Criterion) {

@@ -1,17 +1,25 @@
-//! Prints the four ablation studies of DESIGN.md §5.
+//! Prints the five ablation studies of DESIGN.md §5, as one cached
+//! `yoco-sweep` grid (the studies run in parallel and hit the cache on
+//! repeated invocations).
 
-use yoco_bench::ablations::{
-    corner_sweep, hybrid_ablation, pipeline_depth_sweep, slicing_sweep, tda_ablation,
-};
 use yoco_bench::output::write_json;
+use yoco_bench::sweep_io::{bin_engine, print_cache_line, take_payload};
+use yoco_sweep::studies::ablations::{
+    CornerPoint, HybridPoint, PipelineDepthPoint, SlicingPoint, TdaPoint,
+};
+use yoco_sweep::{grids, StudyId};
 
 fn main() {
+    let engine = bin_engine();
+    let report = engine.run(&grids::resolve("ablations").expect("builtin grid"));
+    print_cache_line(&report);
+
     println!("== Ablation 1: input bit-slicing (charge-once vs bit-serial) ==");
     println!(
         "{:>12} {:>8} {:>18} {:>16} {:>14}",
         "slice bits", "cycles", "converts/MAC (m)", "pJ per MAC", "latency (ns)"
     );
-    let slicing = slicing_sweep();
+    let slicing: Vec<SlicingPoint> = take_payload(&report, StudyId::AblationSlicing);
     for p in &slicing {
         println!(
             "{:>12} {:>8} {:>18.1} {:>16.3} {:>14.0}",
@@ -29,9 +37,15 @@ fn main() {
     println!("== Ablation 2: time-domain vs voltage-domain accumulation ==");
     println!(
         "{:>6} {:>14} {:>14} {:>16} {:>16} {:>12} {:>14}",
-        "stack", "convs (TDA)", "convs (ADC)", "pJ/out (TDA)", "pJ/out (ADC)", "V swing", "time win (ns)"
+        "stack",
+        "convs (TDA)",
+        "convs (ADC)",
+        "pJ/out (TDA)",
+        "pJ/out (ADC)",
+        "V swing",
+        "time win (ns)"
     );
-    let tda = tda_ablation();
+    let tda: Vec<TdaPoint> = take_payload(&report, StudyId::AblationTda);
     for p in &tda {
         println!(
             "{:>6} {:>14} {:>14} {:>16.2} {:>16.2} {:>12.3} {:>14.3}",
@@ -52,9 +66,11 @@ fn main() {
         "{:<20} {:>16} {:>18} {:>20}",
         "variant", "weights/tile", "dyn write (nJ)", "endurance @1k rw/s"
     );
-    let hybrid = hybrid_ablation();
+    let hybrid: Vec<HybridPoint> = take_payload(&report, StudyId::AblationHybrid);
     for p in &hybrid {
-        let endurance = if p.endurance_hours_at_1k.is_infinite() {
+        // Unlimited endurance serializes as JSON null (like serde_json) and
+        // deserializes as NaN from a cache hit, so test finiteness.
+        let endurance = if !p.endurance_hours_at_1k.is_finite() {
             "unlimited".to_string()
         } else {
             format!("{:.1} h", p.endurance_hours_at_1k)
@@ -68,7 +84,7 @@ fn main() {
 
     println!();
     println!("== Ablation 4: pipeline benefit vs sequence length (BERT-base dims) ==");
-    let depth = pipeline_depth_sweep();
+    let depth: Vec<PipelineDepthPoint> = take_payload(&report, StudyId::AblationPipelineDepth);
     for p in &depth {
         println!("  seq {:>5} -> {:.2}x", p.seq, p.speedup);
     }
@@ -76,8 +92,11 @@ fn main() {
 
     println!();
     println!("== Ablation 5: PVT corner sweep, raw vs digitally calibrated ==");
-    println!("{:>6} {:>8} {:>14} {:>18}", "corner", "temp", "peak err (%)", "calibrated (%)");
-    let corners = corner_sweep();
+    println!(
+        "{:>6} {:>8} {:>14} {:>18}",
+        "corner", "temp", "peak err (%)", "calibrated (%)"
+    );
+    let corners: Vec<CornerPoint> = take_payload(&report, StudyId::AblationCorners);
     for p in &corners {
         println!(
             "{:>6} {:>7}C {:>14.3} {:>18.4}",

@@ -22,7 +22,11 @@ fn main() {
             ledger.share(&name) * 100.0
         );
     }
-    println!("  total {:.1} nJ, {:.1} TOPS/W", cost.energy_pj / 1e3, cost.tops_per_watt());
+    println!(
+        "  total {:.1} nJ, {:.1} TOPS/W",
+        cost.energy_pj / 1e3,
+        cost.tops_per_watt()
+    );
 
     println!();
     println!("== YOCO energy breakdown: attention score GEMM (dynamic) ==");
@@ -36,7 +40,11 @@ fn main() {
             ledger.share(&name) * 100.0
         );
     }
-    println!("  total {:.1} nJ, {:.1} TOPS/W", cost.energy_pj / 1e3, cost.tops_per_watt());
+    println!(
+        "  total {:.1} nJ, {:.1} TOPS/W",
+        cost.energy_pj / 1e3,
+        cost.tops_per_watt()
+    );
 
     println!();
     println!("== ISAAC for contrast: the ADC share the paper criticizes ==");

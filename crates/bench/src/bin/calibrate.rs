@@ -4,16 +4,38 @@
 
 fn main() {
     let t = yoco_bench::fig8_table();
-    println!("{:<20} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}  {:>9} {:>8}",
-        "model", "EE/isaac", "EE/rael", "EE/tmly", "TP/isaac", "TP/rael", "TP/tmly", "yoco EE", "yoco TP");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}  {:>9} {:>8}",
+        "model",
+        "EE/isaac",
+        "EE/rael",
+        "EE/tmly",
+        "TP/isaac",
+        "TP/rael",
+        "TP/tmly",
+        "yoco EE",
+        "yoco TP"
+    );
     for r in &t.rows {
-        println!("{:<20} {:>8.1} {:>8.1} {:>8.1}   {:>8.1} {:>8.1} {:>8.1}  {:>9.1} {:>8.2}",
-            r.model, r.ee_ratio[0], r.ee_ratio[1], r.ee_ratio[2],
-            r.tp_ratio[0], r.tp_ratio[1], r.tp_ratio[2],
-            r.yoco_tops_per_watt, r.yoco_tops);
+        println!(
+            "{:<20} {:>8.1} {:>8.1} {:>8.1}   {:>8.1} {:>8.1} {:>8.1}  {:>9.1} {:>8.2}",
+            r.model,
+            r.ee_ratio[0],
+            r.ee_ratio[1],
+            r.ee_ratio[2],
+            r.tp_ratio[0],
+            r.tp_ratio[1],
+            r.tp_ratio[2],
+            r.yoco_tops_per_watt,
+            r.yoco_tops
+        );
     }
-    println!("GEOMEAN EE  {:>6.1} {:>6.1} {:>6.1}  (paper 19.9 / 4.7 / 3.9)",
-        t.ee_geomean[0], t.ee_geomean[1], t.ee_geomean[2]);
-    println!("GEOMEAN TP  {:>6.1} {:>6.1} {:>6.1}  (paper 33.6 / 20.4 / 6.8)",
-        t.tp_geomean[0], t.tp_geomean[1], t.tp_geomean[2]);
+    println!(
+        "GEOMEAN EE  {:>6.1} {:>6.1} {:>6.1}  (paper 19.9 / 4.7 / 3.9)",
+        t.ee_geomean[0], t.ee_geomean[1], t.ee_geomean[2]
+    );
+    println!(
+        "GEOMEAN TP  {:>6.1} {:>6.1} {:>6.1}  (paper 33.6 / 20.4 / 6.8)",
+        t.tp_geomean[0], t.tp_geomean[1], t.tp_geomean[2]
+    );
 }

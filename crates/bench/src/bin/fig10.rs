@@ -1,9 +1,13 @@
-//! Regenerates Fig 10: attention-pipeline speedup on five transformers.
+//! Regenerates Fig 10: attention-pipeline speedup on five transformers,
+//! via the `yoco-sweep` engine (parallel + cached).
 
 use yoco_bench::output::write_json;
+use yoco_bench::sweep_io::{bin_engine, print_cache_line};
+use yoco_sweep::figures::fig10_table_with;
 
 fn main() {
-    let t = yoco_bench::fig10_table();
+    let (t, report) = fig10_table_with(&bin_engine()).expect("fig10 grid evaluates");
+    print_cache_line(&report);
     println!("== Fig 10: attention inference speedup, pipelined vs layer-wise ==");
     for r in &t.rows {
         println!(
@@ -11,6 +15,9 @@ fn main() {
             r.model, r.dims.seq, r.dims.d_model, r.layerwise_ns, r.pipelined_ns, r.speedup
         );
     }
-    println!("  geometric mean: {:.2}x  (paper: 1.8-3.7x per model, geomean 2.33x)", t.geomean);
+    println!(
+        "  geometric mean: {:.2}x  (paper: 1.8-3.7x per model, geomean 2.33x)",
+        t.geomean
+    );
     write_json("fig10", &t);
 }

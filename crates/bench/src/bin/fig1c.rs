@@ -6,7 +6,10 @@ use yoco_bench::output::write_json;
 
 fn main() {
     println!("== Fig 1(c): analog IMC throughput vs energy efficiency ==");
-    println!("{:<6} {:>12} {:>10} {:>8}", "ref", "EE (TOPS/W)", "TP (TOPS)", "kind");
+    println!(
+        "{:<6} {:>12} {:>10} {:>8}",
+        "ref", "EE (TOPS/W)", "TP (TOPS)", "kind"
+    );
     let mut points: Vec<(String, f64, f64, String)> = fig7_circuits()
         .iter()
         .map(|c| {
@@ -14,7 +17,11 @@ fn main() {
                 c.reference.to_string(),
                 c.tops_per_watt,
                 c.tops,
-                if c.digital { "digital".to_string() } else { "analog".to_string() },
+                if c.digital {
+                    "digital".to_string()
+                } else {
+                    "analog".to_string()
+                },
             )
         })
         .collect();

@@ -1,4 +1,7 @@
-//! Regenerates Fig 6: circuit accuracy characterization.
+//! Regenerates Fig 6: circuit accuracy characterization, via the
+//! `yoco-sweep` engine (each sub-figure is one cacheable study cell — the
+//! 2000-run Monte Carlo and the stand-in training are cache hits on
+//! repeated invocations).
 //!
 //! Subcommands (run all when none given):
 //!
@@ -9,173 +12,88 @@
 //! * `e` — end-to-end MAC error vs prior designs
 //! * `f` — DNN inference accuracy, FP32 vs YOCO-based, 6 benchmarks
 
-use serde::Serialize;
 use yoco_bench::output::write_json;
-use yoco_circuit::dac::DacTransfer;
-use yoco_circuit::variation::MismatchField;
-use yoco_circuit::{ArrayGeometry, DetailedArray, MemoryKind, MonteCarlo, NoiseModel};
+use yoco_bench::sweep_io::{bin_engine, print_cache_line, take_payload};
+use yoco_circuit::variation::MonteCarloReport;
+use yoco_sweep::studies::fig6::{Fig6aRecord, Fig6bcRecord, Fig6fRow};
+use yoco_sweep::StudyId;
+use yoco_sweep::{Scenario, SweepReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = |p: &str| args.is_empty() || args.iter().any(|a| a == p);
+    // One engine run over every selected sub-figure: the expensive cells
+    // (b/c detailed sims, d Monte Carlo, f training) compute in parallel.
+    let mut studies = Vec::new();
     if run("a") {
-        fig6a();
+        studies.push(StudyId::Fig6a);
     }
     if run("b") || run("c") {
-        fig6bc();
+        studies.push(StudyId::Fig6bc);
     }
     if run("d") {
-        fig6d();
+        studies.push(StudyId::Fig6d);
     }
     if run("e") {
-        fig6e();
+        studies.push(StudyId::Fig6e);
     }
     if run("f") {
-        fig6f();
+        studies.push(StudyId::Fig6f);
+    }
+    let grid: Vec<Scenario> = studies.iter().copied().map(Scenario::study).collect();
+    let report = bin_engine().run(&grid);
+    print_cache_line(&report);
+    for study in studies {
+        match study {
+            StudyId::Fig6a => fig6a(&report),
+            StudyId::Fig6bc => fig6bc(&report),
+            StudyId::Fig6d => fig6d(&report),
+            StudyId::Fig6e => fig6e(&report),
+            StudyId::Fig6f => fig6f(&report),
+            _ => unreachable!("only fig6 studies are selected"),
+        }
     }
 }
 
-#[derive(Serialize)]
-struct Fig6aRecord {
-    codes: Vec<u32>,
-    volts: Vec<f64>,
-    inl_lsb: Vec<f64>,
-    dnl_lsb: Vec<f64>,
-    max_inl: f64,
-    max_dnl: f64,
-}
-
-fn fig6a() {
+fn fig6a(report: &SweepReport) {
     println!("== Fig 6(a): input-conversion transfer curve, INL/DNL ==");
-    let t = DacTransfer::measure(ArrayGeometry::yoco_default(), NoiseModel::tt_corner(), 42)
-        .expect("valid geometry");
-    let lin = t.linearity();
-    for code in (0..=255).step_by(32) {
+    let r: Fig6aRecord = take_payload(report, StudyId::Fig6a);
+    for code in (0..=255usize).step_by(32) {
         println!(
             "  code {:>3} -> {:>8.4} V   (INL {:+.3} LSB)",
-            code,
-            t.volts[code].value(),
-            lin.inl[code]
+            code, r.volts[code], r.inl_lsb[code]
         );
     }
     println!(
         "  max |INL| = {:.3} LSB, max |DNL| = {:.3} LSB  (paper: within 2 LSB, typically <1)",
-        lin.max_inl, lin.max_dnl
+        r.max_inl, r.max_dnl
     );
-    write_json(
-        "fig6a",
-        &Fig6aRecord {
-            codes: t.codes.clone(),
-            volts: t.volts.iter().map(|v| v.value()).collect(),
-            inl_lsb: lin.inl.clone(),
-            dnl_lsb: lin.dnl.clone(),
-            max_inl: lin.max_inl,
-            max_dnl: lin.max_dnl,
-        },
-    );
+    write_json("fig6a", &r);
 }
 
-#[derive(Serialize)]
-struct Fig6bcRecord {
-    codes: Vec<u32>,
-    weight_sweep_volts: Vec<f64>,
-    input_sweep_volts: Vec<f64>,
-    weight_sweep_err_pct: Vec<f64>,
-    input_sweep_err_pct: Vec<f64>,
-    max_err_pct: f64,
-}
-
-fn fig6bc() {
+fn fig6bc(report: &SweepReport) {
     println!("== Fig 6(b)/(c): 8-bit MAC transfer curves, 128 channels ==");
-    let geom = ArrayGeometry::yoco_default();
-    let fs = geom.full_scale_voltage().value();
-    let mut codes = Vec::new();
-    let mut wv = Vec::new();
-    let mut iv = Vec::new();
-    let mut we = Vec::new();
-    let mut ie = Vec::new();
-    let mut max_err = 0.0f64;
-    for code in 0..=255u32 {
-        codes.push(code);
-        // Blue curve: weights swept, input fixed at 255.
-        // Red curve: inputs swept, weight fixed at 255.
-        for (sweep_w, volts, errs) in [(true, &mut wv, &mut we), (false, &mut iv, &mut ie)] {
-            let (w, x) = if sweep_w { (code, 255) } else { (255, code) };
-            let weights = vec![vec![w; 32]; 128];
-            let array = DetailedArray::with_seeded_noise(
-                geom,
-                &weights,
-                MemoryKind::Sram,
-                NoiseModel::tt_corner(),
-                1234,
-            )
-            .expect("valid weights");
-            let out = array
-                .compute_vmm_seeded(&vec![x; 128], code as u64)
-                .expect("valid inputs");
-            let v = out.cb_voltages[0].value();
-            let ideal = geom.dot_to_voltage(128.0 * (w * x) as f64).value();
-            let err = (v - ideal) / fs * 100.0;
-            volts.push(v);
-            errs.push(err);
-            max_err = max_err.max(err.abs());
-        }
-    }
-    for c in (0..=255).step_by(64) {
+    let r: Fig6bcRecord = take_payload(report, StudyId::Fig6bc);
+    for c in (0..=255usize).step_by(64) {
         println!(
             "  code {:>3}: W-sweep {:.4} V ({:+.3} %)   IN-sweep {:.4} V ({:+.3} %)",
-            c, wv[c], we[c], iv[c], ie[c]
+            c,
+            r.weight_sweep_volts[c],
+            r.weight_sweep_err_pct[c],
+            r.input_sweep_volts[c],
+            r.input_sweep_err_pct[c]
         );
     }
-    println!("  max |MAC error| = {max_err:.3} %  (paper: < 0.68 %)");
-    write_json(
-        "fig6bc",
-        &Fig6bcRecord {
-            codes,
-            weight_sweep_volts: wv,
-            input_sweep_volts: iv,
-            weight_sweep_err_pct: we,
-            input_sweep_err_pct: ie,
-            max_err_pct: max_err,
-        },
+    println!(
+        "  max |MAC error| = {:.3} %  (paper: < 0.68 %)",
+        r.max_err_pct
     );
+    write_json("fig6bc", &r);
 }
 
-fn fig6d() {
+fn fig6d(report: &SweepReport) {
     println!("== Fig 6(d): Monte-Carlo voltage offset, 2000 runs @ TT, 25C ==");
-    let geom = ArrayGeometry::yoco_default();
-    let weights: Vec<Vec<u32>> = (0..128)
-        .map(|r| (0..32).map(|c| ((r * 11 + c * 3 + 7) % 256) as u32).collect())
-        .collect();
-    let inputs: Vec<u32> = (0..128).map(|r| ((r * 97 + 31) % 256) as u32).collect();
-    let nominal = DetailedArray::with_noise(
-        geom,
-        &weights,
-        MemoryKind::Sram,
-        NoiseModel {
-            cap_mismatch_sigma: 0.0,
-            readout_offset_sigma: 0.0,
-            ..NoiseModel::tt_corner()
-        },
-        MismatchField::ideal(geom.rows(), geom.cols()),
-    )
-    .expect("valid weights");
-    let v_nom = nominal.compute_vmm(&inputs).expect("valid inputs").cb_voltages[0];
-    let mc = MonteCarlo::new(2000, 99);
-    let report = mc.run(|seed| {
-        let inst = DetailedArray::with_seeded_noise(
-            geom,
-            &weights,
-            MemoryKind::Sram,
-            NoiseModel::tt_corner(),
-            seed,
-        )
-        .expect("valid weights");
-        inst.compute_vmm_seeded(&inputs, seed ^ 0xABCD)
-            .expect("valid inputs")
-            .cb_voltages[0]
-            - v_nom
-    });
+    let report: MonteCarloReport = take_payload(report, StudyId::Fig6d);
     println!(
         "  mean {:+.3} mV, sigma {:.3} mV, 3sigma {:.2} mV (paper: 2.25 mV), range [{:+.3}, {:+.3}] mV",
         report.mean * 1e3,
@@ -191,50 +109,28 @@ fn fig6d() {
     write_json("fig6d", &report);
 }
 
-fn fig6e() {
+fn fig6e(report: &SweepReport) {
     println!("== Fig 6(e): MAC error comparison ==");
-    let ladder = yoco_baselines::prior::fig6e_error_ladder();
+    let ladder: Vec<(String, f64)> = take_payload(report, StudyId::Fig6e);
     for (name, err) in &ladder {
         println!("  {name:<6} {err:>5.2} %");
     }
     write_json("fig6e", &ladder);
 }
 
-#[derive(Serialize)]
-struct Fig6fRow {
-    benchmark: String,
-    class: String,
-    test_samples: usize,
-    accuracy_f32: f64,
-    accuracy_yoco: f64,
-    loss_pct: f64,
-}
-
-fn fig6f() {
+fn fig6f(report: &SweepReport) {
     println!("== Fig 6(f): inference accuracy, FP32 vs YOCO-based ==");
     println!("  (stand-in benchmarks; see DESIGN.md substitution 2)");
-    let standins = yoco_nn::standins::fig6f_standins(2025).expect("training succeeds");
-    let mut rows = Vec::new();
-    for s in &standins {
-        let f = s.accuracy_f32();
-        let a = s.accuracy_analog(7);
-        let loss = (f - a) * 100.0;
+    let rows: Vec<Fig6fRow> = take_payload(report, StudyId::Fig6f);
+    for r in &rows {
         println!(
-            "  {:<14} {:?}: f32 {:.2} %  yoco {:.2} %  loss {:+.2} %",
-            s.name,
-            s.class,
-            f * 100.0,
-            a * 100.0,
-            loss
+            "  {:<14} {}: f32 {:.2} %  yoco {:.2} %  loss {:+.2} %",
+            r.benchmark,
+            r.class,
+            r.accuracy_f32 * 100.0,
+            r.accuracy_yoco * 100.0,
+            r.loss_pct
         );
-        rows.push(Fig6fRow {
-            benchmark: s.name.clone(),
-            class: format!("{:?}", s.class),
-            test_samples: s.test_len(),
-            accuracy_f32: f,
-            accuracy_yoco: a,
-            loss_pct: loss,
-        });
     }
     println!("  (paper: <0.5 % loss on 4 CNNs, <0.61 % on 2 transformers)");
     write_json("fig6f", &rows);

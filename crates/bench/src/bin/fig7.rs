@@ -1,11 +1,15 @@
 //! Regenerates Fig 7: YOCO's IMA vs eight prior IMC macros, normalized
-//! energy efficiency, throughput, and figure of merit.
+//! energy efficiency, throughput, and figure of merit — rows computed as a
+//! cached `yoco-sweep` study cell.
 
-use yoco_baselines::prior::{fig7_circuits, fig7_rows, yoco_ima};
+use yoco_baselines::prior::{fig7_circuits, yoco_ima, Fig7Row};
 use yoco_bench::output::write_json;
+use yoco_bench::sweep_io::{bin_engine, run_study};
+use yoco_sweep::StudyId;
 
 fn main() {
     let ours = yoco_ima();
+    let rows: Vec<Fig7Row> = run_study(&bin_engine(), StudyId::Fig7);
     println!("== Fig 7: normalized VMM energy efficiency / throughput / FoM ==");
     println!(
         "  YOCO IMA reference: {:.1} TOPS/W, {:.1} TOPS, FoM {:.3e}",
@@ -14,22 +18,37 @@ fn main() {
         ours.fom()
     );
     println!(
-        "{:<6} {:>12} {:>12} {:>12}   {}",
-        "ref", "EE ratio", "TP ratio", "FoM ratio", "description"
+        "{:<6} {:>12} {:>12} {:>12}   description",
+        "ref", "EE ratio", "TP ratio", "FoM ratio"
     );
-    let rows = fig7_rows();
+    // Join by citation tag, not position: cached rows may predate a
+    // reordering of the circuit list.
     let circuits = fig7_circuits();
-    for (r, c) in rows.iter().zip(&circuits) {
+    for r in &rows {
+        let description = circuits
+            .iter()
+            .find(|c| c.reference == r.reference)
+            .map(|c| c.description)
+            .unwrap_or("(not in the current circuit list — stale cache?)");
         println!(
             "{:<6} {:>11.1}x {:>11.1}x {:>11.0}x   {}",
-            r.reference, r.ee_ratio, r.throughput_ratio, r.fom_ratio, c.description
+            r.reference, r.ee_ratio, r.throughput_ratio, r.fom_ratio, description
         );
     }
-    let ee_min = rows.iter().map(|r| r.ee_ratio).fold(f64::INFINITY, f64::min);
+    let ee_min = rows
+        .iter()
+        .map(|r| r.ee_ratio)
+        .fold(f64::INFINITY, f64::min);
     let ee_max = rows.iter().map(|r| r.ee_ratio).fold(0.0, f64::max);
-    let tp_min = rows.iter().map(|r| r.throughput_ratio).fold(f64::INFINITY, f64::min);
+    let tp_min = rows
+        .iter()
+        .map(|r| r.throughput_ratio)
+        .fold(f64::INFINITY, f64::min);
     let tp_max = rows.iter().map(|r| r.throughput_ratio).fold(0.0, f64::max);
-    let fom_min = rows.iter().map(|r| r.fom_ratio).fold(f64::INFINITY, f64::min);
+    let fom_min = rows
+        .iter()
+        .map(|r| r.fom_ratio)
+        .fold(f64::INFINITY, f64::min);
     let fom_max = rows.iter().map(|r| r.fom_ratio).fold(0.0, f64::max);
     println!(
         "ranges: EE {ee_min:.1}-{ee_max:.1}x (paper 1.5-40x), TP {tp_min:.0}-{tp_max:.0}x (paper 12-1164x), FoM {fom_min:.0}-{fom_max:.0}x (paper 36-14000x)"

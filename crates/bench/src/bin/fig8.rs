@@ -1,10 +1,17 @@
 //! Regenerates Fig 8: chip-level energy efficiency and throughput of YOCO
 //! vs ISAAC / RAELLA / TIMELY on the 10-model zoo.
+//!
+//! The 40-cell grid runs through the `yoco-sweep` engine: cells fan out
+//! across cores and land in `results/cache/`, so a repeated invocation is
+//! all cache hits.
 
 use yoco_bench::output::write_json;
+use yoco_bench::sweep_io::{bin_engine, print_cache_line};
+use yoco_sweep::figures::fig8_table_with;
 
 fn main() {
-    let t = yoco_bench::fig8_table();
+    let (t, report) = fig8_table_with(&bin_engine()).expect("fig8 grid evaluates");
+    print_cache_line(&report);
     println!("== Fig 8: normalized to ISAAC / RAELLA / TIMELY ==");
     println!(
         "{:<20} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",

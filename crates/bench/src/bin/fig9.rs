@@ -1,7 +1,11 @@
-//! Regenerates Fig 9: DAC (a) and ADC (b) overhead comparisons.
+//! Regenerates Fig 9: DAC (a) and ADC (b) overhead comparisons, as cached
+//! `yoco-sweep` study cells.
 
-use yoco_baselines::adc_dac::{fig9a_dac_ratios, fig9b_schemes, DacSpec};
+use yoco_baselines::adc_dac::{AdcScheme, DacSpec};
 use yoco_bench::output::write_json;
+use yoco_bench::sweep_io::{bin_engine, run_study};
+use yoco_sweep::studies::Fig9aRecord;
+use yoco_sweep::StudyId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,17 +30,24 @@ fn fig9a() {
         "  YOCO:         {:.2} um2, {:.3} pJ, {:.2} ns per conversion",
         ours.area_um2, ours.energy_pj, ours.latency_ns
     );
-    let (area, energy, latency) = fig9a_dac_ratios();
+    let r: Fig9aRecord = run_study(&bin_engine(), StudyId::Fig9a);
     println!(
-        "  reductions: area {area:.0}x, energy {energy:.1}x, latency {latency:.1}x  (paper: 352x / 9x / 1.6x)"
+        "  reductions: area {:.0}x, energy {:.1}x, latency {:.1}x  (paper: 352x / 9x / 1.6x)",
+        r.area_ratio, r.energy_ratio, r.latency_ratio
     );
-    write_json("fig9a", &(area, energy, latency));
+    write_json("fig9a", &r);
 }
 
 fn fig9b() {
     println!("== Fig 9(b): ADC overhead per 8-bit MAC output ==");
-    let schemes = fig9b_schemes();
-    let yoco = schemes[2].conversions as f64;
+    let schemes: Vec<AdcScheme> = run_study(&bin_engine(), StudyId::Fig9b);
+    // YOCO is the scheme with the fewest conversions; don't assume its
+    // position in a (possibly cached) row list.
+    let yoco = schemes
+        .iter()
+        .map(|s| s.conversions)
+        .min()
+        .expect("fig9b schemes are non-empty") as f64;
     for s in &schemes {
         let reduction = 1.0 - yoco / s.conversions as f64;
         println!(

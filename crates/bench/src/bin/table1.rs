@@ -1,14 +1,24 @@
-//! Regenerates Table I: the ADCs/DACs cost taxonomy.
+//! Regenerates Table I: the ADCs/DACs cost taxonomy, as a cached
+//! `yoco-sweep` study cell.
 
-use yoco_baselines::taxonomy::table1_rows;
+use yoco_baselines::taxonomy::TaxonomyRow;
 use yoco_bench::output::write_json;
+use yoco_bench::sweep_io::{bin_engine, run_study};
+use yoco_sweep::StudyId;
 
 fn main() {
-    let rows = table1_rows();
+    let rows: Vec<TaxonomyRow> = run_study(&bin_engine(), StudyId::Table1);
     println!("TABLE I. ADCS/DACS COST COMPARISON");
     println!(
         "{:<14} {:>12} {:>12} {:>10} {:>9} {:>9} {:>8} {:>14}",
-        "Architecture", "Slice Weight", "Slice Input", "Block Size", "ADC Cost", "DAC Cost", "Memory", "Accuracy Loss"
+        "Architecture",
+        "Slice Weight",
+        "Slice Input",
+        "Block Size",
+        "ADC Cost",
+        "DAC Cost",
+        "Memory",
+        "Accuracy Loss"
     );
     for r in &rows {
         println!(

@@ -1,23 +1,13 @@
 //! Regenerates Table II: the YOCO parameter summary, from the component
 //! models (not hard-coded prose — each row is the number the simulator
-//! actually uses), plus the derived headline operating point.
+//! actually uses), plus the derived headline operating point computed as a
+//! cached `yoco-sweep` study cell.
 
-use serde::Serialize;
-use yoco::YocoChip;
 use yoco_bench::output::write_json;
-use yoco_circuit::energy::{array_area, array_vmm_energy, ima_area, ima_vmm_cost, table2};
-
-#[derive(Serialize)]
-struct Table2Record {
-    array_energy_pj: f64,
-    ima_energy_nj: f64,
-    ima_latency_ns: f64,
-    tops_per_watt: f64,
-    tops: f64,
-    array_area_um2: f64,
-    ima_area_um2: f64,
-    chip_area_mm2: f64,
-}
+use yoco_bench::sweep_io::{bin_engine, run_study};
+use yoco_circuit::energy::{array_area, array_vmm_energy, ima_vmm_cost, table2};
+use yoco_sweep::studies::Table2Record;
+use yoco_sweep::StudyId;
 
 fn row(level: &str, component: &str, count: &str, energy: &str, latency: &str, area: &str) {
     println!("{level:<6} {component:<18} {count:>12} {energy:>16} {latency:>14} {area:>14}");
@@ -25,45 +15,136 @@ fn row(level: &str, component: &str, count: &str, energy: &str, latency: &str, a
 
 fn main() {
     println!("TABLE II. SUMMARY OF YOCO PARAMETERS (regenerated from the component models)");
-    row("Level", "Component", "Num/Size", "Energy", "Latency", "Area/comp");
-    row("MCC", "capacitor", "2 fF", &format!("{:.2} fJ/act", table2::MCC_CAP_ENERGY_FJ), "-", &format!("{} um2", table2::MCC_AREA_UM2));
-    row("MCC", "SRAM/1T1R cluster", "8 / 32 bits", "-", "-", &format!("{} um2/bit", table2::MEM_CELL_AREA_UM2));
+    row(
+        "Level",
+        "Component",
+        "Num/Size",
+        "Energy",
+        "Latency",
+        "Area/comp",
+    );
+    row(
+        "MCC",
+        "capacitor",
+        "2 fF",
+        &format!("{:.2} fJ/act", table2::MCC_CAP_ENERGY_FJ),
+        "-",
+        &format!("{} um2", table2::MCC_AREA_UM2),
+    );
+    row(
+        "MCC",
+        "SRAM/1T1R cluster",
+        "8 / 32 bits",
+        "-",
+        "-",
+        &format!("{} um2/bit", table2::MEM_CELL_AREA_UM2),
+    );
     let array_e = array_vmm_energy(table2::DEFAULT_ACTIVITY);
-    row("Array", "MCC array", "128x256", &format!("{:.1} pJ (50% act)", array_e.as_pico()), &format!("{} ns", table2::ARRAY_LATENCY_NS), &format!("{:.0} um2", table2::ARRAY_AREA_UM2));
-    row("Array", "row driver", "128", &format!("{} fJ", table2::ROW_DRIVER_ENERGY_FJ), "<30 ps", &format!("{} um2", table2::ROW_DRIVER_AREA_UM2));
-    row("Array", "time accumulator", "32", &format!("{} fJ", table2::TDA_ENERGY_FJ), &format!("{} ps", table2::TDA_LATENCY_PS), &format!("{} um2", table2::TDA_AREA_UM2));
+    row(
+        "Array",
+        "MCC array",
+        "128x256",
+        &format!("{:.1} pJ (50% act)", array_e.as_pico()),
+        &format!("{} ns", table2::ARRAY_LATENCY_NS),
+        &format!("{:.0} um2", table2::ARRAY_AREA_UM2),
+    );
+    row(
+        "Array",
+        "row driver",
+        "128",
+        &format!("{} fJ", table2::ROW_DRIVER_ENERGY_FJ),
+        "<30 ps",
+        &format!("{} um2", table2::ROW_DRIVER_AREA_UM2),
+    );
+    row(
+        "Array",
+        "time accumulator",
+        "32",
+        &format!("{} fJ", table2::TDA_ENERGY_FJ),
+        &format!("{} ps", table2::TDA_LATENCY_PS),
+        &format!("{} um2", table2::TDA_AREA_UM2),
+    );
     let cost = ima_vmm_cost(table2::DEFAULT_ACTIVITY);
-    row("IMA", "array grid", "8x8", &format!("{:.2} nJ/VMM", cost.energy.as_nano()), &format!("{:.1} ns", cost.latency.as_nano()), &format!("{:.0} um2", array_area().value()));
-    row("IMA", "TDC (8 bit)", "32x8", &format!("{} pJ", table2::TDC_ENERGY_PJ), &format!("{} ns", table2::TDC_LATENCY_NS), &format!("{} um2", table2::TDC_AREA_UM2));
-    row("IMA", "I/O buffer", "4 KB", &format!("{} pJ/256b", table2::BUFFER_ENERGY_PER_256B_PJ), &format!("{} ns/256b", table2::BUFFER_LATENCY_PER_256B_NS), &format!("{} um2", table2::BUFFER_AREA_UM2));
-    row("Tile", "IMA", "8", "see IMA", "<15 ns/VMM", &format!("{} mm2", table2::TILE_AREA_MM2));
-    row("Tile", "SFU", "128", &format!("{} pJ", table2::SFU_ENERGY_PJ), &format!("{} ns", table2::SFU_LATENCY_NS), &format!("{} um2", table2::SFU_AREA_UM2));
-    row("Tile", "eDRAM", "160 KB", &format!("{} pJ/bit", table2::EDRAM_ENERGY_PJ_PER_BIT), &format!("{} GB/s", table2::EDRAM_BANDWIDTH_GBPS), &format!("{} mm2", table2::EDRAM_AREA_MM2));
-    row("Chip", "tile", "4", "-", "-", &format!("{} mm2 (paper)", table2::CHIP_AREA_MM2));
-    row("Link", "Hyper-Transport", "1 / 1.6 GHz", "-", &format!("{} GB/s", table2::HYPERLINK_BW_GBPS), &format!("{} mm2", table2::HYPERLINK_AREA_MM2));
+    row(
+        "IMA",
+        "array grid",
+        "8x8",
+        &format!("{:.2} nJ/VMM", cost.energy.as_nano()),
+        &format!("{:.1} ns", cost.latency.as_nano()),
+        &format!("{:.0} um2", array_area().value()),
+    );
+    row(
+        "IMA",
+        "TDC (8 bit)",
+        "32x8",
+        &format!("{} pJ", table2::TDC_ENERGY_PJ),
+        &format!("{} ns", table2::TDC_LATENCY_NS),
+        &format!("{} um2", table2::TDC_AREA_UM2),
+    );
+    row(
+        "IMA",
+        "I/O buffer",
+        "4 KB",
+        &format!("{} pJ/256b", table2::BUFFER_ENERGY_PER_256B_PJ),
+        &format!("{} ns/256b", table2::BUFFER_LATENCY_PER_256B_NS),
+        &format!("{} um2", table2::BUFFER_AREA_UM2),
+    );
+    row(
+        "Tile",
+        "IMA",
+        "8",
+        "see IMA",
+        "<15 ns/VMM",
+        &format!("{} mm2", table2::TILE_AREA_MM2),
+    );
+    row(
+        "Tile",
+        "SFU",
+        "128",
+        &format!("{} pJ", table2::SFU_ENERGY_PJ),
+        &format!("{} ns", table2::SFU_LATENCY_NS),
+        &format!("{} um2", table2::SFU_AREA_UM2),
+    );
+    row(
+        "Tile",
+        "eDRAM",
+        "160 KB",
+        &format!("{} pJ/bit", table2::EDRAM_ENERGY_PJ_PER_BIT),
+        &format!("{} GB/s", table2::EDRAM_BANDWIDTH_GBPS),
+        &format!("{} mm2", table2::EDRAM_AREA_MM2),
+    );
+    row(
+        "Chip",
+        "tile",
+        "4",
+        "-",
+        "-",
+        &format!("{} mm2 (paper)", table2::CHIP_AREA_MM2),
+    );
+    row(
+        "Link",
+        "Hyper-Transport",
+        "1 / 1.6 GHz",
+        "-",
+        &format!("{} GB/s", table2::HYPERLINK_BW_GBPS),
+        &format!("{} mm2", table2::HYPERLINK_AREA_MM2),
+    );
     println!();
+    // Force-recompute: the component rows above come from the current
+    // binary's constants, so the derived headline must too (a cached
+    // record from before a model edit would make the table internally
+    // inconsistent). The study is microseconds; forcing still refreshes
+    // the cache entry for other consumers.
+    let record: Table2Record = run_study(&bin_engine().force(true), StudyId::Table2);
     println!(
         "Derived headline (8-bit 1024x256 VMM): {:.2} nJ, {:.1} ns -> {:.1} TOPS/W, {:.1} TOPS",
-        cost.energy.as_nano(),
-        cost.latency.as_nano(),
-        cost.tops_per_watt(),
-        cost.tops()
+        record.ima_energy_nj, record.ima_latency_ns, record.tops_per_watt, record.tops
     );
     println!("(paper: 4.235 nJ, 15 ns -> 123.8 TOPS/W, 34.9 TOPS)");
-    let chip = YocoChip::paper_default();
-    println!("Chip area from component roll-up: {:.1} mm2", chip.area_mm2());
-
-    write_json(
-        "table2",
-        &Table2Record {
-            array_energy_pj: array_e.as_pico(),
-            ima_energy_nj: cost.energy.as_nano(),
-            ima_latency_ns: cost.latency.as_nano(),
-            tops_per_watt: cost.tops_per_watt(),
-            tops: cost.tops(),
-            array_area_um2: array_area().value(),
-            ima_area_um2: ima_area().value(),
-            chip_area_mm2: chip.area_mm2(),
-        },
+    println!(
+        "Chip area from component roll-up: {:.1} mm2",
+        record.chip_area_mm2
     );
+
+    write_json("table2", &record);
 }

@@ -1,61 +1,8 @@
-//! The Fig 10 computation: attention-pipeline speedup on the five
-//! transformer benchmarks.
+//! The Fig 10 computation, now executed by the `yoco-sweep` engine.
+//!
+//! Types and numbers are unchanged from the seed; the per-transformer
+//! pipeline cells live in [`yoco_sweep::figures`].
 
-use serde::{Deserialize, Serialize};
-use yoco::{AttentionDims, AttentionPipeline, YocoConfig};
-
-/// One transformer's pipeline result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig10Row {
-    /// Model name (paper's Fig 10 label).
-    pub model: String,
-    /// Attention dimensions used.
-    pub dims: AttentionDims,
-    /// Layer-wise attention latency, ns.
-    pub layerwise_ns: f64,
-    /// Pipelined attention latency, ns.
-    pub pipelined_ns: f64,
-    /// Speedup (the Fig 10 bar).
-    pub speedup: f64,
-}
-
-/// The Fig 10 table plus its geometric mean.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig10Table {
-    /// Per-model rows in the paper's order.
-    pub rows: Vec<Fig10Row>,
-    /// Geometric-mean speedup (paper: 2.33×).
-    pub geomean: f64,
-}
-
-/// Attention dimensions of the five Fig 10 transformers, in paper order.
-pub fn fig10_dims() -> Vec<(&'static str, AttentionDims)> {
-    vec![
-        ("gpt_large", AttentionDims { seq: 1024, d_model: 1280, heads: 20 }),
-        ("mobilebert", AttentionDims { seq: 128, d_model: 512, heads: 4 }),
-        ("qdqbert", AttentionDims { seq: 128, d_model: 768, heads: 12 }),
-        ("vision_transformer", AttentionDims { seq: 197, d_model: 768, heads: 12 }),
-        ("llama3_7b", AttentionDims { seq: 2048, d_model: 4096, heads: 32 }),
-    ]
-}
-
-/// Runs both schedules for every Fig 10 transformer.
-pub fn fig10_table() -> Fig10Table {
-    let pipeline = AttentionPipeline::new(YocoConfig::paper_default());
-    let rows: Vec<Fig10Row> = fig10_dims()
-        .into_iter()
-        .map(|(name, dims)| {
-            let r = pipeline.simulate(&dims);
-            Fig10Row {
-                model: name.to_owned(),
-                dims,
-                layerwise_ns: r.layerwise_ns,
-                pipelined_ns: r.pipelined_ns,
-                speedup: r.speedup(),
-            }
-        })
-        .collect();
-    let geomean =
-        (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
-    Fig10Table { rows, geomean }
-}
+pub use yoco_sweep::figures::{
+    fig10_dims, fig10_scenarios, fig10_table, fig10_table_with, Fig10Row, Fig10Table,
+};

@@ -1,72 +1,8 @@
-//! The Fig 8 computation: YOCO vs ISAAC / RAELLA / TIMELY over the
-//! 10-model zoo, normalized per model, summarized by geometric mean.
+//! The Fig 8 computation, now executed by the `yoco-sweep` engine.
+//!
+//! The types and the numbers are unchanged from the seed; the evaluation
+//! grid (4 accelerators × 10 models) lives in
+//! [`yoco_sweep::figures`] so that bins, benches, and the `sweep` CLI all
+//! share one execution path (and one result cache).
 
-use serde::{Deserialize, Serialize};
-use yoco::YocoChip;
-use yoco_arch::accelerator::{geometric_mean, Accelerator, RunReport};
-use yoco_baselines::{isaac::isaac, raella::raella, timely::timely};
-use yoco_nn::models::fig8_benchmarks;
-
-/// One model's normalized ratios (YOCO ÷ baseline).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig8Row {
-    /// Model name.
-    pub model: String,
-    /// Energy-efficiency ratios vs `[isaac, raella, timely]`.
-    pub ee_ratio: [f64; 3],
-    /// Throughput ratios vs `[isaac, raella, timely]`.
-    pub tp_ratio: [f64; 3],
-    /// YOCO's absolute numbers, for the record.
-    pub yoco_tops_per_watt: f64,
-    /// YOCO throughput, TOPS.
-    pub yoco_tops: f64,
-}
-
-/// The full Fig 8 table plus geometric means.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Fig8Table {
-    /// Per-model rows, in the paper's model order.
-    pub rows: Vec<Fig8Row>,
-    /// Geomean EE ratios vs `[isaac, raella, timely]` (paper: 19.9 / 4.7 / 3.9).
-    pub ee_geomean: [f64; 3],
-    /// Geomean throughput ratios (paper: 33.6 / 20.4 / 6.8).
-    pub tp_geomean: [f64; 3],
-}
-
-/// Evaluates all four accelerators on the 10 benchmarks and normalizes.
-pub fn fig8_table() -> Fig8Table {
-    let yoco = YocoChip::paper_default();
-    let baselines: [&dyn Accelerator; 3] = [&isaac(), &raella(), &timely()];
-    let mut rows = Vec::new();
-    for model in fig8_benchmarks() {
-        let workloads = model.workloads();
-        let y: RunReport = yoco.evaluate_model(&model.name, &workloads);
-        let mut ee_ratio = [0.0; 3];
-        let mut tp_ratio = [0.0; 3];
-        for (i, b) in baselines.iter().enumerate() {
-            let r = b.evaluate_model(&model.name, &workloads);
-            ee_ratio[i] = y.tops_per_watt() / r.tops_per_watt();
-            tp_ratio[i] = y.tops() / r.tops();
-        }
-        rows.push(Fig8Row {
-            model: model.name.clone(),
-            ee_ratio,
-            tp_ratio,
-            yoco_tops_per_watt: y.tops_per_watt(),
-            yoco_tops: y.tops(),
-        });
-    }
-    let mut ee_geomean = [0.0; 3];
-    let mut tp_geomean = [0.0; 3];
-    for i in 0..3 {
-        let ee: Vec<f64> = rows.iter().map(|r| r.ee_ratio[i]).collect();
-        let tp: Vec<f64> = rows.iter().map(|r| r.tp_ratio[i]).collect();
-        ee_geomean[i] = geometric_mean(&ee);
-        tp_geomean[i] = geometric_mean(&tp);
-    }
-    Fig8Table {
-        rows,
-        ee_geomean,
-        tp_geomean,
-    }
-}
+pub use yoco_sweep::figures::{fig8_scenarios, fig8_table, fig8_table_with, Fig8Row, Fig8Table};

@@ -1,0 +1,57 @@
+//! Bin-side plumbing for the sweep engine: run a study cell through the
+//! shared cache and hand back its typed record.
+
+use serde::Deserialize;
+use yoco_sweep::{Engine, Scenario, StudyId, SweepReport};
+
+/// The engine policy the `fig*`/`table*` bins share: workspace cache, one
+/// worker per core. Set `YOCO_SWEEP_NO_CACHE=1` to bypass the cache (e.g.
+/// when bisecting a model change); `0`, empty, and unset keep it on.
+pub fn bin_engine() -> Engine {
+    let engine = Engine::cached();
+    let opted_out = std::env::var("YOCO_SWEEP_NO_CACHE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if opted_out {
+        engine.no_cache()
+    } else {
+        engine
+    }
+}
+
+/// Runs one study and deserializes its payload, reporting cache status on
+/// stdout like every sweep-driven bin.
+///
+/// # Panics
+///
+/// Panics if the study fails to evaluate or its payload does not match
+/// `T` — both are programming errors in a bin wired to the wrong study.
+pub fn run_study<T: Deserialize>(engine: &Engine, study: StudyId) -> T {
+    let report = engine.run(&[Scenario::study(study)]);
+    print_cache_line(&report);
+    take_payload(&report, study)
+}
+
+/// Deserializes one study payload out of a larger report.
+///
+/// # Panics
+///
+/// Panics on evaluation failure or payload mismatch, like [`run_study`].
+pub fn take_payload<T: Deserialize>(report: &SweepReport, study: StudyId) -> T {
+    let id = format!("study/{}", study.name());
+    let cell = report
+        .cells
+        .iter()
+        .find(|c| c.scenario.id == id)
+        .unwrap_or_else(|| panic!("study {id} missing from report"));
+    if let Some(e) = &cell.error {
+        panic!("study {id} failed: {e}");
+    }
+    serde_json::from_value(&cell.payload)
+        .unwrap_or_else(|e| panic!("study {id} payload mismatch: {e}"))
+}
+
+/// Prints the standard one-line cache summary.
+pub fn print_cache_line(report: &SweepReport) {
+    println!("[sweep] {}", report.cache_summary());
+}

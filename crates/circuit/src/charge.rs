@@ -113,7 +113,12 @@ mod tests {
 
     #[test]
     fn equal_caps_average() {
-        let v = share(&[node(2.0, 0.9), node(2.0, 0.0), node(2.0, 0.0), node(2.0, 0.9)]);
+        let v = share(&[
+            node(2.0, 0.9),
+            node(2.0, 0.0),
+            node(2.0, 0.0),
+            node(2.0, 0.9),
+        ]);
         assert!((v.value() - 0.45).abs() < 1e-12);
     }
 

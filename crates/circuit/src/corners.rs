@@ -148,6 +148,9 @@ mod tests {
         }
         assert!(tt_peak <= worst + 1e-12);
         // Degradation at the worst PVT point is bounded, not runaway.
-        assert!(worst < 8.0 * tt_peak.max(0.004), "worst {worst} vs tt {tt_peak}");
+        assert!(
+            worst < 8.0 * tt_peak.max(0.004),
+            "worst {worst} vs tt {tt_peak}"
+        );
     }
 }

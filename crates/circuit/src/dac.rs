@@ -124,8 +124,8 @@ mod tests {
 
     #[test]
     fn ideal_transfer_curve_is_perfectly_linear() {
-        let t = DacTransfer::measure(ArrayGeometry::yoco_default(), NoiseModel::ideal(), 0)
-            .unwrap();
+        let t =
+            DacTransfer::measure(ArrayGeometry::yoco_default(), NoiseModel::ideal(), 0).unwrap();
         assert_eq!(t.codes.len(), 256);
         // V(code) = VDD * code / 256 exactly.
         for (i, v) in t.volts.iter().enumerate() {
@@ -143,7 +143,12 @@ mod tests {
         let t = DacTransfer::measure(ArrayGeometry::yoco_default(), NoiseModel::tt_corner(), 11)
             .unwrap();
         let lin = t.linearity();
-        assert!(lin.within_two_lsb(), "INL {} DNL {}", lin.max_inl, lin.max_dnl);
+        assert!(
+            lin.within_two_lsb(),
+            "INL {} DNL {}",
+            lin.max_inl,
+            lin.max_dnl
+        );
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! per-CB MAC results) so tests and figures can probe any stage
 //! (C-INTERMEDIATE).
 
+// Index loops here deliberately walk several same-length arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
+
 use crate::charge::{share, CapNode};
 use crate::geometry::ArrayGeometry;
 use crate::mcc::MemoryKind;
@@ -414,7 +417,11 @@ mod tests {
     fn full_size_ideal_array_is_exact() {
         let geom = ArrayGeometry::yoco_default();
         let weights: Vec<Vec<u32>> = (0..geom.rows())
-            .map(|r| (0..geom.num_cbs()).map(|c| ((r * 7 + c * 13) % 256) as u32).collect())
+            .map(|r| {
+                (0..geom.num_cbs())
+                    .map(|c| ((r * 7 + c * 13) % 256) as u32)
+                    .collect()
+            })
             .collect();
         let array = DetailedArray::new(geom, &weights).unwrap();
         let inputs: Vec<u32> = (0..geom.rows()).map(|r| ((r * 31) % 256) as u32).collect();
@@ -437,7 +444,7 @@ mod tests {
         let array = DetailedArray::new(geom, &weights).unwrap();
         // X = 3 charges groups of size 1 and 2; X = 0 charges none.
         let (_, charged) = array.convert_inputs(&[3, 0, 1]).unwrap();
-        assert_eq!(charged, 3 + 0 + 1);
+        assert_eq!(charged, 3 + 1);
     }
 
     #[test]
@@ -495,7 +502,11 @@ mod tests {
         // Array-level MAC error < 0.68 % of full scale (Fig 6c).
         let geom = ArrayGeometry::yoco_default();
         let weights: Vec<Vec<u32>> = (0..128)
-            .map(|r| (0..32).map(|c| ((r * 11 + c * 3 + 7) % 256) as u32).collect())
+            .map(|r| {
+                (0..32)
+                    .map(|c| ((r * 11 + c * 3 + 7) % 256) as u32)
+                    .collect()
+            })
             .collect();
         let array = DetailedArray::with_seeded_noise(
             geom,
@@ -507,8 +518,9 @@ mod tests {
         .unwrap();
         let fs = geom.full_scale_voltage().value();
         for trial in 0..8u64 {
-            let inputs: Vec<u32> =
-                (0..128).map(|r| ((r as u64 * 29 + trial * 57) % 256) as u32).collect();
+            let inputs: Vec<u32> = (0..128)
+                .map(|r| ((r as u64 * 29 + trial * 57) % 256) as u32)
+                .collect();
             let out = array.compute_vmm_seeded(&inputs, trial).unwrap();
             let dots = array.expected_dots(&inputs).unwrap();
             for cb in 0..32 {

@@ -150,8 +150,7 @@ pub fn ima_vmm_cost(activity: f64) -> VmmCost {
     use table2::*;
     let arrays = ARRAYS_PER_IMA as f64;
     let array_e = array_vmm_energy(activity).as_pico() * arrays;
-    let drivers_e =
-        ROW_DRIVER_ENERGY_FJ * 1e-3 * (ROW_DRIVERS_PER_ARRAY * ARRAYS_PER_IMA) as f64;
+    let drivers_e = ROW_DRIVER_ENERGY_FJ * 1e-3 * (ROW_DRIVERS_PER_ARRAY * ARRAYS_PER_IMA) as f64;
     let tda_e = TDA_ENERGY_FJ * 1e-3 * (TDAS_PER_ARRAY * ARRAYS_PER_IMA) as f64;
     let tdc_e = TDC_ENERGY_PJ * TDCS_PER_IMA as f64;
     // Input: 1024 bytes in, 256 bytes out -> 256-bit (32-byte) words.
@@ -209,7 +208,11 @@ mod tests {
     #[test]
     fn array_energy_matches_table2_at_half_activity() {
         let e = array_vmm_energy(0.5);
-        assert!((e.as_pico() - 26.5).abs() < 0.1, "array energy {} pJ", e.as_pico());
+        assert!(
+            (e.as_pico() - 26.5).abs() < 0.1,
+            "array energy {} pJ",
+            e.as_pico()
+        );
     }
 
     #[test]
@@ -221,7 +224,11 @@ mod tests {
             "IMA energy {} nJ",
             cost.energy.as_nano()
         );
-        assert!(cost.latency.as_nano() <= 15.05, "latency {}", cost.latency.as_nano());
+        assert!(
+            cost.latency.as_nano() <= 15.05,
+            "latency {}",
+            cost.latency.as_nano()
+        );
         let ee = cost.tops_per_watt();
         assert!((ee - 123.8).abs() / 123.8 < 0.03, "EE {ee} TOPS/W");
         let tp = cost.tops();

@@ -8,6 +8,9 @@
 //! optional TDC quantization) that downstream crates (e.g. `yoco-nn`'s
 //! noisy-inference engine) apply directly to exact integer dot products.
 
+// Index loops here deliberately walk several same-length arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
+
 use crate::geometry::ArrayGeometry;
 use crate::units::Volt;
 use crate::variation::{standard_normal, NoiseModel};
@@ -112,11 +115,7 @@ impl FastArray {
     /// # Errors
     ///
     /// Returns shape/range errors on invalid input vectors.
-    pub fn compute_vmm_seeded(
-        &self,
-        inputs: &[u32],
-        seed: u64,
-    ) -> Result<Vec<Volt>, CircuitError> {
+    pub fn compute_vmm_seeded(&self, inputs: &[u32], seed: u64) -> Result<Vec<Volt>, CircuitError> {
         self.compute_inner(inputs, Some(seed))
     }
 
@@ -339,7 +338,9 @@ mod tests {
             MismatchField::ideal(geom.rows(), geom.cols()),
         )
         .unwrap();
-        let inputs: Vec<u32> = (0..geom.rows()).map(|r| ((r * 37 + 11) % 256) as u32).collect();
+        let inputs: Vec<u32> = (0..geom.rows())
+            .map(|r| ((r * 37 + 11) % 256) as u32)
+            .collect();
         let f = fast.compute_vmm(&inputs).unwrap();
         let d = detailed.compute_vmm(&inputs).unwrap();
         for cb in 0..geom.num_cbs() {
@@ -403,14 +404,14 @@ mod tests {
         let w = weights(&geom);
         let noise = NoiseModel::tt_corner();
         let detailed =
-            DetailedArray::with_seeded_noise(geom, &w, crate::MemoryKind::Sram, noise, 21)
-                .unwrap();
+            DetailedArray::with_seeded_noise(geom, &w, crate::MemoryKind::Sram, noise, 21).unwrap();
         let surrogate = MacErrorModel::from_noise(&noise, geom.rows());
         let mut rng = ChaCha12Rng::seed_from_u64(77);
         let mut max_gap = 0.0f64;
         for t in 0..6u64 {
-            let inputs: Vec<u32> =
-                (0..128).map(|r| ((r as u64 * 13 + t * 41) % 256) as u32).collect();
+            let inputs: Vec<u32> = (0..128)
+                .map(|r| ((r as u64 * 13 + t * 41) % 256) as u32)
+                .collect();
             let out = detailed.compute_vmm_seeded(&inputs, t).unwrap();
             let dots = detailed.expected_dots(&inputs).unwrap();
             for cb in 0..32 {
@@ -420,6 +421,9 @@ mod tests {
                 max_gap = max_gap.max((sim - sur).abs());
             }
         }
-        assert!(max_gap < 0.004, "surrogate diverges from detailed sim: {max_gap}");
+        assert!(
+            max_gap < 0.004,
+            "surrogate diverges from detailed sim: {max_gap}"
+        );
     }
 }

@@ -176,7 +176,9 @@ mod tests {
 
     fn small() -> (ArrayGeometry, DetailedArray) {
         let geom = ArrayGeometry::new(8, 4, 4, 4).expect("valid");
-        let weights: Vec<Vec<u32>> = (0..8).map(|r| (0..4).map(|c| ((r + c) % 16) as u32).collect()).collect();
+        let weights: Vec<Vec<u32>> = (0..8)
+            .map(|r| (0..4).map(|c| ((r + c) % 16) as u32).collect())
+            .collect();
         let array = DetailedArray::new(geom, &weights).expect("valid");
         (geom, array)
     }
@@ -185,11 +187,7 @@ mod tests {
     fn stuck_at_one_raises_the_affected_output_only() {
         let (geom, array) = small();
         // Column 3 = CB 0, bit 3 (MSB of the first CB).
-        let faulted = inject(
-            &array,
-            &[Fault::StuckAtOne { row: 0, col: 3 }],
-        )
-        .expect("in bounds");
+        let faulted = inject(&array, &[Fault::StuckAtOne { row: 0, col: 3 }]).expect("in bounds");
         let inputs = vec![15u32; 8];
         let good = array.compute_vmm(&inputs).expect("valid");
         let bad = faulted.compute_vmm(&inputs).expect("valid");
@@ -199,9 +197,7 @@ mod tests {
             assert!(bad.cb_voltages[0].value() > good.cb_voltages[0].value());
         }
         for cb in 1..geom.num_cbs() {
-            assert!(
-                (bad.cb_voltages[cb].value() - good.cb_voltages[cb].value()).abs() < 1e-12
-            );
+            assert!((bad.cb_voltages[cb].value() - good.cb_voltages[cb].value()).abs() < 1e-12);
         }
     }
 
@@ -263,8 +259,7 @@ mod tests {
         let mut sum = 0.0;
         let mut n = 0usize;
         for _ in 0..trials {
-            let inputs: Vec<u32> =
-                (0..geom.rows()).map(|_| rng.gen_range(0..256)).collect();
+            let inputs: Vec<u32> = (0..geom.rows()).map(|_| rng.gen_range(0..256)).collect();
             let g = golden.compute_vmm(&inputs).expect("valid");
             let b = faulted.compute_vmm(&inputs).expect("valid");
             for (x, y) in g.cb_voltages.iter().zip(&b.cb_voltages) {

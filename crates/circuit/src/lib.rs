@@ -70,6 +70,7 @@ pub mod variation;
 pub mod vtc;
 
 pub use calib::DigitalCalibration;
+pub use corners::{noise_at, ProcessCorner};
 pub use dac::{DacTransfer, LinearityReport};
 pub use detailed::DetailedArray;
 pub use error::CircuitError;
@@ -77,7 +78,6 @@ pub use fast::FastArray;
 pub use faults::Fault;
 pub use geometry::ArrayGeometry;
 pub use mcc::{Mcc, MemoryCluster, MemoryKind};
-pub use corners::{noise_at, ProcessCorner};
 pub use phases::{Phase, SwitchConfig};
 pub use rc::RcShareNetwork;
 pub use tdc::Tdc;

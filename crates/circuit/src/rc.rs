@@ -73,12 +73,7 @@ impl RcShareNetwork {
         let mut v: Vec<f64> = v0.iter().map(|x| x.value()).collect();
         // Explicit integration is stable only below the *fastest* branch
         // time constant.
-        let tau_min = self
-            .caps
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min)
-            * self.r_on;
+        let tau_min = self.caps.iter().cloned().fold(f64::INFINITY, f64::min) * self.r_on;
         let dt = (tau_min / 10.0).min(t_settle.value() / 10.0).max(1e-15);
         let mut t = 0.0;
         while t < t_settle.value() {
@@ -118,10 +113,7 @@ mod tests {
     use super::*;
 
     fn two_caps() -> (RcShareNetwork, Vec<Volt>) {
-        let net = RcShareNetwork::new(
-            &[Farad::from_femto(2.0), Farad::from_femto(2.0)],
-            10_000.0,
-        );
+        let net = RcShareNetwork::new(&[Farad::from_femto(2.0), Farad::from_femto(2.0)], 10_000.0);
         (net, vec![Volt::new(0.9), Volt::new(0.0)])
     }
 
@@ -132,7 +124,11 @@ mod tests {
         let v = net.simulate(&v0, Second::new(tau.value() * 12.0));
         let settled = net.settled_voltage(&v0).value();
         for vi in &v {
-            assert!((vi.value() - settled).abs() < 1e-4, "{} vs {settled}", vi.value());
+            assert!(
+                (vi.value() - settled).abs() < 1e-4,
+                "{} vs {settled}",
+                vi.value()
+            );
         }
     }
 

@@ -244,7 +244,10 @@ impl MonteCarlo {
     pub fn run<F: FnMut(u64) -> Volt>(&self, mut f: F) -> MonteCarloReport {
         let mut offsets: Vec<f64> = Vec::with_capacity(self.runs);
         for i in 0..self.runs {
-            let instance_seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+            let instance_seed = self
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64);
             offsets.push(f(instance_seed).value());
         }
         summarize(&offsets, self.bins)
@@ -334,7 +337,11 @@ mod tests {
         });
         assert_eq!(report.runs, 2000);
         assert!(report.mean.abs() < 0.1e-3);
-        assert!((report.three_sigma_mv() - 2.25).abs() < 0.25, "{}", report.three_sigma_mv());
+        assert!(
+            (report.three_sigma_mv() - 2.25).abs() < 0.25,
+            "{}",
+            report.three_sigma_mv()
+        );
         assert!(report.within_one_lsb());
         assert_eq!(report.counts.iter().sum::<usize>(), 2000);
     }

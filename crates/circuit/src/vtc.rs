@@ -58,11 +58,7 @@ impl TimeDomainAccumulator {
     /// Creates an accumulator of `stages` VTCs (one per vertically stacked
     /// array; 8 in a YOCO IMA).
     pub fn new(vtc: Vtc, stages: usize, noise: NoiseModel) -> Self {
-        Self {
-            vtc,
-            stages,
-            noise,
-        }
+        Self { vtc, stages, noise }
     }
 
     /// The YOCO IMA configuration: 8 stages at the default design point.
@@ -161,7 +157,12 @@ mod tests {
     #[test]
     fn ideal_accumulation_is_sum_of_stage_times() {
         let tda = TimeDomainAccumulator::new(Vtc::yoco_default(), 4, NoiseModel::ideal());
-        let volts = vec![Volt::new(0.1), Volt::new(0.2), Volt::new(0.3), Volt::new(0.4)];
+        let volts = vec![
+            Volt::new(0.1),
+            Volt::new(0.2),
+            Volt::new(0.3),
+            Volt::new(0.4),
+        ];
         let t = tda.accumulate_ideal(&volts);
         let expected = Vtc::YOCO_GAIN * 1.0;
         assert!((t.value() - expected).abs() < 1e-18);
@@ -174,7 +175,7 @@ mod tests {
         // accumulate_* never includes base_delay: a zero-voltage chain reads
         // exactly zero after reference subtraction.
         let tda = TimeDomainAccumulator::new(Vtc::yoco_default(), 8, NoiseModel::ideal());
-        let t = tda.accumulate_ideal(&vec![Volt::ZERO; 8]);
+        let t = tda.accumulate_ideal(&[Volt::ZERO; 8]);
         assert_eq!(t.value(), 0.0);
     }
 

@@ -46,7 +46,11 @@ fn fig6bc_mac_transfer_error_bound() {
     for sweep_weights in [true, false] {
         let mut worst = 0.0f64;
         for code in (0..=255u32).step_by(15) {
-            let (w, x) = if sweep_weights { (code, 255) } else { (255, code) };
+            let (w, x) = if sweep_weights {
+                (code, 255)
+            } else {
+                (255, code)
+            };
             let weights = vec![vec![w; 32]; 128];
             let array = DetailedArray::with_seeded_noise(
                 geom,
@@ -63,7 +67,10 @@ fn fig6bc_mac_transfer_error_bound() {
                 worst = worst.max((v.value() - ideal).abs() / fs);
             }
         }
-        assert!(worst < 0.0068, "sweep_weights={sweep_weights}: worst {worst}");
+        assert!(
+            worst < 0.0068,
+            "sweep_weights={sweep_weights}: worst {worst}"
+        );
     }
 }
 
@@ -102,11 +109,18 @@ fn fig6d_monte_carlo_offset() {
             seed,
         )
         .unwrap();
-        let v = inst.compute_vmm_seeded(&inputs, seed ^ 0xABCD).unwrap().cb_voltages[0];
+        let v = inst
+            .compute_vmm_seeded(&inputs, seed ^ 0xABCD)
+            .unwrap()
+            .cb_voltages[0];
         v - v_nom
     });
 
-    assert!(report.within_one_lsb(), "3sigma {} mV", report.three_sigma_mv());
+    assert!(
+        report.within_one_lsb(),
+        "3sigma {} mV",
+        report.three_sigma_mv()
+    );
     // Shape check against the paper's 2.25 mV (generous band: this is a
     // behavioural model, not the authors' extracted netlist).
     assert!(
@@ -165,12 +179,8 @@ fn end_to_end_readout_chain() {
 
     // Stack the same CB voltage 8 times (8 vertically aligned arrays with
     // identical content) and read it out.
-    let tda = TimeDomainAccumulator::new(
-        yoco_circuit::Vtc::yoco_default(),
-        8,
-        NoiseModel::ideal(),
-    );
-    let t = tda.accumulate_ideal(&vec![out.cb_voltages[0]; 8]);
+    let tda = TimeDomainAccumulator::new(yoco_circuit::Vtc::yoco_default(), 8, NoiseModel::ideal());
+    let t = tda.accumulate_ideal(&[out.cb_voltages[0]; 8]);
     let tdc = Tdc::new(8, tda.full_scale()).unwrap();
     let code = tdc.convert(t).unwrap();
 

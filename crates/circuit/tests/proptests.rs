@@ -1,14 +1,16 @@
 //! Property-based tests of the charge-domain invariants.
 
+// Index loops here deliberately walk several same-length arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use yoco_circuit::charge::{share, total_capacitance, total_charge, CapNode};
 use yoco_circuit::units::{Farad, Volt};
 use yoco_circuit::{ArrayGeometry, DetailedArray, FastArray, NoiseModel, Tdc};
 
 fn cap_node_strategy() -> impl Strategy<Value = CapNode> {
-    (0.5f64..4.0, 0.0f64..0.9).prop_map(|(c_ff, v)| {
-        CapNode::new(Farad::from_femto(c_ff), Volt::new(v))
-    })
+    (0.5f64..4.0, 0.0f64..0.9)
+        .prop_map(|(c_ff, v)| CapNode::new(Farad::from_femto(c_ff), Volt::new(v)))
 }
 
 proptest! {
@@ -41,7 +43,6 @@ proptest! {
     ) {
         use rand::{Rng, SeedableRng};
         let rows = 1usize << (rows_pow + bits as usize - 1);
-        let num_cbs = (1usize << bits) / bits as usize;
         // Geometry requires num_cbs * bits == 2^bits: only bits in {1,2,4,8}.
         let bits = if bits == 3 { 4 } else { bits };
         let num_cbs = (1usize << bits) / bits as usize;

@@ -132,7 +132,8 @@ impl YocoChip {
             for j in 0..col_blocks {
                 let outs_used = ((w.n - j * ima_outputs).min(ima_outputs) * replication)
                     .min(ima_outputs) as usize;
-                let c = ima_invocation_cost(&self.config, rows_used, outs_used, self.config.activity);
+                let c =
+                    ima_invocation_cost(&self.config, rows_used, outs_used, self.config.activity);
                 energy_per_round += c.energy_pj;
                 block_latency = block_latency.max(c.latency_ns);
             }
@@ -251,11 +252,15 @@ mod tests {
         let chip = YocoChip::paper_default();
         let s = chip.evaluate(&MatmulWorkload::new("fc", 128, 512, 512));
         let d = chip.evaluate(
-            &MatmulWorkload::new("ctx", 128, 512, 512)
-                .with_kind(LayerKind::AttentionContext),
+            &MatmulWorkload::new("ctx", 128, 512, 512).with_kind(LayerKind::AttentionContext),
         );
         // SRAM hosting adds well under 10 % energy.
-        assert!(d.energy_pj < s.energy_pj * 1.10, "{} vs {}", d.energy_pj, s.energy_pj);
+        assert!(
+            d.energy_pj < s.energy_pj * 1.10,
+            "{} vs {}",
+            d.energy_pj,
+            s.energy_pj
+        );
     }
 
     #[test]
@@ -270,8 +275,7 @@ mod tests {
         // The paper's motivation inverted: in YOCO the compute arrays, not
         // the converters/buffers, carry most of the energy.
         let chip = YocoChip::paper_default();
-        let (_, ledger) =
-            chip.evaluate_with_ledger(&MatmulWorkload::new("fc", 256, 1024, 256));
+        let (_, ledger) = chip.evaluate_with_ledger(&MatmulWorkload::new("fc", 256, 1024, 256));
         assert!(
             ledger.share("ima-arrays") > 0.5,
             "array share {}",
@@ -284,8 +288,7 @@ mod tests {
     #[test]
     fn ledger_total_matches_cost() {
         let chip = YocoChip::paper_default();
-        let w = MatmulWorkload::new("score", 64, 512, 512)
-            .with_kind(LayerKind::AttentionScore);
+        let w = MatmulWorkload::new("score", 64, 512, 512).with_kind(LayerKind::AttentionScore);
         let (cost, ledger) = chip.evaluate_with_ledger(&w);
         assert!(
             (cost.energy_pj - ledger.total_pj()).abs() / cost.energy_pj < 1e-9,
@@ -303,7 +306,11 @@ mod tests {
         assert!(sched.double_buffered_ns <= sched.serial_ns);
         assert!(sched.overlap_efficiency() >= 0.0);
         // A single chip stays inside a small power envelope.
-        assert!(power.total_w() > 0.1 && power.total_w() < 20.0, "{} W", power.total_w());
+        assert!(
+            power.total_w() > 0.1 && power.total_w() < 20.0,
+            "{} W",
+            power.total_w()
+        );
     }
 
     #[test]

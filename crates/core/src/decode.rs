@@ -11,7 +11,9 @@
 use crate::config::YocoConfig;
 use crate::ima::ima_invocation_cost;
 use serde::{Deserialize, Serialize};
-use yoco_mem::reram::{RERAM_ENDURANCE_CYCLES, RERAM_WRITE_ENERGY_PJ_PER_BIT, RERAM_WRITE_LATENCY_NS};
+use yoco_mem::reram::{
+    RERAM_ENDURANCE_CYCLES, RERAM_WRITE_ENERGY_PJ_PER_BIT, RERAM_WRITE_LATENCY_NS,
+};
 use yoco_mem::sram::SRAM_WRITE_ENERGY_PJ_PER_BIT;
 
 /// Cost summary of generating a sequence with one attention layer's state.
@@ -50,11 +52,7 @@ impl DecodeReport {
 
 /// Prices the generation of `tokens` tokens through one attention layer of
 /// width `d_model` on the given configuration.
-pub fn decode_attention_layer(
-    config: &YocoConfig,
-    d_model: usize,
-    tokens: usize,
-) -> DecodeReport {
+pub fn decode_attention_layer(config: &YocoConfig, d_model: usize, tokens: usize) -> DecodeReport {
     let mut compute_pj = 0.0f64;
     let mut latency_ns = 0.0f64;
     let kv_bits_per_token = (2 * d_model * 8) as u64; // k and v vectors
@@ -62,7 +60,8 @@ pub fn decode_attention_layer(
     for t in 0..tokens {
         let n = t + 1;
         // QKV projections on the SIMAs: three d_model x d_model matvecs.
-        let proj = ima_invocation_cost(config, d_model.min(config.ima_rows()), 256, config.activity);
+        let proj =
+            ima_invocation_cost(config, d_model.min(config.ima_rows()), 256, config.activity);
         compute_pj += 3.0 * proj.energy_pj;
         // Scores against n stored keys + context update over n positions.
         let scores = ima_invocation_cost(
@@ -124,7 +123,11 @@ mod tests {
     fn sram_cache_saves_two_orders_of_magnitude_on_writes() {
         let config = YocoConfig::paper_default();
         let r = decode_attention_layer(&config, 4096, 256);
-        assert!(r.kv_write_saving() > 100.0, "saving {}", r.kv_write_saving());
+        assert!(
+            r.kv_write_saving() > 100.0,
+            "saving {}",
+            r.kv_write_saving()
+        );
     }
 
     #[test]

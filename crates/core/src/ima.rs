@@ -16,8 +16,7 @@ use serde::{Deserialize, Serialize};
 use yoco_circuit::energy::table2;
 use yoco_circuit::units::Volt;
 use yoco_circuit::{
-    ArrayGeometry, CircuitError, FastArray, MemoryKind, Tdc, TimeDomainAccumulator,
-    Vtc,
+    ArrayGeometry, CircuitError, FastArray, MemoryKind, Tdc, TimeDomainAccumulator, Vtc,
 };
 
 /// Whether an IMA's memory clusters are SRAM (dynamic) or ReRAM (static).
@@ -82,11 +81,7 @@ impl Ima {
         for s in 0..stack {
             for w in 0..width {
                 let block: Vec<Vec<u32>> = (0..128)
-                    .map(|r| {
-                        (0..32)
-                            .map(|c| weights[s * 128 + r][w * 32 + c])
-                            .collect()
-                    })
+                    .map(|r| (0..32).map(|c| weights[s * 128 + r][w * 32 + c]).collect())
                     .collect();
                 arrays.push(FastArray::with_noise(geom, &block, config.noise)?);
             }
@@ -140,10 +135,9 @@ impl Ima {
             let block_in = &inputs[s * 128..(s + 1) * 128];
             for w in 0..self.width {
                 let arr = &self.arrays[s * self.width + w];
-                cb_voltages.push(arr.compute_vmm_seeded(
-                    block_in,
-                    seed ^ ((s as u64) << 32) ^ (w as u64),
-                )?);
+                cb_voltages.push(
+                    arr.compute_vmm_seeded(block_in, seed ^ ((s as u64) << 32) ^ (w as u64))?,
+                );
             }
         }
         // Per output column: TDA accumulates the stack, TDC digitizes.
@@ -153,7 +147,9 @@ impl Ima {
             let stack_volts: Vec<Volt> = (0..self.stack)
                 .map(|s| cb_voltages[s * self.width + w][cb])
                 .collect();
-            let t = self.tda.accumulate_seeded(&stack_volts, seed ^ (j as u64) << 16);
+            let t = self
+                .tda
+                .accumulate_seeded(&stack_volts, seed ^ (j as u64) << 16);
             out.push(self.tdc.convert(t)?);
         }
         Ok(out)
@@ -302,7 +298,11 @@ mod tests {
         assert_eq!(c.active_stack, 8);
         assert_eq!(c.active_width, 8);
         // ~4.235 nJ and <15.1 ns.
-        assert!((c.energy_pj - 4235.0).abs() / 4235.0 < 0.02, "{} pJ", c.energy_pj);
+        assert!(
+            (c.energy_pj - 4235.0).abs() / 4235.0 < 0.02,
+            "{} pJ",
+            c.energy_pj
+        );
         assert!(c.latency_ns < 15.1, "{} ns", c.latency_ns);
     }
 

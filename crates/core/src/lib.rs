@@ -49,7 +49,7 @@ pub use chip::YocoChip;
 pub use config::{ConfigError, YocoConfig};
 pub use decode::{decode_attention_layer, DecodeReport};
 pub use flow::FunctionalAttentionFlow;
-pub use placement::{plan_placement, PlacementPlan};
 pub use ima::{Ima, ImaRole};
 pub use pipeline::{AttentionDims, AttentionPipeline, PipelineReport};
+pub use placement::{plan_placement, PlacementPlan};
 pub use tile::Tile;

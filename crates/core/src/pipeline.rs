@@ -87,7 +87,9 @@ impl AttentionPipeline {
         let n = t + 1;
         let simas = self.config.simas_per_tile.max(1);
         // Stage 1: three d_model x d_model projections across the SIMAs.
-        let qkv = 3.0 * self.vmm_ns(dims.d_model, dims.d_model, simas) * (3.0 / simas as f64).max(1.0) / 3.0;
+        let qkv =
+            3.0 * self.vmm_ns(dims.d_model, dims.d_model, simas) * (3.0 / simas as f64).max(1.0)
+                / 3.0;
         // Stage 2: crossbar hop + SRAM cluster write of q and k.
         let bits = (2 * dims.d_model * 8) as u64;
         let store = self.crossbar.transfer(bits).latency_ns + (dims.d_model as f64 / 32.0) * 0.35;
@@ -139,9 +141,21 @@ mod tests {
     fn pipelining_always_helps_and_is_bounded_by_stage_count() {
         let p = pipeline();
         for dims in [
-            AttentionDims { seq: 128, d_model: 512, heads: 4 },
-            AttentionDims { seq: 1024, d_model: 1280, heads: 20 },
-            AttentionDims { seq: 197, d_model: 768, heads: 12 },
+            AttentionDims {
+                seq: 128,
+                d_model: 512,
+                heads: 4,
+            },
+            AttentionDims {
+                seq: 1024,
+                d_model: 1280,
+                heads: 20,
+            },
+            AttentionDims {
+                seq: 197,
+                d_model: 768,
+                heads: 12,
+            },
         ] {
             let r = p.simulate(&dims);
             let s = r.speedup();
@@ -153,7 +167,11 @@ mod tests {
     #[test]
     fn pipelined_time_is_at_least_the_bottleneck_stage_sum() {
         let p = pipeline();
-        let dims = AttentionDims { seq: 64, d_model: 768, heads: 12 };
+        let dims = AttentionDims {
+            seq: 64,
+            d_model: 768,
+            heads: 12,
+        };
         let r = p.simulate(&dims);
         let bottleneck: f64 = (0..64)
             .map(|t| {
@@ -172,18 +190,37 @@ mod tests {
         // Paper: 1.8x - 3.7x across the five transformers, geomean ~2.3x.
         let p = pipeline();
         let dims = [
-            AttentionDims { seq: 1024, d_model: 1280, heads: 20 }, // gpt_large
-            AttentionDims { seq: 128, d_model: 512, heads: 4 },    // mobilebert
-            AttentionDims { seq: 128, d_model: 768, heads: 12 },   // qdqbert
-            AttentionDims { seq: 197, d_model: 768, heads: 12 },   // vit
-            AttentionDims { seq: 2048, d_model: 4096, heads: 32 }, // llama
+            AttentionDims {
+                seq: 1024,
+                d_model: 1280,
+                heads: 20,
+            }, // gpt_large
+            AttentionDims {
+                seq: 128,
+                d_model: 512,
+                heads: 4,
+            }, // mobilebert
+            AttentionDims {
+                seq: 128,
+                d_model: 768,
+                heads: 12,
+            }, // qdqbert
+            AttentionDims {
+                seq: 197,
+                d_model: 768,
+                heads: 12,
+            }, // vit
+            AttentionDims {
+                seq: 2048,
+                d_model: 4096,
+                heads: 32,
+            }, // llama
         ];
         let speedups: Vec<f64> = dims.iter().map(|d| p.simulate(d).speedup()).collect();
         for (d, s) in dims.iter().zip(&speedups) {
             assert!(*s > 1.4 && *s < 4.2, "{d:?}: speedup {s}");
         }
-        let geomean =
-            (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
         assert!(geomean > 1.7 && geomean < 3.0, "geomean {geomean}");
     }
 }

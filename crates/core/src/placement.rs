@@ -48,8 +48,7 @@ impl PlacementPlan {
         if self.chips_needed == 0 {
             return 0.0;
         }
-        self.static_weights as f64
-            / (self.chips_needed * self.sima_capacity_per_chip) as f64
+        self.static_weights as f64 / (self.chips_needed * self.sima_capacity_per_chip) as f64
     }
 }
 
@@ -58,8 +57,7 @@ impl PlacementPlan {
 pub fn plan_placement(config: &YocoConfig, workloads: &[MatmulWorkload]) -> PlacementPlan {
     let cells_per_ima = (config.ima_stack * config.ima_width * 128 * 256) as u64;
     // 32 ReRAM bits per cluster = 4 resident 8-bit weight sets.
-    let sima_capacity_per_chip =
-        (config.tiles * config.simas_per_tile) as u64 * cells_per_ima * 4;
+    let sima_capacity_per_chip = (config.tiles * config.simas_per_tile) as u64 * cells_per_ima * 4;
     let dima_capacity_per_chip = (config.tiles * config.dimas_per_tile) as u64 * cells_per_ima;
 
     let static_weights: u64 = workloads
@@ -76,10 +74,10 @@ pub fn plan_placement(config: &YocoConfig, workloads: &[MatmulWorkload]) -> Plac
 
     let chips_needed = static_weights.div_ceil(sima_capacity_per_chip).max(1);
     let per_tile = sima_capacity_per_chip / config.tiles as u64;
-    let remainder = static_weights
-        .checked_sub((chips_needed - 1) * sima_capacity_per_chip)
-        .unwrap_or(0);
-    let tiles_on_last_chip = remainder.div_ceil(per_tile.max(1)).clamp(1, config.tiles as u64);
+    let remainder = static_weights.saturating_sub((chips_needed - 1) * sima_capacity_per_chip);
+    let tiles_on_last_chip = remainder
+        .div_ceil(per_tile.max(1))
+        .clamp(1, config.tiles as u64);
 
     // One-time programming: every static bit written once into ReRAM.
     let bits = static_weights * 8;
@@ -115,8 +113,7 @@ pub fn residency_comparison(workloads: &[MatmulWorkload]) -> (f64, f64) {
     // Streamed: every weight crosses the Hyper-Transport link and lands in
     // SRAM-class buffers each inference.
     let link = yoco_arch::noc::HyperTransportLink::isaac_spec();
-    let streamed = static_bits as f64
-        * (link.energy_pj_per_bit + SRAM_WRITE_ENERGY_PJ_PER_BIT);
+    let streamed = static_bits as f64 * (link.energy_pj_per_bit + SRAM_WRITE_ENERGY_PJ_PER_BIT);
     (0.0, streamed)
 }
 
@@ -140,7 +137,11 @@ mod tests {
         let model = models::resnet18();
         let plan = plan_placement(&config, &model.workloads());
         assert!(plan.fits_one_chip(), "chips {}", plan.chips_needed);
-        assert!(plan.utilization() < 0.15, "resnet is small: {}", plan.utilization());
+        assert!(
+            plan.utilization() < 0.15,
+            "resnet is small: {}",
+            plan.utilization()
+        );
     }
 
     #[test]
@@ -157,7 +158,11 @@ mod tests {
         assert!(!plan.fits_one_chip());
         // Programming a 7B model is a many-millisecond, multi-joule event —
         // exactly why it happens once.
-        assert!(plan.program_energy_uj > 1e5, "{} uJ", plan.program_energy_uj);
+        assert!(
+            plan.program_energy_uj > 1e5,
+            "{} uJ",
+            plan.program_energy_uj
+        );
         assert!(plan.program_time_ms > 1.0);
     }
 

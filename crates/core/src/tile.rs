@@ -41,12 +41,18 @@ impl Tile {
 
     /// Number of dynamic IMAs.
     pub fn dimas(&self) -> usize {
-        self.ima_roles.iter().filter(|r| **r == ImaRole::Dynamic).count()
+        self.ima_roles
+            .iter()
+            .filter(|r| **r == ImaRole::Dynamic)
+            .count()
     }
 
     /// Number of static IMAs.
     pub fn simas(&self) -> usize {
-        self.ima_roles.iter().filter(|r| **r == ImaRole::Static).count()
+        self.ima_roles
+            .iter()
+            .filter(|r| **r == ImaRole::Static)
+            .count()
     }
 
     /// The tile's eDRAM I/O cache model.

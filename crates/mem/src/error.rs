@@ -31,7 +31,10 @@ impl fmt::Display for MemError {
                 "access of {requested_bits} bits exceeds capacity of {capacity_bits} bits"
             ),
             MemError::EnduranceExceeded { writes, rated } => {
-                write!(f, "{writes} writes exceed rated endurance of {rated} cycles")
+                write!(
+                    f,
+                    "{writes} writes exceed rated endurance of {rated} cycles"
+                )
             }
         }
     }

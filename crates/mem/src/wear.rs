@@ -137,7 +137,10 @@ mod tests {
     fn endurance_error_fires_on_the_hot_slot() {
         let mut c = WearLeveledCluster::new(2, WearPolicy::Fixed);
         c.writes_per_slot[0] = RERAM_ENDURANCE_CYCLES;
-        assert!(matches!(c.rewrite(), Err(MemError::EnduranceExceeded { .. })));
+        assert!(matches!(
+            c.rewrite(),
+            Err(MemError::EnduranceExceeded { .. })
+        ));
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! that recurrence token by token and is property-tested against
 //! [`exact_attention`].
 
+// Index loops here deliberately walk several same-length arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
+
 use crate::tensor::{softmax_inplace, Matrix};
 use crate::NnError;
 use serde::{Deserialize, Serialize};
@@ -20,7 +23,12 @@ use serde::{Deserialize, Serialize};
 /// # Errors
 ///
 /// Returns [`NnError::DimensionMismatch`] if the shapes disagree.
-pub fn exact_attention(q: &Matrix, k: &Matrix, v: &Matrix, causal: bool) -> Result<Matrix, NnError> {
+pub fn exact_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    causal: bool,
+) -> Result<Matrix, NnError> {
     if q.cols() != k.cols() || k.rows() != v.rows() {
         return Err(NnError::DimensionMismatch {
             op: "attention",
@@ -198,7 +206,9 @@ mod tests {
         // Each output element lies within the min/max of the value column.
         for c in 0..4 {
             let vmin = (0..4).map(|j| v.get(j, c)).fold(f32::INFINITY, f32::min);
-            let vmax = (0..4).map(|j| v.get(j, c)).fold(f32::NEG_INFINITY, f32::max);
+            let vmax = (0..4)
+                .map(|j| v.get(j, c))
+                .fold(f32::NEG_INFINITY, f32::max);
             for i in 0..4 {
                 let o = out.get(i, c);
                 assert!(o >= vmin - 1e-5 && o <= vmax + 1e-5);

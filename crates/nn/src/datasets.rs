@@ -7,6 +7,9 @@
 //! stand-ins. Both are seeded, so every accuracy number in EXPERIMENTS.md is
 //! exactly reproducible.
 
+// Index loops here deliberately walk several same-length arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
+
 use crate::tensor::Matrix;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -27,13 +30,7 @@ pub struct VectorDataset {
 impl VectorDataset {
     /// Generates `n` samples of `dim`-dimensional Gaussian clusters, one
     /// cluster per class, with the given intra-cluster noise.
-    pub fn gaussian_clusters(
-        n: usize,
-        dim: usize,
-        classes: usize,
-        noise: f32,
-        seed: u64,
-    ) -> Self {
+    pub fn gaussian_clusters(n: usize, dim: usize, classes: usize, noise: f32, seed: u64) -> Self {
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         // Well-separated random unit centers.
         let centers: Vec<Vec<f32>> = (0..classes)
@@ -132,7 +129,11 @@ impl SequenceDataset {
             let mut m = Matrix::zeros(len, dim);
             for t in 0..len {
                 for c in 0..dim {
-                    let base = if t == key_pos { patterns[class][c] } else { 0.0 };
+                    let base = if t == key_pos {
+                        patterns[class][c]
+                    } else {
+                        0.0
+                    };
                     m.set(t, c, base + noise * gaussian(&mut rng));
                 }
             }
@@ -217,8 +218,16 @@ mod tests {
             .filter(|(x, &y)| {
                 let best = (0..3)
                     .min_by(|&a, &b| {
-                        let da: f32 = x.iter().zip(&centroids[a]).map(|(u, v)| (u - v).powi(2)).sum();
-                        let db: f32 = x.iter().zip(&centroids[b]).map(|(u, v)| (u - v).powi(2)).sum();
+                        let da: f32 = x
+                            .iter()
+                            .zip(&centroids[a])
+                            .map(|(u, v)| (u - v).powi(2))
+                            .sum();
+                        let db: f32 = x
+                            .iter()
+                            .zip(&centroids[b])
+                            .map(|(u, v)| (u - v).powi(2))
+                            .sum();
                         da.partial_cmp(&db).unwrap()
                     })
                     .unwrap();
@@ -244,9 +253,7 @@ mod tests {
         for seq in &d.sequences {
             // Exactly one token should have large norm (the pattern).
             let strong = (0..12)
-                .filter(|&t| {
-                    seq.row(t).iter().map(|x| x * x).sum::<f32>().sqrt() > 0.75
-                })
+                .filter(|&t| seq.row(t).iter().map(|x| x * x).sum::<f32>().sqrt() > 0.75)
                 .count();
             assert_eq!(strong, 1);
         }

@@ -125,7 +125,12 @@ impl LayerSpec {
                 in_features,
                 out_features,
                 tokens,
-            } => vec![MatmulWorkload::new(name, *tokens, *in_features, *out_features)],
+            } => vec![MatmulWorkload::new(
+                name,
+                *tokens,
+                *in_features,
+                *out_features,
+            )],
             LayerSpec::Attention {
                 name,
                 seq,

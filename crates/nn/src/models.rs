@@ -149,10 +149,28 @@ pub fn resnet18() -> Model {
     for (s, &(in_ch, out_ch, hw)) in stages.iter().enumerate() {
         for b in 0..2u64 {
             let cin = if b == 0 { in_ch } else { out_ch };
-            layers.push(conv(&format!("layer{}.{b}.conv1", s + 1), cin, out_ch, 3, hw));
-            layers.push(conv(&format!("layer{}.{b}.conv2", s + 1), out_ch, out_ch, 3, hw));
+            layers.push(conv(
+                &format!("layer{}.{b}.conv1", s + 1),
+                cin,
+                out_ch,
+                3,
+                hw,
+            ));
+            layers.push(conv(
+                &format!("layer{}.{b}.conv2", s + 1),
+                out_ch,
+                out_ch,
+                3,
+                hw,
+            ));
             if b == 0 && in_ch != out_ch {
-                layers.push(conv(&format!("layer{}.{b}.down", s + 1), in_ch, out_ch, 1, hw));
+                layers.push(conv(
+                    &format!("layer{}.{b}.down", s + 1),
+                    in_ch,
+                    out_ch,
+                    1,
+                    hw,
+                ));
             }
         }
     }
@@ -224,7 +242,13 @@ pub fn densenet201() -> Model {
                 1,
                 hw,
             ));
-            layers.push(conv(&format!("dense{b}.{l}.conv"), 4 * growth, growth, 3, hw));
+            layers.push(conv(
+                &format!("dense{b}.{l}.conv"),
+                4 * growth,
+                growth,
+                3,
+                hw,
+            ));
             channels += growth;
         }
         if b < 3 {
@@ -321,7 +345,13 @@ pub fn fig8_benchmarks() -> Vec<Model> {
 
 /// The five transformers of Fig 10, in the paper's order.
 pub fn fig10_transformers() -> Vec<Model> {
-    vec![gpt_large(), mobilebert(), qdqbert(), vit_base(), llama3_7b()]
+    vec![
+        gpt_large(),
+        mobilebert(),
+        qdqbert(),
+        vit_base(),
+        llama3_7b(),
+    ]
 }
 
 #[cfg(test)]
@@ -407,7 +437,7 @@ mod tests {
         assert_eq!(gates, 32);
         let dynamic = w.iter().filter(|x| x.dynamic_weights).count();
         assert_eq!(dynamic, 64); // scores + context per layer
-        // ~7B static parameters (attention + FFN + head).
+                                 // ~7B static parameters (attention + FFN + head).
         let params = l.static_weights() as f64;
         assert!(params > 5.5e9 && params < 8.0e9, "llama params {params}");
     }
@@ -416,7 +446,11 @@ mod tests {
     fn transformers_have_dynamic_share() {
         for m in fig10_transformers() {
             let w = m.workloads();
-            let dyn_macs: u64 = w.iter().filter(|x| x.dynamic_weights).map(|x| x.macs()).sum();
+            let dyn_macs: u64 = w
+                .iter()
+                .filter(|x| x.dynamic_weights)
+                .map(|x| x.macs())
+                .sum();
             assert!(dyn_macs > 0, "{} has no dynamic GEMMs", m.name);
         }
     }

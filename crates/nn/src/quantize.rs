@@ -199,15 +199,12 @@ mod tests {
         let unsigned = dot_unsigned_offset(&w, &x);
         let sum: u64 = x.iter().map(|&c| c as u64).sum();
         assert_eq!(signed, unsigned as i64 - 128 * sum as i64);
-        assert_eq!(
-            recover_signed(unsigned as f64, sum),
-            signed as f64
-        );
+        assert_eq!(recover_signed(unsigned as f64, sum), signed as f64);
     }
 
     #[test]
     fn offset_codes_fit_the_array_range() {
-        assert_eq!(offset_code(-128i8 as i8), 0);
+        assert_eq!(offset_code(-128_i8), 0);
         assert_eq!(offset_code(-127), 1);
         assert_eq!(offset_code(0), 128);
         assert_eq!(offset_code(127), 255);

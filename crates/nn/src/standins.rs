@@ -93,11 +93,7 @@ impl TinyTransformer {
     /// # Errors
     ///
     /// Propagates shape and quantization errors.
-    pub fn encode(
-        &self,
-        seq: &Matrix,
-        engine: &mut dyn MatvecEngine,
-    ) -> Result<Vec<f32>, NnError> {
+    pub fn encode(&self, seq: &Matrix, engine: &mut dyn MatvecEngine) -> Result<Vec<f32>, NnError> {
         let l = seq.rows();
         let mut q = Matrix::zeros(l, self.d);
         let mut k = Matrix::zeros(l, self.d);
@@ -127,11 +123,7 @@ impl TinyTransformer {
     /// # Errors
     ///
     /// Propagates forward-pass errors.
-    pub fn predict(
-        &self,
-        seq: &Matrix,
-        engine: &mut dyn MatvecEngine,
-    ) -> Result<usize, NnError> {
+    pub fn predict(&self, seq: &Matrix, engine: &mut dyn MatvecEngine) -> Result<usize, NnError> {
         let pooled = self.encode(seq, engine)?;
         self.head.predict_quantized(&pooled, engine)
     }
@@ -173,6 +165,7 @@ fn matvec_signed(
 
 /// Which network family a stand-in represents.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one alive at a time; boxing buys nothing
 enum StandinNet {
     Mlp(Mlp, VectorDataset),
     Transformer(TinyTransformer, SequenceDataset),
@@ -277,7 +270,10 @@ pub fn fig6f_standins(seed: u64) -> Result<Vec<Standin>, NnError> {
             net: StandinNet::Mlp(mlp, test),
         });
     }
-    let tf_cfgs = [("mobilebert_s", 10usize, 16usize, 3usize, 0.09f32), ("vit_s", 12, 16, 4, 0.08)];
+    let tf_cfgs = [
+        ("mobilebert_s", 10usize, 16usize, 3usize, 0.09f32),
+        ("vit_s", 12, 16, 4, 0.08),
+    ];
     for (i, (name, len, dim, classes, noise)) in tf_cfgs.iter().enumerate() {
         let data = SequenceDataset::token_patterns(
             2000,

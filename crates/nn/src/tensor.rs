@@ -139,13 +139,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(x)
-                    .map(|(w, v)| w * v)
-                    .sum::<f32>()
-            })
+            .map(|i| self.row(i).iter().zip(x).map(|(w, v)| w * v).sum::<f32>())
             .collect())
     }
 

@@ -4,6 +4,9 @@
 //! Everything is seeded: the stand-in benchmarks of Fig 6(f) reproduce
 //! bit-identically across runs.
 
+// Index loops here deliberately walk several same-length arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
+
 use crate::inference::{DenseLayer, Mlp};
 use crate::tensor::{softmax_inplace, Matrix};
 use crate::NnError;

@@ -1,0 +1,167 @@
+//! The `sweep` CLI: run scenario grids through the cached parallel engine.
+//!
+//! ```text
+//! sweep list                          # named grids, studies, zoo models
+//! sweep run fig8                      # run a named grid (cached, parallel)
+//! sweep run fig8 --serial --no-cache  # the determinism reference path
+//! sweep run --file grid.json          # run scenarios from a JSON file
+//! sweep run all --jobs 4 --force      # recompute everything, 4 workers
+//! sweep cache stats|clear             # inspect / clear results/cache
+//! ```
+
+use std::process::ExitCode;
+use yoco_sweep::{grids, root, Engine, ResultCache, Scenario, StudyId, SweepReport};
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     sweep list\n  \
+     sweep run <grid>|--file <path> [--jobs N] [--serial] [--no-cache] [--force] [--quiet]\n  \
+     sweep cache stats|clear\n\n\
+     run `sweep list` for the available grids"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        Some("cache") => cache_cmd(&args[1..]),
+        _ => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list() {
+    println!("named grids:");
+    for (name, desc) in grids::NAMED {
+        println!("  {name:<22} {desc}");
+    }
+    println!("\nstudies (each also runs standalone):");
+    for study in StudyId::ALL {
+        println!("  {}", study.name());
+    }
+    println!("\nzoo models (run as `<accelerator>/<model>`):");
+    for model in yoco_nn::models::fig8_benchmarks() {
+        println!("  {}", model.name);
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut grid_name: Option<&str> = None;
+    let mut file: Option<&str> = None;
+    let mut engine = Engine::cached();
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => file = Some(path),
+                    None => return fail("--file needs a path"),
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => engine = engine.jobs(n),
+                    _ => return fail("--jobs needs a positive integer"),
+                }
+            }
+            "--serial" => engine = engine.jobs(1),
+            "--no-cache" => engine = engine.no_cache(),
+            "--force" => engine = engine.force(true),
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => {
+                return fail(&format!("unknown flag `{flag}`"));
+            }
+            name => {
+                if grid_name.is_some() {
+                    return fail("only one grid per run");
+                }
+                grid_name = Some(name);
+            }
+        }
+        i += 1;
+    }
+
+    let scenarios: Vec<Scenario> = match (grid_name, file) {
+        (Some(_), Some(_)) => return fail("pass a grid name or --file, not both"),
+        (Some(name), None) => match grids::resolve(name) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        },
+        (None, Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            };
+            match serde_json::from_str(&text) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot parse {path}: {e}")),
+            }
+        }
+        (None, None) => return fail("nothing to run — pass a grid name or --file"),
+    };
+
+    let report = engine.run(&scenarios);
+    print_report(&report, quiet);
+    if report.errors().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_report(report: &SweepReport, quiet: bool) {
+    if !quiet {
+        for cell in &report.cells {
+            let status = match (&cell.error, cell.cached) {
+                (Some(e), _) => format!("ERROR {e}"),
+                (None, true) => "hit".to_owned(),
+                (None, false) => "computed".to_owned(),
+            };
+            println!("  {:<40} {:<18} {}", cell.scenario.id, cell.key, status);
+        }
+    }
+    println!("{}", report.cache_summary());
+    for (id, e) in report.errors() {
+        eprintln!("error: {id}: {e}");
+    }
+}
+
+fn cache_cmd(args: &[String]) -> ExitCode {
+    let cache = ResultCache::default_location();
+    match args.first().map(String::as_str) {
+        Some("stats") | None => {
+            let stats = cache.stats();
+            println!(
+                "cache {}: {} entries, {} KiB",
+                cache.dir().display(),
+                stats.entries,
+                stats.bytes / 1024
+            );
+            ExitCode::SUCCESS
+        }
+        Some("clear") => match cache.clear() {
+            Ok(n) => {
+                println!("removed {n} entries from {}", cache.dir().display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("clear failed: {e}")),
+        },
+        Some(other) => fail(&format!("unknown cache subcommand `{other}`")),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("results root: {}", root::results_dir().display());
+    eprintln!("{}", usage());
+    ExitCode::FAILURE
+}

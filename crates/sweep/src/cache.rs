@@ -1,0 +1,189 @@
+//! Content-addressed result cache under `results/cache/`.
+//!
+//! Each entry is one JSON file named by the scenario's content key. An
+//! entry records the scenario it was computed from; lookups verify that
+//! the stored scenario matches the requested one, so a (vanishingly
+//! unlikely) hash collision degrades to a miss instead of a wrong result.
+//! Writes go through a temp file + atomic rename, making concurrent
+//! workers safe.
+
+use crate::scenario::ScenarioKind;
+use serde::{Deserialize, Serialize, Value};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregate numbers for `sweep cache stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of entries on disk.
+    pub entries: usize,
+    /// Total bytes on disk.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheEntry {
+    key: String,
+    scenario: ScenarioKind,
+    payload: Value,
+}
+
+/// A directory of content-addressed results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at an explicit directory.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The workspace-standard location, `results/cache/`.
+    pub fn default_location() -> Self {
+        Self::at(crate::root::cache_dir())
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Fetches the payload for `key` if present and consistent with the
+    /// requesting scenario.
+    pub fn lookup(&self, key: &str, scenario: &ScenarioKind) -> Option<Value> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        if entry.key == key && entry.scenario == *scenario {
+            Some(entry.payload)
+        } else {
+            None
+        }
+    }
+
+    /// Stores a computed payload. Failures are reported, not fatal — the
+    /// sweep result is already in memory.
+    pub fn store(&self, key: &str, scenario: &ScenarioKind, payload: &Value) -> io::Result<()> {
+        fs::create_dir_all(&self.dir)?;
+        let entry = CacheEntry {
+            key: key.to_owned(),
+            scenario: scenario.clone(),
+            payload: payload.clone(),
+        };
+        let text =
+            serde_json::to_string_pretty(&entry).map_err(|e| io::Error::other(e.to_string()))?;
+        // Distinguish writers per thread as well as per process: two
+        // workers storing the same key must not interleave one temp file.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".{key}.tmp-{}-{seq}", std::process::id()));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Removes every entry, including temp files orphaned by a killed
+    /// writer. Returns how many entries were deleted (temp files are
+    /// removed but not counted).
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        match fs::read_dir(&self.dir) {
+            Ok(entries) => {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if path.extension().is_some_and(|e| e == "json") {
+                        fs::remove_file(path)?;
+                        removed += 1;
+                    } else if entry.file_name().to_string_lossy().contains(".tmp-") {
+                        fs::remove_file(path)?;
+                    }
+                }
+                Ok(removed)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Entry count and total size.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats {
+            entries: 0,
+            bytes: 0,
+        };
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|e| e == "json") {
+                    stats.entries += 1;
+                    stats.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::StudyId;
+    use serde::Number;
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "yoco-sweep-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::at(dir)
+    }
+
+    #[test]
+    fn round_trips_hit_and_collision_degrades_to_miss() {
+        let cache = temp_cache("roundtrip");
+        let scenario = ScenarioKind::Study {
+            study: StudyId::Fig7,
+        };
+        let other = ScenarioKind::Study {
+            study: StudyId::Table1,
+        };
+        let payload = Value::Number(Number::Float(2.33));
+
+        assert!(
+            cache.lookup("abc", &scenario).is_none(),
+            "cold cache must miss"
+        );
+        cache.store("abc", &scenario, &payload).unwrap();
+        assert_eq!(cache.lookup("abc", &scenario), Some(payload.clone()));
+        // Same key, different scenario: the collision guard rejects it.
+        assert!(cache.lookup("abc", &other).is_none());
+
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
+        assert_eq!(cache.clear().unwrap(), 1);
+        assert!(cache.lookup("abc", &scenario).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn clear_on_missing_dir_is_fine() {
+        let cache = temp_cache("missing");
+        assert_eq!(cache.clear().unwrap(), 0);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                entries: 0,
+                bytes: 0
+            }
+        );
+    }
+}

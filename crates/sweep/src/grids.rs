@@ -1,0 +1,83 @@
+//! Named scenario grids for the CLI and library callers.
+
+use crate::figures;
+use crate::scenario::{Scenario, StudyId};
+
+/// All named grids: `(name, description)`.
+pub const NAMED: [(&str, &str); 6] = [
+    ("fig8", "chip comparison: 4 accelerators × 10-model zoo"),
+    ("fig10", "attention-pipeline speedup on 5 transformers"),
+    ("ablations", "the 5 ablation studies"),
+    ("figures", "every single-shot figure/table study"),
+    ("studies", "alias of `figures`"),
+    ("all", "fig8 + fig10 + every study"),
+];
+
+/// The study-only portion of a grid name, if any.
+fn study_ids(name: &str) -> Option<Vec<StudyId>> {
+    match name {
+        "ablations" => Some(
+            StudyId::ALL
+                .into_iter()
+                .filter(|s| s.name().starts_with("ablation-"))
+                .collect(),
+        ),
+        "figures" | "studies" => Some(StudyId::ALL.to_vec()),
+        _ => None,
+    }
+}
+
+/// Resolves a grid name to scenarios. Accepts the named grids, any single
+/// study name (e.g. `fig6d`), or `yoco/<model>`-style single GEMM cells.
+pub fn resolve(name: &str) -> Result<Vec<Scenario>, String> {
+    if let Some(studies) = study_ids(name) {
+        return Ok(studies.into_iter().map(Scenario::study).collect());
+    }
+    match name {
+        "fig8" => Ok(figures::fig8_scenarios()),
+        "fig10" => Ok(figures::fig10_scenarios()),
+        "all" => {
+            let mut out = figures::fig8_scenarios();
+            out.extend(figures::fig10_scenarios());
+            out.extend(StudyId::ALL.into_iter().map(Scenario::study));
+            Ok(out)
+        }
+        other => {
+            if let Some(study) = StudyId::from_name(other) {
+                return Ok(vec![Scenario::study(study)]);
+            }
+            if let Some((acc, model)) = other.split_once('/') {
+                if let Some(acc) = crate::scenario::AcceleratorKind::from_name(acc) {
+                    return Ok(vec![Scenario::gemm(
+                        acc,
+                        crate::scenario::DesignPoint::paper(),
+                        crate::scenario::WorkloadSpec::Zoo {
+                            model: model.to_owned(),
+                        },
+                    )]);
+                }
+            }
+            Err(format!(
+                "unknown grid `{other}` (try one of: {}, a study name, or accelerator/model)",
+                NAMED.map(|(n, _)| n).join(", ")
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_grids_resolve() {
+        assert_eq!(resolve("fig8").unwrap().len(), 40);
+        assert_eq!(resolve("fig10").unwrap().len(), 5);
+        assert_eq!(resolve("ablations").unwrap().len(), 5);
+        assert_eq!(resolve("figures").unwrap().len(), 15);
+        assert_eq!(resolve("all").unwrap().len(), 60);
+        assert_eq!(resolve("fig6d").unwrap().len(), 1);
+        assert_eq!(resolve("yoco/resnet18").unwrap().len(), 1);
+        assert!(resolve("nonsense").is_err());
+    }
+}

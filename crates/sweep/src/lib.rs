@@ -1,0 +1,51 @@
+//! # yoco-sweep — the scenario-driven experiment engine
+//!
+//! One execution path for every figure, table, and ad-hoc comparison in
+//! the workspace:
+//!
+//! * [`scenario`] — serde-backed [`Scenario`] descriptors: accelerator
+//!   choice, design-point overrides, workload selection, and named
+//!   studies, composable into grids ([`grids`], [`figures`]);
+//! * [`engine`] — the [`Engine`]: parallel execution over self-scheduling
+//!   scoped threads with deterministic, order-independent assembly;
+//! * [`cache`] — a content-addressed result cache under `results/cache/`,
+//!   keyed by a stable hash of the scenario ([`hash`]), so re-running
+//!   `fig8` after touching unrelated code is a set of cache hits;
+//! * [`figures`] / [`studies`] — the Fig 6–10 / Table I–II computations,
+//!   expressed as grids and cacheable study cells;
+//! * [`root`] — workspace-root discovery shared with `yoco-bench`'s
+//!   output writer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use yoco_sweep::{figures, Engine};
+//!
+//! // Pure in-memory evaluation (what `yoco_bench::fig8_table()` wraps):
+//! let table = figures::fig8_table();
+//! assert_eq!(table.rows.len(), 10);
+//!
+//! // The same grid, explicitly parallel and uncached:
+//! let engine = Engine::ephemeral().jobs(4);
+//! let (parallel_table, report) = figures::fig8_table_with(&engine).unwrap();
+//! assert_eq!(parallel_table, table);
+//! assert_eq!(report.cells.len(), 40);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod eval;
+pub mod executor;
+pub mod figures;
+pub mod grids;
+pub mod hash;
+pub mod root;
+pub mod scenario;
+pub mod studies;
+
+pub use cache::{CacheStats, ResultCache};
+pub use engine::{CellResult, Engine, SweepReport};
+pub use eval::{AttentionMetrics, GemmMetrics};
+pub use scenario::{AcceleratorKind, DesignPoint, Scenario, ScenarioKind, StudyId, WorkloadSpec};

@@ -1,0 +1,77 @@
+//! Workspace-root discovery shared by the sweep cache and the bench
+//! output writer, so results land in one place regardless of the
+//! invocation directory.
+
+use std::path::{Path, PathBuf};
+
+/// Finds the workspace root.
+///
+/// Resolution order:
+/// 1. the `YOCO_WORKSPACE_ROOT` environment variable, if set;
+/// 2. the first ancestor of the current directory whose `Cargo.toml`
+///    declares `[workspace]`;
+/// 3. the compile-time location of this crate (`crates/sweep` → two levels
+///    up), if it still exists on disk;
+/// 4. the current directory.
+pub fn workspace_root() -> PathBuf {
+    if let Ok(root) = std::env::var("YOCO_WORKSPACE_ROOT") {
+        return PathBuf::from(root);
+    }
+    if let Ok(cwd) = std::env::current_dir() {
+        for dir in cwd.ancestors() {
+            if is_workspace_root(dir) {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    if let Some(root) = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2) {
+        if root.is_dir() {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    let manifest = dir.join("Cargo.toml");
+    match std::fs::read_to_string(manifest) {
+        Ok(text) => text.contains("[workspace]"),
+        Err(_) => false,
+    }
+}
+
+/// `<workspace root>/results`: where figure/table JSON lands.
+pub fn results_dir() -> PathBuf {
+    workspace_root().join("results")
+}
+
+/// `<workspace root>/results/cache`: the content-addressed result cache.
+pub fn cache_dir() -> PathBuf {
+    results_dir().join("cache")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_workspace_from_a_nested_cwd() {
+        // The test binary runs with cwd at the crate root (a workspace
+        // member), so ancestor walking must land on the real root.
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").exists(), "{root:?}");
+        assert!(
+            std::fs::read_to_string(root.join("Cargo.toml"))
+                .unwrap()
+                .contains("[workspace]"),
+            "{root:?} is not the workspace root"
+        );
+    }
+
+    #[test]
+    fn results_and_cache_nest_under_root() {
+        let root = workspace_root();
+        assert_eq!(results_dir(), root.join("results"));
+        assert_eq!(cache_dir(), root.join("results").join("cache"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Named single-shot studies: every figure/table computation that is not a
+//! plain (accelerator × workload) grid, packaged as cacheable engine
+//! cells.
+
+pub mod ablations;
+pub mod fig6;
+
+use crate::scenario::StudyId;
+use serde::{Deserialize, Serialize, Value};
+use yoco::YocoChip;
+use yoco_circuit::energy::{array_area, array_vmm_energy, ima_area, ima_vmm_cost, table2};
+
+/// Fig 9(a): DAC overhead reductions, conventional ÷ YOCO.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig9aRecord {
+    /// Area reduction factor.
+    pub area_ratio: f64,
+    /// Energy reduction factor.
+    pub energy_ratio: f64,
+    /// Latency reduction factor.
+    pub latency_ratio: f64,
+}
+
+/// Computes Fig 9(a).
+pub fn fig9a() -> Fig9aRecord {
+    let (area_ratio, energy_ratio, latency_ratio) = yoco_baselines::adc_dac::fig9a_dac_ratios();
+    Fig9aRecord {
+        area_ratio,
+        energy_ratio,
+        latency_ratio,
+    }
+}
+
+/// Table II's derived headline numbers, computed from the component
+/// models (not hard-coded prose).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Record {
+    /// One 128×256 array VMM energy at 50 % activity, pJ.
+    pub array_energy_pj: f64,
+    /// One IMA VMM energy, nJ.
+    pub ima_energy_nj: f64,
+    /// One IMA VMM latency, ns.
+    pub ima_latency_ns: f64,
+    /// Headline energy efficiency, TOPS/W.
+    pub tops_per_watt: f64,
+    /// Headline throughput, TOPS.
+    pub tops: f64,
+    /// Array area, µm².
+    pub array_area_um2: f64,
+    /// IMA area, µm².
+    pub ima_area_um2: f64,
+    /// Chip area from the component roll-up, mm².
+    pub chip_area_mm2: f64,
+}
+
+/// Computes the Table II record.
+pub fn table2_record() -> Table2Record {
+    let array_e = array_vmm_energy(table2::DEFAULT_ACTIVITY);
+    let cost = ima_vmm_cost(table2::DEFAULT_ACTIVITY);
+    let chip = YocoChip::paper_default();
+    Table2Record {
+        array_energy_pj: array_e.as_pico(),
+        ima_energy_nj: cost.energy.as_nano(),
+        ima_latency_ns: cost.latency.as_nano(),
+        tops_per_watt: cost.tops_per_watt(),
+        tops: cost.tops(),
+        array_area_um2: array_area().value(),
+        ima_area_um2: ima_area().value(),
+        chip_area_mm2: chip.area_mm2(),
+    }
+}
+
+/// Evaluates one study to its JSON payload.
+pub fn run(study: StudyId) -> Result<Value, String> {
+    Ok(match study {
+        StudyId::Fig6a => fig6::fig6a()?.to_value(),
+        StudyId::Fig6bc => fig6::fig6bc()?.to_value(),
+        StudyId::Fig6d => fig6::fig6d()?.to_value(),
+        StudyId::Fig6e => yoco_baselines::prior::fig6e_error_ladder().to_value(),
+        StudyId::Fig6f => fig6::fig6f()?.to_value(),
+        StudyId::Fig7 => yoco_baselines::prior::fig7_rows().to_value(),
+        StudyId::Fig9a => fig9a().to_value(),
+        StudyId::Fig9b => yoco_baselines::adc_dac::fig9b_schemes().to_value(),
+        StudyId::Table1 => yoco_baselines::taxonomy::table1_rows().to_value(),
+        StudyId::Table2 => table2_record().to_value(),
+        StudyId::AblationSlicing => ablations::slicing_sweep().to_value(),
+        StudyId::AblationTda => ablations::tda_ablation().to_value(),
+        StudyId::AblationHybrid => ablations::hybrid_ablation().to_value(),
+        StudyId::AblationPipelineDepth => ablations::pipeline_depth_sweep().to_value(),
+        StudyId::AblationCorners => ablations::corner_sweep().to_value(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_study_evaluates_to_a_payload() {
+        // The two slow studies (fig6bc: 512 detailed sims, fig6f: training)
+        // are covered by the bins and the integration tests; keep the unit
+        // sweep quick with the rest.
+        for study in StudyId::ALL {
+            if matches!(study, StudyId::Fig6bc | StudyId::Fig6f) {
+                continue;
+            }
+            let v = run(study).unwrap_or_else(|e| panic!("{}: {e}", study.name()));
+            assert!(!v.is_null(), "{} produced null", study.name());
+        }
+    }
+
+    #[test]
+    fn table2_matches_the_headline_operating_point() {
+        let r = table2_record();
+        assert!((r.tops_per_watt - 123.8).abs() / 123.8 < 0.03);
+        assert!((r.tops - 34.9).abs() / 34.9 < 0.03);
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end engine tests: cache round trips, parallel-vs-serial
+//! determinism, and a small sweep driven exactly the way the bins do it.
+
+use std::fs;
+use std::path::PathBuf;
+use yoco_sweep::{
+    figures, AcceleratorKind, DesignPoint, Engine, ResultCache, Scenario, StudyId, WorkloadSpec,
+};
+
+fn temp_cache(tag: &str) -> (ResultCache, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("yoco-sweep-e2e-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    (ResultCache::at(dir.clone()), dir)
+}
+
+fn small_grid() -> Vec<Scenario> {
+    let mut grid: Vec<Scenario> = AcceleratorKind::ALL
+        .into_iter()
+        .map(|acc| {
+            Scenario::gemm(
+                acc,
+                DesignPoint::paper(),
+                WorkloadSpec::Zoo {
+                    model: "resnet18".into(),
+                },
+            )
+        })
+        .collect();
+    grid.push(Scenario::study(StudyId::AblationTda));
+    grid
+}
+
+#[test]
+fn cold_run_misses_then_warm_run_hits_with_identical_content() {
+    let (cache, dir) = temp_cache("hits");
+    let engine = Engine::ephemeral().with_cache(cache).jobs(4);
+
+    let cold = engine.run(&small_grid());
+    assert_eq!(cold.misses, 5, "cold cache computes everything");
+    assert_eq!(cold.hits, 0);
+    assert!(cold.errors().is_empty());
+
+    let warm = engine.run(&small_grid());
+    assert_eq!(warm.hits, 5, "warm cache serves everything");
+    assert_eq!(warm.misses, 0);
+    assert_eq!(
+        cold.canonical_json(),
+        warm.canonical_json(),
+        "cache round trip must preserve every payload bit"
+    );
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn parallel_and_serial_runs_are_byte_identical() {
+    let grid = figures::fig8_scenarios();
+    let serial = Engine::ephemeral().run(&grid);
+    let parallel = Engine::ephemeral().jobs(8).run(&grid);
+    assert_eq!(serial.canonical_json(), parallel.canonical_json());
+    // And the assembled tables agree field-for-field.
+    let a = figures::fig8_table_from(&serial).unwrap();
+    let b = figures::fig8_table_from(&parallel).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fig8_assembles_identically_from_cold_and_warm_cache() {
+    let (cache, dir) = temp_cache("fig8");
+    let engine = Engine::ephemeral().with_cache(cache).jobs(4);
+    let (cold_table, cold_report) = figures::fig8_table_with(&engine).unwrap();
+    assert_eq!(cold_report.misses, 40);
+    let (warm_table, warm_report) = figures::fig8_table_with(&engine).unwrap();
+    assert_eq!(warm_report.hits, 40);
+    assert_eq!(
+        cold_table, warm_table,
+        "cache must not change a single ratio"
+    );
+    // And both equal the pure in-memory path.
+    assert_eq!(cold_table, figures::fig8_table());
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn force_recomputes_but_refreshes_the_cache() {
+    let (cache, dir) = temp_cache("force");
+    let engine = Engine::ephemeral().with_cache(cache);
+    let grid = small_grid();
+    assert_eq!(engine.run(&grid).misses, 5);
+    let forced = engine.clone().force(true).run(&grid);
+    assert_eq!(forced.misses, 5, "--force bypasses lookups");
+    assert_eq!(engine.run(&grid).hits, 5, "but keeps the cache warm");
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn scenario_files_drive_the_engine_like_the_cli() {
+    // The CLI's --file path: a JSON grid written by one process, run by
+    // another, including a design-point override cell.
+    let grid = vec![
+        Scenario::gemm(
+            AcceleratorKind::Yoco,
+            DesignPoint {
+                tiles: Some(2),
+                ..Default::default()
+            },
+            WorkloadSpec::Gemm {
+                name: "halfchip".into(),
+                m: 64,
+                k: 1024,
+                n: 256,
+                kind: yoco_arch::workload::LayerKind::Linear,
+            },
+        ),
+        Scenario::study(StudyId::Fig9a),
+    ];
+    let text = serde_json::to_string_pretty(&grid).unwrap();
+    let parsed: Vec<Scenario> = serde_json::from_str(&text).unwrap();
+    assert_eq!(grid, parsed);
+    let report = Engine::ephemeral().run(&parsed);
+    assert!(report.errors().is_empty());
+    assert_eq!(report.cells.len(), 2);
+    assert!(!report.cells[0].payload.is_null());
+}

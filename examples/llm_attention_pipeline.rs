@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         heads: 32,
     };
     let r = pipeline.simulate(&dims);
-    println!("llama-7b attention layer (seq {}, d {}):", dims.seq, dims.d_model);
+    println!(
+        "llama-7b attention layer (seq {}, d {}):",
+        dims.seq, dims.d_model
+    );
     println!("  layer-wise: {:.2} ms", r.layerwise_ns / 1e6);
     println!("  pipelined : {:.2} ms", r.pipelined_ns / 1e6);
     println!("  speedup   : {:.2}x", r.speedup());

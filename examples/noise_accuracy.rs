@@ -13,7 +13,12 @@ use yoco_nn::train::{train_mlp, TrainConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = VectorDataset::gaussian_clusters(3000, 24, 4, 0.22, 99);
     let (train, test) = data.split(0.5);
-    let mlp = train_mlp(&[24, 48, 4], &train.samples, &train.labels, &TrainConfig::default())?;
+    let mlp = train_mlp(
+        &[24, 48, 4],
+        &train.samples,
+        &train.labels,
+        &TrainConfig::default(),
+    )?;
 
     let f32_acc = accuracy(&test.samples, &test.labels, |x| {
         mlp.predict_f32(x).unwrap_or(0)
@@ -25,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analog_acc = accuracy(&test.samples, &test.labels, |x| {
         mlp.predict_quantized(x, &mut engine).unwrap_or(0)
     });
-    println!("YOCO analog inference accuracy: {:.2} %", analog_acc * 100.0);
+    println!(
+        "YOCO analog inference accuracy: {:.2} %",
+        analog_acc * 100.0
+    );
     println!(
         "accuracy loss                 : {:+.2} %  (paper: < 0.5 % on CNNs)",
         (f32_acc - analog_acc) * 100.0

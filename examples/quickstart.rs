@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ima = Ima::new(&config, ImaRole::Static, &weights)?;
     let inputs: Vec<u32> = (0..256).map(|_| rng.gen_range(0..256)).collect();
     let codes = ima.compute_vmm(&inputs, 7)?;
-    let exact: f64 = (0..256).map(|r| inputs[r] as f64 * weights[r][0] as f64).sum();
+    let exact: f64 = (0..256)
+        .map(|r| inputs[r] as f64 * weights[r][0] as f64)
+        .sum();
     println!(
         "functional VMM output[0]: code {} (exact dot {} -> expected code {})",
         codes[0],

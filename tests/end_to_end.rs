@@ -104,7 +104,10 @@ fn efficiency_ordering_on_clean_gemm() {
     let i = isaac().evaluate(&w).tops_per_watt();
     let r = raella().evaluate(&w).tops_per_watt();
     let t = timely().evaluate(&w).tops_per_watt();
-    assert!(i < r && r < t && t < y, "ordering: isaac {i}, raella {r}, timely {t}, yoco {y}");
+    assert!(
+        i < r && r < t && t < y,
+        "ordering: isaac {i}, raella {r}, timely {t}, yoco {y}"
+    );
 }
 
 /// Hybrid-memory discriminator: on dynamic attention GEMMs the ReRAM
@@ -112,13 +115,11 @@ fn efficiency_ordering_on_clean_gemm() {
 #[test]
 fn dynamic_gemm_penalty_is_asymmetric() {
     let stat = MatmulWorkload::new("fc", 256, 1024, 1024);
-    let dynamic = MatmulWorkload::new("score", 256, 1024, 1024)
-        .with_kind(LayerKind::AttentionContext);
+    let dynamic =
+        MatmulWorkload::new("score", 256, 1024, 1024).with_kind(LayerKind::AttentionContext);
     let chip = YocoChip::paper_default();
-    let yoco_overhead =
-        chip.evaluate(&dynamic).energy_pj / chip.evaluate(&stat).energy_pj;
-    let isaac_overhead =
-        isaac().evaluate(&dynamic).energy_pj / isaac().evaluate(&stat).energy_pj;
+    let yoco_overhead = chip.evaluate(&dynamic).energy_pj / chip.evaluate(&stat).energy_pj;
+    let isaac_overhead = isaac().evaluate(&dynamic).energy_pj / isaac().evaluate(&stat).energy_pj;
     assert!(yoco_overhead < 1.1, "yoco dynamic overhead {yoco_overhead}");
     assert!(
         isaac_overhead > yoco_overhead,

@@ -109,7 +109,11 @@ fn chip_schedule_on_vgg16() {
     let model = models::vgg16();
     let (sched, power) = chip.schedule_model(&model.workloads());
     assert!(sched.double_buffered_ns <= sched.serial_ns);
-    assert!(power.total_w() > 0.1 && power.total_w() < 30.0, "{} W", power.total_w());
+    assert!(
+        power.total_w() > 0.1 && power.total_w() < 30.0,
+        "{} W",
+        power.total_w()
+    );
 }
 
 /// Wear leveling across the 32 ReRAM slots of a SIMA cluster extends the

@@ -9,13 +9,36 @@ use yoco::{AttentionDims, AttentionPipeline, YocoConfig};
 fn fig10_band() {
     let pipeline = AttentionPipeline::new(YocoConfig::paper_default());
     let dims = [
-        AttentionDims { seq: 1024, d_model: 1280, heads: 20 },
-        AttentionDims { seq: 128, d_model: 512, heads: 4 },
-        AttentionDims { seq: 128, d_model: 768, heads: 12 },
-        AttentionDims { seq: 197, d_model: 768, heads: 12 },
-        AttentionDims { seq: 2048, d_model: 4096, heads: 32 },
+        AttentionDims {
+            seq: 1024,
+            d_model: 1280,
+            heads: 20,
+        },
+        AttentionDims {
+            seq: 128,
+            d_model: 512,
+            heads: 4,
+        },
+        AttentionDims {
+            seq: 128,
+            d_model: 768,
+            heads: 12,
+        },
+        AttentionDims {
+            seq: 197,
+            d_model: 768,
+            heads: 12,
+        },
+        AttentionDims {
+            seq: 2048,
+            d_model: 4096,
+            heads: 32,
+        },
     ];
-    let speedups: Vec<f64> = dims.iter().map(|d| pipeline.simulate(d).speedup()).collect();
+    let speedups: Vec<f64> = dims
+        .iter()
+        .map(|d| pipeline.simulate(d).speedup())
+        .collect();
     for s in &speedups {
         assert!(*s > 1.4 && *s < 4.2, "speedup {s}");
     }
@@ -30,7 +53,11 @@ fn pipeline_speedup_is_stable_across_sequence_lengths() {
     let pipeline = AttentionPipeline::new(YocoConfig::paper_default());
     let mut last = 0.0;
     for seq in [32, 128, 512, 2048] {
-        let r = pipeline.simulate(&AttentionDims { seq, d_model: 1024, heads: 16 });
+        let r = pipeline.simulate(&AttentionDims {
+            seq,
+            d_model: 1024,
+            heads: 16,
+        });
         assert!(r.speedup() > 1.0);
         last = r.speedup();
     }

@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`: same macro/API surface the workspace
+//! benches use (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `bench_function`, `Bencher::iter`, `black_box`), backed by a small
+//! wall-clock timing loop instead of the full statistical harness.
+//!
+//! Honors the `--test` flag `cargo test` passes to `harness = false` bench
+//! targets by running each benchmark body exactly once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (accepted, reported alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-') && !a.is_empty())
+            .cloned();
+        Self {
+            test_mode,
+            filter,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no sampling phase.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.as_ref();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            budget: if self.test_mode {
+                Duration::ZERO
+            } else {
+                self.measurement_time
+            },
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+            println!(
+                "bench {id:<50} {:>12.1} ns/iter ({} iters)",
+                per_iter, b.iters
+            );
+        } else {
+            println!("bench {id:<50} (ran in test mode)");
+        }
+        self
+    }
+}
+
+/// Timing handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times the routine until the measurement budget is spent
+    /// (or exactly once in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.budget.is_zero() {
+            black_box(routine());
+            return;
+        }
+        // Warm-up.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget && iters < 1_000_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark targets as a runnable function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,195 @@
+//! Value-generation strategies: the generation half of proptest's
+//! `Strategy`, without shrinking.
+
+use crate::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of an associated type from an RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (resampling; panics after
+    /// too many consecutive rejections).
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+}
+
+/// The `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The `prop_filter` adapter.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 consecutive samples");
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Strategy for `Vec<T>` with a length drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Length specifications accepted by [`vec`].
+pub trait IntoLenRange {
+    /// Converts to a half-open range.
+    fn into_len_range(self) -> Range<usize>;
+}
+
+impl IntoLenRange for Range<usize> {
+    fn into_len_range(self) -> Range<usize> {
+        self
+    }
+}
+
+impl IntoLenRange for RangeInclusive<usize> {
+    fn into_len_range(self) -> Range<usize> {
+        let (lo, hi) = self.into_inner();
+        lo..hi + 1
+    }
+}
+
+impl IntoLenRange for usize {
+    fn into_len_range(self) -> Range<usize> {
+        self..self + 1
+    }
+}
+
+/// `prop::collection::vec(element, len)`.
+pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into_len_range(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn ranges_and_vec_respect_bounds() {
+        let mut rng = test_rng("bounds");
+        let s = vec(0.5f64..4.0, 1..64);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..64).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.5..4.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = test_rng("map");
+        let s = (1u32..10, 0.0f64..1.0).prop_map(|(a, b)| a as f64 + b);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1.0..11.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for `rand_chacha`: ChaCha keystream generators behind
+//! the vendored `rand` traits.
+//!
+//! The block function is the genuine ChaCha permutation (quarter-round
+//! construction, 8/12/20 rounds), so the statistical quality matches the
+//! real crate; the exact stream differs (seeding layout is simplified),
+//! which no test in this workspace depends on.
+
+pub use rand::{RngCore, SeedableRng};
+
+/// Re-export module mirroring `rand_chacha::rand_core`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial) {
+        *s = s.wrapping_add(i);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:literal) => {
+        /// A ChaCha keystream generator.
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                Self {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.buffer = chacha_block(&self.key, self.counter, $rounds);
+                    self.counter = self.counter.wrapping_add(1);
+                    self.index = 0;
+                }
+                let v = self.buffer[self.index];
+                self.index += 1;
+                v
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8);
+chacha_rng!(ChaCha12Rng, 12);
+chacha_rng!(ChaCha20Rng, 20);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha20_rfc7539_block_one() {
+        // RFC 7539 §2.3.2 test vector: key 00 01 .. 1f, counter 1, but our
+        // layout zeroes the nonce words; verify the permutation core instead
+        // by checking determinism + non-triviality at full state.
+        let key: [u32; 8] = core::array::from_fn(|i| i as u32);
+        let a = chacha_block(&key, 1, 20);
+        let b = chacha_block(&key, 1, 20);
+        assert_eq!(a, b);
+        assert_ne!(a, chacha_block(&key, 2, 20));
+    }
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = ChaCha12Rng::seed_from_u64(99);
+        let mut b = ChaCha12Rng::seed_from_u64(99);
+        let mut c = ChaCha12Rng::seed_from_u64(100);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn mean_of_uniform_draws_is_centered() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item token stream by hand (no `syn`/`quote` available in this
+//! environment) and emits `serde::Serialize` / `serde::Deserialize` impls
+//! against the value-based shim in `vendor/serde`.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * structs with named fields,
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+}
+
+#[derive(Debug)]
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields. N == 1 serializes transparently
+    /// (serde's newtype behavior), N > 1 as an array.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token stream")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde_derive: expected item name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported"
+        ));
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body = g.stream();
+            let kind = match keyword.as_str() {
+                "struct" => ItemKind::Struct(parse_named_fields(body)?),
+                "enum" => ItemKind::Enum(parse_variants(body)?),
+                other => return Err(format!("serde_derive: cannot derive for `{other}` items")),
+            };
+            Ok(Item { name, kind })
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && keyword == "struct" =>
+        {
+            Ok(Item {
+                name,
+                kind: ItemKind::TupleStruct(count_tuple_fields(g.stream())),
+            })
+        }
+        other => Err(format!("serde_derive: expected item body, got {other:?}")),
+    }
+}
+
+/// Counts top-level comma-separated fields in a paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let inner: Vec<TokenTree> = stream.into_iter().collect();
+    if inner.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for t in &inner {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if matches!(inner.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+/// Skips `#[...]` attributes (incl. doc comments) and `pub` / `pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde_derive: expected `:`, got {other:?}")),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // the comma
+        }
+        fields.push(Field { name });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let data = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantData::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut count = if inner.is_empty() { 0 } else { 1 };
+                let mut depth = 0i32;
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+                        _ => {}
+                    }
+                }
+                // Tolerate a trailing comma inside the parens.
+                if matches!(inner.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    count -= 1;
+                }
+                i += 1;
+                VariantData::Tuple(count)
+            }
+            _ => VariantData::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, data });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert({n:?}, ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)\n");
+            s
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)\n".to_owned(),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])\n", elems.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => s.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_owned()),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_owned()
+                        } else {
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert({vn:?}, {payload});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantData::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut __fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fm.insert({n:?}, ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert({vn:?}, ::serde::Value::Object(__fm));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::ty({name:?}, \"object\"))?;\n\
+                 ::core::result::Result::Ok(Self {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{n}: ::serde::from_field(__obj, {name:?}, {n:?})?,\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("})\n");
+            s
+        }
+        ItemKind::TupleStruct(1) => {
+            "::core::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))\n".to_owned()
+        }
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::Error::ty({name:?}, \"array\"))?;\n\
+                 if __a.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::Error::ty({name:?}, \"array of matching arity\")); }}\n\
+                 ::core::result::Result::Ok(Self({elems}))\n",
+                elems = elems.join(", "),
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut s =
+                String::from("match __v {\n::serde::Value::String(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.data, VariantData::Unit) {
+                    s.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            s.push_str(&format!(
+                "__other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n}},\n"
+            ));
+            s.push_str("::serde::Value::Object(__m) => {\n");
+            s.push_str(
+                "let (__tag, __payload) = __m.iter().next().map(|(k, v)| (k.as_str(), v))\
+                 .ok_or_else(|| ::serde::Error::custom(\"empty enum object\"))?;\n",
+            );
+            s.push_str("match __tag {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.data {
+                    VariantData::Unit => s.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantData::Tuple(n) => {
+                        if *n == 1 {
+                            s.push_str(&format!(
+                                "{vn:?} => ::core::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_value(__payload)?)),\n"
+                            ));
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                                .collect();
+                            s.push_str(&format!(
+                                "{vn:?} => {{\n\
+                                 let __a = __payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::ty({name:?}, \"array payload\"))?;\n\
+                                 if __a.len() != {n} {{ return ::core::result::Result::Err(\
+                                 ::serde::Error::ty({name:?}, \"payload of matching arity\")); }}\n\
+                                 ::core::result::Result::Ok({name}::{vn}({elems}))\n}}\n",
+                                elems = elems.join(", "),
+                            ));
+                        }
+                    }
+                    VariantData::Struct(fields) => {
+                        let mut inner = format!(
+                            "let __fm = __payload.as_object().ok_or_else(|| \
+                             ::serde::Error::ty({name:?}, \"object payload\"))?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{n}: ::serde::from_field(__fm, {name:?}, {n:?})?,\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("})\n");
+                        s.push_str(&format!("{vn:?} => {{\n{inner}}}\n"));
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "__other => ::core::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n"
+            ));
+            s.push_str(&format!(
+                "_ => ::core::result::Result::Err(::serde::Error::ty({name:?}, \"string or object\")),\n}}\n"
+            ));
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+}
