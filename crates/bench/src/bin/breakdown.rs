@@ -1,79 +1,46 @@
 //! Per-component energy breakdown (accelergy-style), contrasting YOCO with
 //! ISAAC's converter-dominated profile — the quantitative backing of the
 //! paper's Fig 1(c) discussion ("ADCs/DACs consume up to 85 % of power in
-//! architectures like ISAAC").
+//! architectures like ISAAC") — computed as a cached `yoco-sweep` study
+//! cell.
 
-use yoco::YocoChip;
-use yoco_arch::accelerator::Accelerator;
-use yoco_arch::workload::{LayerKind, MatmulWorkload};
-use yoco_baselines::isaac::isaac;
 use yoco_bench::output::write_json;
+use yoco_bench::sweep_io::{bin_engine, run_study};
+use yoco_sweep::studies::overview::{BreakdownProfile, BreakdownRecord};
+use yoco_sweep::StudyId;
+
+fn print_profile(title: &str, p: &BreakdownProfile) {
+    println!("== YOCO energy breakdown: {title} ==");
+    for c in &p.components {
+        println!(
+            "  {:<18} {:>12.1} nJ   {:>5.1} %",
+            c.component,
+            c.energy_pj / 1e3,
+            c.share * 100.0
+        );
+    }
+    println!(
+        "  total {:.1} nJ, {:.1} TOPS/W",
+        p.total_energy_pj / 1e3,
+        p.tops_per_watt
+    );
+}
 
 fn main() {
-    let chip = YocoChip::paper_default();
-
-    println!("== YOCO energy breakdown: conv-style GEMM (256 x 1024 x 256) ==");
-    let (cost, ledger) = chip.evaluate_with_ledger(&MatmulWorkload::new("conv", 256, 1024, 256));
-    for (name, pj) in ledger.breakdown() {
-        println!(
-            "  {:<18} {:>12.1} nJ   {:>5.1} %",
-            name,
-            pj / 1e3,
-            ledger.share(&name) * 100.0
-        );
-    }
-    println!(
-        "  total {:.1} nJ, {:.1} TOPS/W",
-        cost.energy_pj / 1e3,
-        cost.tops_per_watt()
-    );
-
+    let b: BreakdownRecord = run_study(&bin_engine(), StudyId::Breakdown);
+    print_profile("conv-style GEMM (256 x 1024 x 256)", &b.conv);
     println!();
-    println!("== YOCO energy breakdown: attention score GEMM (dynamic) ==");
-    let w = MatmulWorkload::new("scores", 1536, 64, 128).with_kind(LayerKind::AttentionScore);
-    let (cost, ledger) = chip.evaluate_with_ledger(&w);
-    for (name, pj) in ledger.breakdown() {
-        println!(
-            "  {:<18} {:>12.1} nJ   {:>5.1} %",
-            name,
-            pj / 1e3,
-            ledger.share(&name) * 100.0
-        );
-    }
-    println!(
-        "  total {:.1} nJ, {:.1} TOPS/W",
-        cost.energy_pj / 1e3,
-        cost.tops_per_watt()
-    );
-
+    print_profile("attention score GEMM (dynamic)", &b.attention);
     println!();
     println!("== ISAAC for contrast: the ADC share the paper criticizes ==");
-    let i = isaac();
-    let w = MatmulWorkload::new("conv", 256, 1024, 256);
-    let adc_pj = i.conversions_per_invocation() as f64 * i.adc.energy_pj;
-    let inv_total = {
-        // One invocation's full energy via the public model.
-        let one = MatmulWorkload::new("one", 1, 128, 32);
-        i.evaluate(&one).energy_pj
-    };
     println!(
-        "  ADC energy per crossbar invocation: {:.1} nJ of {:.1} nJ ({:.0} %)",
-        adc_pj / 1e3,
-        inv_total / 1e3,
-        adc_pj / inv_total * 100.0
+        "  ADC share of one crossbar invocation: {:.0} %",
+        b.isaac_adc_share_pct
     );
-    let isaac_cost = i.evaluate(&w);
     println!(
-        "  whole layer: {:.1} nJ, {:.2} TOPS/W ({}x less efficient than YOCO here)",
-        isaac_cost.energy_pj / 1e3,
-        isaac_cost.tops_per_watt(),
-        (cost.tops_per_watt() / isaac_cost.tops_per_watt()).round()
+        "  whole conv layer: {:.2} TOPS/W ({}x less efficient than YOCO here)",
+        b.isaac_tops_per_watt,
+        b.ee_ratio_vs_isaac.round()
     );
-
-    write_json(
-        "breakdown",
-        &chip
-            .evaluate_with_ledger(&MatmulWorkload::new("conv", 256, 1024, 256))
-            .1,
-    );
+    write_json("breakdown", &b);
 }

@@ -1,9 +1,14 @@
 //! Internal calibration aid: prints the Fig 8 geomeans so the baseline
 //! constants can be checked against the paper's targets
-//! (EE 19.9/4.7/3.9, throughput 33.6/20.4/6.8).
+//! (EE 19.9/4.7/3.9, throughput 33.6/20.4/6.8). Runs the Fig 8 grid
+//! through the shared engine, so a repeat invocation is all cache hits.
+
+use yoco_bench::sweep_io::{bin_engine, print_cache_line};
+use yoco_sweep::figures::fig8_table_with;
 
 fn main() {
-    let t = yoco_bench::fig8_table();
+    let (t, report) = fig8_table_with(&bin_engine()).expect("fig8 grid evaluates");
+    print_cache_line(&report);
     println!(
         "{:<20} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}  {:>9} {:>8}",
         "model",

@@ -1,49 +1,29 @@
 //! Regenerates Fig 1(c): the throughput-vs-energy-efficiency scatter of
-//! recent IMC macros, with YOCO in the top-right corner.
+//! recent IMC macros, with YOCO in the top-right corner — computed as a
+//! cached `yoco-sweep` study cell.
 
-use yoco_baselines::prior::{fig7_circuits, yoco_ima};
 use yoco_bench::output::write_json;
+use yoco_bench::sweep_io::{bin_engine, run_study};
+use yoco_sweep::studies::overview::Fig1cPoint;
+use yoco_sweep::StudyId;
 
 fn main() {
+    let points: Vec<Fig1cPoint> = run_study(&bin_engine(), StudyId::Fig1c);
     println!("== Fig 1(c): analog IMC throughput vs energy efficiency ==");
     println!(
         "{:<6} {:>12} {:>10} {:>8}",
         "ref", "EE (TOPS/W)", "TP (TOPS)", "kind"
     );
-    let mut points: Vec<(String, f64, f64, String)> = fig7_circuits()
-        .iter()
-        .map(|c| {
-            (
-                c.reference.to_string(),
-                c.tops_per_watt,
-                c.tops,
-                if c.digital {
-                    "digital".to_string()
-                } else {
-                    "analog".to_string()
-                },
-            )
-        })
-        .collect();
-    let ours = yoco_ima();
-    points.push((
-        "ours".into(),
-        ours.tops_per_watt,
-        ours.tops,
-        "analog (this work)".into(),
-    ));
-    for (name, ee, tp, kind) in &points {
-        println!("{name:<6} {ee:>12.1} {tp:>10.2} {kind:>8}");
+    for p in &points {
+        println!(
+            "{:<6} {:>12.1} {:>10.2} {:>8}",
+            p.reference, p.tops_per_watt, p.tops, p.kind
+        );
     }
     // YOCO dominates both axes.
-    let best_other_ee = points[..points.len() - 1]
-        .iter()
-        .map(|p| p.1)
-        .fold(0.0, f64::max);
-    let best_other_tp = points[..points.len() - 1]
-        .iter()
-        .map(|p| p.2)
-        .fold(0.0, f64::max);
+    let (ours, others) = points.split_last().expect("the study is never empty");
+    let best_other_ee = others.iter().map(|p| p.tops_per_watt).fold(0.0, f64::max);
+    let best_other_tp = others.iter().map(|p| p.tops).fold(0.0, f64::max);
     println!(
         "YOCO sits {:.1}x right and {:.1}x up from the best prior point.",
         ours.tops_per_watt / best_other_ee,

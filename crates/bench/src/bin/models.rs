@@ -1,45 +1,30 @@
 //! Prints the benchmark model zoo: per-model GEMM counts, MACs, static
 //! parameters, dynamic-GEMM share, and the chip placement plan — the
-//! workload side of Fig 8 at a glance.
+//! workload side of Fig 8 at a glance, computed as a cached `yoco-sweep`
+//! study cell.
 
-use yoco::{plan_placement, YocoConfig};
 use yoco_bench::output::write_json;
-use yoco_nn::models::fig8_benchmarks;
+use yoco_bench::sweep_io::{bin_engine, run_study};
+use yoco_sweep::studies::overview::ModelRecord;
+use yoco_sweep::StudyId;
 
 fn main() {
-    let config = YocoConfig::paper_default();
+    let records: Vec<ModelRecord> = run_study(&bin_engine(), StudyId::Models);
     println!(
         "{:<20} {:>7} {:>12} {:>14} {:>10} {:>7} {:>12}",
         "model", "GEMMs", "GMACs", "params (M)", "dyn MACs%", "chips", "program (ms)"
     );
-    let mut records = Vec::new();
-    for model in fig8_benchmarks() {
-        let workloads = model.workloads();
-        let macs = model.macs() as f64;
-        let dyn_macs: u64 = workloads
-            .iter()
-            .filter(|w| w.dynamic_weights)
-            .map(|w| w.macs())
-            .sum();
-        let plan = plan_placement(&config, &workloads);
+    for r in &records {
         println!(
             "{:<20} {:>7} {:>12.2} {:>14.1} {:>9.1}% {:>7} {:>12.2}",
-            model.name,
-            workloads.len(),
-            macs / 1e9,
-            model.static_weights() as f64 / 1e6,
-            dyn_macs as f64 / macs * 100.0,
-            plan.chips_needed,
-            plan.program_time_ms
+            r.model,
+            r.gemms,
+            r.macs as f64 / 1e9,
+            r.static_weights as f64 / 1e6,
+            r.dynamic_macs as f64 / r.macs as f64 * 100.0,
+            r.chips_needed,
+            r.program_time_ms
         );
-        records.push((
-            model.name.clone(),
-            workloads.len(),
-            macs,
-            model.static_weights(),
-            dyn_macs,
-            plan.chips_needed,
-        ));
     }
     write_json("models", &records);
 }

@@ -32,7 +32,9 @@ pub fn run_study<T: Deserialize>(engine: &Engine, study: StudyId) -> T {
     take_payload(&report, study)
 }
 
-/// Deserializes one study payload out of a larger report.
+/// Deserializes one study payload out of a larger report. The typed
+/// [`yoco_sweep::Metrics`] payload is exposed through its cache form so
+/// bins keep their concrete row types.
 ///
 /// # Panics
 ///
@@ -47,7 +49,11 @@ pub fn take_payload<T: Deserialize>(report: &SweepReport, study: StudyId) -> T {
     if let Some(e) = &cell.error {
         panic!("study {id} failed: {e}");
     }
-    serde_json::from_value(&cell.payload)
+    let metrics = cell
+        .metrics
+        .as_ref()
+        .unwrap_or_else(|| panic!("study {id} has no payload"));
+    serde_json::from_value(&metrics.cache_value())
         .unwrap_or_else(|e| panic!("study {id} payload mismatch: {e}"))
 }
 

@@ -45,6 +45,11 @@ pub mod pipeline;
 pub mod placement;
 pub mod tile;
 
+/// The evaluator crate's version, as baked into result-cache keys by
+/// `yoco-sweep` — bumping the core model invalidates cached cells
+/// wholesale instead of silently serving results from an older model.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub use chip::YocoChip;
 pub use config::{ConfigError, YocoConfig};
 pub use decode::{decode_attention_layer, DecodeReport};

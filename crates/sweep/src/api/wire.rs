@@ -1,0 +1,294 @@
+//! The versioned wire format: [`EvalRequest`] in, [`EvalResponse`] out.
+//!
+//! One evaluation exchange is one line of JSON each way (NDJSON), framed
+//! by the [`Request`]/[`Response`] envelopes so the protocol can carry
+//! health checks and shutdown next to evaluation batches:
+//!
+//! ```text
+//! → {"Eval":{"version":1,"id":"r-1","scenarios":[...],"force":false}}
+//! ← {"Eval":{"version":1,"id":"r-1","cells":[...],"hits":2,"misses":1,"error":null}}
+//! → "Ping"
+//! ← "Pong"
+//! → "Shutdown"
+//! ← "Bye"
+//! ```
+//!
+//! Responses deliberately exclude wall-clock timing: re-submitting the
+//! same request against a warm cache returns byte-identical bytes, which
+//! is what makes the protocol testable end-to-end.
+
+use crate::api::{Metrics, SweepError};
+use crate::engine::{Engine, SweepReport};
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// The wire-protocol schema version. Bump on any incompatible change to
+/// the envelopes, [`Scenario`], or [`Metrics`].
+pub const API_VERSION: u32 = 1;
+
+/// A batch of scenarios to evaluate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRequest {
+    /// Protocol version the client speaks; must equal [`API_VERSION`].
+    pub version: u32,
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub id: String,
+    /// The cells to evaluate, in response order.
+    pub scenarios: Vec<Scenario>,
+    /// Recompute every cell, refreshing (but not consulting) the cache.
+    pub force: bool,
+}
+
+impl EvalRequest {
+    /// A current-version request with caching enabled.
+    pub fn new(id: impl Into<String>, scenarios: Vec<Scenario>) -> Self {
+        Self {
+            version: API_VERSION,
+            id: id.into(),
+            scenarios,
+            force: false,
+        }
+    }
+}
+
+/// How one cell of a response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// Served from the result cache.
+    Hit,
+    /// Computed by the executor (and cached, when a cache is attached).
+    Computed,
+    /// Evaluation failed; see the cell's `error`.
+    Failed,
+}
+
+/// One scenario's outcome on the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// The scenario's display id.
+    pub id: String,
+    /// Content-addressed cache key of the cell.
+    pub key: String,
+    /// How the cell was produced.
+    pub status: CellStatus,
+    /// The typed payload (`None` exactly when `status` is `Failed`).
+    pub metrics: Option<Metrics>,
+    /// The failure, if any.
+    pub error: Option<SweepError>,
+}
+
+/// The response to an [`EvalRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResponse {
+    /// Protocol version of the server.
+    pub version: u32,
+    /// The request id, echoed.
+    pub id: String,
+    /// Per-cell outcomes, in request order.
+    pub cells: Vec<CellOutcome>,
+    /// Cells served from the cache.
+    pub hits: usize,
+    /// Cells computed (or failed) fresh.
+    pub misses: usize,
+    /// Request-level failure (bad version, malformed batch). When set,
+    /// `cells` is empty.
+    pub error: Option<SweepError>,
+}
+
+impl EvalResponse {
+    /// Builds the response for a completed engine run.
+    pub fn from_report(id: impl Into<String>, report: &SweepReport) -> Self {
+        let cells = report
+            .cells
+            .iter()
+            .map(|c| CellOutcome {
+                id: c.scenario.id.clone(),
+                key: c.key.clone(),
+                status: match (&c.error, c.cached) {
+                    (Some(_), _) => CellStatus::Failed,
+                    (None, true) => CellStatus::Hit,
+                    (None, false) => CellStatus::Computed,
+                },
+                metrics: c.metrics.clone(),
+                error: c.error.clone(),
+            })
+            .collect();
+        Self {
+            version: API_VERSION,
+            id: id.into(),
+            cells,
+            hits: report.hits,
+            misses: report.misses,
+            error: None,
+        }
+    }
+
+    /// A request-level refusal (nothing was evaluated).
+    pub fn refusal(id: impl Into<String>, error: SweepError) -> Self {
+        Self {
+            version: API_VERSION,
+            id: id.into(),
+            cells: Vec::new(),
+            hits: 0,
+            misses: 0,
+            error: Some(error),
+        }
+    }
+
+    /// Whether the whole batch succeeded (no request- or cell-level
+    /// failures).
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none() && self.cells.iter().all(|c| c.error.is_none())
+    }
+}
+
+/// One client line: what the server is asked to do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Evaluate a batch.
+    Eval(EvalRequest),
+    /// Liveness check.
+    Ping,
+    /// Stop accepting connections and exit after responding.
+    Shutdown,
+}
+
+/// One server line: the matching answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The batch's outcome.
+    Eval(EvalResponse),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Shutdown`]; the server exits after sending.
+    Bye,
+    /// The line could not be decoded as a [`Request`] at all.
+    Error(SweepError),
+}
+
+/// Executes one decoded request against an engine — the server's whole
+/// dispatch, shared with in-process tests so the protocol's semantics
+/// are covered without a socket.
+pub fn handle_request(request: Request, engine: &Engine) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::Bye,
+        Request::Eval(req) => {
+            if req.version != API_VERSION {
+                return Response::Eval(EvalResponse::refusal(
+                    req.id,
+                    SweepError::schema(
+                        "request envelope",
+                        format!(
+                            "client speaks version {}, server speaks {API_VERSION}",
+                            req.version
+                        ),
+                    ),
+                ));
+            }
+            let engine = engine.clone().force(req.force);
+            let report = engine.run(&req.scenarios);
+            Response::Eval(EvalResponse::from_report(req.id, &report))
+        }
+    }
+}
+
+/// Decodes one NDJSON line and executes it: the full server-side path
+/// for a single exchange.
+pub fn handle_line(line: &str, engine: &Engine) -> Response {
+    match serde_json::from_str::<Request>(line) {
+        Ok(request) => handle_request(request, engine),
+        Err(e) => Response::Error(SweepError::schema("request line", e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, StudyId};
+
+    fn tiny_request(id: &str) -> Request {
+        Request::Eval(EvalRequest::new(
+            id,
+            vec![
+                Scenario::study(StudyId::Fig9a),
+                Scenario::study(StudyId::Table2),
+            ],
+        ))
+    }
+
+    #[test]
+    fn eval_round_trip_and_statuses() {
+        let engine = Engine::ephemeral();
+        let resp = handle_request(tiny_request("r-1"), &engine);
+        let Response::Eval(resp) = resp else {
+            panic!("expected an Eval response, got {resp:?}");
+        };
+        assert_eq!(resp.id, "r-1");
+        assert_eq!(resp.version, API_VERSION);
+        assert!(resp.is_ok());
+        assert_eq!(resp.cells.len(), 2);
+        assert!(resp
+            .cells
+            .iter()
+            .all(|c| c.status == CellStatus::Computed && c.metrics.is_some()));
+        // And the whole response survives the wire.
+        let text = serde_json::to_string(&resp).unwrap();
+        let back: EvalResponse = serde_json::from_str(&text).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn version_mismatch_is_refused_with_the_id_echoed() {
+        let mut req = EvalRequest::new("r-2", vec![Scenario::study(StudyId::Fig9a)]);
+        req.version = 99;
+        let resp = handle_request(Request::Eval(req), &Engine::ephemeral());
+        let Response::Eval(resp) = resp else {
+            panic!("expected an Eval refusal, got {resp:?}");
+        };
+        assert_eq!(resp.id, "r-2");
+        assert!(resp.cells.is_empty());
+        assert!(!resp.is_ok());
+        assert_eq!(resp.error.unwrap().category(), "schema-mismatch");
+    }
+
+    #[test]
+    fn malformed_lines_and_control_requests() {
+        let engine = Engine::ephemeral();
+        assert!(matches!(
+            handle_line("this is not json", &engine),
+            Response::Error(SweepError::SchemaMismatch { .. })
+        ));
+        assert_eq!(handle_line("\"Ping\"", &engine), Response::Pong);
+        assert_eq!(handle_line("\"Shutdown\"", &engine), Response::Bye);
+    }
+
+    #[test]
+    fn failed_cells_are_reported_per_cell_not_per_request() {
+        let req = EvalRequest::new(
+            "r-3",
+            vec![
+                Scenario::study(StudyId::Fig9a),
+                Scenario::gemm(
+                    crate::scenario::AcceleratorKind::Yoco,
+                    crate::scenario::DesignPoint::paper(),
+                    crate::scenario::WorkloadSpec::Zoo {
+                        model: "no-such-model".into(),
+                    },
+                ),
+            ],
+        );
+        let Response::Eval(resp) = handle_request(Request::Eval(req), &Engine::ephemeral()) else {
+            panic!("expected Eval");
+        };
+        assert!(resp.error.is_none(), "request level is fine");
+        assert!(!resp.is_ok(), "but a cell failed");
+        assert_eq!(resp.cells[0].status, CellStatus::Computed);
+        assert_eq!(resp.cells[1].status, CellStatus::Failed);
+        assert!(resp.cells[1].metrics.is_none());
+        assert_eq!(
+            resp.cells[1].error.as_ref().unwrap().category(),
+            "workload-resolution"
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! `yoco-serve` — the long-running service frontend of the sweep engine.
+//!
+//! Speaks the versioned NDJSON protocol of [`yoco_sweep::api`] over TCP:
+//! each client line is one [`Request`], each server line the matching
+//! [`Response`]. Cache hits are served instantly; misses run through the
+//! same parallel executor the CLI uses, against the same shared
+//! content-addressed cache — so a warm re-submission of any batch is
+//! 100 % hits and byte-identical bytes.
+//!
+//! ```text
+//! yoco-serve [--addr HOST:PORT] [--jobs N] [--no-cache] [--cache-dir PATH] [--quiet]
+//! ```
+//!
+//! The bound address is printed as the first stdout line
+//! (`yoco-serve listening on 127.0.0.1:PORT`), so callers may bind port
+//! `0` and parse the ephemeral port. A `"Shutdown"` request answers
+//! `"Bye"` and exits the process with status 0.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use yoco_sweep::api::{handle_line, Response};
+use yoco_sweep::{Engine, ResultCache};
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     yoco-serve [--addr HOST:PORT] [--jobs N] [--no-cache] [--cache-dir PATH] [--quiet]\n\n\
+     protocol: one JSON Request per line in, one JSON Response per line out\n  \
+     {\"Eval\": {\"version\": 1, \"id\": \"r-1\", \"scenarios\": [...], \"force\": false}}\n  \
+     \"Ping\" | \"Shutdown\""
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7177".to_owned();
+    let mut engine = Engine::cached();
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => addr = a.clone(),
+                    None => return fail("--addr needs HOST:PORT"),
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => engine = engine.jobs(n),
+                    _ => return fail("--jobs needs a positive integer"),
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => engine = engine.with_cache(ResultCache::at(dir)),
+                    None => return fail("--cache-dir needs a path"),
+                }
+            }
+            "--no-cache" => engine = engine.no_cache(),
+            "--quiet" => quiet = true,
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
+    };
+    let local = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => return fail(&format!("cannot read bound address: {e}")),
+    };
+    println!("yoco-serve listening on {local}");
+    if let Some(cache) = engine.cache() {
+        if !quiet {
+            println!("cache: {}", cache.dir().display());
+        }
+    }
+    let _ = std::io::stdout().flush();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("warning: failed accept: {e}");
+                continue;
+            }
+        };
+        let engine = engine.clone();
+        let shutdown = Arc::clone(&shutdown);
+        let in_flight = Arc::clone(&in_flight);
+        std::thread::spawn(move || {
+            if let Err(e) = serve_connection(stream, &engine, &shutdown, &in_flight, local, quiet) {
+                eprintln!("warning: connection error: {e}");
+            }
+        });
+    }
+    // Drain: requests already being processed on other connections get
+    // their responses before the process exits (idle connections are
+    // dropped — only active work holds the counter). Evaluations are
+    // finite, pure compute, so this terminates. The counter is taken at
+    // line receipt, so the only droppable request is one whose line the
+    // kernel delivered but the handler thread has not yet observed —
+    // requiring two consecutive quiet observations keeps that window to
+    // a few instructions rather than a whole evaluation.
+    let mut quiet_checks = 0;
+    while quiet_checks < 2 {
+        if in_flight.load(Ordering::SeqCst) == 0 {
+            quiet_checks += 1;
+        } else {
+            quiet_checks = 0;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    if !quiet {
+        println!("yoco-serve shutting down");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Handles one client connection: request lines in, response lines out.
+/// Every request holds `in_flight` from decode to flushed response, so
+/// shutdown can drain active work. On `Shutdown`, flips the flag and
+/// pokes the acceptor awake with a loopback connection so the process
+/// can exit.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &Engine,
+    shutdown: &AtomicBool,
+    in_flight: &AtomicUsize,
+    local: std::net::SocketAddr,
+    quiet: bool,
+) -> std::io::Result<()> {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    let reader = BufReader::new(stream.try_clone()?);
+    for line in reader.lines() {
+        let line = line?;
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        if line.trim().is_empty() {
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        let result: std::io::Result<Response> = (|| {
+            let response = handle_line(&line, engine);
+            let text = serde_json::to_string(&response)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            writeln!(stream, "{text}")?;
+            stream.flush()?;
+            Ok(response)
+        })();
+        in_flight.fetch_sub(1, Ordering::SeqCst);
+        let response = result?;
+        if !quiet {
+            let label = match &response {
+                Response::Eval(r) => format!(
+                    "eval {}: {} cells, {} hits, {} misses",
+                    r.id,
+                    r.cells.len(),
+                    r.hits,
+                    r.misses
+                ),
+                Response::Pong => "ping".into(),
+                Response::Bye => "shutdown".into(),
+                Response::Error(e) => format!("bad request: {e}"),
+            };
+            println!("[{peer}] {label}");
+            let _ = std::io::stdout().flush();
+        }
+        if matches!(response, Response::Bye) {
+            shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop; the flag makes it exit.
+            let _ = TcpStream::connect(local);
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{}", usage());
+    ExitCode::FAILURE
+}

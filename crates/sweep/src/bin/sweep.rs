@@ -6,17 +6,23 @@
 //! sweep run fig8 --serial --no-cache  # the determinism reference path
 //! sweep run --file grid.json          # run scenarios from a JSON file
 //! sweep run all --jobs 4 --force      # recompute everything, 4 workers
+//! sweep run fig8 --shard 2/4          # this host's quarter of the grid
+//! sweep run fig8 --report out.json    # write the canonical report JSON
 //! sweep cache stats|clear             # inspect / clear results/cache
+//! sweep cache gc --max-age-days 30 --max-bytes 64m
 //! ```
 
 use std::process::ExitCode;
-use yoco_sweep::{grids, root, Engine, ResultCache, Scenario, StudyId, SweepReport};
+use std::time::Duration;
+use yoco_sweep::{grids, root, Engine, GcBudget, ResultCache, Scenario, Shard, StudyId};
 
 fn usage() -> &'static str {
     "usage:\n  \
      sweep list\n  \
-     sweep run <grid>|--file <path> [--jobs N] [--serial] [--no-cache] [--force] [--quiet]\n  \
-     sweep cache stats|clear\n\n\
+     sweep run <grid>|--file <path> [--jobs N] [--serial] [--no-cache] [--force]\n           \
+     [--shard i/n] [--report <path>] [--quiet]\n  \
+     sweep cache stats|clear\n  \
+     sweep cache gc [--max-age-days D] [--max-bytes N[k|m|g]]\n\n\
      run `sweep list` for the available grids"
 }
 
@@ -54,6 +60,8 @@ fn list() {
 fn run(args: &[String]) -> ExitCode {
     let mut grid_name: Option<&str> = None;
     let mut file: Option<&str> = None;
+    let mut report_path: Option<&str> = None;
+    let mut shard: Option<Shard> = None;
     let mut engine = Engine::cached();
     let mut quiet = false;
     let mut i = 0;
@@ -64,6 +72,21 @@ fn run(args: &[String]) -> ExitCode {
                 match args.get(i) {
                     Some(path) => file = Some(path),
                     None => return fail("--file needs a path"),
+                }
+            }
+            "--report" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => report_path = Some(path),
+                    None => return fail("--report needs a path"),
+                }
+            }
+            "--shard" => {
+                i += 1;
+                match args.get(i).map(|v| Shard::parse(v)) {
+                    Some(Ok(s)) => shard = Some(s),
+                    Some(Err(e)) => return fail(&e.to_string()),
+                    None => return fail("--shard needs a descriptor like 2/4"),
                 }
             }
             "--jobs" => {
@@ -94,7 +117,7 @@ fn run(args: &[String]) -> ExitCode {
         (Some(_), Some(_)) => return fail("pass a grid name or --file, not both"),
         (Some(name), None) => match grids::resolve(name) {
             Ok(s) => s,
-            Err(e) => return fail(&e),
+            Err(e) => return fail(&e.to_string()),
         },
         (None, Some(path)) => {
             let text = match std::fs::read_to_string(path) {
@@ -109,16 +132,22 @@ fn run(args: &[String]) -> ExitCode {
         (None, None) => return fail("nothing to run — pass a grid name or --file"),
     };
 
-    let report = engine.run(&scenarios);
-    print_report(&report, quiet);
-    if report.errors().is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
-}
+    let scenarios = match shard {
+        Some(shard) => {
+            let slice = shard.select(&scenarios);
+            if !quiet {
+                println!(
+                    "shard {shard}: {} of {} scenarios",
+                    slice.len(),
+                    scenarios.len()
+                );
+            }
+            slice
+        }
+        None => scenarios,
+    };
 
-fn print_report(report: &SweepReport, quiet: bool) {
+    let report = engine.run(&scenarios);
     if !quiet {
         for cell in &report.cells {
             let status = match (&cell.error, cell.cached) {
@@ -133,6 +162,37 @@ fn print_report(report: &SweepReport, quiet: bool) {
     for (id, e) in report.errors() {
         eprintln!("error: {id}: {e}");
     }
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(path, report.canonical_json()) {
+            return fail(&format!("cannot write report {path}: {e}"));
+        }
+        if !quiet {
+            println!("canonical report written to {path}");
+        }
+    }
+    if report.errors().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses `N`, `Nk`, `Nm`, or `Ng` (case-insensitive) into bytes.
+/// Overflowing `u64` is a parse error, not a wrapped-around tiny budget.
+fn parse_bytes(text: &str) -> Option<u64> {
+    let lower = text.to_ascii_lowercase();
+    let (digits, unit) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => (d, lower.as_bytes()[lower.len() - 1]),
+        None => (lower.as_str(), b'b'),
+    };
+    let n: u64 = digits.parse().ok()?;
+    let scale: u64 = match unit {
+        b'k' => 1 << 10,
+        b'm' => 1 << 20,
+        b'g' => 1 << 30,
+        _ => 1,
+    };
+    n.checked_mul(scale)
 }
 
 fn cache_cmd(args: &[String]) -> ExitCode {
@@ -155,6 +215,51 @@ fn cache_cmd(args: &[String]) -> ExitCode {
             }
             Err(e) => fail(&format!("clear failed: {e}")),
         },
+        Some("gc") => {
+            let mut budget = GcBudget::default();
+            let rest = &args[1..];
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--max-age-days" => {
+                        i += 1;
+                        match rest.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                            Some(d) if d >= 0.0 => {
+                                budget.max_age = Some(Duration::from_secs_f64(d * 86_400.0));
+                            }
+                            _ => return fail("--max-age-days needs a non-negative number"),
+                        }
+                    }
+                    "--max-bytes" => {
+                        i += 1;
+                        match rest.get(i).and_then(|v| parse_bytes(v)) {
+                            Some(b) => budget.max_bytes = Some(b),
+                            None => return fail("--max-bytes needs a size like 1048576 or 64m"),
+                        }
+                    }
+                    other => return fail(&format!("unknown cache gc flag `{other}`")),
+                }
+                i += 1;
+            }
+            if budget.max_age.is_none() && budget.max_bytes.is_none() {
+                return fail("cache gc needs --max-age-days and/or --max-bytes");
+            }
+            match cache.gc(&budget) {
+                Ok(o) => {
+                    println!(
+                        "gc {}: scanned {}, removed {} ({} KiB freed), kept {} ({} KiB)",
+                        cache.dir().display(),
+                        o.scanned,
+                        o.removed,
+                        o.freed_bytes / 1024,
+                        o.kept,
+                        o.kept_bytes / 1024
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(&format!("gc failed: {e}")),
+            }
+        }
         Some(other) => fail(&format!("unknown cache subcommand `{other}`")),
     }
 }

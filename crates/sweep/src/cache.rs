@@ -5,13 +5,17 @@
 //! the stored scenario matches the requested one, so a (vanishingly
 //! unlikely) hash collision degrades to a miss instead of a wrong result.
 //! Writes go through a temp file + atomic rename, making concurrent
-//! workers safe.
+//! workers safe. [`ResultCache::gc`] applies age and size budgets;
+//! entries orphaned by evaluator-version key rotations (see
+//! [`crate::hash`]) are exactly what it collects.
 
+use crate::api::SweepError;
 use crate::scenario::ScenarioKind;
 use serde::{Deserialize, Serialize, Value};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 /// Aggregate numbers for `sweep cache stats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -20,6 +24,31 @@ pub struct CacheStats {
     pub entries: usize,
     /// Total bytes on disk.
     pub bytes: u64,
+}
+
+/// Budgets for [`ResultCache::gc`]. `None` disables that budget; with
+/// both disabled, gc only removes orphaned temp files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcBudget {
+    /// Remove entries older than this.
+    pub max_age: Option<Duration>,
+    /// Keep the newest entries whose sizes sum to at most this.
+    pub max_bytes: Option<u64>,
+}
+
+/// What one [`ResultCache::gc`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcOutcome {
+    /// Entries inspected.
+    pub scanned: usize,
+    /// Entries removed.
+    pub removed: usize,
+    /// Bytes freed by removed entries.
+    pub freed_bytes: u64,
+    /// Entries kept.
+    pub kept: usize,
+    /// Bytes still on disk after the pass.
+    pub kept_bytes: u64,
 }
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +84,10 @@ impl ResultCache {
         self.dir.join(format!("{key}.json"))
     }
 
+    fn io_err(&self, e: impl std::fmt::Display) -> SweepError {
+        SweepError::cache_io(self.dir.display().to_string(), e)
+    }
+
     /// Fetches the payload for `key` if present and consistent with the
     /// requesting scenario.
     pub fn lookup(&self, key: &str, scenario: &ScenarioKind) -> Option<Value> {
@@ -67,17 +100,22 @@ impl ResultCache {
         }
     }
 
-    /// Stores a computed payload. Failures are reported, not fatal — the
-    /// sweep result is already in memory.
-    pub fn store(&self, key: &str, scenario: &ScenarioKind, payload: &Value) -> io::Result<()> {
-        fs::create_dir_all(&self.dir)?;
+    /// Stores a computed payload (cache form — see
+    /// [`crate::api::Metrics::cache_value`]). Failures are reported, not
+    /// fatal — the sweep result is already in memory.
+    pub fn store(
+        &self,
+        key: &str,
+        scenario: &ScenarioKind,
+        payload: &Value,
+    ) -> Result<(), SweepError> {
+        fs::create_dir_all(&self.dir).map_err(|e| self.io_err(e))?;
         let entry = CacheEntry {
             key: key.to_owned(),
             scenario: scenario.clone(),
             payload: payload.clone(),
         };
-        let text =
-            serde_json::to_string_pretty(&entry).map_err(|e| io::Error::other(e.to_string()))?;
+        let text = serde_json::to_string_pretty(&entry).map_err(|e| self.io_err(e))?;
         // Distinguish writers per thread as well as per process: two
         // workers storing the same key must not interleave one temp file.
         static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -85,31 +123,123 @@ impl ResultCache {
         let tmp = self
             .dir
             .join(format!(".{key}.tmp-{}-{seq}", std::process::id()));
-        fs::write(&tmp, text)?;
+        fs::write(&tmp, text).map_err(|e| self.io_err(e))?;
         fs::rename(&tmp, self.entry_path(key))
+            .map_err(|e| SweepError::cache_io(self.entry_path(key).display().to_string(), e))
     }
 
     /// Removes every entry, including temp files orphaned by a killed
     /// writer. Returns how many entries were deleted (temp files are
     /// removed but not counted).
-    pub fn clear(&self) -> io::Result<usize> {
+    pub fn clear(&self) -> Result<usize, SweepError> {
         let mut removed = 0;
         match fs::read_dir(&self.dir) {
             Ok(entries) => {
                 for entry in entries.flatten() {
                     let path = entry.path();
                     if path.extension().is_some_and(|e| e == "json") {
-                        fs::remove_file(path)?;
+                        fs::remove_file(path).map_err(|e| self.io_err(e))?;
                         removed += 1;
                     } else if entry.file_name().to_string_lossy().contains(".tmp-") {
-                        fs::remove_file(path)?;
+                        fs::remove_file(path).map_err(|e| self.io_err(e))?;
                     }
                 }
                 Ok(removed)
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
-            Err(e) => Err(e),
+            Err(e) => Err(self.io_err(e)),
         }
+    }
+
+    /// Applies age and size budgets: entries older than
+    /// [`GcBudget::max_age`] go first, then — keeping a newest-first
+    /// prefix — everything from the first entry that overflows
+    /// [`GcBudget::max_bytes`]. *Orphaned* temp files (older than a
+    /// grace period, so a live writer between `fs::write` and its
+    /// rename is left alone) are always removed. Safe against
+    /// concurrent workers: a file that vanishes mid-pass was removed by
+    /// its writer's rename or another gc, and counts as already gone.
+    /// Missing directory = empty cache.
+    pub fn gc(&self, budget: &GcBudget) -> Result<GcOutcome, SweepError> {
+        const TMP_GRACE: Duration = Duration::from_secs(15 * 60);
+        let now = SystemTime::now();
+        let mut entries: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        match fs::read_dir(&self.dir) {
+            Ok(dir) => {
+                for entry in dir.flatten() {
+                    let path = entry.path();
+                    // A file that vanishes between read_dir and stat was
+                    // renamed by its writer or removed by a concurrent gc.
+                    let Ok(meta) = entry.metadata() else { continue };
+                    let Ok(modified) = meta.modified() else {
+                        continue;
+                    };
+                    if entry.file_name().to_string_lossy().contains(".tmp-") {
+                        let age = now.duration_since(modified).unwrap_or(Duration::ZERO);
+                        if age > TMP_GRACE {
+                            remove_if_present(&path)?;
+                        }
+                        continue;
+                    }
+                    if path.extension().is_none_or(|e| e != "json") {
+                        continue;
+                    }
+                    entries.push((path, meta.len(), modified));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(self.io_err(e)),
+        }
+
+        let scanned = entries.len();
+        // Newest first: the size budget keeps a prefix of this order.
+        entries.sort_by_key(|e| std::cmp::Reverse(e.2));
+
+        let mut doomed = vec![false; entries.len()];
+        if let Some(max_age) = budget.max_age {
+            for (i, (_, _, modified)) in entries.iter().enumerate() {
+                let age = now.duration_since(*modified).unwrap_or(Duration::ZERO);
+                doomed[i] = age > max_age;
+            }
+        }
+        if let Some(max_bytes) = budget.max_bytes {
+            // Keep a newest-first *prefix* of the survivors: the first
+            // entry that overflows the budget dooms itself and everything
+            // older, so the cache never keeps a stale entry in place of a
+            // fresher one.
+            let mut kept_bytes = 0u64;
+            let mut overflowed = false;
+            for (i, (_, len, _)) in entries.iter().enumerate() {
+                if doomed[i] {
+                    continue;
+                }
+                if overflowed || kept_bytes + len > max_bytes {
+                    doomed[i] = true;
+                    overflowed = true;
+                } else {
+                    kept_bytes += len;
+                }
+            }
+        }
+
+        let mut outcome = GcOutcome {
+            scanned,
+            removed: 0,
+            freed_bytes: 0,
+            kept: 0,
+            kept_bytes: 0,
+        };
+        for (i, (path, len, _)) in entries.iter().enumerate() {
+            if doomed[i] {
+                remove_if_present(path)?;
+                outcome.removed += 1;
+                outcome.freed_bytes += len;
+            } else {
+                outcome.kept += 1;
+                outcome.kept_bytes += len;
+            }
+        }
+        Ok(outcome)
     }
 
     /// Entry count and total size.
@@ -131,6 +261,16 @@ impl ResultCache {
     }
 }
 
+/// Removes a file, treating "already gone" as success — under
+/// concurrent gc passes and writers, losing a removal race is fine.
+fn remove_if_present(path: &Path) -> Result<(), SweepError> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(SweepError::cache_io(path.display().to_string(), e)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,15 +286,15 @@ mod tests {
         ResultCache::at(dir)
     }
 
+    fn study(study: StudyId) -> ScenarioKind {
+        ScenarioKind::Study { study }
+    }
+
     #[test]
     fn round_trips_hit_and_collision_degrades_to_miss() {
         let cache = temp_cache("roundtrip");
-        let scenario = ScenarioKind::Study {
-            study: StudyId::Fig7,
-        };
-        let other = ScenarioKind::Study {
-            study: StudyId::Table1,
-        };
+        let scenario = study(StudyId::Fig7);
+        let other = study(StudyId::Table1);
         let payload = Value::Number(Number::Float(2.33));
 
         assert!(
@@ -185,5 +325,70 @@ mod tests {
                 bytes: 0
             }
         );
+    }
+
+    #[test]
+    fn gc_respects_the_size_budget_keeping_newest() {
+        let cache = temp_cache("gc-size");
+        let payload = Value::String("x".repeat(64));
+        for (i, id) in [StudyId::Fig7, StudyId::Table1, StudyId::Table2]
+            .into_iter()
+            .enumerate()
+        {
+            cache.store(&format!("k{i}"), &study(id), &payload).unwrap();
+            // Distinct mtimes so "newest" is well defined on coarse clocks.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let total = cache.stats().bytes;
+        let one = total / 3;
+        let outcome = cache
+            .gc(&GcBudget {
+                max_age: None,
+                max_bytes: Some(one + 1),
+            })
+            .unwrap();
+        assert_eq!(outcome.scanned, 3);
+        assert_eq!(outcome.removed, 2);
+        assert_eq!(outcome.kept, 1);
+        assert!(outcome.kept_bytes <= one + 1);
+        // The survivor is the newest entry (k2).
+        assert!(cache.lookup("k2", &study(StudyId::Table2)).is_some());
+        assert!(cache.lookup("k0", &study(StudyId::Fig7)).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn gc_age_budget_and_missing_dir() {
+        let cache = temp_cache("gc-age");
+        assert_eq!(
+            cache.gc(&GcBudget::default()).unwrap(),
+            GcOutcome {
+                scanned: 0,
+                removed: 0,
+                freed_bytes: 0,
+                kept: 0,
+                kept_bytes: 0
+            }
+        );
+        cache
+            .store("young", &study(StudyId::Fig7), &Value::Bool(true))
+            .unwrap();
+        // A generous age keeps everything; a zero age removes everything.
+        let keep = cache
+            .gc(&GcBudget {
+                max_age: Some(Duration::from_secs(3600)),
+                max_bytes: None,
+            })
+            .unwrap();
+        assert_eq!((keep.kept, keep.removed), (1, 0));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let drop = cache
+            .gc(&GcBudget {
+                max_age: Some(Duration::ZERO),
+                max_bytes: None,
+            })
+            .unwrap();
+        assert_eq!((drop.kept, drop.removed), (0, 1));
+        let _ = fs::remove_dir_all(cache.dir());
     }
 }

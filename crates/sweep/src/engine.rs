@@ -1,6 +1,7 @@
 //! The experiment engine: cache lookup → parallel evaluation → ordered
-//! assembly.
+//! assembly, with typed payloads and structured errors end-to-end.
 
+use crate::api::{Metrics, SweepError};
 use crate::cache::ResultCache;
 use crate::eval;
 use crate::executor;
@@ -18,9 +19,9 @@ pub struct CellResult {
     /// Whether the payload came from the cache.
     pub cached: bool,
     /// Evaluation error, if the cell failed.
-    pub error: Option<String>,
-    /// The computed payload (`Null` on error).
-    pub payload: Value,
+    pub error: Option<SweepError>,
+    /// The computed payload (`None` exactly when `error` is set).
+    pub metrics: Option<Metrics>,
 }
 
 /// Assembled results of one engine run.
@@ -37,16 +38,16 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// The payload for a cell id, if it succeeded.
-    pub fn payload(&self, id: &str) -> Option<&Value> {
+    /// The typed payload for a cell id, if it succeeded.
+    pub fn metrics(&self, id: &str) -> Option<&Metrics> {
         self.cells
             .iter()
             .find(|c| c.scenario.id == id && c.error.is_none())
-            .map(|c| &c.payload)
+            .and_then(|c| c.metrics.as_ref())
     }
 
-    /// Ids and messages of failed cells.
-    pub fn errors(&self) -> Vec<(String, String)> {
+    /// Ids and errors of failed cells.
+    pub fn errors(&self) -> Vec<(String, SweepError)> {
         self.cells
             .iter()
             .filter_map(|c| c.error.clone().map(|e| (c.scenario.id.clone(), e)))
@@ -54,14 +55,22 @@ impl SweepReport {
     }
 
     /// Canonical JSON of the *content* of the run: scenarios, keys, and
-    /// payloads, excluding schedule-dependent metadata (`cached`, timing).
-    /// Two runs of the same grid — serial or parallel, cold or warm —
-    /// produce byte-identical canonical JSON.
+    /// cache-form payloads, excluding schedule-dependent metadata
+    /// (`cached`, timing). Two runs of the same grid — serial or
+    /// parallel, cold or warm, sharded or whole — produce byte-identical
+    /// canonical JSON for the same cells.
     pub fn canonical_json(&self) -> String {
-        let content: Vec<(&Scenario, &str, &Value)> = self
+        let content: Vec<(&Scenario, &str, Value)> = self
             .cells
             .iter()
-            .map(|c| (&c.scenario, c.key.as_str(), &c.payload))
+            .map(|c| {
+                let payload = c
+                    .metrics
+                    .as_ref()
+                    .map(Metrics::cache_value)
+                    .unwrap_or(Value::Null);
+                (&c.scenario, c.key.as_str(), payload)
+            })
             .collect();
         serde_json::to_string_pretty(&content).expect("report serialization is infallible")
     }
@@ -159,20 +168,25 @@ impl Engine {
         if !self.force {
             if let Some(cache) = &self.cache {
                 if let Some(payload) = cache.lookup(&key, &kind) {
-                    return CellResult {
-                        scenario: scenario.clone(),
-                        key,
-                        cached: true,
-                        error: None,
-                        payload,
-                    };
+                    // An entry whose stored shape no longer decodes is a
+                    // stale schema, not an error: fall through and
+                    // recompute (the store below refreshes it).
+                    if let Ok(metrics) = Metrics::from_cache_value(&kind, &payload) {
+                        return CellResult {
+                            scenario: scenario.clone(),
+                            key,
+                            cached: true,
+                            error: None,
+                            metrics: Some(metrics),
+                        };
+                    }
                 }
             }
         }
         match eval::evaluate(&kind) {
-            Ok(payload) => {
+            Ok(metrics) => {
                 if let Some(cache) = &self.cache {
-                    if let Err(e) = cache.store(&key, &kind, &payload) {
+                    if let Err(e) = cache.store(&key, &kind, &metrics.cache_value()) {
                         eprintln!("warning: could not cache {}: {e}", scenario.id);
                     }
                 }
@@ -181,7 +195,7 @@ impl Engine {
                     key,
                     cached: false,
                     error: None,
-                    payload,
+                    metrics: Some(metrics),
                 }
             }
             Err(e) => CellResult {
@@ -189,7 +203,7 @@ impl Engine {
                 key,
                 cached: false,
                 error: Some(e),
-                payload: Value::Null,
+                metrics: None,
             },
         }
     }
@@ -238,8 +252,11 @@ mod tests {
         assert_eq!(report.cells.len(), 2);
         let errors = report.errors();
         assert_eq!(errors.len(), 1);
-        assert!(errors[0].1.contains("no-such-model"));
+        assert!(errors[0].1.to_string().contains("no-such-model"));
+        assert_eq!(errors[0].1.category(), "workload-resolution");
         assert!(report.cells[1].error.is_none());
+        assert!(report.cells[1].metrics.is_some());
+        assert!(report.cells[0].metrics.is_none());
     }
 
     #[test]
@@ -248,5 +265,13 @@ mod tests {
         let serial = Engine::ephemeral().run(&grid);
         let parallel = Engine::ephemeral().jobs(8).run(&grid);
         assert_eq!(serial.canonical_json(), parallel.canonical_json());
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let report = Engine::ephemeral().run(&small_grid());
+        let text = serde_json::to_string(&report).unwrap();
+        let back: SweepReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(report, back);
     }
 }

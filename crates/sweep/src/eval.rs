@@ -1,10 +1,13 @@
 //! Scenario evaluation: the one place a descriptor becomes numbers.
 //!
 //! Evaluation is a pure function of the scenario (all simulations are
-//! seeded), which is what makes content-addressed caching sound.
+//! seeded), which is what makes content-addressed caching sound. Since
+//! the API redesign it returns a typed [`Metrics`] payload and a
+//! structured [`SweepError`] instead of raw JSON and strings.
 
+use crate::api::{Metrics, SweepError};
 use crate::scenario::{AcceleratorKind, ScenarioKind};
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
 use yoco::pipeline::{AttentionDims, AttentionPipeline};
 use yoco::YocoChip;
 use yoco_arch::accelerator::{Accelerator, LayerCost};
@@ -48,14 +51,20 @@ pub struct AttentionMetrics {
     pub speedup: f64,
 }
 
-/// Evaluates one scenario to its JSON payload.
-pub fn evaluate(kind: &ScenarioKind) -> Result<Value, String> {
+/// Evaluates one scenario to its typed payload.
+///
+/// Resolution *is* validation here — workload and design resolve exactly
+/// once, and the cheap guards ([`crate::scenario`]'s baseline/dims
+/// checks, shared with [`ScenarioKind::validate`]) run inline, so a cell
+/// that went through [`crate::api::ScenarioBuilder`] pays nothing twice.
+pub fn evaluate(kind: &ScenarioKind) -> Result<Metrics, SweepError> {
     match kind {
         ScenarioKind::Gemm {
             accelerator,
             design,
             workload,
         } => {
+            crate::scenario::baseline_design_guard(*accelerator, design, workload.label())?;
             let workloads = workload.resolve()?;
             let label = workload.label().to_owned();
             let report = match accelerator {
@@ -64,12 +73,7 @@ pub fn evaluate(kind: &ScenarioKind) -> Result<Value, String> {
                     chip.evaluate_model(&label, &workloads)
                 }
                 baseline => {
-                    if !design.is_paper() {
-                        return Err(format!(
-                            "design-point overrides only apply to yoco, not {}",
-                            baseline.name()
-                        ));
-                    }
+                    // The guard above rejected non-paper designs here.
                     let b: Box<dyn Accelerator> = match baseline {
                         AcceleratorKind::Isaac => Box::new(isaac()),
                         AcceleratorKind::Raella => Box::new(raella()),
@@ -79,30 +83,29 @@ pub fn evaluate(kind: &ScenarioKind) -> Result<Value, String> {
                     b.evaluate_model(&label, &workloads)
                 }
             };
-            let metrics = GemmMetrics {
+            Ok(Metrics::Gemm(GemmMetrics {
                 accelerator: accelerator.name().to_owned(),
                 workload: label,
                 total: report.total,
-            };
-            Ok(metrics.to_value())
+            }))
         }
         ScenarioKind::Attention {
             model,
             dims,
             design,
         } => {
+            crate::scenario::attention_dims_guard(model, dims)?;
             let pipeline = AttentionPipeline::new(design.resolve()?);
             let r = pipeline.simulate(dims);
-            let metrics = AttentionMetrics {
+            Ok(Metrics::Attention(AttentionMetrics {
                 model: model.clone(),
                 dims: *dims,
                 layerwise_ns: r.layerwise_ns,
                 pipelined_ns: r.pipelined_ns,
                 speedup: r.speedup(),
-            };
-            Ok(metrics.to_value())
+            }))
         }
-        ScenarioKind::Study { study } => crate::studies::run(*study),
+        ScenarioKind::Study { study } => crate::studies::run(*study).map(Metrics::Study),
     }
 }
 
@@ -125,14 +128,14 @@ mod tests {
                 kind: LayerKind::Linear,
             },
         );
-        let payload = evaluate(&s.kind).unwrap();
-        let metrics: GemmMetrics = serde_json::from_value(&payload).unwrap();
+        let metrics = evaluate(&s.kind).unwrap();
+        let gemm = metrics.as_gemm().expect("a GEMM cell");
         let direct = isaac().evaluate_model(
             "fc",
             &[yoco_arch::workload::MatmulWorkload::new("fc", 16, 512, 512)],
         );
-        assert_eq!(metrics.total, direct.total);
-        assert_eq!(metrics.accelerator, "isaac");
+        assert_eq!(gemm.total, direct.total);
+        assert_eq!(gemm.accelerator, "isaac");
     }
 
     #[test]
@@ -151,7 +154,9 @@ mod tests {
                 kind: LayerKind::Linear,
             },
         };
-        assert!(evaluate(&kind).unwrap_err().contains("only apply to yoco"));
+        let err = evaluate(&kind).unwrap_err();
+        assert!(err.to_string().contains("only apply to yoco"), "{err}");
+        assert_eq!(err.category(), "invalid-scenario");
     }
 
     #[test]
@@ -162,11 +167,11 @@ mod tests {
             heads: 4,
         };
         let s = Scenario::attention("mobilebert", dims, DesignPoint::paper());
-        let payload = evaluate(&s.kind).unwrap();
-        let metrics: AttentionMetrics = serde_json::from_value(&payload).unwrap();
+        let metrics = evaluate(&s.kind).unwrap();
+        let m = metrics.as_attention().expect("an attention cell");
         let direct = AttentionPipeline::new(yoco::YocoConfig::paper_default()).simulate(&dims);
-        assert_eq!(metrics.layerwise_ns, direct.layerwise_ns);
-        assert_eq!(metrics.pipelined_ns, direct.pipelined_ns);
-        assert!(metrics.speedup > 1.0);
+        assert_eq!(m.layerwise_ns, direct.layerwise_ns);
+        assert_eq!(m.pipelined_ns, direct.pipelined_ns);
+        assert!(m.speedup > 1.0);
     }
 }

@@ -7,8 +7,9 @@
 //! (payloads hold totals bit-exactly, in memory and through the cache's
 //! shortest-round-trip JSON).
 
+use crate::api::{Metrics, SweepError};
 use crate::engine::{Engine, SweepReport};
-use crate::eval::{AttentionMetrics, GemmMetrics};
+use crate::eval::GemmMetrics;
 use crate::scenario::{AcceleratorKind, DesignPoint, Scenario, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 use yoco::pipeline::AttentionDims;
@@ -59,22 +60,35 @@ pub fn fig8_scenarios() -> Vec<Scenario> {
 }
 
 /// Assembles the Fig 8 table from an engine run of [`fig8_scenarios`].
-pub fn fig8_table_from(report: &SweepReport) -> Result<Fig8Table, String> {
-    let mut metrics: Vec<GemmMetrics> = Vec::with_capacity(report.cells.len());
+pub fn fig8_table_from(report: &SweepReport) -> Result<Fig8Table, SweepError> {
+    let mut metrics: Vec<&GemmMetrics> = Vec::with_capacity(report.cells.len());
     for cell in &report.cells {
         if let Some(e) = &cell.error {
-            return Err(format!("{}: {e}", cell.scenario.id));
+            return Err(e.clone());
         }
         metrics.push(
-            serde_json::from_value(&cell.payload)
-                .map_err(|e| format!("{}: bad payload: {e}", cell.scenario.id))?,
+            cell.metrics
+                .as_ref()
+                .and_then(Metrics::as_gemm)
+                .ok_or_else(|| {
+                    SweepError::schema(
+                        format!("cell {}", cell.scenario.id),
+                        "a Fig 8 report holds GEMM cells only",
+                    )
+                })?,
         );
     }
-    let lookup = |workload: &str, accelerator: &str| -> Result<&GemmMetrics, String> {
+    let lookup = |workload: &str, accelerator: &str| -> Result<&GemmMetrics, SweepError> {
         metrics
             .iter()
             .find(|m| m.workload == workload && m.accelerator == accelerator)
-            .ok_or_else(|| format!("missing cell {accelerator}/{workload}"))
+            .copied()
+            .ok_or_else(|| {
+                SweepError::schema(
+                    "fig8 assembly",
+                    format!("missing cell {accelerator}/{workload}"),
+                )
+            })
     };
     let baselines = [
         AcceleratorKind::Isaac,
@@ -115,7 +129,7 @@ pub fn fig8_table_from(report: &SweepReport) -> Result<Fig8Table, String> {
 }
 
 /// Runs the Fig 8 grid through an engine and assembles the table.
-pub fn fig8_table_with(engine: &Engine) -> Result<(Fig8Table, SweepReport), String> {
+pub fn fig8_table_with(engine: &Engine) -> Result<(Fig8Table, SweepReport), SweepError> {
     let report = engine.run(&fig8_scenarios());
     let table = fig8_table_from(&report)?;
     Ok((table, report))
@@ -208,16 +222,24 @@ pub fn fig10_scenarios() -> Vec<Scenario> {
 }
 
 /// Assembles the Fig 10 table from an engine run of [`fig10_scenarios`].
-pub fn fig10_table_from(report: &SweepReport) -> Result<Fig10Table, String> {
+pub fn fig10_table_from(report: &SweepReport) -> Result<Fig10Table, SweepError> {
     let mut rows = Vec::with_capacity(report.cells.len());
     for cell in &report.cells {
         if let Some(e) = &cell.error {
-            return Err(format!("{}: {e}", cell.scenario.id));
+            return Err(e.clone());
         }
-        let m: AttentionMetrics = serde_json::from_value(&cell.payload)
-            .map_err(|e| format!("{}: bad payload: {e}", cell.scenario.id))?;
+        let m = cell
+            .metrics
+            .as_ref()
+            .and_then(Metrics::as_attention)
+            .ok_or_else(|| {
+                SweepError::schema(
+                    format!("cell {}", cell.scenario.id),
+                    "a Fig 10 report holds attention cells only",
+                )
+            })?;
         rows.push(Fig10Row {
-            model: m.model,
+            model: m.model.clone(),
             dims: m.dims,
             layerwise_ns: m.layerwise_ns,
             pipelined_ns: m.pipelined_ns,
@@ -230,7 +252,7 @@ pub fn fig10_table_from(report: &SweepReport) -> Result<Fig10Table, String> {
 }
 
 /// Runs the Fig 10 grid through an engine and assembles the table.
-pub fn fig10_table_with(engine: &Engine) -> Result<(Fig10Table, SweepReport), String> {
+pub fn fig10_table_with(engine: &Engine) -> Result<(Fig10Table, SweepReport), SweepError> {
     let report = engine.run(&fig10_scenarios());
     let table = fig10_table_from(&report)?;
     Ok((table, report))

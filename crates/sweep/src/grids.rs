@@ -1,5 +1,6 @@
 //! Named scenario grids for the CLI and library callers.
 
+use crate::api::SweepError;
 use crate::figures;
 use crate::scenario::{Scenario, StudyId};
 
@@ -29,7 +30,7 @@ fn study_ids(name: &str) -> Option<Vec<StudyId>> {
 
 /// Resolves a grid name to scenarios. Accepts the named grids, any single
 /// study name (e.g. `fig6d`), or `yoco/<model>`-style single GEMM cells.
-pub fn resolve(name: &str) -> Result<Vec<Scenario>, String> {
+pub fn resolve(name: &str) -> Result<Vec<Scenario>, SweepError> {
     if let Some(studies) = study_ids(name) {
         return Ok(studies.into_iter().map(Scenario::study).collect());
     }
@@ -57,10 +58,13 @@ pub fn resolve(name: &str) -> Result<Vec<Scenario>, String> {
                     )]);
                 }
             }
-            Err(format!(
-                "unknown grid `{other}` (try one of: {}, a study name, or accelerator/model)",
-                NAMED.map(|(n, _)| n).join(", ")
-            ))
+            Err(SweepError::UnknownGrid {
+                name: other.to_owned(),
+                known: format!(
+                    "{}, a study name, or accelerator/model",
+                    NAMED.map(|(n, _)| n).join(", ")
+                ),
+            })
         }
     }
 }
@@ -74,10 +78,13 @@ mod tests {
         assert_eq!(resolve("fig8").unwrap().len(), 40);
         assert_eq!(resolve("fig10").unwrap().len(), 5);
         assert_eq!(resolve("ablations").unwrap().len(), 5);
-        assert_eq!(resolve("figures").unwrap().len(), 15);
-        assert_eq!(resolve("all").unwrap().len(), 60);
+        assert_eq!(resolve("figures").unwrap().len(), 18);
+        assert_eq!(resolve("all").unwrap().len(), 63);
         assert_eq!(resolve("fig6d").unwrap().len(), 1);
+        assert_eq!(resolve("fig1c").unwrap().len(), 1);
+        assert_eq!(resolve("breakdown").unwrap().len(), 1);
         assert_eq!(resolve("yoco/resnet18").unwrap().len(), 1);
-        assert!(resolve("nonsense").is_err());
+        let err = resolve("nonsense").unwrap_err();
+        assert_eq!(err.category(), "unknown-grid");
     }
 }

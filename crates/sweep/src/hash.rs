@@ -20,17 +20,19 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// The cache key for a canonical scenario serialization: 16 hex digits.
 ///
-/// The key mixes in the workspace version alongside the schema version,
-/// so releases invalidate wholesale. Within one version, edits to model
-/// code do NOT invalidate entries — that is what makes "re-run `fig8`
-/// after touching only `fig10`" a cache hit — so after changing model
-/// constants during development, recompute with `sweep run --force` /
-/// `YOCO_SWEEP_NO_CACHE=1` (automatic evaluator fingerprinting is a
-/// ROADMAP item).
+/// The key mixes in this crate's version *and the evaluator crate's
+/// version* ([`yoco::VERSION`]) alongside the schema version, so
+/// releases of either side invalidate wholesale. Within one version,
+/// edits to model code do NOT invalidate entries — that is what makes
+/// "re-run `fig8` after touching only `fig10`" a cache hit — so after
+/// changing model constants during development, recompute with
+/// `sweep run --force` / `YOCO_SWEEP_NO_CACHE=1`. Entries orphaned by a
+/// version rotation are reclaimed by `sweep cache gc`.
 pub fn content_key(canonical_json: &str) -> String {
     let tagged = format!(
-        "v{CACHE_SCHEMA_VERSION}:{}:{canonical_json}",
-        env!("CARGO_PKG_VERSION")
+        "v{CACHE_SCHEMA_VERSION}:{}:e{}:{canonical_json}",
+        env!("CARGO_PKG_VERSION"),
+        yoco::VERSION
     );
     format!("{:016x}", fnv1a64(tagged.as_bytes()))
 }

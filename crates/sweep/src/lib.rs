@@ -1,18 +1,23 @@
 //! # yoco-sweep — the scenario-driven experiment engine
 //!
-//! One execution path for every figure, table, and ad-hoc comparison in
-//! the workspace:
+//! One execution path for every figure, table, ad-hoc comparison, and
+//! service request in the workspace:
 //!
+//! * [`api`] — **the crate's primary interface**: the [`SweepError`]
+//!   error enum, typed [`Metrics`] payloads, the validating
+//!   [`ScenarioBuilder`], the versioned [`EvalRequest`]/[`EvalResponse`]
+//!   wire format spoken by the `yoco-serve` binary, and [`Shard`]
+//!   descriptors for splitting grids across hosts;
 //! * [`scenario`] — serde-backed [`Scenario`] descriptors: accelerator
 //!   choice, design-point overrides, workload selection, and named
 //!   studies, composable into grids ([`grids`], [`figures`]);
 //! * [`engine`] — the [`Engine`]: parallel execution over self-scheduling
 //!   scoped threads with deterministic, order-independent assembly;
 //! * [`cache`] — a content-addressed result cache under `results/cache/`,
-//!   keyed by a stable hash of the scenario ([`hash`]), so re-running
-//!   `fig8` after touching unrelated code is a set of cache hits;
-//! * [`figures`] / [`studies`] — the Fig 6–10 / Table I–II computations,
-//!   expressed as grids and cacheable study cells;
+//!   keyed by a stable hash of the scenario plus the evaluator version
+//!   ([`hash`]), with age/size garbage collection ([`cache::GcBudget`]);
+//! * [`figures`] / [`studies`] — the Fig 1(c)/6–10 / Table I–II
+//!   computations, expressed as grids and cacheable study cells;
 //! * [`root`] — workspace-root discovery shared with `yoco-bench`'s
 //!   output writer.
 //!
@@ -31,9 +36,13 @@
 //! assert_eq!(parallel_table, table);
 //! assert_eq!(report.cells.len(), 40);
 //! ```
+//!
+//! For request/response evaluation — the path `yoco-serve` exposes over
+//! a socket — see the [`api`] module docs.
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cache;
 pub mod engine;
 pub mod eval;
@@ -45,7 +54,11 @@ pub mod root;
 pub mod scenario;
 pub mod studies;
 
-pub use cache::{CacheStats, ResultCache};
+pub use api::{
+    EvalRequest, EvalResponse, Metrics, ScenarioBuilder, Shard, SweepError, API_VERSION,
+};
+pub use cache::{CacheStats, GcBudget, GcOutcome, ResultCache};
 pub use engine::{CellResult, Engine, SweepReport};
 pub use eval::{AttentionMetrics, GemmMetrics};
 pub use scenario::{AcceleratorKind, DesignPoint, Scenario, ScenarioKind, StudyId, WorkloadSpec};
+pub use studies::StudyMetrics;

@@ -7,6 +7,7 @@
 //! the cache key, so two textually different invocations that resolve to
 //! the same scenario share one cache entry.
 
+use crate::api::SweepError;
 use crate::hash;
 use serde::{Deserialize, Serialize};
 use yoco::pipeline::AttentionDims;
@@ -100,7 +101,7 @@ impl DesignPoint {
     }
 
     /// Resolves the overrides into a validated [`YocoConfig`].
-    pub fn resolve(&self) -> Result<YocoConfig, String> {
+    pub fn resolve(&self) -> Result<YocoConfig, SweepError> {
         let mut b = YocoConfig::builder();
         if let Some(v) = self.ima_stack {
             b = b.ima_stack(v);
@@ -118,7 +119,8 @@ impl DesignPoint {
         if let Some(v) = self.activity {
             b = b.activity(v);
         }
-        b.build().map_err(|e| e.to_string())
+        b.build()
+            .map_err(|e| SweepError::invalid("design-point", e))
     }
 }
 
@@ -155,14 +157,13 @@ impl WorkloadSpec {
     }
 
     /// Lowers to the concrete GEMM sequence.
-    pub fn resolve(&self) -> Result<Vec<MatmulWorkload>, String> {
+    pub fn resolve(&self) -> Result<Vec<MatmulWorkload>, SweepError> {
         match self {
             WorkloadSpec::Zoo { model } => {
                 let zoo = yoco_nn::models::fig8_benchmarks();
-                let found = zoo
-                    .into_iter()
-                    .find(|m| m.name == *model)
-                    .ok_or_else(|| format!("unknown zoo model `{model}`"))?;
+                let found = zoo.into_iter().find(|m| m.name == *model).ok_or_else(|| {
+                    SweepError::workload(model.clone(), "not in the zoo (run `sweep list`)")
+                })?;
                 Ok(found.workloads())
             }
             WorkloadSpec::Gemm {
@@ -171,7 +172,15 @@ impl WorkloadSpec {
                 k,
                 n,
                 kind,
-            } => Ok(vec![MatmulWorkload::new(name, *m, *k, *n).with_kind(*kind)]),
+            } => {
+                if *m == 0 || *k == 0 || *n == 0 {
+                    return Err(SweepError::workload(
+                        name.clone(),
+                        format!("GEMM dimensions must be positive, got {m}x{k}x{n}"),
+                    ));
+                }
+                Ok(vec![MatmulWorkload::new(name, *m, *k, *n).with_kind(*kind)])
+            }
         }
     }
 }
@@ -180,6 +189,8 @@ impl WorkloadSpec {
 /// (accelerator × workload) grid. Each is pure and therefore cacheable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StudyId {
+    /// Fig 1(c): throughput-vs-efficiency scatter of recent IMC macros.
+    Fig1c,
     /// Fig 6(a): input-conversion transfer curve with INL/DNL.
     Fig6a,
     /// Fig 6(b)/(c): 8-bit MAC transfer curves and errors, 128 channels.
@@ -200,6 +211,10 @@ pub enum StudyId {
     Table1,
     /// Table II: the derived YOCO parameter summary.
     Table2,
+    /// The Fig 8 model zoo at a glance: GEMM counts, MACs, placement.
+    Models,
+    /// Per-component energy breakdown, YOCO vs ISAAC's converter share.
+    Breakdown,
     /// Ablation: input bit-slicing (charge-once vs bit-serial).
     AblationSlicing,
     /// Ablation: time-domain vs voltage-domain accumulation.
@@ -214,7 +229,8 @@ pub enum StudyId {
 
 impl StudyId {
     /// Every study, in figure order.
-    pub const ALL: [StudyId; 15] = [
+    pub const ALL: [StudyId; 18] = [
+        StudyId::Fig1c,
         StudyId::Fig6a,
         StudyId::Fig6bc,
         StudyId::Fig6d,
@@ -225,6 +241,8 @@ impl StudyId {
         StudyId::Fig9b,
         StudyId::Table1,
         StudyId::Table2,
+        StudyId::Models,
+        StudyId::Breakdown,
         StudyId::AblationSlicing,
         StudyId::AblationTda,
         StudyId::AblationHybrid,
@@ -235,6 +253,7 @@ impl StudyId {
     /// CLI/report name.
     pub fn name(self) -> &'static str {
         match self {
+            StudyId::Fig1c => "fig1c",
             StudyId::Fig6a => "fig6a",
             StudyId::Fig6bc => "fig6bc",
             StudyId::Fig6d => "fig6d",
@@ -245,6 +264,8 @@ impl StudyId {
             StudyId::Fig9b => "fig9b",
             StudyId::Table1 => "table1",
             StudyId::Table2 => "table2",
+            StudyId::Models => "models",
+            StudyId::Breakdown => "breakdown",
             StudyId::AblationSlicing => "ablation-slicing",
             StudyId::AblationTda => "ablation-tda",
             StudyId::AblationHybrid => "ablation-hybrid",
@@ -338,6 +359,33 @@ impl Scenario {
     pub fn cache_key(&self) -> String {
         self.kind.normalized().cache_key()
     }
+
+    /// Checks every precondition the evaluator would enforce, without
+    /// evaluating anything. [`crate::api::ScenarioBuilder`] calls this at
+    /// `build()`; frontends can call it to reject a bad scenario before
+    /// it occupies a worker (the evaluator re-checks the cheap guards
+    /// either way, so nothing relies on callers remembering to).
+    pub fn validate(&self) -> Result<(), SweepError> {
+        self.kind
+            .validate()
+            .map_err(|e| e.for_scenario(self.id.clone()))
+    }
+}
+
+impl SweepError {
+    /// Attaches a concrete scenario id to errors raised below the
+    /// scenario level (design-point and dimension checks).
+    fn for_scenario(self, id: String) -> Self {
+        match self {
+            SweepError::InvalidScenario { scenario, reason } if scenario == "design-point" => {
+                SweepError::InvalidScenario {
+                    scenario: id,
+                    reason: format!("design-point: {reason}"),
+                }
+            }
+            other => other,
+        }
+    }
 }
 
 impl ScenarioKind {
@@ -347,6 +395,33 @@ impl ScenarioKind {
     pub fn cache_key(&self) -> String {
         let canonical = serde_json::to_string(self).expect("scenario serialization is infallible");
         hash::content_key(&canonical)
+    }
+
+    /// Checks evaluator preconditions for this kind: the design point
+    /// must resolve, baseline accelerators must run at the paper design
+    /// point, workloads must resolve, and attention dimensions must be
+    /// positive with an integral head width.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        match self {
+            ScenarioKind::Gemm {
+                accelerator,
+                design,
+                workload,
+            } => {
+                workload.resolve()?;
+                design.resolve()?;
+                baseline_design_guard(*accelerator, design, workload.label())
+            }
+            ScenarioKind::Attention {
+                model,
+                dims,
+                design,
+            } => {
+                design.resolve()?;
+                attention_dims_guard(model, dims)
+            }
+            ScenarioKind::Study { .. } => Ok(()),
+        }
     }
 
     /// Canonical form: embedded design points are normalized.
@@ -373,6 +448,51 @@ impl ScenarioKind {
             ScenarioKind::Study { study } => ScenarioKind::Study { study: *study },
         }
     }
+}
+
+/// Baselines must run at the paper design point: silently ignoring an
+/// override would poison the cache key space. Shared by
+/// [`ScenarioKind::validate`] and the evaluator (which must hold the
+/// invariant even for scenarios that skipped validation).
+pub(crate) fn baseline_design_guard(
+    accelerator: AcceleratorKind,
+    design: &DesignPoint,
+    workload_label: &str,
+) -> Result<(), SweepError> {
+    if accelerator != AcceleratorKind::Yoco && !design.is_paper() {
+        return Err(SweepError::invalid(
+            format!("{}/{workload_label}", accelerator.name()),
+            format!(
+                "design-point overrides only apply to yoco, not {}",
+                accelerator.name()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Attention dimensions must be positive with an integral head width.
+/// Shared by [`ScenarioKind::validate`] and the evaluator.
+pub(crate) fn attention_dims_guard(model: &str, dims: &AttentionDims) -> Result<(), SweepError> {
+    if dims.seq == 0 || dims.d_model == 0 || dims.heads == 0 {
+        return Err(SweepError::invalid(
+            format!("attention/{model}"),
+            format!(
+                "attention dimensions must be positive, got seq {} d_model {} heads {}",
+                dims.seq, dims.d_model, dims.heads
+            ),
+        ));
+    }
+    if !dims.d_model.is_multiple_of(dims.heads) {
+        return Err(SweepError::invalid(
+            format!("attention/{model}"),
+            format!(
+                "heads ({}) must divide d_model ({})",
+                dims.heads, dims.d_model
+            ),
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

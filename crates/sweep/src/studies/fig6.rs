@@ -3,6 +3,7 @@
 //!
 //! The numeric logic is byte-for-byte the seed's; only the location moved.
 
+use crate::api::SweepError;
 use serde::{Deserialize, Serialize};
 use yoco_circuit::dac::DacTransfer;
 use yoco_circuit::variation::{MismatchField, MonteCarloReport};
@@ -26,9 +27,9 @@ pub struct Fig6aRecord {
 }
 
 /// Computes Fig 6(a).
-pub fn fig6a() -> Result<Fig6aRecord, String> {
+pub fn fig6a() -> Result<Fig6aRecord, SweepError> {
     let t = DacTransfer::measure(ArrayGeometry::yoco_default(), NoiseModel::tt_corner(), 42)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| SweepError::evaluation("study/fig6a", e))?;
     let lin = t.linearity();
     Ok(Fig6aRecord {
         codes: t.codes.clone(),
@@ -58,7 +59,7 @@ pub struct Fig6bcRecord {
 }
 
 /// Computes Fig 6(b)/(c).
-pub fn fig6bc() -> Result<Fig6bcRecord, String> {
+pub fn fig6bc() -> Result<Fig6bcRecord, SweepError> {
     let geom = ArrayGeometry::yoco_default();
     let fs = geom.full_scale_voltage().value();
     let mut codes = Vec::new();
@@ -81,10 +82,10 @@ pub fn fig6bc() -> Result<Fig6bcRecord, String> {
                 NoiseModel::tt_corner(),
                 1234,
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| SweepError::evaluation("study/fig6bc", e))?;
             let out = array
                 .compute_vmm_seeded(&vec![x; 128], code as u64)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| SweepError::evaluation("study/fig6bc", e))?;
             let v = out.cb_voltages[0].value();
             let ideal = geom.dot_to_voltage(128.0 * (w * x) as f64).value();
             let err = (v - ideal) / fs * 100.0;
@@ -105,7 +106,7 @@ pub fn fig6bc() -> Result<Fig6bcRecord, String> {
 
 /// Computes Fig 6(d): the 2000-run Monte-Carlo voltage-offset
 /// distribution at TT, 25 °C.
-pub fn fig6d() -> Result<MonteCarloReport, String> {
+pub fn fig6d() -> Result<MonteCarloReport, SweepError> {
     let geom = ArrayGeometry::yoco_default();
     let weights: Vec<Vec<u32>> = (0..128)
         .map(|r| {
@@ -126,10 +127,10 @@ pub fn fig6d() -> Result<MonteCarloReport, String> {
         },
         MismatchField::ideal(geom.rows(), geom.cols()),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| SweepError::evaluation("study/fig6d", e))?;
     let v_nom = nominal
         .compute_vmm(&inputs)
-        .map_err(|e| e.to_string())?
+        .map_err(|e| SweepError::evaluation("study/fig6d", e))?
         .cb_voltages[0];
     let mc = MonteCarlo::new(2000, 99);
     Ok(mc.run(|seed| {
@@ -167,8 +168,9 @@ pub struct Fig6fRow {
 
 /// Computes Fig 6(f): trains the stand-in benchmarks (seeded) and
 /// evaluates FP32 vs analog inference.
-pub fn fig6f() -> Result<Vec<Fig6fRow>, String> {
-    let standins = yoco_nn::standins::fig6f_standins(2025).map_err(|e| e.to_string())?;
+pub fn fig6f() -> Result<Vec<Fig6fRow>, SweepError> {
+    let standins = yoco_nn::standins::fig6f_standins(2025)
+        .map_err(|e| SweepError::evaluation("study/fig6f", e))?;
     Ok(standins
         .iter()
         .map(|s| {

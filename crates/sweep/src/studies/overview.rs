@@ -1,0 +1,223 @@
+//! Overview studies: the landscape scatter (Fig 1c), the model-zoo
+//! summary, and the per-component energy breakdown — formerly computed
+//! ad hoc inside their bins, now cacheable engine cells like every other
+//! figure.
+
+use serde::{Deserialize, Serialize};
+use yoco::{plan_placement, YocoChip, YocoConfig};
+use yoco_arch::accelerator::Accelerator;
+use yoco_arch::workload::{LayerKind, MatmulWorkload};
+use yoco_baselines::isaac::isaac;
+use yoco_baselines::prior::{fig7_circuits, yoco_ima};
+
+/// One point of the Fig 1(c) throughput-vs-efficiency scatter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1cPoint {
+    /// Citation tag (`"ours"` for YOCO).
+    pub reference: String,
+    /// Energy efficiency, TOPS/W.
+    pub tops_per_watt: f64,
+    /// Throughput, TOPS.
+    pub tops: f64,
+    /// Point class for the legend (`"analog"`, `"digital"`, …).
+    pub kind: String,
+}
+
+/// Computes Fig 1(c): all prior macros plus YOCO, in citation order with
+/// YOCO last.
+pub fn fig1c() -> Vec<Fig1cPoint> {
+    let mut points: Vec<Fig1cPoint> = fig7_circuits()
+        .iter()
+        .map(|c| Fig1cPoint {
+            reference: c.reference.to_string(),
+            tops_per_watt: c.tops_per_watt,
+            tops: c.tops,
+            kind: if c.digital { "digital" } else { "analog" }.to_string(),
+        })
+        .collect();
+    let ours = yoco_ima();
+    points.push(Fig1cPoint {
+        reference: "ours".into(),
+        tops_per_watt: ours.tops_per_watt,
+        tops: ours.tops,
+        kind: "analog (this work)".into(),
+    });
+    points
+}
+
+/// One zoo model's workload summary plus its chip placement plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Model name.
+    pub model: String,
+    /// Number of GEMM layers.
+    pub gemms: usize,
+    /// Total multiply-accumulates.
+    pub macs: u64,
+    /// Static (weight-stationary) parameters.
+    pub static_weights: u64,
+    /// MACs on dynamically produced weights (attention scores/values).
+    pub dynamic_macs: u64,
+    /// Chips needed to host the static weights.
+    pub chips_needed: u64,
+    /// One-time ReRAM programming time, ms.
+    pub program_time_ms: f64,
+}
+
+/// Computes the model-zoo summary at the paper design point.
+pub fn models() -> Vec<ModelRecord> {
+    let config = YocoConfig::paper_default();
+    yoco_nn::models::fig8_benchmarks()
+        .into_iter()
+        .map(|model| {
+            let workloads = model.workloads();
+            let dynamic_macs = workloads
+                .iter()
+                .filter(|w| w.dynamic_weights)
+                .map(|w| w.macs())
+                .sum();
+            let plan = plan_placement(&config, &workloads);
+            ModelRecord {
+                model: model.name.clone(),
+                gemms: workloads.len(),
+                macs: model.macs(),
+                static_weights: model.static_weights(),
+                dynamic_macs,
+                chips_needed: plan.chips_needed,
+                program_time_ms: plan.program_time_ms,
+            }
+        })
+        .collect()
+}
+
+/// One component's line in an energy breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownComponent {
+    /// Component name (ledger account).
+    pub component: String,
+    /// Energy attributed to the component, pJ.
+    pub energy_pj: f64,
+    /// Share of the workload total, 0..=1.
+    pub share: f64,
+}
+
+/// The full accelergy-style profile of one workload on YOCO.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownProfile {
+    /// Workload label.
+    pub workload: String,
+    /// Per-component lines, in ledger order.
+    pub components: Vec<BreakdownComponent>,
+    /// Total energy, pJ.
+    pub total_energy_pj: f64,
+    /// Energy efficiency on this workload, TOPS/W.
+    pub tops_per_watt: f64,
+}
+
+/// The breakdown study payload: two YOCO profiles plus the ISAAC converter
+/// share the paper criticizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownRecord {
+    /// A conv-style static GEMM (256 × 1024 × 256).
+    pub conv: BreakdownProfile,
+    /// An attention-score GEMM with dynamic weights.
+    pub attention: BreakdownProfile,
+    /// ADC share of one ISAAC crossbar invocation, percent.
+    pub isaac_adc_share_pct: f64,
+    /// ISAAC's efficiency on the conv workload, TOPS/W.
+    pub isaac_tops_per_watt: f64,
+    /// YOCO ÷ ISAAC efficiency on the conv workload.
+    pub ee_ratio_vs_isaac: f64,
+}
+
+fn profile(chip: &YocoChip, w: &MatmulWorkload) -> BreakdownProfile {
+    let (cost, ledger) = chip.evaluate_with_ledger(w);
+    let components = ledger
+        .breakdown()
+        .into_iter()
+        .map(|(component, energy_pj)| {
+            let share = ledger.share(&component);
+            BreakdownComponent {
+                component,
+                energy_pj,
+                share,
+            }
+        })
+        .collect();
+    BreakdownProfile {
+        workload: w.name.clone(),
+        components,
+        total_energy_pj: cost.energy_pj,
+        tops_per_watt: cost.tops_per_watt(),
+    }
+}
+
+/// Computes the breakdown study.
+pub fn breakdown() -> BreakdownRecord {
+    let chip = YocoChip::paper_default();
+    let conv_w = MatmulWorkload::new("conv", 256, 1024, 256);
+    let conv = profile(&chip, &conv_w);
+    let attention = profile(
+        &chip,
+        &MatmulWorkload::new("scores", 1536, 64, 128).with_kind(LayerKind::AttentionScore),
+    );
+
+    let i = isaac();
+    let adc_pj = i.conversions_per_invocation() as f64 * i.adc.energy_pj;
+    let invocation_total_pj = i
+        .evaluate(&MatmulWorkload::new("one", 1, 128, 32))
+        .energy_pj;
+    let isaac_cost = i.evaluate(&conv_w);
+    BreakdownRecord {
+        ee_ratio_vs_isaac: conv.tops_per_watt / isaac_cost.tops_per_watt(),
+        conv,
+        attention,
+        isaac_adc_share_pct: adc_pj / invocation_total_pj * 100.0,
+        isaac_tops_per_watt: isaac_cost.tops_per_watt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1c_puts_yoco_top_right() {
+        let points = fig1c();
+        let (ours, others) = points.split_last().unwrap();
+        assert_eq!(ours.reference, "ours");
+        assert!(!others.is_empty());
+        for p in others {
+            assert!(ours.tops_per_watt > p.tops_per_watt, "{}", p.reference);
+            assert!(ours.tops > p.tops, "{}", p.reference);
+        }
+    }
+
+    #[test]
+    fn models_cover_the_zoo_with_positive_macs() {
+        let records = models();
+        assert_eq!(records.len(), 10);
+        for r in &records {
+            assert!(r.macs > 0, "{}", r.model);
+            assert!(r.gemms > 0, "{}", r.model);
+            assert!(r.dynamic_macs <= r.macs, "{}", r.model);
+            assert!(r.chips_needed >= 1, "{}", r.model);
+        }
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one_and_isaac_is_converter_bound() {
+        let b = breakdown();
+        for p in [&b.conv, &b.attention] {
+            let total: f64 = p.components.iter().map(|c| c.share).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}: {total}", p.workload);
+        }
+        // The paper's claim: converters dominate ISAAC-style designs.
+        assert!(
+            b.isaac_adc_share_pct > 40.0,
+            "ISAAC ADC share {}",
+            b.isaac_adc_share_pct
+        );
+        assert!(b.ee_ratio_vs_isaac > 1.0);
+    }
+}

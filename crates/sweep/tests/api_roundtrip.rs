@@ -1,0 +1,172 @@
+//! Property tests for the API layer: wire envelopes and errors survive
+//! serde round trips for arbitrary well-formed inputs, and shard
+//! selection partitions any grid.
+
+use proptest::prelude::*;
+use yoco_sweep::api::{CellOutcome, CellStatus, EvalRequest, EvalResponse, Request, Shard};
+use yoco_sweep::{
+    AcceleratorKind, DesignPoint, Engine, Scenario, StudyId, SweepError, WorkloadSpec,
+};
+
+/// Lowercase-ASCII identifier-ish strings.
+fn string_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(97u8..123, 0..12)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("ascii"))
+}
+
+/// Any of the four accelerators.
+fn accelerator_strategy() -> impl Strategy<Value = AcceleratorKind> {
+    (0usize..AcceleratorKind::ALL.len()).prop_map(|i| AcceleratorKind::ALL[i])
+}
+
+/// Design points mixing paper defaults and overrides.
+fn design_strategy() -> impl Strategy<Value = DesignPoint> {
+    (0u8..3, 1usize..16, 0u8..2).prop_map(|(tile_mode, tiles, act)| DesignPoint {
+        tiles: match tile_mode {
+            0 => None,
+            _ => Some(tiles),
+        },
+        activity: if act == 1 { Some(0.25) } else { None },
+        ..Default::default()
+    })
+}
+
+/// Scenarios across all three kinds (GEMM / attention / study).
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        0u8..3,
+        accelerator_strategy(),
+        design_strategy(),
+        (1u64..512, 1u64..512, 1u64..512),
+        0usize..StudyId::ALL.len(),
+        string_strategy(),
+    )
+        .prop_map(|(kind, acc, design, (m, k, n), study, name)| match kind {
+            0 => Scenario::gemm(
+                acc,
+                design,
+                WorkloadSpec::Gemm {
+                    name: format!("g-{name}"),
+                    m,
+                    k,
+                    n,
+                    kind: yoco_arch::workload::LayerKind::Linear,
+                },
+            ),
+            1 => Scenario::attention(
+                format!("t-{name}"),
+                yoco::pipeline::AttentionDims {
+                    seq: (m as usize).max(1),
+                    d_model: 64 * ((k as usize % 8) + 1),
+                    heads: 4,
+                },
+                design,
+            ),
+            _ => Scenario::study(StudyId::ALL[study]),
+        })
+}
+
+/// Every `SweepError` variant with arbitrary payload strings.
+fn error_strategy() -> impl Strategy<Value = SweepError> {
+    (0u8..6, string_strategy(), string_strategy()).prop_map(|(variant, a, b)| match variant {
+        0 => SweepError::invalid(a, b),
+        1 => SweepError::workload(a, b),
+        2 => SweepError::evaluation(a, b),
+        3 => SweepError::cache_io(a, b),
+        4 => SweepError::schema(a, b),
+        _ => SweepError::UnknownGrid { name: a, known: b },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn eval_requests_round_trip(
+        id in string_strategy(),
+        scenarios in prop::collection::vec(scenario_strategy(), 0..8),
+        force in 0u8..2,
+    ) {
+        let mut request = EvalRequest::new(id, scenarios);
+        request.force = force == 1;
+        let text = serde_json::to_string(&request).expect("serializes");
+        let back: EvalRequest = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(&request, &back);
+
+        // And inside the envelope.
+        let envelope = Request::Eval(request);
+        let text = serde_json::to_string(&envelope).expect("serializes");
+        let back: Request = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(envelope, back);
+    }
+
+    #[test]
+    fn sweep_errors_round_trip(error in error_strategy()) {
+        let text = serde_json::to_string(&error).expect("serializes");
+        let back: SweepError = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(&error, &back);
+        // Display never panics and mentions no debug formatting.
+        prop_assert!(!error.to_string().is_empty());
+    }
+
+    #[test]
+    fn shards_partition_any_grid(
+        scenarios in prop::collection::vec(scenario_strategy(), 0..40),
+        count in 1usize..9,
+    ) {
+        let mut total = 0usize;
+        for index in 1..=count {
+            let shard = Shard { index, count };
+            let part = shard.select(&scenarios);
+            prop_assert!(part.len() <= scenarios.len().div_ceil(count));
+            for s in &part {
+                prop_assert!(scenarios.contains(s));
+            }
+            total += part.len();
+        }
+        prop_assert_eq!(total, scenarios.len());
+    }
+}
+
+proptest! {
+    // Responses run real evaluations; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn eval_responses_round_trip(
+        id in string_strategy(),
+        picks in prop::collection::vec(0usize..4, 1..4),
+    ) {
+        // Cheap studies only — the property under test is serialization,
+        // not evaluation speed.
+        let cheap = [StudyId::Fig9a, StudyId::Table2, StudyId::Fig7, StudyId::Table1];
+        let scenarios: Vec<Scenario> =
+            picks.iter().map(|&i| Scenario::study(cheap[i])).collect();
+        let report = Engine::ephemeral().run(&scenarios);
+        let response = EvalResponse::from_report(id, &report);
+        prop_assert!(response.is_ok());
+        let text = serde_json::to_string(&response).expect("serializes");
+        let back: EvalResponse = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(response, back);
+    }
+}
+
+#[test]
+fn refusals_and_failed_cells_round_trip() {
+    let refusal = EvalResponse::refusal("r-9", SweepError::schema("request envelope", "bad"));
+    let text = serde_json::to_string(&refusal).unwrap();
+    let back: EvalResponse = serde_json::from_str(&text).unwrap();
+    assert_eq!(refusal, back);
+    assert!(!back.is_ok());
+
+    let failed = CellOutcome {
+        id: "yoco/nope".into(),
+        key: "0123456789abcdef".into(),
+        status: CellStatus::Failed,
+        metrics: None,
+        error: Some(SweepError::workload("nope", "unknown")),
+    };
+    let text = serde_json::to_string(&failed).unwrap();
+    let back: CellOutcome = serde_json::from_str(&text).unwrap();
+    assert_eq!(failed, back);
+}

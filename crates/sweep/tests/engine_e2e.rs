@@ -4,7 +4,8 @@
 use std::fs;
 use std::path::PathBuf;
 use yoco_sweep::{
-    figures, AcceleratorKind, DesignPoint, Engine, ResultCache, Scenario, StudyId, WorkloadSpec,
+    figures, AcceleratorKind, DesignPoint, Engine, ResultCache, Scenario, Shard, StudyId,
+    WorkloadSpec,
 };
 
 fn temp_cache(tag: &str) -> (ResultCache, PathBuf) {
@@ -93,6 +94,29 @@ fn force_recomputes_but_refreshes_the_cache() {
 }
 
 #[test]
+fn shards_merge_through_the_shared_cache_into_the_unsharded_report() {
+    let (cache, dir) = temp_cache("shards");
+    let grid = figures::fig10_scenarios();
+    // The reference: one unsharded, uncached run.
+    let reference = Engine::ephemeral().run(&grid);
+
+    // Two hosts run disjoint halves against one shared cache.
+    let engine = Engine::ephemeral().with_cache(cache).jobs(2);
+    let first = engine.run(&Shard { index: 1, count: 2 }.select(&grid));
+    let second = engine.run(&Shard { index: 2, count: 2 }.select(&grid));
+    assert_eq!(first.misses + second.misses, grid.len());
+    assert_eq!(first.hits + second.hits, 0);
+    assert_eq!(first.cells.len() + second.cells.len(), grid.len());
+
+    // A later whole-grid run assembles purely from their cache entries…
+    let merged = engine.run(&grid);
+    assert_eq!(merged.hits, grid.len(), "all cells come from the shards");
+    // …and is bit-identical to the unsharded computation.
+    assert_eq!(merged.canonical_json(), reference.canonical_json());
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
 fn scenario_files_drive_the_engine_like_the_cli() {
     // The CLI's --file path: a JSON grid written by one process, run by
     // another, including a design-point override cell.
@@ -119,5 +143,5 @@ fn scenario_files_drive_the_engine_like_the_cli() {
     let report = Engine::ephemeral().run(&parsed);
     assert!(report.errors().is_empty());
     assert_eq!(report.cells.len(), 2);
-    assert!(!report.cells[0].payload.is_null());
+    assert!(report.cells[0].metrics.is_some());
 }

@@ -1,0 +1,177 @@
+//! End-to-end smoke test of the `yoco-serve` frontend: spawn the real
+//! binary, drive the NDJSON protocol over a real socket, and check that
+//! hit/miss accounting matches a direct engine run and that warm
+//! responses are byte-stable.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+use yoco_sweep::api::{EvalRequest, Request, Response};
+use yoco_sweep::{
+    AcceleratorKind, DesignPoint, Engine, ResultCache, Scenario, StudyId, WorkloadSpec,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("yoco-serve-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spawn_server(cache_dir: &Path) -> (Child, u16) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_yoco-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-dir",
+            cache_dir.to_str().expect("utf-8 temp path"),
+            "--jobs",
+            "2",
+            "--quiet",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("yoco-serve spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("announce line");
+    let port = line
+        .trim()
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable announce line {line:?}"));
+    (child, port)
+}
+
+fn exchange(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    request: &Request,
+) -> String {
+    let text = serde_json::to_string(request).expect("request serializes");
+    writeln!(stream, "{text}").expect("request sends");
+    stream.flush().expect("request flushes");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response arrives");
+    line
+}
+
+fn batch() -> Vec<Scenario> {
+    vec![
+        Scenario::study(StudyId::Fig9a),
+        Scenario::study(StudyId::Table2),
+        Scenario::gemm(
+            AcceleratorKind::Isaac,
+            DesignPoint::paper(),
+            WorkloadSpec::Gemm {
+                name: "fc".into(),
+                m: 8,
+                k: 256,
+                n: 64,
+                kind: yoco_arch::workload::LayerKind::Linear,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn serve_round_trip_matches_direct_engine_and_is_byte_stable_when_warm() {
+    let serve_cache = temp_dir("server");
+    let direct_cache = temp_dir("direct");
+    let (mut child, port) = spawn_server(&serve_cache);
+
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout set");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // Liveness first.
+    let pong = exchange(&mut stream, &mut reader, &Request::Ping);
+    assert_eq!(
+        serde_json::from_str::<Response>(&pong).expect("pong parses"),
+        Response::Pong
+    );
+
+    // Cold submission: everything is a miss.
+    let request = Request::Eval(EvalRequest::new("r-1", batch()));
+    let cold_line = exchange(&mut stream, &mut reader, &request);
+    let Response::Eval(cold) = serde_json::from_str(&cold_line).expect("cold parses") else {
+        panic!("expected an Eval response, got {cold_line}");
+    };
+    assert!(cold.is_ok(), "{:?}", cold.error);
+    assert_eq!(cold.id, "r-1");
+    assert_eq!((cold.hits, cold.misses), (0, 3));
+
+    // Warm re-submissions: 100 % hits, byte-identical lines.
+    let warm_a = exchange(&mut stream, &mut reader, &request);
+    let warm_b = exchange(&mut stream, &mut reader, &request);
+    let Response::Eval(warm) = serde_json::from_str(&warm_a).expect("warm parses") else {
+        panic!("expected an Eval response, got {warm_a}");
+    };
+    assert_eq!((warm.hits, warm.misses), (3, 0), "warm cache serves all");
+    assert_eq!(warm_a, warm_b, "warm responses must be byte-stable");
+
+    // Payloads are unchanged between cold and warm (only statuses moved).
+    for (c, w) in cold.cells.iter().zip(warm.cells.iter()) {
+        assert_eq!(c.key, w.key);
+        assert_eq!(c.metrics, w.metrics, "{}", c.id);
+    }
+
+    // The server's accounting matches a direct engine run on a fresh
+    // cache of its own.
+    let engine = Engine::ephemeral().with_cache(ResultCache::at(&direct_cache));
+    let direct_cold = engine.run(&batch());
+    let direct_warm = engine.run(&batch());
+    assert_eq!(direct_cold.misses, cold.misses);
+    assert_eq!(direct_warm.hits, warm.hits);
+
+    // Clean shutdown: Bye, then process exit 0.
+    let bye = exchange(&mut stream, &mut reader, &Request::Shutdown);
+    assert_eq!(
+        serde_json::from_str::<Response>(&bye).expect("bye parses"),
+        Response::Bye
+    );
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "server exit status {status:?}");
+
+    let _ = std::fs::remove_dir_all(serve_cache);
+    let _ = std::fs::remove_dir_all(direct_cache);
+}
+
+#[test]
+fn malformed_lines_get_an_error_response_not_a_hangup() {
+    let cache = temp_dir("malformed");
+    let (mut child, port) = spawn_server(&cache);
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout set");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    writeln!(stream, "this is not json").expect("sends");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error response arrives");
+    let Response::Error(e) = serde_json::from_str::<Response>(&line).expect("parses") else {
+        panic!("expected an Error response, got {line}");
+    };
+    assert_eq!(e.category(), "schema-mismatch");
+
+    // The connection is still usable afterwards.
+    let pong = exchange(&mut stream, &mut reader, &Request::Ping);
+    assert_eq!(
+        serde_json::from_str::<Response>(&pong).expect("pong parses"),
+        Response::Pong
+    );
+    let bye = exchange(&mut stream, &mut reader, &Request::Shutdown);
+    assert_eq!(
+        serde_json::from_str::<Response>(&bye).expect("bye parses"),
+        Response::Bye
+    );
+    assert!(child.wait().expect("exits").success());
+    let _ = std::fs::remove_dir_all(cache);
+}
