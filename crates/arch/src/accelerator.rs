@@ -46,6 +46,17 @@ impl LayerCost {
             self.ops as f64 / (self.latency_ns * 1e-9) / 1e12
         }
     }
+
+    /// Average dynamic power over the layer's makespan, W — the same
+    /// energy-over-latency quotient [`crate::power::power_of`] reports,
+    /// without a background term. Zero-latency costs report zero.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.latency_ns == 0.0 {
+            0.0
+        } else {
+            self.energy_pj * 1e-12 / (self.latency_ns * 1e-9)
+        }
+    }
 }
 
 /// An accelerator that can be evaluated on GEMM workloads.

@@ -2,12 +2,10 @@
 //! `yoco-sweep` grid (the studies run in parallel and hit the cache on
 //! repeated invocations).
 
+use yoco_bench::expect_study;
 use yoco_bench::output::write_json;
-use yoco_bench::sweep_io::{bin_engine, print_cache_line, take_payload};
-use yoco_sweep::studies::ablations::{
-    CornerPoint, HybridPoint, PipelineDepthPoint, SlicingPoint, TdaPoint,
-};
-use yoco_sweep::{grids, StudyId};
+use yoco_bench::sweep_io::{bin_engine, print_cache_line};
+use yoco_sweep::grids;
 
 fn main() {
     let engine = bin_engine();
@@ -19,7 +17,7 @@ fn main() {
         "{:>12} {:>8} {:>18} {:>16} {:>14}",
         "slice bits", "cycles", "converts/MAC (m)", "pJ per MAC", "latency (ns)"
     );
-    let slicing: Vec<SlicingPoint> = take_payload(&report, StudyId::AblationSlicing);
+    let slicing = expect_study!(&report, AblationSlicing);
     for p in &slicing {
         println!(
             "{:>12} {:>8} {:>18.1} {:>16.3} {:>14.0}",
@@ -45,7 +43,7 @@ fn main() {
         "V swing",
         "time win (ns)"
     );
-    let tda: Vec<TdaPoint> = take_payload(&report, StudyId::AblationTda);
+    let tda = expect_study!(&report, AblationTda);
     for p in &tda {
         println!(
             "{:>6} {:>14} {:>14} {:>16.2} {:>16.2} {:>12.3} {:>14.3}",
@@ -66,7 +64,7 @@ fn main() {
         "{:<20} {:>16} {:>18} {:>20}",
         "variant", "weights/tile", "dyn write (nJ)", "endurance @1k rw/s"
     );
-    let hybrid: Vec<HybridPoint> = take_payload(&report, StudyId::AblationHybrid);
+    let hybrid = expect_study!(&report, AblationHybrid);
     for p in &hybrid {
         // Unlimited endurance serializes as JSON null (like serde_json) and
         // deserializes as NaN from a cache hit, so test finiteness.
@@ -84,7 +82,7 @@ fn main() {
 
     println!();
     println!("== Ablation 4: pipeline benefit vs sequence length (BERT-base dims) ==");
-    let depth: Vec<PipelineDepthPoint> = take_payload(&report, StudyId::AblationPipelineDepth);
+    let depth = expect_study!(&report, AblationPipelineDepth);
     for p in &depth {
         println!("  seq {:>5} -> {:.2}x", p.seq, p.speedup);
     }
@@ -96,7 +94,7 @@ fn main() {
         "{:>6} {:>8} {:>14} {:>18}",
         "corner", "temp", "peak err (%)", "calibrated (%)"
     );
-    let corners: Vec<CornerPoint> = take_payload(&report, StudyId::AblationCorners);
+    let corners = expect_study!(&report, AblationCorners);
     for p in &corners {
         println!(
             "{:>6} {:>7}C {:>14.3} {:>18.4}",

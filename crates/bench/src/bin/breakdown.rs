@@ -5,9 +5,8 @@
 //! cell.
 
 use yoco_bench::output::write_json;
-use yoco_bench::sweep_io::{bin_engine, run_study};
-use yoco_sweep::studies::overview::{BreakdownProfile, BreakdownRecord};
-use yoco_sweep::StudyId;
+use yoco_bench::{expect_study, sweep_io::bin_engine};
+use yoco_sweep::studies::overview::BreakdownProfile;
 
 fn print_profile(title: &str, p: &BreakdownProfile) {
     println!("== YOCO energy breakdown: {title} ==");
@@ -27,7 +26,7 @@ fn print_profile(title: &str, p: &BreakdownProfile) {
 }
 
 fn main() {
-    let b: BreakdownRecord = run_study(&bin_engine(), StudyId::Breakdown);
+    let b = expect_study!(&bin_engine() => Breakdown);
     print_profile("conv-style GEMM (256 x 1024 x 256)", &b.conv);
     println!();
     print_profile("attention score GEMM (dynamic)", &b.attention);

@@ -3,12 +3,10 @@
 //! cached `yoco-sweep` study cell.
 
 use yoco_bench::output::write_json;
-use yoco_bench::sweep_io::{bin_engine, run_study};
-use yoco_sweep::studies::overview::Fig1cPoint;
-use yoco_sweep::StudyId;
+use yoco_bench::{expect_study, sweep_io::bin_engine};
 
 fn main() {
-    let points: Vec<Fig1cPoint> = run_study(&bin_engine(), StudyId::Fig1c);
+    let points = expect_study!(&bin_engine() => Fig1c);
     println!("== Fig 1(c): analog IMC throughput vs energy efficiency ==");
     println!(
         "{:<6} {:>12} {:>10} {:>8}",

@@ -12,12 +12,10 @@
 //! * `e` — end-to-end MAC error vs prior designs
 //! * `f` — DNN inference accuracy, FP32 vs YOCO-based, 6 benchmarks
 
+use yoco_bench::expect_study;
 use yoco_bench::output::write_json;
-use yoco_bench::sweep_io::{bin_engine, print_cache_line, take_payload};
-use yoco_circuit::variation::MonteCarloReport;
-use yoco_sweep::studies::fig6::{Fig6aRecord, Fig6bcRecord, Fig6fRow};
-use yoco_sweep::StudyId;
-use yoco_sweep::{Scenario, SweepReport};
+use yoco_bench::sweep_io::{bin_engine, print_cache_line};
+use yoco_sweep::{Scenario, StudyId, SweepReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,7 +55,7 @@ fn main() {
 
 fn fig6a(report: &SweepReport) {
     println!("== Fig 6(a): input-conversion transfer curve, INL/DNL ==");
-    let r: Fig6aRecord = take_payload(report, StudyId::Fig6a);
+    let r = expect_study!(report, Fig6a);
     for code in (0..=255usize).step_by(32) {
         println!(
             "  code {:>3} -> {:>8.4} V   (INL {:+.3} LSB)",
@@ -73,7 +71,7 @@ fn fig6a(report: &SweepReport) {
 
 fn fig6bc(report: &SweepReport) {
     println!("== Fig 6(b)/(c): 8-bit MAC transfer curves, 128 channels ==");
-    let r: Fig6bcRecord = take_payload(report, StudyId::Fig6bc);
+    let r = expect_study!(report, Fig6bc);
     for c in (0..=255usize).step_by(64) {
         println!(
             "  code {:>3}: W-sweep {:.4} V ({:+.3} %)   IN-sweep {:.4} V ({:+.3} %)",
@@ -93,7 +91,7 @@ fn fig6bc(report: &SweepReport) {
 
 fn fig6d(report: &SweepReport) {
     println!("== Fig 6(d): Monte-Carlo voltage offset, 2000 runs @ TT, 25C ==");
-    let report: MonteCarloReport = take_payload(report, StudyId::Fig6d);
+    let report = expect_study!(report, Fig6d);
     println!(
         "  mean {:+.3} mV, sigma {:.3} mV, 3sigma {:.2} mV (paper: 2.25 mV), range [{:+.3}, {:+.3}] mV",
         report.mean * 1e3,
@@ -111,7 +109,7 @@ fn fig6d(report: &SweepReport) {
 
 fn fig6e(report: &SweepReport) {
     println!("== Fig 6(e): MAC error comparison ==");
-    let ladder: Vec<(String, f64)> = take_payload(report, StudyId::Fig6e);
+    let ladder = expect_study!(report, Fig6e);
     for (name, err) in &ladder {
         println!("  {name:<6} {err:>5.2} %");
     }
@@ -121,7 +119,7 @@ fn fig6e(report: &SweepReport) {
 fn fig6f(report: &SweepReport) {
     println!("== Fig 6(f): inference accuracy, FP32 vs YOCO-based ==");
     println!("  (stand-in benchmarks; see DESIGN.md substitution 2)");
-    let rows: Vec<Fig6fRow> = take_payload(report, StudyId::Fig6f);
+    let rows = expect_study!(report, Fig6f);
     for r in &rows {
         println!(
             "  {:<14} {}: f32 {:.2} %  yoco {:.2} %  loss {:+.2} %",

@@ -2,14 +2,13 @@
 //! energy efficiency, throughput, and figure of merit — rows computed as a
 //! cached `yoco-sweep` study cell.
 
-use yoco_baselines::prior::{fig7_circuits, yoco_ima, Fig7Row};
+use yoco_baselines::prior::{fig7_circuits, yoco_ima};
 use yoco_bench::output::write_json;
-use yoco_bench::sweep_io::{bin_engine, run_study};
-use yoco_sweep::StudyId;
+use yoco_bench::{expect_study, sweep_io::bin_engine};
 
 fn main() {
     let ours = yoco_ima();
-    let rows: Vec<Fig7Row> = run_study(&bin_engine(), StudyId::Fig7);
+    let rows = expect_study!(&bin_engine() => Fig7);
     println!("== Fig 7: normalized VMM energy efficiency / throughput / FoM ==");
     println!(
         "  YOCO IMA reference: {:.1} TOPS/W, {:.1} TOPS, FoM {:.3e}",

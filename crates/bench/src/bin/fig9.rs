@@ -1,11 +1,9 @@
 //! Regenerates Fig 9: DAC (a) and ADC (b) overhead comparisons, as cached
 //! `yoco-sweep` study cells.
 
-use yoco_baselines::adc_dac::{AdcScheme, DacSpec};
+use yoco_baselines::adc_dac::DacSpec;
 use yoco_bench::output::write_json;
-use yoco_bench::sweep_io::{bin_engine, run_study};
-use yoco_sweep::studies::Fig9aRecord;
-use yoco_sweep::StudyId;
+use yoco_bench::{expect_study, sweep_io::bin_engine};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,7 +28,7 @@ fn fig9a() {
         "  YOCO:         {:.2} um2, {:.3} pJ, {:.2} ns per conversion",
         ours.area_um2, ours.energy_pj, ours.latency_ns
     );
-    let r: Fig9aRecord = run_study(&bin_engine(), StudyId::Fig9a);
+    let r = expect_study!(&bin_engine() => Fig9a);
     println!(
         "  reductions: area {:.0}x, energy {:.1}x, latency {:.1}x  (paper: 352x / 9x / 1.6x)",
         r.area_ratio, r.energy_ratio, r.latency_ratio
@@ -40,7 +38,7 @@ fn fig9a() {
 
 fn fig9b() {
     println!("== Fig 9(b): ADC overhead per 8-bit MAC output ==");
-    let schemes: Vec<AdcScheme> = run_study(&bin_engine(), StudyId::Fig9b);
+    let schemes = expect_study!(&bin_engine() => Fig9b);
     // YOCO is the scheme with the fewest conversions; don't assume its
     // position in a (possibly cached) row list.
     let yoco = schemes

@@ -1,0 +1,112 @@
+//! Renders the design-space exploration Pareto front: the figure the
+//! paper never printed, justifying (or challenging) the Table II design
+//! point against its neighbors.
+//!
+//! Runs a DSE grid (default `dse-full`, override with the first
+//! argument) exhaustively through the cached engine, prints a
+//! throughput-vs-efficiency ASCII scatter with the front marked, the
+//! front table, and the knob sensitivity, then writes the canonical
+//! report JSON under `results/`.
+
+use yoco_bench::output::write_json;
+use yoco_bench::sweep_io::bin_engine;
+use yoco_dse::{run_dse, Driver, DseReport, ObjectiveSpace};
+use yoco_sweep::DseGrid;
+
+const PLOT_COLS: usize = 64;
+const PLOT_ROWS: usize = 18;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grid_name = args.first().map(String::as_str).unwrap_or("dse-full");
+    let Some(grid) = DseGrid::find(grid_name) else {
+        eprintln!("error: unknown DSE grid `{grid_name}` (run `yoco-dse list`)");
+        std::process::exit(1);
+    };
+    // TOPS (x) vs TOPS/W (y) with area as the third axis keeps chip cost
+    // visible in the front membership.
+    let space = ObjectiveSpace::parse("tops,tops-per-watt,area").expect("builtin objectives");
+    let (report, exploration) =
+        run_dse(&bin_engine(), grid, &space, Driver::Exhaustive, usize::MAX)
+            .expect("builtin DSE grid evaluates");
+    println!("[dse] {}", exploration.cache_summary());
+
+    println!(
+        "== DSE front over `{}`: {} designs, {} on the front, {} dominated ==",
+        report.grid,
+        report.points.len(),
+        report.front.len(),
+        report.dominated
+    );
+    scatter(&report);
+
+    println!("\nPareto front (best first; * = paper design point):");
+    println!(
+        "{:<24} {:>12} {:>12} {:>10}",
+        "design", "TOPS", "TOPS/W", "area (mm2)"
+    );
+    for p in report.front_records() {
+        let marker = if p.design.is_paper() { " *" } else { "" };
+        println!(
+            "{:<24} {:>12.1} {:>12.1} {:>10.2}",
+            format!("{}{marker}", p.label),
+            p.metrics.tops,
+            p.metrics.tops_per_watt,
+            p.metrics.area_mm2
+        );
+    }
+
+    println!("\nknob sensitivity (best/worst geomean objective ratio):");
+    for k in &report.sensitivity {
+        println!(
+            "  {:<10} {:>8.2}x over {} settings",
+            k.knob,
+            k.swing,
+            k.settings.len()
+        );
+    }
+
+    write_json("fig_dse", &report);
+}
+
+/// ASCII throughput-vs-efficiency scatter: `#` front, `.` dominated.
+fn scatter(report: &DseReport) {
+    let xs: Vec<f64> = report.points.iter().map(|p| p.metrics.tops).collect();
+    let ys: Vec<f64> = report
+        .points
+        .iter()
+        .map(|p| p.metrics.tops_per_watt)
+        .collect();
+    let (x_min, x_max) = bounds(&xs);
+    let (y_min, y_max) = bounds(&ys);
+    let mut canvas = vec![vec![' '; PLOT_COLS]; PLOT_ROWS];
+    for p in &report.points {
+        let col = scale(p.metrics.tops, x_min, x_max, PLOT_COLS);
+        let row = PLOT_ROWS - 1 - scale(p.metrics.tops_per_watt, y_min, y_max, PLOT_ROWS);
+        canvas[row][col] = if p.on_front { '#' } else { '.' };
+    }
+    println!("TOPS/W {y_max:>9.1}");
+    for row in canvas {
+        println!("  |{}", row.into_iter().collect::<String>());
+    }
+    println!("  {y_min:>7.1} +{}", "-".repeat(PLOT_COLS));
+    println!(
+        "  TOPS     {x_min:<10.1}{:>width$.1}",
+        x_max,
+        width = PLOT_COLS - 10
+    );
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if min == max {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+fn scale(v: f64, min: f64, max: f64, cells: usize) -> usize {
+    (((v - min) / (max - min)) * (cells - 1) as f64).round() as usize
+}

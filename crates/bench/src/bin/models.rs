@@ -4,12 +4,10 @@
 //! study cell.
 
 use yoco_bench::output::write_json;
-use yoco_bench::sweep_io::{bin_engine, run_study};
-use yoco_sweep::studies::overview::ModelRecord;
-use yoco_sweep::StudyId;
+use yoco_bench::{expect_study, sweep_io::bin_engine};
 
 fn main() {
-    let records: Vec<ModelRecord> = run_study(&bin_engine(), StudyId::Models);
+    let records = expect_study!(&bin_engine() => Models);
     println!(
         "{:<20} {:>7} {:>12} {:>14} {:>10} {:>7} {:>12}",
         "model", "GEMMs", "GMACs", "params (M)", "dyn MACs%", "chips", "program (ms)"

@@ -1,13 +1,11 @@
 //! Regenerates Table I: the ADCs/DACs cost taxonomy, as a cached
 //! `yoco-sweep` study cell.
 
-use yoco_baselines::taxonomy::TaxonomyRow;
 use yoco_bench::output::write_json;
-use yoco_bench::sweep_io::{bin_engine, run_study};
-use yoco_sweep::StudyId;
+use yoco_bench::{expect_study, sweep_io::bin_engine};
 
 fn main() {
-    let rows: Vec<TaxonomyRow> = run_study(&bin_engine(), StudyId::Table1);
+    let rows = expect_study!(&bin_engine() => Table1);
     println!("TABLE I. ADCS/DACS COST COMPARISON");
     println!(
         "{:<14} {:>12} {:>12} {:>10} {:>9} {:>9} {:>8} {:>14}",

@@ -4,10 +4,8 @@
 //! cached `yoco-sweep` study cell.
 
 use yoco_bench::output::write_json;
-use yoco_bench::sweep_io::{bin_engine, run_study};
+use yoco_bench::{expect_study, sweep_io::bin_engine};
 use yoco_circuit::energy::{array_area, array_vmm_energy, ima_vmm_cost, table2};
-use yoco_sweep::studies::Table2Record;
-use yoco_sweep::StudyId;
 
 fn row(level: &str, component: &str, count: &str, energy: &str, latency: &str, area: &str) {
     println!("{level:<6} {component:<18} {count:>12} {energy:>16} {latency:>14} {area:>14}");
@@ -135,7 +133,7 @@ fn main() {
     // record from before a model edit would make the table internally
     // inconsistent). The study is microseconds; forcing still refreshes
     // the cache entry for other consumers.
-    let record: Table2Record = run_study(&bin_engine().force(true), StudyId::Table2);
+    let record = expect_study!(&bin_engine().force(true) => Table2);
     println!(
         "Derived headline (8-bit 1024x256 VMM): {:.2} nJ, {:.1} ns -> {:.1} TOPS/W, {:.1} TOPS",
         record.ima_energy_nj, record.ima_latency_ns, record.tops_per_watt, record.tops

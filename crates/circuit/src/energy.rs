@@ -194,8 +194,16 @@ pub fn array_area() -> SquareMicron {
 
 /// Area of one IMA (arrays + TDCs + buffers), µm².
 pub fn ima_area() -> SquareMicron {
+    ima_area_with(8, 8)
+}
+
+/// Area of one IMA with an arbitrary array grid (`stack` vertical ×
+/// `width` horizontal arrays), µm². The TDC bank and I/O buffers are the
+/// per-IMA periphery and do not scale with the grid; [`ima_area`] is the
+/// Table II instance `ima_area_with(8, 8)`.
+pub fn ima_area_with(stack: usize, width: usize) -> SquareMicron {
     SquareMicron::new(
-        array_area().value() * table2::ARRAYS_PER_IMA as f64
+        array_area().value() * (stack * width) as f64
             + table2::TDC_AREA_UM2
             + table2::BUFFER_AREA_UM2,
     )
@@ -261,5 +269,16 @@ mod tests {
     fn areas_are_positive_and_ordered() {
         assert!(array_area().value() > table2::ARRAY_AREA_UM2);
         assert!(ima_area().value() > 64.0 * table2::ARRAY_AREA_UM2);
+    }
+
+    #[test]
+    fn ima_area_scales_with_the_array_grid_but_keeps_periphery() {
+        let paper = ima_area_with(8, 8).value();
+        assert_eq!(paper, ima_area().value());
+        let quarter = ima_area_with(4, 4).value();
+        let periphery = table2::TDC_AREA_UM2 + table2::BUFFER_AREA_UM2;
+        // Arrays scale 4x down; the TDC/buffer periphery does not.
+        assert!((paper - periphery) / (quarter - periphery) > 3.99);
+        assert!(quarter > periphery);
     }
 }

@@ -58,10 +58,19 @@ impl YocoChip {
         yoco_circuit::energy::ima_vmm_cost(self.config.activity)
     }
 
-    /// Total chip area in mm², composed from Table II rows.
+    /// Total chip area in mm², composed from Table II rows and responsive
+    /// to the design knobs: the tile macro scales with the component area
+    /// of its IMA grid (via `yoco_circuit::energy::ima_area_with`), the
+    /// eDRAM comes from the `yoco-mem` model, and the Hyper-Transport link
+    /// is shared. At the paper design point the IMA ratio is exactly 1,
+    /// reproducing the Table II tile area.
     pub fn area_mm2(&self) -> f64 {
-        let tiles = self.config.tiles as f64;
-        tiles * (table2::TILE_AREA_MM2 + table2::EDRAM_AREA_MM2) + table2::HYPERLINK_AREA_MM2
+        use yoco_circuit::energy::{ima_area, ima_area_with};
+        let c = &self.config;
+        let ima_ratio = c.imas_per_tile() as f64 * ima_area_with(c.ima_stack, c.ima_width).value()
+            / (8.0 * ima_area().value());
+        let tile_mm2 = table2::TILE_AREA_MM2 * ima_ratio + self.tile.edram().area_mm2();
+        c.tiles as f64 * tile_mm2 + table2::HYPERLINK_AREA_MM2
     }
 
     /// Schedules a model with eDRAM double buffering and reports both
@@ -268,6 +277,22 @@ mod tests {
         let chip = YocoChip::paper_default();
         let a = chip.area_mm2();
         assert!(a > 10.0 && a < 30.0, "area {a} mm2");
+        // The paper point reproduces the Table II roll-up exactly.
+        let table2_rollup =
+            4.0 * (table2::TILE_AREA_MM2 + table2::EDRAM_AREA_MM2) + table2::HYPERLINK_AREA_MM2;
+        assert!((a - table2_rollup).abs() < 1e-6, "{a} vs {table2_rollup}");
+    }
+
+    #[test]
+    fn area_responds_to_every_structural_knob() {
+        let paper = YocoChip::paper_default().area_mm2();
+        let grown =
+            |b: crate::config::YocoConfigBuilder| YocoChip::new(b.build().unwrap()).area_mm2();
+        assert!(grown(YocoConfig::builder().tiles(8)) > paper);
+        assert!(grown(YocoConfig::builder().ima_stack(16)) > paper);
+        assert!(grown(YocoConfig::builder().ima_width(16)) > paper);
+        assert!(grown(YocoConfig::builder().ima_split(8, 8)) > paper);
+        assert!(grown(YocoConfig::builder().ima_stack(4)) < paper);
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! The `yoco-dse` CLI: explore the YOCO design space through the cached
+//! sweep engine and assemble Pareto fronts.
+//!
+//! ```text
+//! yoco-dse list                                  # grids, objectives, drivers
+//! yoco-dse run --grid dse-tiles                  # exhaustive, tops + tops-per-watt
+//! yoco-dse run --grid dse-full --objectives tops,tops-per-watt,area
+//! yoco-dse run --grid dse-full --driver random --budget 16 --seed 7
+//! yoco-dse run --grid dse-full --driver climb --budget 24
+//! yoco-dse run --grid dse-tiles --report front.json --csv front.csv
+//! ```
+//!
+//! `run` prints the cache summary, the Pareto front, and the per-knob
+//! sensitivity table; the canonical report JSON (`--report`) and the
+//! gnuplot/CSV dump (default `results/dse/<grid>.csv`) carry no timing or
+//! cache-status fields, so a warm re-run is byte-identical.
+
+use std::process::ExitCode;
+use yoco_dse::{run_dse, Driver, Objective, ObjectiveSpace};
+use yoco_sweep::{root, DseGrid, Engine, DSE_GRIDS, DSE_WORKLOADS};
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     yoco-dse list\n  \
+     yoco-dse run --grid <dse-grid> [--objectives a,b,...] [--driver exhaustive|random|climb]\n               \
+     [--budget N] [--seed S] [--jobs N] [--serial] [--no-cache] [--force]\n               \
+     [--report <path>] [--csv <path>] [--quiet]\n\n\
+     run `yoco-dse list` for the available grids and objectives"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        _ => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list() {
+    println!("DSE grids (also accepted by `sweep run` and yoco-serve clients):");
+    for grid in &DSE_GRIDS {
+        println!(
+            "  {:<14} {:>4} designs x {} workloads",
+            grid.name,
+            grid.total_designs(),
+            DSE_WORKLOADS.len()
+        );
+    }
+    println!("\nworkload set: {}", DSE_WORKLOADS.join(", "));
+    println!("\nobjectives (default tops,tops-per-watt):");
+    for o in Objective::ALL {
+        println!(
+            "  {:<14} {:<8} ({})",
+            o.name(),
+            if o.maximize() { "maximize" } else { "minimize" },
+            o.unit()
+        );
+    }
+    println!("\ndrivers: exhaustive (default), random, climb (both honor --seed)");
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut grid_name: Option<&str> = None;
+    let mut objectives = "tops,tops-per-watt".to_owned();
+    let mut driver_name = "exhaustive".to_owned();
+    let mut budget: Option<usize> = None;
+    let mut seed: u64 = 0;
+    let mut report_path: Option<&str> = None;
+    let mut csv_path: Option<&str> = None;
+    let mut engine = Engine::cached();
+    let mut quiet = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--grid" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => grid_name = Some(name),
+                    None => return fail("--grid needs a name"),
+                }
+            }
+            "--objectives" => {
+                i += 1;
+                match args.get(i) {
+                    Some(list) => objectives = list.clone(),
+                    None => return fail("--objectives needs a comma-separated list"),
+                }
+            }
+            "--driver" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => driver_name = name.clone(),
+                    None => return fail("--driver needs a name"),
+                }
+            }
+            "--budget" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => budget = Some(n),
+                    _ => return fail("--budget needs a positive integer"),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(s) => seed = s,
+                    None => return fail("--seed needs an unsigned integer"),
+                }
+            }
+            "--report" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => report_path = Some(path),
+                    None => return fail("--report needs a path"),
+                }
+            }
+            "--csv" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => csv_path = Some(path),
+                    None => return fail("--csv needs a path"),
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => engine = engine.jobs(n),
+                    _ => return fail("--jobs needs a positive integer"),
+                }
+            }
+            "--serial" => engine = engine.jobs(1),
+            "--no-cache" => engine = engine.no_cache(),
+            "--force" => engine = engine.force(true),
+            "--quiet" => quiet = true,
+            other => return fail(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let Some(grid_name) = grid_name else {
+        return fail("nothing to run — pass --grid <name>");
+    };
+    let Some(grid) = DseGrid::find(grid_name) else {
+        let known: Vec<&str> = DSE_GRIDS.iter().map(|g| g.name).collect();
+        return fail(&format!(
+            "unknown DSE grid `{grid_name}` (known: {})",
+            known.join(", ")
+        ));
+    };
+    let space = match ObjectiveSpace::parse(&objectives) {
+        Ok(s) => s,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let driver = match Driver::parse(&driver_name, seed) {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let budget = budget.unwrap_or(grid.total_designs());
+
+    let (report, exploration) = match run_dse(&engine, grid, &space, driver, budget) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+
+    println!("[dse] {}", exploration.cache_summary());
+    println!(
+        "grid {} ({} driver): {} of {} designs evaluated, front {}, dominated {}",
+        report.grid,
+        report.driver,
+        report.points.len(),
+        grid.total_designs(),
+        report.front.len(),
+        report.dominated
+    );
+    if !quiet {
+        print_front(&report, &space);
+        print_sensitivity(&report);
+    }
+
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(path, report.canonical_json()) {
+            return fail(&format!("cannot write report {path}: {e}"));
+        }
+        if !quiet {
+            println!("canonical report written to {path}");
+        }
+    }
+    let csv = match report.csv() {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let csv_target = match csv_path {
+        Some(path) => std::path::PathBuf::from(path),
+        None => {
+            let dir = root::results_dir().join("dse");
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                return fail(&format!("cannot create {}: {e}", dir.display()));
+            }
+            dir.join(format!("{}.csv", report.grid))
+        }
+    };
+    if let Err(e) = std::fs::write(&csv_target, csv) {
+        return fail(&format!("cannot write csv {}: {e}", csv_target.display()));
+    }
+    if !quiet {
+        println!("csv dump written to {}", csv_target.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_front(report: &yoco_dse::DseReport, space: &ObjectiveSpace) {
+    println!("\nPareto front (best scalar score first):");
+    print!("  {:<22}", "design");
+    for o in space.objectives() {
+        print!(" {:>16}", format!("{} ({})", o.name(), o.unit()));
+    }
+    println!();
+    for p in report.front_records() {
+        print!("  {:<22}", p.label);
+        for v in &p.objectives {
+            print!(" {v:>16.4}");
+        }
+        println!();
+    }
+}
+
+fn print_sensitivity(report: &yoco_dse::DseReport) {
+    if report.sensitivity.is_empty() {
+        return;
+    }
+    println!("\nknob sensitivity (geomean objective product per setting):");
+    for k in &report.sensitivity {
+        let settings: Vec<String> = k
+            .settings
+            .iter()
+            .map(|s| format!("{}: {:.3e}", s.value, s.geomean_score))
+            .collect();
+        println!(
+            "  {:<10} swing {:>7.2}x   [{}]",
+            k.knob,
+            k.swing,
+            settings.join(", ")
+        );
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{}", usage());
+    ExitCode::FAILURE
+}

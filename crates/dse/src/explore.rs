@@ -1,0 +1,413 @@
+//! Design-point evaluation through the sweep engine, plus the three
+//! search drivers: exhaustive, seeded-random sampling, and a
+//! coordinate-descent hill climber.
+//!
+//! Every driver funnels its candidates through [`Explorer::evaluate`],
+//! which batches the candidates' scenarios into one [`Engine::run`] call
+//! — so search parallelizes across cores, every evaluated cell lands in
+//! the shared content-addressed cache, and a repeated run (any driver,
+//! same seed) replays entirely from cache hits.
+
+use crate::objective::{ObjectiveSpace, PointMetrics};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use yoco::YocoChip;
+use yoco_arch::accelerator::LayerCost;
+use yoco_sweep::{DesignPoint, DseGrid, Engine, Metrics, Scenario, SweepError, DSE_AXES};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedPoint {
+    /// Display label (`t4-s8x8-m4+4-a50`).
+    pub label: String,
+    /// The normalized design point.
+    pub design: DesignPoint,
+    /// Grid coordinates (one index per knob axis).
+    pub coords: [usize; DSE_AXES],
+    /// Aggregated metrics over the DSE workload set.
+    pub metrics: PointMetrics,
+    /// The objective vector, in the space's axis order.
+    pub objectives: Vec<f64>,
+}
+
+/// The outcome of one driver run: points in evaluation order plus the
+/// engine-side cache accounting (stdout-only — the canonical report
+/// excludes it so warm and cold runs serialize identically).
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Evaluated points, in deterministic evaluation order.
+    pub points: Vec<EvaluatedPoint>,
+    /// Engine cells run (designs × workloads).
+    pub cells: usize,
+    /// Cells served from the cache.
+    pub hits: usize,
+    /// Cells computed fresh.
+    pub misses: usize,
+    /// Wall-clock total of the engine runs, ms.
+    pub elapsed_ms: u64,
+}
+
+impl Exploration {
+    /// One-line cache summary for CLI output.
+    pub fn cache_summary(&self) -> String {
+        format!(
+            "{} cells: {} cache hits, {} computed, {} ms",
+            self.cells, self.hits, self.misses, self.elapsed_ms
+        )
+    }
+}
+
+/// Which search driver proposes design points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Driver {
+    /// Every grid point in canonical order (budget-truncated).
+    Exhaustive,
+    /// Seeded uniform sampling without replacement.
+    Random {
+        /// RNG seed; equal seeds reproduce the sample byte-for-byte.
+        seed: u64,
+    },
+    /// Coordinate-descent hill climbing from the paper point, with
+    /// seeded random restarts while budget remains.
+    Climb {
+        /// RNG seed for the restart positions.
+        seed: u64,
+    },
+}
+
+impl Driver {
+    /// CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Driver::Exhaustive => "exhaustive",
+            Driver::Random { .. } => "random",
+            Driver::Climb { .. } => "climb",
+        }
+    }
+
+    /// Parses a CLI name, attaching the seed where the driver takes one.
+    pub fn parse(name: &str, seed: u64) -> Result<Self, SweepError> {
+        match name {
+            "exhaustive" => Ok(Driver::Exhaustive),
+            "random" => Ok(Driver::Random { seed }),
+            "climb" => Ok(Driver::Climb { seed }),
+            other => Err(SweepError::invalid(
+                "driver",
+                format!("unknown driver `{other}` (known: exhaustive, random, climb)"),
+            )),
+        }
+    }
+}
+
+/// Batched, deduplicating, budget-capped evaluation of grid coordinates.
+pub struct Explorer<'a> {
+    engine: &'a Engine,
+    grid: &'static DseGrid,
+    space: &'a ObjectiveSpace,
+    budget: usize,
+    points: Vec<EvaluatedPoint>,
+    by_design: HashMap<String, usize>,
+    cells: usize,
+    hits: usize,
+    misses: usize,
+    elapsed_ms: u64,
+}
+
+/// Canonical identity of a normalized design point. The display label is
+/// lossy (activity rounds to whole percent), so deduplication keys on the
+/// serialized point instead.
+fn design_key(design: &DesignPoint) -> String {
+    serde_json::to_string(design).expect("design serialization is infallible")
+}
+
+impl<'a> Explorer<'a> {
+    /// Creates an explorer with a budget on *distinct designs evaluated*.
+    pub fn new(
+        engine: &'a Engine,
+        grid: &'static DseGrid,
+        space: &'a ObjectiveSpace,
+        budget: usize,
+    ) -> Self {
+        Self {
+            engine,
+            grid,
+            space,
+            budget,
+            points: Vec::new(),
+            by_design: HashMap::new(),
+            cells: 0,
+            hits: 0,
+            misses: 0,
+            elapsed_ms: 0,
+        }
+    }
+
+    /// Distinct designs evaluated so far.
+    pub fn evaluated(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the budget still admits a new design.
+    pub fn budget_left(&self) -> bool {
+        self.points.len() < self.budget
+    }
+
+    /// The evaluated point at the given coordinates, if any.
+    pub fn lookup(&self, coords: [usize; DSE_AXES]) -> Option<&EvaluatedPoint> {
+        let key = design_key(&self.grid.design_at(coords));
+        self.by_design.get(&key).map(|&i| &self.points[i])
+    }
+
+    /// Evaluates a batch of coordinates through one engine run, skipping
+    /// designs already evaluated (distinct coordinates can normalize to
+    /// one design; it is evaluated once) and truncating to the remaining
+    /// budget. Returns indices into the evaluation-order point list.
+    pub fn evaluate(&mut self, batch: &[[usize; DSE_AXES]]) -> Result<Vec<usize>, SweepError> {
+        // Select the fresh designs first so one engine run covers them.
+        let mut fresh: Vec<(String, DesignPoint, [usize; DSE_AXES])> = Vec::new();
+        for &coords in batch {
+            if self.points.len() + fresh.len() >= self.budget {
+                break;
+            }
+            let design = self.grid.design_at(coords);
+            let key = design_key(&design);
+            if self.by_design.contains_key(&key) || fresh.iter().any(|(k, _, _)| *k == key) {
+                continue;
+            }
+            fresh.push((key, design, coords));
+        }
+        if fresh.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        let per_design = yoco_sweep::DSE_WORKLOADS.len();
+        let scenarios: Vec<Scenario> = fresh
+            .iter()
+            .flat_map(|(_, design, _)| self.grid.scenarios_for(*design))
+            .collect();
+        let report = self.engine.run(&scenarios);
+        self.cells += report.cells.len();
+        self.hits += report.hits;
+        self.misses += report.misses;
+        self.elapsed_ms += report.elapsed_ms;
+
+        let mut indices = Vec::with_capacity(fresh.len());
+        for (d, (key, design, coords)) in fresh.into_iter().enumerate() {
+            let mut total = LayerCost::default();
+            for cell in &report.cells[d * per_design..(d + 1) * per_design] {
+                if let Some(e) = &cell.error {
+                    return Err(e.clone());
+                }
+                let gemm = cell
+                    .metrics
+                    .as_ref()
+                    .and_then(Metrics::as_gemm)
+                    .ok_or_else(|| {
+                        SweepError::schema(
+                            format!("cell {}", cell.scenario.id),
+                            "DSE cells are GEMM cells",
+                        )
+                    })?;
+                total.accumulate(gemm.total);
+            }
+            let area_mm2 = YocoChip::new(design.resolve()?).area_mm2();
+            let metrics = PointMetrics {
+                tops: total.tops(),
+                tops_per_watt: total.tops_per_watt(),
+                energy_pj: total.energy_pj,
+                latency_ns: total.latency_ns,
+                power_w: total.avg_power_w(),
+                area_mm2,
+            };
+            let objectives = self.space.vector(&metrics);
+            let index = self.points.len();
+            self.by_design.insert(key, index);
+            self.points.push(EvaluatedPoint {
+                label: design.label(),
+                design,
+                coords,
+                metrics,
+                objectives,
+            });
+            indices.push(index);
+        }
+        Ok(indices)
+    }
+
+    fn finish(self) -> Exploration {
+        Exploration {
+            points: self.points,
+            cells: self.cells,
+            hits: self.hits,
+            misses: self.misses,
+            elapsed_ms: self.elapsed_ms,
+        }
+    }
+}
+
+/// Runs a driver over a grid and returns the evaluated points.
+///
+/// `budget` caps the number of distinct designs evaluated; pass
+/// `usize::MAX` (or the grid size) for a full sweep. The result is a pure
+/// function of `(grid, space, driver, budget)` — cold and warm runs
+/// produce identical point lists, which is what makes the downstream
+/// report canonical.
+pub fn explore(
+    engine: &Engine,
+    grid: &'static DseGrid,
+    space: &ObjectiveSpace,
+    driver: Driver,
+    budget: usize,
+) -> Result<Exploration, SweepError> {
+    if budget == 0 {
+        return Err(SweepError::invalid("budget", "must be at least 1"));
+    }
+    let mut explorer = Explorer::new(engine, grid, space, budget);
+    match driver {
+        Driver::Exhaustive => {
+            let all: Vec<[usize; DSE_AXES]> = (0..grid.total_designs())
+                .map(|i| grid.coords_of(i))
+                .collect();
+            explorer.evaluate(&all)?;
+        }
+        Driver::Random { seed } => {
+            let total = grid.total_designs();
+            if budget >= total {
+                let all: Vec<[usize; DSE_AXES]> = (0..total).map(|i| grid.coords_of(i)).collect();
+                explorer.evaluate(&all)?;
+            } else {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut picked: Vec<usize> = Vec::new();
+                while picked.len() < budget {
+                    let i = rng.gen_range(0..total);
+                    if !picked.contains(&i) {
+                        picked.push(i);
+                    }
+                }
+                let coords: Vec<[usize; DSE_AXES]> =
+                    picked.into_iter().map(|i| grid.coords_of(i)).collect();
+                explorer.evaluate(&coords)?;
+            }
+        }
+        Driver::Climb { seed } => {
+            climb(&mut explorer, grid, space, seed)?;
+        }
+    }
+    Ok(explorer.finish())
+}
+
+/// Coordinate-descent hill climbing: evaluate the start, batch-evaluate
+/// all ±1 neighbors per axis, move to the best strictly-improving
+/// neighbor by [`ObjectiveSpace::log_score`], repeat; on convergence,
+/// restart from a seeded random unevaluated point while budget remains.
+/// Cache-hit awareness comes for free: revisited designs are deduplicated
+/// in memory and their cells are hits on disk, so repeated runs converge
+/// without recomputing anything.
+fn climb(
+    explorer: &mut Explorer<'_>,
+    grid: &'static DseGrid,
+    space: &ObjectiveSpace,
+    seed: u64,
+) -> Result<(), SweepError> {
+    let lens = grid.axis_lens();
+    let total = grid.total_designs();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Start at the paper point's coordinates where the grid contains
+    // them, axis origin otherwise.
+    let paper = yoco::YocoConfig::paper_default();
+    let paper_axis =
+        |values: &[usize], target: usize| values.iter().position(|&v| v == target).unwrap_or(0);
+    let mut current = [
+        paper_axis(grid.tiles, paper.tiles),
+        paper_axis(grid.ima_stack, paper.ima_stack),
+        paper_axis(grid.ima_width, paper.ima_width),
+        grid.ima_mix
+            .iter()
+            .position(|&m| m == (paper.dimas_per_tile, paper.simas_per_tile))
+            .unwrap_or(0),
+        grid.activity
+            .iter()
+            .position(|&a| a == paper.activity)
+            .unwrap_or(0),
+    ];
+
+    explorer.evaluate(&[current])?;
+    // A `None` lookup means the budget ran out before the current point
+    // could be evaluated — the climb is over.
+    while let Some(current_score) = explorer
+        .lookup(current)
+        .map(|p| space.log_score(&p.objectives))
+    {
+        let mut neighbors: Vec<[usize; DSE_AXES]> = Vec::new();
+        for axis in 0..DSE_AXES {
+            if lens[axis] < 2 {
+                continue;
+            }
+            for step in [-1isize, 1] {
+                let i = current[axis] as isize + step;
+                if i >= 0 && (i as usize) < lens[axis] {
+                    let mut n = current;
+                    n[axis] = i as usize;
+                    neighbors.push(n);
+                }
+            }
+        }
+        explorer.evaluate(&neighbors)?;
+        let best = neighbors
+            .iter()
+            .filter_map(|&n| {
+                explorer
+                    .lookup(n)
+                    .map(|p| (n, space.log_score(&p.objectives)))
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        match best {
+            Some((n, score)) if score > current_score => current = n,
+            _ => {
+                // Converged. Restart from a random unevaluated point if
+                // any budget and any unevaluated design remain — sampled
+                // from the unevaluated set exactly, so a restart happens
+                // whenever one exists (distinct coordinates can alias to
+                // one design, so count via `lookup`, not `evaluated()`).
+                if !explorer.budget_left() {
+                    break;
+                }
+                let unevaluated: Vec<[usize; DSE_AXES]> = (0..total)
+                    .map(|i| grid.coords_of(i))
+                    .filter(|&c| explorer.lookup(c).is_none())
+                    .collect();
+                if unevaluated.is_empty() {
+                    break;
+                }
+                let candidate = unevaluated[rng.gen_range(0..unevaluated.len())];
+                explorer.evaluate(&[candidate])?;
+                current = candidate;
+            }
+        }
+        if !explorer.budget_left() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_names_round_trip() {
+        for (name, driver) in [
+            ("exhaustive", Driver::Exhaustive),
+            ("random", Driver::Random { seed: 7 }),
+            ("climb", Driver::Climb { seed: 7 }),
+        ] {
+            assert_eq!(Driver::parse(name, 7).unwrap(), driver);
+            assert_eq!(driver.name(), name);
+        }
+        assert!(Driver::parse("anneal", 0).is_err());
+    }
+}

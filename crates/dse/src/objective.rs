@@ -1,0 +1,265 @@
+//! Multi-objective vectors over evaluated design points.
+//!
+//! An [`ObjectiveSpace`] names which axes of a [`PointMetrics`] record
+//! matter and in which direction, turning typed engine payloads into the
+//! comparable vectors the Pareto assembly and the search drivers consume.
+//! No JSON trees are involved anywhere: metrics arrive as
+//! [`yoco_sweep::Metrics`] and leave as `f64` vectors.
+
+use serde::{Deserialize, Serialize};
+use yoco_sweep::SweepError;
+
+/// The full metric record of one evaluated design point, aggregated over
+/// the DSE workload set (energies/latencies/ops sum across workloads, so
+/// TOPS and TOPS/W are workload-set totals, not per-model means).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointMetrics {
+    /// Throughput over the workload set, TOPS.
+    pub tops: f64,
+    /// Energy efficiency over the workload set, TOPS/W.
+    pub tops_per_watt: f64,
+    /// Total energy, pJ.
+    pub energy_pj: f64,
+    /// Total latency, ns.
+    pub latency_ns: f64,
+    /// Average dynamic power over the makespan, W.
+    pub power_w: f64,
+    /// Chip area of the design point, mm².
+    pub area_mm2: f64,
+}
+
+/// One optimization axis: which metric, and implicitly which direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Throughput (maximize), TOPS.
+    Tops,
+    /// Energy efficiency (maximize), TOPS/W.
+    TopsPerWatt,
+    /// Total energy (minimize), pJ.
+    Energy,
+    /// Total latency (minimize), ns.
+    Latency,
+    /// Average power (minimize), W.
+    Power,
+    /// Chip area (minimize), mm².
+    Area,
+}
+
+impl Objective {
+    /// Every objective, in display order.
+    pub const ALL: [Objective; 6] = [
+        Objective::Tops,
+        Objective::TopsPerWatt,
+        Objective::Energy,
+        Objective::Latency,
+        Objective::Power,
+        Objective::Area,
+    ];
+
+    /// CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Tops => "tops",
+            Objective::TopsPerWatt => "tops-per-watt",
+            Objective::Energy => "energy",
+            Objective::Latency => "latency",
+            Objective::Power => "power",
+            Objective::Area => "area",
+        }
+    }
+
+    /// Display unit.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Objective::Tops => "TOPS",
+            Objective::TopsPerWatt => "TOPS/W",
+            Objective::Energy => "pJ",
+            Objective::Latency => "ns",
+            Objective::Power => "W",
+            Objective::Area => "mm2",
+        }
+    }
+
+    /// Whether bigger is better on this axis.
+    pub fn maximize(self) -> bool {
+        matches!(self, Objective::Tops | Objective::TopsPerWatt)
+    }
+
+    /// Parses a CLI/report name back.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.name() == name)
+    }
+
+    /// Reads this axis out of a metric record.
+    pub fn extract(self, m: &PointMetrics) -> f64 {
+        match self {
+            Objective::Tops => m.tops,
+            Objective::TopsPerWatt => m.tops_per_watt,
+            Objective::Energy => m.energy_pj,
+            Objective::Latency => m.latency_ns,
+            Objective::Power => m.power_w,
+            Objective::Area => m.area_mm2,
+        }
+    }
+}
+
+/// An ordered, duplicate-free set of objectives with dominance and a
+/// deterministic scalarization for hill climbing and sensitivity tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveSpace {
+    objectives: Vec<Objective>,
+}
+
+impl ObjectiveSpace {
+    /// Builds a space, rejecting empty or duplicated axis lists.
+    pub fn new(objectives: Vec<Objective>) -> Result<Self, SweepError> {
+        if objectives.is_empty() {
+            return Err(SweepError::invalid(
+                "objectives",
+                "at least one objective is required",
+            ));
+        }
+        for (i, o) in objectives.iter().enumerate() {
+            if objectives[..i].contains(o) {
+                return Err(SweepError::invalid(
+                    "objectives",
+                    format!("duplicate objective `{}`", o.name()),
+                ));
+            }
+        }
+        Ok(Self { objectives })
+    }
+
+    /// The paper's two headline axes: TOPS and TOPS/W, both maximized.
+    pub fn headline() -> Self {
+        Self {
+            objectives: vec![Objective::Tops, Objective::TopsPerWatt],
+        }
+    }
+
+    /// Parses a comma-separated list like `tops,tops-per-watt,area`.
+    pub fn parse(text: &str) -> Result<Self, SweepError> {
+        let objectives = text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                Objective::from_name(name).ok_or_else(|| {
+                    let known: Vec<&str> = Objective::ALL.iter().map(|o| o.name()).collect();
+                    SweepError::invalid(
+                        "objectives",
+                        format!("unknown objective `{name}` (known: {})", known.join(", ")),
+                    )
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(objectives)
+    }
+
+    /// The axes, in order.
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// The objective vector of a metric record, in axis order.
+    pub fn vector(&self, m: &PointMetrics) -> Vec<f64> {
+        self.objectives.iter().map(|o| o.extract(m)).collect()
+    }
+
+    /// Pareto dominance: `a` dominates `b` when it is no worse on every
+    /// axis and strictly better on at least one (axis direction applied).
+    pub fn dominates(&self, a: &[f64], b: &[f64]) -> bool {
+        debug_assert_eq!(a.len(), self.objectives.len());
+        debug_assert_eq!(b.len(), self.objectives.len());
+        let mut strictly_better = false;
+        for (i, o) in self.objectives.iter().enumerate() {
+            let (better, worse) = if o.maximize() {
+                (a[i] > b[i], a[i] < b[i])
+            } else {
+                (a[i] < b[i], a[i] > b[i])
+            };
+            if worse {
+                return false;
+            }
+            strictly_better |= better;
+        }
+        strictly_better
+    }
+
+    /// Deterministic scalarization: the sum of signed log-values
+    /// (maximize axes positive, minimize axes negative) — the log of a
+    /// geometric objective product, so it is scale-free per axis. Used by
+    /// the hill climber's move choice and the sensitivity table; the
+    /// Pareto front itself never goes through a scalarization.
+    pub fn log_score(&self, v: &[f64]) -> f64 {
+        debug_assert_eq!(v.len(), self.objectives.len());
+        self.objectives
+            .iter()
+            .zip(v)
+            .map(|(o, &x)| {
+                let ln = x.max(f64::MIN_POSITIVE).ln();
+                if o.maximize() {
+                    ln
+                } else {
+                    -ln
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(tops: f64, ee: f64, area: f64) -> PointMetrics {
+        PointMetrics {
+            tops,
+            tops_per_watt: ee,
+            energy_pj: 10.0,
+            latency_ns: 5.0,
+            power_w: 2.0,
+            area_mm2: area,
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let s = ObjectiveSpace::parse("tops, tops-per-watt,area").unwrap();
+        assert_eq!(
+            s.objectives(),
+            [Objective::Tops, Objective::TopsPerWatt, Objective::Area]
+        );
+        assert!(ObjectiveSpace::parse("").is_err());
+        assert!(ObjectiveSpace::parse("tops,tops").is_err());
+        assert!(ObjectiveSpace::parse("speed").is_err());
+        for o in Objective::ALL {
+            assert_eq!(Objective::from_name(o.name()), Some(o));
+        }
+    }
+
+    #[test]
+    fn dominance_respects_axis_direction() {
+        let s = ObjectiveSpace::parse("tops,area").unwrap();
+        let fast_small = s.vector(&metrics(10.0, 1.0, 5.0));
+        let slow_big = s.vector(&metrics(5.0, 1.0, 20.0));
+        let fast_big = s.vector(&metrics(10.0, 1.0, 20.0));
+        assert!(s.dominates(&fast_small, &slow_big));
+        assert!(s.dominates(&fast_small, &fast_big));
+        let slow_tiny = s.vector(&metrics(5.0, 1.0, 1.0));
+        assert!(!s.dominates(&slow_tiny, &fast_big), "trade-off: no winner");
+        assert!(!s.dominates(&fast_big, &slow_tiny), "trade-off: no winner");
+        assert!(
+            !s.dominates(&fast_small, &fast_small),
+            "never self-dominate"
+        );
+    }
+
+    #[test]
+    fn log_score_orders_like_the_objectives() {
+        let s = ObjectiveSpace::parse("tops,area").unwrap();
+        let better = s.log_score(&s.vector(&metrics(10.0, 1.0, 5.0)));
+        let worse = s.log_score(&s.vector(&metrics(5.0, 1.0, 20.0)));
+        assert!(better > worse);
+    }
+}

@@ -1,0 +1,103 @@
+//! Exact Pareto-front assembly over evaluated design points.
+
+use crate::explore::EvaluatedPoint;
+use crate::objective::ObjectiveSpace;
+
+/// Indices of the non-dominated points, sorted best-scalar-score first
+/// (ties broken by label so the order is total and deterministic), plus
+/// the dominated count. Exact: every pair is compared, no scalarization
+/// is involved in membership — only in the display order.
+pub fn pareto_front(space: &ObjectiveSpace, points: &[EvaluatedPoint]) -> (Vec<usize>, usize) {
+    let mut front: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, other)| {
+                j != i && space.dominates(&other.objectives, &points[i].objectives)
+            })
+        })
+        .collect();
+    front.sort_by(|&a, &b| {
+        space
+            .log_score(&points[b].objectives)
+            .total_cmp(&space.log_score(&points[a].objectives))
+            .then_with(|| points[a].label.cmp(&points[b].label))
+    });
+    let dominated = points.len() - front.len();
+    (front, dominated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::PointMetrics;
+    use yoco_sweep::DesignPoint;
+
+    fn point(label: &str, tops: f64, area: f64) -> EvaluatedPoint {
+        let metrics = PointMetrics {
+            tops,
+            tops_per_watt: 1.0,
+            energy_pj: 1.0,
+            latency_ns: 1.0,
+            power_w: 1.0,
+            area_mm2: area,
+        };
+        let space = ObjectiveSpace::parse("tops,area").unwrap();
+        EvaluatedPoint {
+            label: label.to_owned(),
+            design: DesignPoint::paper(),
+            coords: [0; yoco_sweep::DSE_AXES],
+            objectives: space.vector(&metrics),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn front_keeps_trade_offs_and_drops_dominated() {
+        let space = ObjectiveSpace::parse("tops,area").unwrap();
+        let points = vec![
+            point("fast-big", 10.0, 20.0),
+            point("slow-small", 2.0, 4.0),
+            point("dominated", 2.0, 21.0),
+            point("best", 12.0, 20.0),
+        ];
+        let (front, dominated) = pareto_front(&space, &points);
+        let labels: Vec<&str> = front.iter().map(|&i| points[i].label.as_str()).collect();
+        assert_eq!(dominated, 2);
+        assert!(labels.contains(&"best"));
+        assert!(labels.contains(&"slow-small"));
+        assert!(!labels.contains(&"fast-big"), "dominated by `best`");
+        // Mutual non-domination across the front.
+        for &a in &front {
+            for &b in &front {
+                assert!(
+                    !space.dominates(&points[a].objectives, &points[b].objectives)
+                        || points[a].objectives == points[b].objectives,
+                    "{} dominates {}",
+                    points[a].label,
+                    points[b].label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_objective_front_is_the_argmax() {
+        let space = ObjectiveSpace::parse("tops").unwrap();
+        let points = vec![
+            point("a", 1.0, 1.0),
+            point("b", 3.0, 1.0),
+            point("c", 2.0, 1.0),
+        ];
+        // Re-vector under the single-objective space.
+        let points: Vec<EvaluatedPoint> = points
+            .into_iter()
+            .map(|mut p| {
+                p.objectives = space.vector(&p.metrics);
+                p
+            })
+            .collect();
+        let (front, dominated) = pareto_front(&space, &points);
+        assert_eq!(front.len(), 1);
+        assert_eq!(points[front[0]].label, "b");
+        assert_eq!(dominated, 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! The deterministic [`DseReport`]: Pareto front, dominated count,
+//! per-knob sensitivity, canonical JSON, and a gnuplot/CSV-friendly dump.
+
+use crate::explore::{Driver, EvaluatedPoint, Exploration};
+use crate::objective::ObjectiveSpace;
+use crate::pareto::pareto_front;
+use serde::{Deserialize, Serialize};
+use yoco::YocoConfig;
+use yoco_sweep::{DesignPoint, DseGrid, SweepError};
+
+/// One evaluated design point as recorded in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DsePointRecord {
+    /// Display label (`t4-s8x8-m4+4-a50`).
+    pub label: String,
+    /// The normalized design point.
+    pub design: DesignPoint,
+    /// Full metric record.
+    pub metrics: crate::objective::PointMetrics,
+    /// Objective vector in the report's axis order.
+    pub objectives: Vec<f64>,
+    /// Whether the point sits on the Pareto front.
+    pub on_front: bool,
+}
+
+/// Geometric-mean scalar score of the evaluated points sharing one knob
+/// setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobSetting {
+    /// Display value of the setting (`"8"`, `"4+4"`, `"0.25"`).
+    pub value: String,
+    /// Geometric mean of the scalarized objective product.
+    pub geomean_score: f64,
+    /// Evaluated points at this setting.
+    pub points: usize,
+}
+
+/// Sensitivity of the objectives to one knob: the spread of the
+/// geometric-mean score across its explored settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnobSensitivity {
+    /// Knob name (`tiles`, `ima_stack`, `ima_width`, `ima_mix`,
+    /// `activity`).
+    pub knob: String,
+    /// Per-setting geometric means, in axis order.
+    pub settings: Vec<KnobSetting>,
+    /// Best-to-worst ratio of the setting geomeans (≥ 1; bigger means
+    /// the knob matters more under these objectives).
+    pub swing: f64,
+}
+
+/// The assembled outcome of one DSE run. Everything here is a pure
+/// function of `(grid, driver, objectives, budget)` — no timing, no
+/// cache-status fields — so [`DseReport::canonical_json`] is byte-stable
+/// across cold, warm, serial, and parallel runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseReport {
+    /// Grid name.
+    pub grid: String,
+    /// Driver name.
+    pub driver: String,
+    /// RNG seed (0 for the exhaustive driver, which takes none).
+    pub seed: u64,
+    /// Objective names, in axis order.
+    pub objectives: Vec<String>,
+    /// The evaluation budget the driver ran under.
+    pub budget: usize,
+    /// Every evaluated point, in deterministic evaluation order.
+    pub points: Vec<DsePointRecord>,
+    /// Labels of the Pareto-front members, best scalar score first.
+    pub front: Vec<String>,
+    /// Evaluated points dominated by some other evaluated point.
+    pub dominated: usize,
+    /// Per-knob sensitivity over the evaluated points.
+    pub sensitivity: Vec<KnobSensitivity>,
+}
+
+impl DseReport {
+    /// Assembles the report from an exploration.
+    pub fn assemble(
+        grid: &DseGrid,
+        driver: Driver,
+        seed: u64,
+        space: &ObjectiveSpace,
+        budget: usize,
+        exploration: &Exploration,
+    ) -> DseReport {
+        let (front_indices, dominated) = pareto_front(space, &exploration.points);
+        let on_front = |i: usize| front_indices.contains(&i);
+        let points: Vec<DsePointRecord> = exploration
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| DsePointRecord {
+                label: p.label.clone(),
+                design: p.design,
+                metrics: p.metrics,
+                objectives: p.objectives.clone(),
+                on_front: on_front(i),
+            })
+            .collect();
+        let front = front_indices
+            .iter()
+            .map(|&i| exploration.points[i].label.clone())
+            .collect();
+        DseReport {
+            grid: grid.name.to_owned(),
+            driver: driver.name().to_owned(),
+            seed,
+            objectives: space
+                .objectives()
+                .iter()
+                .map(|o| o.name().to_owned())
+                .collect(),
+            budget,
+            points,
+            front,
+            dominated,
+            sensitivity: sensitivity(grid, space, &exploration.points),
+        }
+    }
+
+    /// The report's Pareto-front records, best scalar score first.
+    pub fn front_records(&self) -> Vec<&DsePointRecord> {
+        self.front
+            .iter()
+            .filter_map(|label| self.points.iter().find(|p| p.label == *label))
+            .collect()
+    }
+
+    /// Canonical pretty JSON of the whole report.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Gnuplot/CSV-friendly dump: one row per evaluated point, resolved
+    /// knob values first, metrics next, front membership last.
+    pub fn csv(&self) -> Result<String, SweepError> {
+        let mut out = String::from(
+            "label,tiles,ima_stack,ima_width,dimas_per_tile,simas_per_tile,activity,\
+             tops,tops_per_watt,energy_pj,latency_ns,power_w,area_mm2,on_front\n",
+        );
+        for p in &self.points {
+            let c: YocoConfig = p.design.resolve()?;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                p.label,
+                c.tiles,
+                c.ima_stack,
+                c.ima_width,
+                c.dimas_per_tile,
+                c.simas_per_tile,
+                c.activity,
+                p.metrics.tops,
+                p.metrics.tops_per_watt,
+                p.metrics.energy_pj,
+                p.metrics.latency_ns,
+                p.metrics.power_w,
+                p.metrics.area_mm2,
+                if p.on_front { 1 } else { 0 }
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Per-knob sensitivity: for each axis the grid actually explores, the
+/// geometric-mean scalar score of the evaluated points at each setting
+/// (settings no search driver visited are skipped), and the best/worst
+/// ratio as the knob's swing.
+fn sensitivity(
+    grid: &DseGrid,
+    space: &ObjectiveSpace,
+    points: &[EvaluatedPoint],
+) -> Vec<KnobSensitivity> {
+    let axes: [(&str, usize, Vec<String>); 5] = [
+        (
+            "tiles",
+            0,
+            grid.tiles.iter().map(|v| v.to_string()).collect(),
+        ),
+        (
+            "ima_stack",
+            1,
+            grid.ima_stack.iter().map(|v| v.to_string()).collect(),
+        ),
+        (
+            "ima_width",
+            2,
+            grid.ima_width.iter().map(|v| v.to_string()).collect(),
+        ),
+        (
+            "ima_mix",
+            3,
+            grid.ima_mix
+                .iter()
+                .map(|(d, s)| format!("{d}+{s}"))
+                .collect(),
+        ),
+        (
+            "activity",
+            4,
+            grid.activity.iter().map(|v| v.to_string()).collect(),
+        ),
+    ];
+    let mut out = Vec::new();
+    for (knob, axis, values) in axes {
+        if values.len() < 2 {
+            continue;
+        }
+        let mut settings = Vec::new();
+        for (i, value) in values.iter().enumerate() {
+            let scores: Vec<f64> = points
+                .iter()
+                .filter(|p| p.coords[axis] == i)
+                .map(|p| space.log_score(&p.objectives))
+                .collect();
+            if scores.is_empty() {
+                continue;
+            }
+            let mean_log = scores.iter().sum::<f64>() / scores.len() as f64;
+            settings.push(KnobSetting {
+                value: value.clone(),
+                geomean_score: mean_log.exp(),
+                points: scores.len(),
+            });
+        }
+        if settings.len() < 2 {
+            continue;
+        }
+        let best = settings.iter().map(|s| s.geomean_score).fold(0.0, f64::max);
+        let worst = settings
+            .iter()
+            .map(|s| s.geomean_score)
+            .fold(f64::INFINITY, f64::min);
+        out.push(KnobSensitivity {
+            knob: knob.to_owned(),
+            settings,
+            swing: if worst > 0.0 {
+                best / worst
+            } else {
+                f64::INFINITY
+            },
+        });
+    }
+    out
+}

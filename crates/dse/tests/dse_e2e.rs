@@ -1,0 +1,210 @@
+//! End-to-end tests for the DSE subsystem: determinism (cold vs warm,
+//! byte-for-byte), Pareto-front validity, budget accounting, and driver
+//! behavior — all through the real engine and a scratch cache.
+
+use yoco_dse::{run_dse, Driver, ObjectiveSpace};
+use yoco_sweep::{DseGrid, Engine, ResultCache};
+
+fn scratch_engine(tag: &str) -> (Engine, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("yoco-dse-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = Engine::cached().with_cache(ResultCache::at(dir.clone()));
+    (engine, dir)
+}
+
+#[test]
+fn warm_rerun_is_byte_identical_and_all_hits() {
+    let (engine, dir) = scratch_engine("warm");
+    let grid = DseGrid::find("dse-tiles").unwrap();
+    let space = ObjectiveSpace::parse("tops,tops-per-watt").unwrap();
+
+    let (cold, cold_x) = run_dse(&engine, grid, &space, Driver::Exhaustive, 8).unwrap();
+    assert_eq!(cold_x.hits, 0, "scratch cache starts cold");
+    assert!(cold_x.misses > 0);
+
+    let (warm, warm_x) = run_dse(&engine, grid, &space, Driver::Exhaustive, 8).unwrap();
+    assert_eq!(warm_x.misses, 0, "second run must be 100% cache hits");
+    assert_eq!(warm_x.hits, cold_x.misses);
+    assert_eq!(cold.canonical_json(), warm.canonical_json());
+    assert_eq!(cold.csv().unwrap(), warm.csv().unwrap());
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn front_is_nonempty_and_mutually_nondominating() {
+    let grid = DseGrid::find("dse-tiles").unwrap();
+    let space = ObjectiveSpace::parse("tops,tops-per-watt").unwrap();
+    let (report, _) = run_dse(
+        &Engine::ephemeral().jobs(4),
+        grid,
+        &space,
+        Driver::Exhaustive,
+        usize::MAX,
+    )
+    .unwrap();
+    assert_eq!(report.points.len(), 5, "dse-tiles has 5 designs");
+    assert!(!report.front.is_empty());
+    assert_eq!(report.front.len() + report.dominated, report.points.len());
+
+    let front = report.front_records();
+    assert_eq!(front.len(), report.front.len());
+    for a in &front {
+        for b in &front {
+            assert!(
+                !space.dominates(&a.objectives, &b.objectives),
+                "{} dominates fellow front member {}",
+                a.label,
+                b.label
+            );
+        }
+    }
+    // Front members are marked, dominated points are not.
+    for p in &report.points {
+        assert_eq!(p.on_front, report.front.contains(&p.label), "{}", p.label);
+    }
+}
+
+#[test]
+fn no_front_member_is_dominated_by_any_evaluated_point() {
+    let grid = DseGrid::find("dse-ima-mix").unwrap();
+    let space = ObjectiveSpace::parse("tops,energy,area").unwrap();
+    let (report, _) = run_dse(
+        &Engine::ephemeral().jobs(4),
+        grid,
+        &space,
+        Driver::Exhaustive,
+        usize::MAX,
+    )
+    .unwrap();
+    for f in report.front_records() {
+        for p in &report.points {
+            assert!(
+                !space.dominates(&p.objectives, &f.objectives),
+                "{} dominates front member {}",
+                p.label,
+                f.label
+            );
+        }
+    }
+}
+
+#[test]
+fn budget_caps_distinct_designs_and_random_is_seed_deterministic() {
+    let grid = DseGrid::find("dse-stack").unwrap();
+    let space = ObjectiveSpace::parse("tops-per-watt").unwrap();
+    let engine = Engine::ephemeral().jobs(4);
+
+    let (a, _) = run_dse(&engine, grid, &space, Driver::Random { seed: 11 }, 3).unwrap();
+    assert_eq!(a.points.len(), 3);
+    let (b, _) = run_dse(&engine, grid, &space, Driver::Random { seed: 11 }, 3).unwrap();
+    assert_eq!(a.canonical_json(), b.canonical_json());
+
+    let (c, _) = run_dse(&engine, grid, &space, Driver::Random { seed: 12 }, 3).unwrap();
+    let a_labels: Vec<&str> = a.points.iter().map(|p| p.label.as_str()).collect();
+    let c_labels: Vec<&str> = c.points.iter().map(|p| p.label.as_str()).collect();
+    // Different seeds are allowed to coincide, but the 16-design grid
+    // makes that vanishingly unlikely; what matters is both are valid.
+    assert_eq!(c.points.len(), 3);
+    assert!(!a_labels.is_empty() && !c_labels.is_empty());
+}
+
+#[test]
+fn climber_finds_the_single_objective_optimum_of_a_1d_grid() {
+    // dse-tiles under pure throughput is monotone in the tile count, so
+    // coordinate descent must walk to the 16-tile end.
+    let grid = DseGrid::find("dse-tiles").unwrap();
+    let space = ObjectiveSpace::parse("tops").unwrap();
+    let engine = Engine::ephemeral();
+    let (exhaustive, _) = run_dse(&engine, grid, &space, Driver::Exhaustive, usize::MAX).unwrap();
+    let (climbed, _) =
+        run_dse(&engine, grid, &space, Driver::Climb { seed: 3 }, usize::MAX).unwrap();
+    assert_eq!(
+        exhaustive.front.first(),
+        climbed.front.first(),
+        "climber must reach the exhaustive optimum"
+    );
+}
+
+#[test]
+fn area_objective_monotonically_penalizes_tile_count() {
+    let grid = DseGrid::find("dse-tiles").unwrap();
+    let space = ObjectiveSpace::parse("tops,area").unwrap();
+    let (report, _) = run_dse(
+        &Engine::ephemeral().jobs(2),
+        grid,
+        &space,
+        Driver::Exhaustive,
+        usize::MAX,
+    )
+    .unwrap();
+    // Areas strictly increase along the tile axis…
+    let mut areas: Vec<f64> = report.points.iter().map(|p| p.metrics.area_mm2).collect();
+    let sorted = {
+        let mut s = areas.clone();
+        s.sort_by(f64::total_cmp);
+        s
+    };
+    assert_eq!(areas, sorted, "canonical order is ascending tiles");
+    areas.dedup_by(|a, b| a == b);
+    assert_eq!(areas.len(), 5, "every tile count has its own area");
+    // …and under tops-vs-area every design is a trade-off: all on front.
+    assert_eq!(report.front.len(), 5);
+    assert_eq!(report.dominated, 0);
+}
+
+#[test]
+fn sensitivity_reports_explored_knobs_only() {
+    let grid = DseGrid::find("dse-activity").unwrap();
+    let space = ObjectiveSpace::parse("tops,tops-per-watt").unwrap();
+    let (report, _) = run_dse(
+        &Engine::ephemeral().jobs(2),
+        grid,
+        &space,
+        Driver::Exhaustive,
+        usize::MAX,
+    )
+    .unwrap();
+    assert_eq!(report.sensitivity.len(), 1, "only the activity axis varies");
+    let k = &report.sensitivity[0];
+    assert_eq!(k.knob, "activity");
+    assert_eq!(k.settings.len(), 5);
+    assert!(k.swing >= 1.0);
+    for s in &k.settings {
+        assert_eq!(s.points, 1);
+        assert!(s.geomean_score > 0.0);
+    }
+}
+
+#[test]
+fn csv_dump_has_one_row_per_point_and_resolved_knobs() {
+    let grid = DseGrid::find("dse-ima-mix").unwrap();
+    let space = ObjectiveSpace::headline();
+    let (report, _) = run_dse(
+        &Engine::ephemeral().jobs(2),
+        grid,
+        &space,
+        Driver::Exhaustive,
+        usize::MAX,
+    )
+    .unwrap();
+    let csv = report.csv().unwrap();
+    let lines: Vec<&str> = csv.trim_end().lines().collect();
+    assert_eq!(lines.len(), 1 + report.points.len());
+    assert!(lines[0].starts_with("label,tiles,ima_stack"));
+    // The (4,4) mix is the paper point: resolved knobs, not blank Options.
+    let paper_row = lines
+        .iter()
+        .find(|l| l.starts_with("t4-s8x8-m4+4-a50"))
+        .expect("paper mix present");
+    assert!(paper_row.contains(",4,8,8,4,4,0.5,"), "{paper_row}");
+}
+
+#[test]
+fn evaluation_errors_surface_as_sweep_errors() {
+    // A zero budget is rejected up front.
+    let grid = DseGrid::find("dse-tiles").unwrap();
+    let space = ObjectiveSpace::headline();
+    let err = run_dse(&Engine::ephemeral(), grid, &space, Driver::Exhaustive, 0).unwrap_err();
+    assert_eq!(err.category(), "invalid-scenario");
+}

@@ -70,6 +70,12 @@ pub trait MemoryModel {
     /// Silicon area in square micrometres.
     fn area_um2(&self) -> f64;
 
+    /// Silicon area in square millimetres (the unit chip-level roll-ups
+    /// compose in, e.g. `YocoChip::area_mm2`).
+    fn area_mm2(&self) -> f64 {
+        self.area_um2() / 1e6
+    }
+
     /// Energy per bit of a *read*, in picojoules (convenience).
     fn read_energy_per_bit_pj(&self) -> f64 {
         self.read_cost(1).energy_pj

@@ -44,7 +44,7 @@ fn main() -> ExitCode {
 
 fn list() {
     println!("named grids:");
-    for (name, desc) in grids::NAMED {
+    for (name, desc) in grids::named() {
         println!("  {name:<22} {desc}");
     }
     println!("\nstudies (each also runs standalone):");

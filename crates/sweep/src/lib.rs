@@ -60,5 +60,6 @@ pub use api::{
 pub use cache::{CacheStats, GcBudget, GcOutcome, ResultCache};
 pub use engine::{CellResult, Engine, SweepReport};
 pub use eval::{AttentionMetrics, GemmMetrics};
+pub use grids::{DseGrid, GridSpec, DSE_AXES, DSE_GRIDS, DSE_WORKLOADS};
 pub use scenario::{AcceleratorKind, DesignPoint, Scenario, ScenarioKind, StudyId, WorkloadSpec};
 pub use studies::StudyMetrics;

@@ -100,6 +100,24 @@ impl DesignPoint {
         }
     }
 
+    /// Compact human-readable knob summary built from the *resolved*
+    /// values, e.g. the paper point is `t4-s8x8-m4+4-a50` (tiles,
+    /// stack×width, dimas+simas, activity %). Normalized-equal points
+    /// share a label; activity rounds to whole percent, which DSE axes
+    /// keep distinct.
+    pub fn label(&self) -> String {
+        let base = YocoConfig::paper_default();
+        format!(
+            "t{}-s{}x{}-m{}+{}-a{}",
+            self.tiles.unwrap_or(base.tiles),
+            self.ima_stack.unwrap_or(base.ima_stack),
+            self.ima_width.unwrap_or(base.ima_width),
+            self.dimas_per_tile.unwrap_or(base.dimas_per_tile),
+            self.simas_per_tile.unwrap_or(base.simas_per_tile),
+            (self.activity.unwrap_or(base.activity) * 100.0).round() as u32
+        )
+    }
+
     /// Resolves the overrides into a validated [`YocoConfig`].
     pub fn resolve(&self) -> Result<YocoConfig, SweepError> {
         let mut b = YocoConfig::builder();

@@ -1,0 +1,102 @@
+//! Property tests for [`DesignPoint`] normalization and cache-key
+//! stability: `normalized()` is idempotent, and spelling out paper
+//! defaults explicitly never forks the cache-key space.
+
+use proptest::prelude::*;
+use yoco::YocoConfig;
+use yoco_arch::workload::LayerKind;
+use yoco_sweep::{AcceleratorKind, DesignPoint, Scenario, WorkloadSpec};
+
+/// Design points mixing omitted knobs, explicit paper defaults, and real
+/// overrides on every axis.
+fn design_strategy() -> impl Strategy<Value = DesignPoint> {
+    let pick = |options: &'static [Option<usize>]| (0..options.len()).prop_map(move |i| options[i]);
+    (
+        pick(&[None, Some(8), Some(4), Some(16)]), // ima_stack (paper 8)
+        pick(&[None, Some(8), Some(2), Some(32)]), // ima_width (paper 8)
+        pick(&[None, Some(4), Some(2), Some(8)]),  // dimas (paper 4)
+        pick(&[None, Some(4), Some(0), Some(6)]),  // simas (paper 4)
+        pick(&[None, Some(4), Some(1), Some(12)]), // tiles (paper 4)
+        (0usize..4),                               // activity selector
+    )
+        .prop_map(
+            |(ima_stack, ima_width, dimas, simas, tiles, act)| DesignPoint {
+                ima_stack,
+                ima_width,
+                dimas_per_tile: dimas,
+                simas_per_tile: simas,
+                tiles,
+                activity: [None, Some(0.5), Some(0.25), Some(1.0)][act],
+            },
+        )
+}
+
+/// A fixed workload so two design points differ in key only by design.
+fn cell(design: DesignPoint) -> Scenario {
+    Scenario::gemm(
+        AcceleratorKind::Yoco,
+        design,
+        WorkloadSpec::Gemm {
+            name: "probe".into(),
+            m: 8,
+            k: 256,
+            n: 64,
+            kind: LayerKind::Linear,
+        },
+    )
+}
+
+/// Restates every omitted knob as its explicit paper-default value.
+fn restate_defaults(d: DesignPoint) -> DesignPoint {
+    let base = YocoConfig::paper_default();
+    DesignPoint {
+        ima_stack: Some(d.ima_stack.unwrap_or(base.ima_stack)),
+        ima_width: Some(d.ima_width.unwrap_or(base.ima_width)),
+        dimas_per_tile: Some(d.dimas_per_tile.unwrap_or(base.dimas_per_tile)),
+        simas_per_tile: Some(d.simas_per_tile.unwrap_or(base.simas_per_tile)),
+        tiles: Some(d.tiles.unwrap_or(base.tiles)),
+        activity: Some(d.activity.unwrap_or(base.activity)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn normalized_is_idempotent(design in design_strategy()) {
+        let once = design.normalized();
+        prop_assert_eq!(once.normalized(), once);
+    }
+
+    #[test]
+    fn explicit_default_restatements_share_the_cache_key(design in design_strategy()) {
+        let spelled_out = restate_defaults(design);
+        prop_assert_eq!(cell(design).cache_key(), cell(spelled_out).cache_key());
+        // Restating never changes what the design means.
+        prop_assert_eq!(design.normalized(), spelled_out.normalized());
+        prop_assert_eq!(design.is_paper(), spelled_out.is_paper());
+        prop_assert_eq!(design.label(), spelled_out.label());
+    }
+
+    #[test]
+    fn all_defaults_spelled_out_hash_like_the_paper_point(
+        // Any subset of knobs restated at the paper value...
+        mask in 0usize..64
+    ) {
+        let base = YocoConfig::paper_default();
+        let on = |bit: usize| mask & (1 << bit) != 0;
+        let design = DesignPoint {
+            ima_stack: on(0).then_some(base.ima_stack),
+            ima_width: on(1).then_some(base.ima_width),
+            dimas_per_tile: on(2).then_some(base.dimas_per_tile),
+            simas_per_tile: on(3).then_some(base.simas_per_tile),
+            tiles: on(4).then_some(base.tiles),
+            activity: on(5).then_some(base.activity),
+        };
+        // ...is the paper design point, with the paper cache key.
+        prop_assert!(design.is_paper());
+        prop_assert_eq!(design.normalized(), DesignPoint::paper());
+        prop_assert_eq!(
+            cell(design).cache_key(),
+            cell(DesignPoint::paper()).cache_key()
+        );
+    }
+}
