@@ -58,6 +58,13 @@ pub enum SweepError {
         /// Known alternatives, for the error message.
         known: String,
     },
+    /// The server's admission queue is full; nothing was evaluated.
+    /// Protocol-v1 clients receive this inside a request-level refusal,
+    /// v2 clients as a `Busy` frame.
+    Busy {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl SweepError {
@@ -111,6 +118,7 @@ impl SweepError {
             SweepError::CacheIo { .. } => "cache-io",
             SweepError::SchemaMismatch { .. } => "schema-mismatch",
             SweepError::UnknownGrid { .. } => "unknown-grid",
+            SweepError::Busy { .. } => "busy",
         }
     }
 }
@@ -135,6 +143,9 @@ impl fmt::Display for SweepError {
             }
             SweepError::UnknownGrid { name, known } => {
                 write!(f, "unknown grid `{name}` (try one of: {known})")
+            }
+            SweepError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
             }
         }
     }
@@ -167,6 +178,9 @@ mod tests {
             SweepError::UnknownGrid {
                 name: "nope".into(),
                 known: "fig8, fig10".into(),
+            },
+            SweepError::Busy {
+                retry_after_ms: 250,
             },
         ];
         let text = serde_json::to_string(&all).unwrap();

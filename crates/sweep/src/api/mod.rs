@@ -38,7 +38,7 @@ pub use error::SweepError;
 pub use metrics::Metrics;
 pub use wire::{
     handle_line, handle_request, CellOutcome, CellStatus, EvalRequest, EvalResponse, Request,
-    Response, API_VERSION,
+    Response, API_V1, API_V2, API_VERSION,
 };
 
 use crate::scenario::Scenario;

@@ -1,35 +1,56 @@
-//! The versioned wire format: [`EvalRequest`] in, [`EvalResponse`] out.
+//! The versioned wire format: [`EvalRequest`] in, response frames out.
 //!
-//! One evaluation exchange is one line of JSON each way (NDJSON), framed
-//! by the [`Request`]/[`Response`] envelopes so the protocol can carry
-//! health checks and shutdown next to evaluation batches:
+//! Every exchange is NDJSON: one [`Request`] line in, one or more
+//! [`Response`] frame lines out. The request's `version` field selects
+//! the exchange shape:
+//!
+//! * **v1 (buffered)** — one [`EvalResponse`] line once the whole batch
+//!   is done:
 //!
 //! ```text
 //! → {"Eval":{"version":1,"id":"r-1","scenarios":[...],"force":false}}
 //! ← {"Eval":{"version":1,"id":"r-1","cells":[...],"hits":2,"misses":1,"error":null}}
-//! → "Ping"
-//! ← "Pong"
-//! → "Shutdown"
-//! ← "Bye"
 //! ```
+//!
+//! * **v2 (streamed)** — an `Accepted` frame at admission, one `Cell`
+//!   frame per scenario *in completion order*, then a `Done` summary;
+//!   or a single `Busy` frame when the admission queue is full:
+//!
+//! ```text
+//! → {"Eval":{"version":2,"id":"r-2","scenarios":[...],"force":false}}
+//! ← {"Accepted":{"id":"r-2","position":0}}
+//! ← {"Cell":{"id":"study/table2", ...}}
+//! ← {"Cell":{"id":"study/fig9a", ...}}
+//! ← {"Done":{"id":"r-2","hits":0,"misses":2}}
+//! ```
+//!
+//! Control lines (`"Ping"`/`"Pong"`, `"Shutdown"`/`"Bye"`, `{"Error":…}`)
+//! are version-independent and byte-identical under both protocols.
 //!
 //! Responses deliberately exclude wall-clock timing: re-submitting the
 //! same request against a warm cache returns byte-identical bytes, which
 //! is what makes the protocol testable end-to-end.
 
 use crate::api::{Metrics, SweepError};
-use crate::engine::{Engine, SweepReport};
+use crate::engine::{CellResult, Engine, SweepReport};
 use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
 
-/// The wire-protocol schema version. Bump on any incompatible change to
-/// the envelopes, [`Scenario`], or [`Metrics`].
-pub const API_VERSION: u32 = 1;
+/// Protocol v1: buffered single-line exchanges.
+pub const API_V1: u32 = 1;
+/// Protocol v2: streamed `Accepted`/`Cell`/`Done` exchanges with
+/// admission control (`Busy`).
+pub const API_V2: u32 = 2;
+/// The newest wire-protocol schema version the server speaks. Bump on
+/// any incompatible change to the envelopes, [`Scenario`], or
+/// [`Metrics`].
+pub const API_VERSION: u32 = API_V2;
 
 /// A batch of scenarios to evaluate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalRequest {
-    /// Protocol version the client speaks; must equal [`API_VERSION`].
+    /// Protocol version the client speaks: [`API_V1`] for a buffered
+    /// single-response exchange, [`API_V2`] for a streamed one.
     pub version: u32,
     /// Client-chosen request id, echoed verbatim in the response.
     pub id: String,
@@ -40,13 +61,24 @@ pub struct EvalRequest {
 }
 
 impl EvalRequest {
-    /// A current-version request with caching enabled.
+    /// A protocol-v1 request with caching enabled: the conservative
+    /// default, answered by one buffered [`EvalResponse`] line.
     pub fn new(id: impl Into<String>, scenarios: Vec<Scenario>) -> Self {
         Self {
-            version: API_VERSION,
+            version: API_V1,
             id: id.into(),
             scenarios,
             force: false,
+        }
+    }
+
+    /// A protocol-v2 request: answered by a streamed
+    /// `Accepted` → `Cell`… → `Done` frame sequence (or one `Busy`
+    /// frame when the server's admission queue is full).
+    pub fn streaming(id: impl Into<String>, scenarios: Vec<Scenario>) -> Self {
+        Self {
+            version: API_V2,
+            ..Self::new(id, scenarios)
         }
     }
 }
@@ -77,10 +109,30 @@ pub struct CellOutcome {
     pub error: Option<SweepError>,
 }
 
+impl CellOutcome {
+    /// The wire form of one engine cell — the same mapping whether the
+    /// cell travels buffered inside an [`EvalResponse`] or streamed as a
+    /// `Cell` frame.
+    pub fn from_cell(cell: &CellResult) -> Self {
+        Self {
+            id: cell.scenario.id.clone(),
+            key: cell.key.clone(),
+            status: match (&cell.error, cell.cached) {
+                (Some(_), _) => CellStatus::Failed,
+                (None, true) => CellStatus::Hit,
+                (None, false) => CellStatus::Computed,
+            },
+            metrics: cell.metrics.clone(),
+            error: cell.error.clone(),
+        }
+    }
+}
+
 /// The response to an [`EvalRequest`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EvalResponse {
-    /// Protocol version of the server.
+    /// Protocol version of this response shape (always [`API_V1`] —
+    /// v2 exchanges stream frames instead of returning this envelope).
     pub version: u32,
     /// The request id, echoed.
     pub id: String,
@@ -98,25 +150,10 @@ pub struct EvalResponse {
 impl EvalResponse {
     /// Builds the response for a completed engine run.
     pub fn from_report(id: impl Into<String>, report: &SweepReport) -> Self {
-        let cells = report
-            .cells
-            .iter()
-            .map(|c| CellOutcome {
-                id: c.scenario.id.clone(),
-                key: c.key.clone(),
-                status: match (&c.error, c.cached) {
-                    (Some(_), _) => CellStatus::Failed,
-                    (None, true) => CellStatus::Hit,
-                    (None, false) => CellStatus::Computed,
-                },
-                metrics: c.metrics.clone(),
-                error: c.error.clone(),
-            })
-            .collect();
         Self {
-            version: API_VERSION,
+            version: API_V1,
             id: id.into(),
-            cells,
+            cells: report.cells.iter().map(CellOutcome::from_cell).collect(),
             hits: report.hits,
             misses: report.misses,
             error: None,
@@ -126,7 +163,7 @@ impl EvalResponse {
     /// A request-level refusal (nothing was evaluated).
     pub fn refusal(id: impl Into<String>, error: SweepError) -> Self {
         Self {
-            version: API_VERSION,
+            version: API_V1,
             id: id.into(),
             cells: Vec::new(),
             hits: 0,
@@ -153,11 +190,43 @@ pub enum Request {
     Shutdown,
 }
 
-/// One server line: the matching answer.
+/// One server line: a buffered v1 answer, a streamed v2 frame, or a
+/// version-independent control reply. Clients can decode every line the
+/// server will ever send as this one enum.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
-    /// The batch's outcome.
+    /// The buffered outcome of a protocol-v1 batch.
     Eval(EvalResponse),
+    /// v2: the request cleared admission control. `position` is the
+    /// number of requests already in flight when this one was admitted
+    /// (`0` = it runs alone).
+    Accepted {
+        /// The request id, echoed.
+        id: String,
+        /// In-flight requests ahead of this one at admission.
+        position: usize,
+    },
+    /// v2: one scenario finished; frames arrive in completion order.
+    Cell(CellOutcome),
+    /// v2: the batch is complete; no further frames follow for this
+    /// request.
+    Done {
+        /// The request id, echoed.
+        id: String,
+        /// Cells served from the cache.
+        hits: usize,
+        /// Cells computed (or failed) fresh.
+        misses: usize,
+    },
+    /// v2: the admission queue was full; nothing was evaluated. (v1
+    /// requests are refused with a [`SweepError::Busy`] inside an
+    /// [`EvalResponse`] instead.)
+    Busy {
+        /// The request id, echoed.
+        id: String,
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// Answer to [`Request::Ping`].
     Pong,
     /// Answer to [`Request::Shutdown`]; the server exits after sending.
@@ -166,21 +235,24 @@ pub enum Response {
     Error(SweepError),
 }
 
-/// Executes one decoded request against an engine — the server's whole
-/// dispatch, shared with in-process tests so the protocol's semantics
-/// are covered without a socket.
+/// Executes one decoded request against an engine, buffered — the
+/// protocol-v1 dispatch, shared with in-process tests so those
+/// semantics are covered without a socket. Requests of any other
+/// version (including v2, whose streamed frames need a
+/// [`crate::serve::Runtime`] sink) are refused with the id echoed.
 pub fn handle_request(request: Request, engine: &Engine) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::Shutdown => Response::Bye,
         Request::Eval(req) => {
-            if req.version != API_VERSION {
+            if req.version != API_V1 {
                 return Response::Eval(EvalResponse::refusal(
                     req.id,
                     SweepError::schema(
                         "request envelope",
                         format!(
-                            "client speaks version {}, server speaks {API_VERSION}",
+                            "client speaks version {}, this buffered endpoint speaks {API_V1} \
+                             (v2 streaming is served by the serve runtime)",
                             req.version
                         ),
                     ),
@@ -225,7 +297,7 @@ mod tests {
             panic!("expected an Eval response, got {resp:?}");
         };
         assert_eq!(resp.id, "r-1");
-        assert_eq!(resp.version, API_VERSION);
+        assert_eq!(resp.version, API_V1);
         assert!(resp.is_ok());
         assert_eq!(resp.cells.len(), 2);
         assert!(resp
@@ -240,16 +312,53 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_refused_with_the_id_echoed() {
-        let mut req = EvalRequest::new("r-2", vec![Scenario::study(StudyId::Fig9a)]);
-        req.version = 99;
-        let resp = handle_request(Request::Eval(req), &Engine::ephemeral());
-        let Response::Eval(resp) = resp else {
-            panic!("expected an Eval refusal, got {resp:?}");
-        };
-        assert_eq!(resp.id, "r-2");
-        assert!(resp.cells.is_empty());
-        assert!(!resp.is_ok());
-        assert_eq!(resp.error.unwrap().category(), "schema-mismatch");
+        for version in [99, API_V2] {
+            let mut req = EvalRequest::new("r-2", vec![Scenario::study(StudyId::Fig9a)]);
+            req.version = version;
+            let resp = handle_request(Request::Eval(req), &Engine::ephemeral());
+            let Response::Eval(resp) = resp else {
+                panic!("expected an Eval refusal, got {resp:?}");
+            };
+            assert_eq!(resp.id, "r-2");
+            assert!(resp.cells.is_empty());
+            assert!(!resp.is_ok());
+            assert_eq!(resp.error.unwrap().category(), "schema-mismatch");
+        }
+    }
+
+    #[test]
+    fn streaming_constructor_speaks_v2_and_v2_frames_round_trip() {
+        let req = EvalRequest::streaming("r-s", vec![Scenario::study(StudyId::Fig9a)]);
+        assert_eq!(req.version, API_V2);
+        assert_eq!(API_VERSION, API_V2);
+
+        let frames = vec![
+            Response::Accepted {
+                id: "r-s".into(),
+                position: 1,
+            },
+            Response::Cell(CellOutcome {
+                id: "study/fig9a".into(),
+                key: "0123456789abcdef".into(),
+                status: CellStatus::Computed,
+                metrics: None,
+                error: None,
+            }),
+            Response::Done {
+                id: "r-s".into(),
+                hits: 0,
+                misses: 1,
+            },
+            Response::Busy {
+                id: "r-s".into(),
+                retry_after_ms: 500,
+            },
+        ];
+        for frame in frames {
+            let text = serde_json::to_string(&frame).unwrap();
+            let back: Response = serde_json::from_str(&text).unwrap();
+            assert_eq!(frame, back);
+        }
     }
 
     #[test]

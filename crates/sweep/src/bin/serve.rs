@@ -1,20 +1,24 @@
 //! `yoco-serve` — the long-running service frontend of the sweep engine.
 //!
-//! Speaks the versioned NDJSON protocol of [`yoco_sweep::api`] over TCP:
-//! each client line is one [`Request`], each server line the matching
-//! [`Response`]. Cache hits are served instantly; misses run through the
-//! same parallel executor the CLI uses, against the same shared
-//! content-addressed cache — so a warm re-submission of any batch is
-//! 100 % hits and byte-identical bytes.
+//! Speaks the versioned NDJSON protocol of [`yoco_sweep::api`] over TCP
+//! through the shared [`yoco_sweep::serve::Runtime`]: one engine + cache
+//! for every connection, a bounded admission queue (`--queue-depth`), a
+//! worker budget split across in-flight requests (`--jobs`), and
+//! streamed protocol-v2 responses. Cache hits are served instantly; a
+//! warm re-submission of any batch is 100 % hits and byte-identical
+//! bytes.
 //!
 //! ```text
-//! yoco-serve [--addr HOST:PORT] [--jobs N] [--no-cache] [--cache-dir PATH] [--quiet]
+//! yoco-serve [--addr HOST:PORT] [--queue-depth N] [--jobs N]
+//!            [--no-cache] [--cache-dir PATH] [--quiet]
 //! ```
 //!
-//! The bound address is printed as the first stdout line
-//! (`yoco-serve listening on 127.0.0.1:PORT`), so callers may bind port
-//! `0` and parse the ephemeral port. A `"Shutdown"` request answers
-//! `"Bye"` and exits the process with status 0.
+//! The bound address is printed as the first stdout line — the ready
+//! line — (`yoco-serve listening on 127.0.0.1:PORT`), so callers bind
+//! port `0`, wait for the line, and parse the ephemeral port instead of
+//! sleeping. A `"Shutdown"` request answers `"Bye"`, stops accepting,
+//! drains in-flight work (streamed responses finish their frames), and
+//! exits 0.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -22,14 +26,17 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use yoco_sweep::api::{handle_line, Response};
+use yoco_sweep::serve::{LineSink, Runtime, ServeConfig, Served};
 use yoco_sweep::{Engine, ResultCache};
 
 fn usage() -> &'static str {
     "usage:\n  \
-     yoco-serve [--addr HOST:PORT] [--jobs N] [--no-cache] [--cache-dir PATH] [--quiet]\n\n\
-     protocol: one JSON Request per line in, one JSON Response per line out\n  \
-     {\"Eval\": {\"version\": 1, \"id\": \"r-1\", \"scenarios\": [...], \"force\": false}}\n  \
+     yoco-serve [--addr HOST:PORT] [--queue-depth N] [--jobs N]\n             \
+     [--no-cache] [--cache-dir PATH] [--quiet]\n\n\
+     protocol: one JSON Request per line in, one or more JSON frames per line out\n  \
+     {\"Eval\": {\"version\": 1, ...}}  -> one buffered EvalResponse line\n  \
+     {\"Eval\": {\"version\": 2, ...}}  -> Accepted, Cell... (completion order), Done\n                                     \
+     (or Busy when --queue-depth is exceeded)\n  \
      \"Ping\" | \"Shutdown\""
 }
 
@@ -37,6 +44,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7177".to_owned();
     let mut engine = Engine::cached();
+    let mut config = ServeConfig::default();
     let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
@@ -51,8 +59,17 @@ fn main() -> ExitCode {
             "--jobs" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
-                    Some(n) if n > 0 => engine = engine.jobs(n),
+                    Some(n) if n > 0 => config.jobs = n,
                     _ => return fail("--jobs needs a positive integer"),
+                }
+            }
+            "--queue-depth" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => config.queue_depth = n,
+                    None => return fail(
+                        "--queue-depth needs a non-negative integer (0 rejects every evaluation)",
+                    ),
                 }
             }
             "--cache-dir" => {
@@ -78,13 +95,18 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("cannot read bound address: {e}")),
     };
     println!("yoco-serve listening on {local}");
-    if let Some(cache) = engine.cache() {
-        if !quiet {
+    if !quiet {
+        if let Some(cache) = engine.cache() {
             println!("cache: {}", cache.dir().display());
         }
+        println!(
+            "queue depth {}, jobs budget {}",
+            config.queue_depth, config.jobs
+        );
     }
     let _ = std::io::stdout().flush();
 
+    let runtime = Arc::new(Runtime::new(engine, config));
     let shutdown = Arc::new(AtomicBool::new(false));
     let in_flight = Arc::new(AtomicUsize::new(0));
     for stream in listener.incoming() {
@@ -98,11 +120,12 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let engine = engine.clone();
+        let runtime = Arc::clone(&runtime);
         let shutdown = Arc::clone(&shutdown);
         let in_flight = Arc::clone(&in_flight);
         std::thread::spawn(move || {
-            if let Err(e) = serve_connection(stream, &engine, &shutdown, &in_flight, local, quiet) {
+            if let Err(e) = serve_connection(stream, &runtime, &shutdown, &in_flight, local, quiet)
+            {
                 eprintln!("warning: connection error: {e}");
             }
         });
@@ -130,14 +153,15 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Handles one client connection: request lines in, response lines out.
-/// Every request holds `in_flight` from decode to flushed response, so
-/// shutdown can drain active work. On `Shutdown`, flips the flag and
+/// Handles one client connection: request lines in, response frames out
+/// through the shared runtime. Every request holds `in_flight` from
+/// decode to flushed response, so shutdown can drain active work
+/// (including streams mid-flight). On `Shutdown`, flips the flag and
 /// pokes the acceptor awake with a loopback connection so the process
 /// can exit.
 fn serve_connection(
-    mut stream: TcpStream,
-    engine: &Engine,
+    stream: TcpStream,
+    runtime: &Runtime,
     shutdown: &AtomicBool,
     in_flight: &AtomicUsize,
     local: std::net::SocketAddr,
@@ -147,41 +171,27 @@ fn serve_connection(
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "<unknown>".into());
+    // Streamed Cell frames are written from engine worker threads while
+    // the request holds an admission slot; a client that stops reading
+    // must time out (surfacing as a sink error that ends the stream)
+    // rather than blocking a worker — and the slot — forever.
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
     let reader = BufReader::new(stream.try_clone()?);
+    let mut sink = LineSink::new(stream);
     for line in reader.lines() {
         let line = line?;
-        in_flight.fetch_add(1, Ordering::SeqCst);
         if line.trim().is_empty() {
-            in_flight.fetch_sub(1, Ordering::SeqCst);
             continue;
         }
-        let result: std::io::Result<Response> = (|| {
-            let response = handle_line(&line, engine);
-            let text = serde_json::to_string(&response)
-                .map_err(|e| std::io::Error::other(e.to_string()))?;
-            writeln!(stream, "{text}")?;
-            stream.flush()?;
-            Ok(response)
-        })();
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        let served = runtime.handle_line(&line, &mut sink);
         in_flight.fetch_sub(1, Ordering::SeqCst);
-        let response = result?;
+        let served = served?;
         if !quiet {
-            let label = match &response {
-                Response::Eval(r) => format!(
-                    "eval {}: {} cells, {} hits, {} misses",
-                    r.id,
-                    r.cells.len(),
-                    r.hits,
-                    r.misses
-                ),
-                Response::Pong => "ping".into(),
-                Response::Bye => "shutdown".into(),
-                Response::Error(e) => format!("bad request: {e}"),
-            };
-            println!("[{peer}] {label}");
+            println!("[{peer}] {}", served.label());
             let _ = std::io::stdout().flush();
         }
-        if matches!(response, Response::Bye) {
+        if served == Served::Shutdown {
             shutdown.store(true, Ordering::SeqCst);
             // Unblock the accept loop; the flag makes it exit.
             let _ = TcpStream::connect(local);

@@ -10,11 +10,25 @@
 //! sweep run fig8 --report out.json    # write the canonical report JSON
 //! sweep cache stats|clear             # inspect / clear results/cache
 //! sweep cache gc --max-age-days 30 --max-bytes 64m
+//! sweep client ping                   # liveness check against yoco-serve
+//! sweep client run fig8               # evaluate on a server, streamed (v2)
+//! sweep client run fig8 --v1 --raw    # buffered v1 exchange, raw NDJSON out
+//! sweep client bench fig8 --requests 64 --out results/serve_bench.json
+//! sweep client shutdown               # drain and stop the server
 //! ```
 
+use serde::Serialize;
 use std::process::ExitCode;
-use std::time::Duration;
-use yoco_sweep::{grids, root, Engine, GcBudget, ResultCache, Scenario, Shard, StudyId};
+use std::time::{Duration, Instant};
+use yoco_sweep::api::{CellStatus, EvalRequest, Response};
+use yoco_sweep::{
+    grids, root, Engine, GcBudget, ResultCache, Scenario, ServeClient, Shard, StreamOutcome,
+    StudyId,
+};
+
+/// Exit code of `sweep client` when the server answers `Busy`: distinct
+/// from evaluation failures (1) so scripts can back off and retry.
+const EXIT_BUSY: u8 = 3;
 
 fn usage() -> &'static str {
     "usage:\n  \
@@ -22,8 +36,13 @@ fn usage() -> &'static str {
      sweep run <grid>|--file <path> [--jobs N] [--serial] [--no-cache] [--force]\n           \
      [--shard i/n] [--report <path>] [--quiet]\n  \
      sweep cache stats|clear\n  \
-     sweep cache gc [--max-age-days D] [--max-bytes N[k|m|g]]\n\n\
-     run `sweep list` for the available grids"
+     sweep cache gc [--max-age-days D] [--max-bytes N[k|m|g]]\n  \
+     sweep client ping|shutdown [--addr HOST:PORT]\n  \
+     sweep client run <grid>|--file <path> [--addr HOST:PORT] [--v1] [--force]\n               \
+     [--id ID] [--raw] [--quiet]\n  \
+     sweep client bench <grid> [--addr HOST:PORT] [--requests N] [--out <path>]\n\n\
+     run `sweep list` for the available grids; `client` exits 3 when the\n  \
+     server rejects the request with Busy"
 }
 
 fn main() -> ExitCode {
@@ -35,6 +54,7 @@ fn main() -> ExitCode {
         }
         Some("run") => run(&args[1..]),
         Some("cache") => cache_cmd(&args[1..]),
+        Some("client") => client_cmd(&args[1..]),
         _ => {
             eprintln!("{}", usage());
             ExitCode::FAILURE
@@ -113,23 +133,9 @@ fn run(args: &[String]) -> ExitCode {
         i += 1;
     }
 
-    let scenarios: Vec<Scenario> = match (grid_name, file) {
-        (Some(_), Some(_)) => return fail("pass a grid name or --file, not both"),
-        (Some(name), None) => match grids::resolve(name) {
-            Ok(s) => s,
-            Err(e) => return fail(&e.to_string()),
-        },
-        (None, Some(path)) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => return fail(&format!("cannot read {path}: {e}")),
-            };
-            match serde_json::from_str(&text) {
-                Ok(s) => s,
-                Err(e) => return fail(&format!("cannot parse {path}: {e}")),
-            }
-        }
-        (None, None) => return fail("nothing to run — pass a grid name or --file"),
+    let scenarios = match load_scenarios(grid_name, file) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
     };
 
     let scenarios = match shard {
@@ -174,6 +180,21 @@ fn run(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Resolves the shared `<grid> | --file <path>` scenario source of
+/// `sweep run` and `sweep client run`.
+fn load_scenarios(grid_name: Option<&str>, file: Option<&str>) -> Result<Vec<Scenario>, String> {
+    match (grid_name, file) {
+        (Some(_), Some(_)) => Err("pass a grid name or --file, not both".into()),
+        (Some(name), None) => grids::resolve(name).map_err(|e| e.to_string()),
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+        }
+        (None, None) => Err("nothing to run — pass a grid name or --file".into()),
     }
 }
 
@@ -261,6 +282,353 @@ fn cache_cmd(args: &[String]) -> ExitCode {
             }
         }
         Some(other) => fail(&format!("unknown cache subcommand `{other}`")),
+    }
+}
+
+/// Default server address, matching `yoco-serve`'s default bind.
+const DEFAULT_ADDR: &str = "127.0.0.1:7177";
+
+/// Pulls `--addr HOST:PORT` out of a flag list, returning the remainder.
+fn take_addr(args: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--addr" {
+            i += 1;
+            match args.get(i) {
+                Some(a) => addr = a.clone(),
+                None => return Err("--addr needs HOST:PORT".into()),
+            }
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    Ok((addr, rest))
+}
+
+fn connect(addr: &str) -> Result<ServeClient, String> {
+    let mut client =
+        ServeClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    Ok(client)
+}
+
+/// `sweep client …` — drive a running `yoco-serve` over the versioned
+/// NDJSON protocol (v2 streamed by default, `--v1` for the buffered
+/// compatibility path).
+fn client_cmd(args: &[String]) -> ExitCode {
+    let action = args.first().map(String::as_str);
+    let (addr, rest) = match take_addr(args.get(1..).unwrap_or(&[])) {
+        Ok(pair) => pair,
+        Err(e) => return fail(&e),
+    };
+    match action {
+        Some("ping") => match connect(&addr).and_then(|mut c| {
+            c.ping().map_err(|e| format!("ping failed: {e}"))?;
+            println!("pong from {addr}");
+            Ok(())
+        }) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some("shutdown") => match connect(&addr).and_then(|mut c| {
+            c.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+            println!("bye from {addr}");
+            Ok(())
+        }) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some("run") => client_run(&addr, &rest),
+        Some("bench") => client_bench(&addr, &rest),
+        _ => fail("client needs an action: ping, shutdown, run, or bench"),
+    }
+}
+
+fn client_run(addr: &str, args: &[String]) -> ExitCode {
+    let mut grid_name: Option<&str> = None;
+    let mut file: Option<&str> = None;
+    let mut v1 = false;
+    let mut force = false;
+    let mut raw = false;
+    let mut quiet = false;
+    let mut id = "client".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => file = Some(path),
+                    None => return fail("--file needs a path"),
+                }
+            }
+            "--id" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => id = v.clone(),
+                    None => return fail("--id needs a value"),
+                }
+            }
+            "--v1" => v1 = true,
+            "--force" => force = true,
+            "--raw" => raw = true,
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag `{flag}`")),
+            name => {
+                if grid_name.is_some() {
+                    return fail("only one grid per run");
+                }
+                grid_name = Some(name);
+            }
+        }
+        i += 1;
+    }
+    let scenarios = match load_scenarios(grid_name, file) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let mut request = if v1 {
+        EvalRequest::new(id, scenarios)
+    } else {
+        EvalRequest::streaming(id, scenarios)
+    };
+    request.force = force;
+
+    let mut client = match connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    if v1 {
+        let (raw_line, response) = match client.eval_buffered(request) {
+            Ok(pair) => pair,
+            Err(e) => return fail(&format!("exchange failed: {e}")),
+        };
+        if raw {
+            println!("{raw_line}");
+        } else if !quiet {
+            for cell in &response.cells {
+                println!("  cell {} {}", cell.id, status_word(cell.status));
+            }
+        }
+        if let Some(error) = &response.error {
+            if !raw {
+                eprintln!("error: request refused: {error}");
+            }
+            return if error.category() == "busy" {
+                ExitCode::from(EXIT_BUSY)
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+        if !raw {
+            println!(
+                "done {} cells: {} hits, {} misses",
+                response.cells.len(),
+                response.hits,
+                response.misses
+            );
+        }
+        if response.is_ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else {
+        let mut failed = 0usize;
+        let outcome = client.eval_streaming(request, |raw_line, frame| {
+            // Failure accounting happens in every output mode — the exit
+            // code must not depend on how frames are rendered.
+            if let Response::Cell(cell) = frame {
+                if cell.status == CellStatus::Failed {
+                    failed += 1;
+                }
+            }
+            if raw {
+                println!("{raw_line}");
+                return;
+            }
+            match frame {
+                Response::Accepted { id, position } if !quiet => {
+                    println!("accepted id={id} position={position}");
+                }
+                Response::Cell(cell) if !quiet => {
+                    println!("  cell {} {}", cell.id, status_word(cell.status));
+                }
+                _ => {}
+            }
+        });
+        match outcome {
+            Ok(StreamOutcome::Done {
+                position,
+                cells,
+                hits,
+                misses,
+            }) => {
+                if !raw {
+                    println!(
+                        "done {cells} cells: {hits} hits, {misses} misses (position {position})"
+                    );
+                }
+                if failed == 0 {
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("error: {failed} cells failed");
+                    ExitCode::FAILURE
+                }
+            }
+            Ok(StreamOutcome::Busy { retry_after_ms }) => {
+                if !raw {
+                    println!("busy retry_after_ms={retry_after_ms}");
+                }
+                ExitCode::from(EXIT_BUSY)
+            }
+            Err(e) => fail(&format!("exchange failed: {e}")),
+        }
+    }
+}
+
+/// The machine-readable record `sweep client bench` writes: warm-cache
+/// service throughput, the trajectory number future PRs have to beat.
+#[derive(Serialize)]
+struct ServeBench {
+    schema: &'static str,
+    grid: String,
+    scenarios: usize,
+    requests: usize,
+    protocol: u32,
+    warm: bool,
+    elapsed_ms: u64,
+    requests_per_s: f64,
+    cells_per_s: f64,
+}
+
+fn client_bench(addr: &str, args: &[String]) -> ExitCode {
+    let mut grid_name: Option<&str> = None;
+    let mut requests = 32usize;
+    let mut out: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--requests" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => requests = n,
+                    _ => return fail("--requests needs a positive integer"),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = Some(path),
+                    None => return fail("--out needs a path"),
+                }
+            }
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag `{flag}`")),
+            name => {
+                if grid_name.is_some() {
+                    return fail("only one grid per bench");
+                }
+                grid_name = Some(name);
+            }
+        }
+        i += 1;
+    }
+    let Some(grid) = grid_name else {
+        return fail("bench needs a grid name");
+    };
+    let scenarios = match load_scenarios(Some(grid), None) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let mut client = match connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+
+    // Prime the cache so the timed loop measures warm service capacity,
+    // not first-compute cost.
+    let prime = EvalRequest::streaming("bench-prime", scenarios.clone());
+    match client.eval_streaming(prime, |_, _| {}) {
+        Ok(StreamOutcome::Done { .. }) => {}
+        Ok(StreamOutcome::Busy { retry_after_ms }) => {
+            return fail(&format!(
+                "server busy during prime (retry after {retry_after_ms} ms) — bench needs an idle server"
+            ));
+        }
+        Err(e) => return fail(&format!("prime exchange failed: {e}")),
+    }
+
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    let mut cells = 0usize;
+    let start = Instant::now();
+    for n in 0..requests {
+        let request = EvalRequest::streaming(format!("bench-{n}"), scenarios.clone());
+        match client.eval_streaming(request, |_, _| {}) {
+            Ok(StreamOutcome::Done {
+                cells: c,
+                hits: h,
+                misses: m,
+                ..
+            }) => {
+                cells += c;
+                hits += h;
+                misses += m;
+            }
+            Ok(StreamOutcome::Busy { retry_after_ms }) => {
+                return fail(&format!(
+                    "server busy mid-bench (retry after {retry_after_ms} ms)"
+                ));
+            }
+            Err(e) => return fail(&format!("bench exchange failed: {e}")),
+        }
+    }
+    let elapsed = start.elapsed();
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let record = ServeBench {
+        schema: "yoco-serve-bench/v1",
+        grid: grid.to_owned(),
+        scenarios: scenarios.len(),
+        requests,
+        protocol: yoco_sweep::api::API_V2,
+        warm: misses == 0,
+        elapsed_ms: elapsed.as_millis() as u64,
+        requests_per_s: requests as f64 / secs,
+        cells_per_s: cells as f64 / secs,
+    };
+    println!(
+        "bench {grid}: {requests} warm requests ({cells} cells, {hits} hits, {misses} misses) \
+         in {} ms -> {:.1} req/s, {:.0} cells/s",
+        record.elapsed_ms, record.requests_per_s, record.cells_per_s
+    );
+    if let Some(path) = out {
+        let json = match serde_json::to_string_pretty(&record) {
+            Ok(j) => j,
+            Err(e) => return fail(&format!("cannot serialize bench record: {e}")),
+        };
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        println!("bench record written to {path}");
+    }
+    if record.warm {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: bench was not warm ({misses} misses) — is the cache enabled?");
+        ExitCode::FAILURE
+    }
+}
+
+fn status_word(status: CellStatus) -> &'static str {
+    match status {
+        CellStatus::Hit => "hit",
+        CellStatus::Computed => "computed",
+        CellStatus::Failed => "failed",
     }
 }
 

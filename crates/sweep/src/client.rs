@@ -1,0 +1,163 @@
+//! A minimal blocking client for the `yoco-serve` NDJSON protocol.
+//!
+//! Wraps one TCP connection: requests go out as single JSON lines,
+//! server lines come back as raw text plus the decoded [`Response`]
+//! frame (the raw text matters — warm v1 responses are byte-stable, and
+//! CI diffs them verbatim). The `sweep client` subcommand and the
+//! service-level tests both drive the server through this type instead
+//! of hand-rolled socket code.
+
+use crate::api::{EvalRequest, Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How a streamed (protocol-v2) exchange ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamOutcome {
+    /// The batch ran: admission position and final tallies.
+    Done {
+        /// In-flight requests ahead at admission.
+        position: usize,
+        /// `Cell` frames received.
+        cells: usize,
+        /// Cells served from the cache.
+        hits: usize,
+        /// Cells computed (or failed) fresh.
+        misses: usize,
+    },
+    /// The server's admission queue was full.
+    Busy {
+        /// Suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// One connection to a `yoco-serve` instance.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (`HOST:PORT`).
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { stream, reader })
+    }
+
+    /// Bounds every subsequent read (`None` blocks forever).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        let text = serde_json::to_string(request).map_err(|e| io::Error::other(e.to_string()))?;
+        writeln!(self.stream, "{text}")?;
+        self.stream.flush()
+    }
+
+    /// Reads the next server line, returning it raw (newline stripped)
+    /// alongside the decoded frame. EOF and undecodable lines are
+    /// errors — the server never sends either mid-protocol.
+    pub fn recv(&mut self) -> io::Result<(String, Response)> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let raw = line.trim_end_matches(['\n', '\r']).to_owned();
+        let frame = serde_json::from_str::<Response>(&raw)
+            .map_err(|e| io::Error::other(format!("undecodable server line {raw:?}: {e}")))?;
+        Ok((raw, frame))
+    }
+
+    /// Liveness round trip: `Ping` → `Pong`.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            (_, Response::Pong) => Ok(()),
+            (raw, _) => Err(io::Error::other(format!("expected Pong, got {raw}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit: `Shutdown` → `Bye`.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            (_, Response::Bye) => Ok(()),
+            (raw, _) => Err(io::Error::other(format!("expected Bye, got {raw}"))),
+        }
+    }
+
+    /// One buffered (protocol-v1) exchange: the request out, the single
+    /// response line back, raw alongside decoded.
+    pub fn eval_buffered(
+        &mut self,
+        request: EvalRequest,
+    ) -> io::Result<(String, crate::api::EvalResponse)> {
+        self.send(&Request::Eval(request))?;
+        match self.recv()? {
+            (raw, Response::Eval(response)) => Ok((raw, response)),
+            (raw, _) => Err(io::Error::other(format!(
+                "expected a buffered Eval response, got {raw}"
+            ))),
+        }
+    }
+
+    /// One streamed (protocol-v2) exchange. `on_frame` sees every
+    /// server line as it arrives — `Accepted`, each `Cell`, and the
+    /// terminal `Done`/`Busy` — raw alongside decoded; the return value
+    /// summarizes how the exchange ended.
+    pub fn eval_streaming(
+        &mut self,
+        request: EvalRequest,
+        mut on_frame: impl FnMut(&str, &Response),
+    ) -> io::Result<StreamOutcome> {
+        self.send(&Request::Eval(request))?;
+        let mut position = 0;
+        let mut cells = 0;
+        loop {
+            let (raw, frame) = self.recv()?;
+            on_frame(&raw, &frame);
+            match frame {
+                Response::Accepted { position: p, .. } => position = p,
+                Response::Cell(_) => cells += 1,
+                Response::Done { hits, misses, .. } => {
+                    return Ok(StreamOutcome::Done {
+                        position,
+                        cells,
+                        hits,
+                        misses,
+                    });
+                }
+                Response::Busy { retry_after_ms, .. } => {
+                    return Ok(StreamOutcome::Busy { retry_after_ms });
+                }
+                Response::Eval(resp) => {
+                    // A version-refusal comes back buffered even for a
+                    // malformed v2 request; surface it as an error.
+                    return Err(io::Error::other(format!(
+                        "streamed request refused: {}",
+                        resp.error
+                            .map(|e| e.to_string())
+                            .unwrap_or_else(|| "unexpected buffered response".into())
+                    )));
+                }
+                Response::Error(e) => {
+                    return Err(io::Error::other(format!("server rejected the line: {e}")));
+                }
+                Response::Pong | Response::Bye => {
+                    return Err(io::Error::other(format!(
+                        "unexpected control frame mid-stream: {raw}"
+                    )));
+                }
+            }
+        }
+    }
+}

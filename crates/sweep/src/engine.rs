@@ -147,9 +147,26 @@ impl Engine {
 
     /// Runs a scenario grid.
     pub fn run(&self, scenarios: &[Scenario]) -> SweepReport {
+        self.run_with(scenarios, |_, _| {})
+    }
+
+    /// Runs a scenario grid, calling `observe(index, &cell)` as each cell
+    /// completes — in completion order, on the worker thread that
+    /// computed it. This is the hook streaming frontends use to emit
+    /// per-cell frames while the batch is still in flight; the returned
+    /// report is identical to [`Engine::run`]'s (assembled in scenario
+    /// order, independent of the schedule).
+    pub fn run_with<O>(&self, scenarios: &[Scenario], observe: O) -> SweepReport
+    where
+        O: Fn(usize, &CellResult) + Sync,
+    {
         let start = Instant::now();
-        let cells =
-            executor::run_indexed(scenarios.len(), self.jobs, |i| self.run_cell(&scenarios[i]));
+        let cells = executor::run_indexed_observed(
+            scenarios.len(),
+            self.jobs,
+            |i| self.run_cell(&scenarios[i]),
+            observe,
+        );
         let hits = cells.iter().filter(|c| c.cached).count();
         let misses = cells.len() - hits;
         SweepReport {
@@ -265,6 +282,23 @@ mod tests {
         let serial = Engine::ephemeral().run(&grid);
         let parallel = Engine::ephemeral().jobs(8).run(&grid);
         assert_eq!(serial.canonical_json(), parallel.canonical_json());
+    }
+
+    #[test]
+    fn run_with_observes_every_cell_and_matches_run() {
+        use std::sync::Mutex;
+        let grid = small_grid();
+        let plain = Engine::ephemeral().run(&grid);
+        let seen: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let observed = Engine::ephemeral().jobs(4).run_with(&grid, |_, cell| {
+            seen.lock().unwrap().push(cell.scenario.id.clone());
+        });
+        assert_eq!(plain.canonical_json(), observed.canonical_json());
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let mut expected: Vec<String> = grid.iter().map(|s| s.id.clone()).collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected, "one observation per cell");
     }
 
     #[test]

@@ -18,8 +18,28 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_observed(n, jobs, f, |_, _| {})
+}
+
+/// [`run_indexed`] plus a completion observer: `observe(i, &result)` is
+/// called once per cell *as it finishes* (on the worker thread that
+/// computed it, so calls arrive in completion order, not index order).
+/// The returned vector is still assembled in index order — observers are
+/// for streaming progress, not for assembly.
+pub fn run_indexed_observed<T, F, O>(n: usize, jobs: usize, f: F, observe: O) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    O: Fn(usize, &T) + Sync,
+{
     if jobs <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                let value = f(i);
+                observe(i, &value);
+                value
+            })
+            .collect();
     }
     let workers = jobs.min(n);
     let cursor = AtomicUsize::new(0);
@@ -33,7 +53,9 @@ where
                     if i >= n {
                         break;
                     }
-                    local.push((i, f(i)));
+                    let value = f(i);
+                    observe(i, &value);
+                    local.push((i, value));
                 }
                 collected.lock().expect("no poisoned workers").extend(local);
             });
@@ -82,5 +104,22 @@ mod tests {
     fn empty_and_single_inputs() {
         assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(run_indexed(1, 4, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn observer_sees_every_cell_exactly_once() {
+        for jobs in [1, 4] {
+            let seen = Mutex::new(Vec::new());
+            let out = run_indexed_observed(
+                37,
+                jobs,
+                |i| i * 2,
+                |i, v| seen.lock().unwrap().push((i, *v)),
+            );
+            assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..37).map(|i| (i, i * 2)).collect::<Vec<_>>());
+        }
     }
 }

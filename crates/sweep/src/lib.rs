@@ -12,7 +12,15 @@
 //!   choice, design-point overrides, workload selection, and named
 //!   studies, composable into grids ([`grids`], [`figures`]);
 //! * [`engine`] — the [`Engine`]: parallel execution over self-scheduling
-//!   scoped threads with deterministic, order-independent assembly;
+//!   scoped threads with deterministic, order-independent assembly, and
+//!   per-cell completion callbacks ([`Engine::run_with`]) for streaming
+//!   frontends;
+//! * [`serve`] — the server runtime behind `yoco-serve`: one shared
+//!   engine + cache behind an admission [`serve::Gate`]
+//!   (`--queue-depth`), a worker budget split across in-flight requests,
+//!   and streamed protocol-v2 responses;
+//! * [`client`] — the matching blocking client ([`ServeClient`]), used
+//!   by `sweep client` and the service-level tests;
 //! * [`cache`] — a content-addressed result cache under `results/cache/`,
 //!   keyed by a stable hash of the scenario plus the evaluator version
 //!   ([`hash`]), with age/size garbage collection ([`cache::GcBudget`]);
@@ -44,6 +52,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod client;
 pub mod engine;
 pub mod eval;
 pub mod executor;
@@ -52,14 +61,17 @@ pub mod grids;
 pub mod hash;
 pub mod root;
 pub mod scenario;
+pub mod serve;
 pub mod studies;
 
 pub use api::{
     EvalRequest, EvalResponse, Metrics, ScenarioBuilder, Shard, SweepError, API_VERSION,
 };
 pub use cache::{CacheStats, GcBudget, GcOutcome, ResultCache};
+pub use client::{ServeClient, StreamOutcome};
 pub use engine::{CellResult, Engine, SweepReport};
 pub use eval::{AttentionMetrics, GemmMetrics};
 pub use grids::{DseGrid, GridSpec, DSE_AXES, DSE_GRIDS, DSE_WORKLOADS};
 pub use scenario::{AcceleratorKind, DesignPoint, Scenario, ScenarioKind, StudyId, WorkloadSpec};
+pub use serve::{Runtime, ServeConfig};
 pub use studies::StudyMetrics;

@@ -1,0 +1,686 @@
+//! The server runtime behind `yoco-serve`: one shared engine and cache
+//! for every connection, fronted by admission control.
+//!
+//! The PR-2 frontend ran one engine per connection and accepted
+//! unbounded work; this module is the piece that turns the NDJSON
+//! protocol into a real service:
+//!
+//! * **Admission control** — a [`Gate`] bounds the number of evaluation
+//!   requests in flight (`--queue-depth`). Requests beyond the bound are
+//!   answered immediately — a `Busy` frame for protocol-v2 clients, a
+//!   [`SweepError::Busy`] refusal for v1 clients — instead of queueing
+//!   without limit.
+//! * **Worker budgeting** — the server's `--jobs` budget is split
+//!   evenly across requests in flight at admission time
+//!   ([`split_jobs`]), so a request arriving behind a huge batch still
+//!   gets its fair share of workers (see `split_jobs` for the
+//!   transient-oversubscription caveat).
+//! * **Streaming** — protocol-v2 requests are answered incrementally
+//!   (`Accepted` at admission, one `Cell` frame per scenario in
+//!   completion order via [`Engine::run_with`], then `Done`), so large
+//!   grids report progress instead of going silent.
+//!
+//! Frames leave through the [`FrameSink`] trait, so the whole dispatch
+//! ([`Runtime::handle_line`]) is testable in process — `Vec<Response>`
+//! is a sink — while the binary plugs in a [`LineSink`] over the TCP
+//! stream.
+
+use crate::api::{CellOutcome, EvalResponse, Request, Response, SweepError, API_V1, API_V2};
+use crate::engine::Engine;
+use crate::executor;
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+/// Default bound on concurrently admitted evaluation requests.
+pub const DEFAULT_QUEUE_DEPTH: usize = 4;
+
+/// The per-request service quantum the `retry_after_ms` hint is derived
+/// from: a rejected client is told to back off roughly one quantum
+/// divided by the queue depth — slots drain concurrently, so the deeper
+/// the queue, the sooner one is expected to free up.
+pub const RETRY_QUANTUM_MS: u64 = 250;
+
+/// Sizing of the runtime: admission bound and worker budget.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Maximum evaluation requests in flight at once. `0` rejects every
+    /// evaluation — a drain/maintenance mode (control requests still
+    /// answer).
+    pub queue_depth: usize,
+    /// Total worker budget, split across in-flight requests.
+    pub jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            jobs: executor::default_jobs(),
+        }
+    }
+}
+
+/// The admission verdict for a rejected request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Busy {
+    /// Suggested client backoff before retrying, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+/// Bounded admission: at most `depth` tickets outstanding at once.
+///
+/// Admission order is arrival order at the lock; there is deliberately
+/// no waiting list — a full gate answers [`Busy`] immediately so clients
+/// hold the backoff, not the server.
+#[derive(Debug)]
+pub struct Gate {
+    depth: usize,
+    occupied: Mutex<usize>,
+}
+
+impl Gate {
+    /// A gate admitting at most `depth` requests at once.
+    pub fn new(depth: usize) -> Self {
+        Self {
+            depth,
+            occupied: Mutex::new(0),
+        }
+    }
+
+    /// Tries to admit one request. On success the returned [`Ticket`]
+    /// holds the slot until dropped; its `position` is the number of
+    /// requests already in flight (`0` = running alone). On rejection
+    /// the [`Busy`] hint shrinks as depth grows (more slots drain
+    /// concurrently, so one frees up sooner).
+    pub fn try_enter(&self) -> Result<Ticket<'_>, Busy> {
+        let mut occupied = self.occupied.lock().expect("gate lock");
+        if *occupied >= self.depth {
+            return Err(Busy {
+                retry_after_ms: (RETRY_QUANTUM_MS / self.depth.max(1) as u64).max(1),
+            });
+        }
+        let position = *occupied;
+        *occupied += 1;
+        Ok(Ticket {
+            gate: self,
+            position,
+        })
+    }
+
+    /// Requests currently admitted.
+    pub fn occupancy(&self) -> usize {
+        *self.occupied.lock().expect("gate lock")
+    }
+
+    /// The configured admission bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// An admitted request's slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct Ticket<'a> {
+    gate: &'a Gate,
+    position: usize,
+}
+
+impl Ticket<'_> {
+    /// In-flight requests ahead of this one at admission time.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        *self.gate.occupied.lock().expect("gate lock") -= 1;
+    }
+}
+
+/// Splits a total worker budget evenly across in-flight requests,
+/// never starving a request below one worker.
+///
+/// Each request's share is fixed at its own admission (a running
+/// request's scoped-thread pool cannot be resized), so the budget is an
+/// admission-time fairness rule, not a hard global cap: a request
+/// admitted alone takes the whole budget, and later arrivals shrink
+/// only their own shares — the live worker total can transiently
+/// exceed `budget` until earlier requests finish.
+pub fn split_jobs(budget: usize, in_flight: usize) -> usize {
+    (budget / in_flight.max(1)).max(1)
+}
+
+/// Where response frames go: the runtime's only output channel.
+///
+/// `Send` because streamed `Cell` frames are emitted from the engine's
+/// worker threads (serialized through a mutex inside the runtime).
+pub trait FrameSink: Send {
+    /// Delivers one frame; for socket sinks this is serialize + write +
+    /// flush, so a returned error means the client is gone.
+    fn send(&mut self, frame: &Response) -> io::Result<()>;
+}
+
+/// The in-process collector sink used by tests and embedders.
+impl FrameSink for Vec<Response> {
+    fn send(&mut self, frame: &Response) -> io::Result<()> {
+        self.push(frame.clone());
+        Ok(())
+    }
+}
+
+/// A sink writing one JSON frame per line (the NDJSON wire form),
+/// flushing after every frame so streamed progress is visible
+/// immediately.
+#[derive(Debug)]
+pub struct LineSink<W: Write + Send> {
+    inner: W,
+}
+
+impl<W: Write + Send> LineSink<W> {
+    /// Wraps a writer (for the server: the TCP stream's write half).
+    pub fn new(inner: W) -> Self {
+        Self { inner }
+    }
+}
+
+impl<W: Write + Send> FrameSink for LineSink<W> {
+    fn send(&mut self, frame: &Response) -> io::Result<()> {
+        let text = serde_json::to_string(frame).map_err(|e| io::Error::other(e.to_string()))?;
+        writeln!(self.inner, "{text}")?;
+        self.inner.flush()
+    }
+}
+
+/// What one handled line was, for the caller's logging and lifecycle
+/// (the transport acts on [`Served::Shutdown`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Served {
+    /// An evaluation ran to completion (buffered or streamed).
+    Eval {
+        /// The request id.
+        id: String,
+        /// Cells in the batch.
+        cells: usize,
+        /// Cells served from the cache.
+        hits: usize,
+        /// Cells computed (or failed) fresh.
+        misses: usize,
+        /// Whether the exchange streamed v2 frames.
+        streamed: bool,
+    },
+    /// An evaluation was refused at admission (queue full) — retrying
+    /// after the hinted backoff can succeed.
+    Rejected {
+        /// The request id.
+        id: String,
+        /// The backoff hint sent to the client.
+        retry_after_ms: u64,
+    },
+    /// An evaluation was refused permanently (unsupported protocol
+    /// version) — retrying the same request cannot succeed.
+    Refused {
+        /// The request id.
+        id: String,
+    },
+    /// A liveness check.
+    Ping,
+    /// A shutdown request — the caller should stop accepting and drain.
+    Shutdown,
+    /// A line that did not decode as a request.
+    Malformed,
+}
+
+impl Served {
+    /// One-line log label, mirroring the pre-runtime server's output.
+    pub fn label(&self) -> String {
+        match self {
+            Served::Eval {
+                id,
+                cells,
+                hits,
+                misses,
+                streamed,
+            } => format!(
+                "eval {id}: {cells} cells, {hits} hits, {misses} misses{}",
+                if *streamed { ", streamed" } else { "" }
+            ),
+            Served::Rejected { id, retry_after_ms } => {
+                format!("eval {id}: rejected, retry after {retry_after_ms} ms")
+            }
+            Served::Refused { id } => format!("eval {id}: refused (unsupported version)"),
+            Served::Ping => "ping".into(),
+            Served::Shutdown => "shutdown".into(),
+            Served::Malformed => "bad request".into(),
+        }
+    }
+}
+
+/// The shared server runtime: one engine + cache + admission gate,
+/// shared by every connection. The transport (TCP, a test harness)
+/// feeds request lines to [`Runtime::handle_line`] with a sink for the
+/// reply frames.
+#[derive(Debug)]
+pub struct Runtime {
+    engine: Engine,
+    gate: Gate,
+    jobs_budget: usize,
+}
+
+impl Runtime {
+    /// A runtime over `engine` (whose own `jobs` setting is overridden
+    /// per request by the split budget).
+    pub fn new(engine: Engine, config: ServeConfig) -> Self {
+        Self {
+            engine,
+            gate: Gate::new(config.queue_depth),
+            jobs_budget: config.jobs.max(1),
+        }
+    }
+
+    /// The admission gate (exposed for observability).
+    pub fn gate(&self) -> &Gate {
+        &self.gate
+    }
+
+    /// The engine policy requests run under.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Handles one request line end to end, emitting every reply frame
+    /// through `sink`. An `Err` means the sink failed (client gone) —
+    /// the protocol itself never errors out of this function.
+    pub fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served> {
+        let request = match serde_json::from_str::<Request>(line) {
+            Ok(request) => request,
+            Err(e) => {
+                sink.send(&Response::Error(SweepError::schema("request line", e)))?;
+                return Ok(Served::Malformed);
+            }
+        };
+        match request {
+            Request::Ping => {
+                sink.send(&Response::Pong)?;
+                Ok(Served::Ping)
+            }
+            Request::Shutdown => {
+                sink.send(&Response::Bye)?;
+                Ok(Served::Shutdown)
+            }
+            Request::Eval(req) => match req.version {
+                API_V1 => self.eval_buffered(req, sink),
+                API_V2 => self.eval_streaming(req, sink),
+                other => {
+                    sink.send(&Response::Eval(EvalResponse::refusal(
+                        req.id.clone(),
+                        SweepError::schema(
+                            "request envelope",
+                            format!(
+                                "client speaks version {other}, server speaks {API_V1} \
+                                 (buffered) and {API_V2} (streamed)"
+                            ),
+                        ),
+                    )))?;
+                    Ok(Served::Refused { id: req.id })
+                }
+            },
+        }
+    }
+
+    /// Protocol v1: admission, then one buffered [`EvalResponse`] line.
+    fn eval_buffered(
+        &self,
+        req: crate::api::EvalRequest,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
+        let ticket = match self.gate.try_enter() {
+            Ok(ticket) => ticket,
+            Err(busy) => {
+                sink.send(&Response::Eval(EvalResponse::refusal(
+                    req.id.clone(),
+                    SweepError::Busy {
+                        retry_after_ms: busy.retry_after_ms,
+                    },
+                )))?;
+                return Ok(Served::Rejected {
+                    id: req.id,
+                    retry_after_ms: busy.retry_after_ms,
+                });
+            }
+        };
+        let report = self.request_engine(req.force).run(&req.scenarios);
+        let response = EvalResponse::from_report(req.id.clone(), &report);
+        sink.send(&Response::Eval(response))?;
+        drop(ticket);
+        Ok(Served::Eval {
+            id: req.id,
+            cells: report.cells.len(),
+            hits: report.hits,
+            misses: report.misses,
+            streamed: false,
+        })
+    }
+
+    /// Protocol v2: `Accepted` at admission, a `Cell` frame per scenario
+    /// in completion order, then `Done` — or one `Busy` frame when the
+    /// gate is full.
+    fn eval_streaming(
+        &self,
+        req: crate::api::EvalRequest,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
+        let ticket = match self.gate.try_enter() {
+            Ok(ticket) => ticket,
+            Err(busy) => {
+                sink.send(&Response::Busy {
+                    id: req.id.clone(),
+                    retry_after_ms: busy.retry_after_ms,
+                })?;
+                return Ok(Served::Rejected {
+                    id: req.id,
+                    retry_after_ms: busy.retry_after_ms,
+                });
+            }
+        };
+        sink.send(&Response::Accepted {
+            id: req.id.clone(),
+            position: ticket.position(),
+        })?;
+        // Cell frames are written from the engine's worker threads;
+        // serialize them through a mutex, and past the first transport
+        // error stop writing but let the computation finish (the cache
+        // still fills, so the client's retry is warm).
+        let shared: Mutex<(&mut dyn FrameSink, Option<io::Error>)> = Mutex::new((sink, None));
+        let report = self
+            .request_engine(req.force)
+            .run_with(&req.scenarios, |_, cell| {
+                let mut guard = shared.lock().expect("sink lock");
+                if guard.1.is_some() {
+                    return;
+                }
+                let frame = Response::Cell(CellOutcome::from_cell(cell));
+                if let Err(e) = guard.0.send(&frame) {
+                    guard.1 = Some(e);
+                }
+            });
+        let (sink, error) = shared.into_inner().expect("sink lock");
+        if let Some(e) = error {
+            return Err(e);
+        }
+        sink.send(&Response::Done {
+            id: req.id.clone(),
+            hits: report.hits,
+            misses: report.misses,
+        })?;
+        drop(ticket);
+        Ok(Served::Eval {
+            id: req.id,
+            cells: report.cells.len(),
+            hits: report.hits,
+            misses: report.misses,
+            streamed: true,
+        })
+    }
+
+    /// The engine policy for one admitted request: the shared engine
+    /// with its share of the worker budget (split across everything in
+    /// flight at admission time) and the request's `force` flag.
+    fn request_engine(&self, force: bool) -> Engine {
+        let share = split_jobs(self.jobs_budget, self.gate.occupancy());
+        self.engine.clone().jobs(share).force(force)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{CellStatus, EvalRequest};
+    use crate::scenario::{Scenario, StudyId};
+
+    fn tiny_batch() -> Vec<Scenario> {
+        vec![
+            Scenario::study(StudyId::Fig9a),
+            Scenario::study(StudyId::Table2),
+        ]
+    }
+
+    fn runtime(depth: usize) -> Runtime {
+        Runtime::new(
+            Engine::ephemeral(),
+            ServeConfig {
+                queue_depth: depth,
+                jobs: 4,
+            },
+        )
+    }
+
+    fn line(request: &Request) -> String {
+        serde_json::to_string(request).expect("request serializes")
+    }
+
+    #[test]
+    fn gate_admits_to_depth_rejects_beyond_and_releases_on_drop() {
+        let gate = Gate::new(2);
+        assert_eq!(gate.occupancy(), 0);
+        let t1 = gate.try_enter().expect("slot 1");
+        assert_eq!(t1.position(), 0);
+        let t2 = gate.try_enter().expect("slot 2");
+        assert_eq!(t2.position(), 1);
+        assert_eq!(gate.occupancy(), 2);
+
+        let busy = gate.try_enter().expect_err("gate is full");
+        assert_eq!(
+            busy.retry_after_ms,
+            RETRY_QUANTUM_MS / 2,
+            "two slots drain concurrently: half a quantum until one frees"
+        );
+
+        drop(t1);
+        assert_eq!(gate.occupancy(), 1);
+        let t3 = gate.try_enter().expect("freed slot is reusable");
+        assert_eq!(t3.position(), 1, "one request still ahead");
+        drop(t2);
+        drop(t3);
+        assert_eq!(gate.occupancy(), 0);
+    }
+
+    #[test]
+    fn zero_depth_gate_rejects_everything_with_a_floor_hint() {
+        let gate = Gate::new(0);
+        let busy = gate.try_enter().expect_err("depth 0 admits nothing");
+        assert_eq!(busy.retry_after_ms, RETRY_QUANTUM_MS);
+    }
+
+    #[test]
+    fn jobs_budget_splits_evenly_with_a_floor_of_one() {
+        assert_eq!(split_jobs(8, 0), 8, "idle server: full budget");
+        assert_eq!(split_jobs(8, 1), 8);
+        assert_eq!(split_jobs(8, 2), 4);
+        assert_eq!(split_jobs(8, 3), 2);
+        assert_eq!(split_jobs(8, 4), 2);
+        assert_eq!(split_jobs(8, 8), 1);
+        assert_eq!(split_jobs(8, 100), 1, "never starved below one worker");
+        assert_eq!(split_jobs(1, 5), 1);
+    }
+
+    #[test]
+    fn v2_exchange_streams_accepted_cells_done_in_order() {
+        let rt = runtime(2);
+        let mut frames: Vec<Response> = Vec::new();
+        let served = rt
+            .handle_line(
+                &line(&Request::Eval(EvalRequest::streaming("s-1", tiny_batch()))),
+                &mut frames,
+            )
+            .expect("sink never fails");
+        assert_eq!(
+            served,
+            Served::Eval {
+                id: "s-1".into(),
+                cells: 2,
+                hits: 0,
+                misses: 2,
+                streamed: true,
+            }
+        );
+        assert_eq!(frames.len(), 4, "accepted + 2 cells + done: {frames:?}");
+        assert_eq!(
+            frames[0],
+            Response::Accepted {
+                id: "s-1".into(),
+                position: 0
+            }
+        );
+        let mut cell_ids: Vec<&str> = frames[1..3]
+            .iter()
+            .map(|f| match f {
+                Response::Cell(c) => {
+                    assert_eq!(c.status, CellStatus::Computed);
+                    assert!(c.metrics.is_some());
+                    c.id.as_str()
+                }
+                other => panic!("expected Cell frames in the middle, got {other:?}"),
+            })
+            .collect();
+        cell_ids.sort_unstable();
+        assert_eq!(cell_ids, ["study/fig9a", "study/table2"]);
+        assert_eq!(
+            frames[3],
+            Response::Done {
+                id: "s-1".into(),
+                hits: 0,
+                misses: 2
+            }
+        );
+        assert_eq!(rt.gate().occupancy(), 0, "ticket released after Done");
+    }
+
+    #[test]
+    fn streamed_cells_carry_the_same_payloads_as_the_buffered_response() {
+        let rt = runtime(2);
+        let mut streamed: Vec<Response> = Vec::new();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::streaming("s-2", tiny_batch()))),
+            &mut streamed,
+        )
+        .unwrap();
+        let mut buffered: Vec<Response> = Vec::new();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::new("b-2", tiny_batch()))),
+            &mut buffered,
+        )
+        .unwrap();
+        let Some(Response::Eval(buffered)) = buffered.first() else {
+            panic!("expected one buffered Eval response, got {buffered:?}");
+        };
+        let mut streamed_cells: Vec<&CellOutcome> = streamed
+            .iter()
+            .filter_map(|f| match f {
+                Response::Cell(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        streamed_cells.sort_by(|a, b| a.id.cmp(&b.id));
+        let mut buffered_cells: Vec<&CellOutcome> = buffered.cells.iter().collect();
+        buffered_cells.sort_by(|a, b| a.id.cmp(&b.id));
+        assert_eq!(streamed_cells, buffered_cells);
+    }
+
+    #[test]
+    fn full_gate_rejects_v2_with_busy_and_v1_with_a_typed_refusal() {
+        let rt = runtime(1);
+        let _held = rt.gate().try_enter().expect("hold the only slot");
+
+        let mut frames: Vec<Response> = Vec::new();
+        let served = rt
+            .handle_line(
+                &line(&Request::Eval(EvalRequest::streaming("s-3", tiny_batch()))),
+                &mut frames,
+            )
+            .unwrap();
+        assert_eq!(
+            served,
+            Served::Rejected {
+                id: "s-3".into(),
+                retry_after_ms: RETRY_QUANTUM_MS
+            }
+        );
+        assert_eq!(
+            frames,
+            vec![Response::Busy {
+                id: "s-3".into(),
+                retry_after_ms: RETRY_QUANTUM_MS
+            }]
+        );
+
+        let mut frames: Vec<Response> = Vec::new();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::new("b-3", tiny_batch()))),
+            &mut frames,
+        )
+        .unwrap();
+        let Some(Response::Eval(refusal)) = frames.first() else {
+            panic!("expected a v1 refusal, got {frames:?}");
+        };
+        assert_eq!(refusal.id, "b-3");
+        assert!(refusal.cells.is_empty());
+        assert_eq!(refusal.error.as_ref().unwrap().category(), "busy");
+    }
+
+    #[test]
+    fn unknown_versions_get_a_buffered_schema_refusal() {
+        let rt = runtime(2);
+        let mut req = EvalRequest::new("v-9", tiny_batch());
+        req.version = 9;
+        let mut frames: Vec<Response> = Vec::new();
+        let served = rt
+            .handle_line(&line(&Request::Eval(req)), &mut frames)
+            .unwrap();
+        assert_eq!(
+            served,
+            Served::Refused { id: "v-9".into() },
+            "a version refusal is permanent, not a retryable rejection"
+        );
+        let Some(Response::Eval(refusal)) = frames.first() else {
+            panic!("expected a refusal, got {frames:?}");
+        };
+        assert_eq!(refusal.id, "v-9");
+        assert_eq!(
+            refusal.error.as_ref().unwrap().category(),
+            "schema-mismatch"
+        );
+        assert_eq!(rt.gate().occupancy(), 0, "no slot consumed");
+    }
+
+    #[test]
+    fn control_lines_bypass_the_gate() {
+        let rt = runtime(0); // full drain mode: every eval rejected…
+        let mut frames: Vec<Response> = Vec::new();
+        assert_eq!(
+            rt.handle_line("\"Ping\"", &mut frames).unwrap(),
+            Served::Ping
+        );
+        assert_eq!(
+            rt.handle_line("\"Shutdown\"", &mut frames).unwrap(),
+            Served::Shutdown
+        );
+        assert_eq!(
+            rt.handle_line("not json", &mut frames).unwrap(),
+            Served::Malformed
+        );
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], Response::Pong);
+        assert_eq!(frames[1], Response::Bye);
+        assert!(matches!(frames[2], Response::Error(_)));
+        // …while evals are rejected, not hung.
+        let mut frames: Vec<Response> = Vec::new();
+        let served = rt
+            .handle_line(
+                &line(&Request::Eval(EvalRequest::streaming("d-1", tiny_batch()))),
+                &mut frames,
+            )
+            .unwrap();
+        assert!(matches!(served, Served::Rejected { .. }));
+    }
+}

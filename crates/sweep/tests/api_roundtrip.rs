@@ -3,7 +3,9 @@
 //! selection partitions any grid.
 
 use proptest::prelude::*;
-use yoco_sweep::api::{CellOutcome, CellStatus, EvalRequest, EvalResponse, Request, Shard};
+use yoco_sweep::api::{
+    CellOutcome, CellStatus, EvalRequest, EvalResponse, Request, Response, Shard,
+};
 use yoco_sweep::{
     AcceleratorKind, DesignPoint, Engine, Scenario, StudyId, SweepError, WorkloadSpec,
 };
@@ -68,14 +70,70 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
 
 /// Every `SweepError` variant with arbitrary payload strings.
 fn error_strategy() -> impl Strategy<Value = SweepError> {
-    (0u8..6, string_strategy(), string_strategy()).prop_map(|(variant, a, b)| match variant {
-        0 => SweepError::invalid(a, b),
-        1 => SweepError::workload(a, b),
-        2 => SweepError::evaluation(a, b),
-        3 => SweepError::cache_io(a, b),
-        4 => SweepError::schema(a, b),
-        _ => SweepError::UnknownGrid { name: a, known: b },
+    (0u8..7, string_strategy(), string_strategy(), 0u64..1 << 32).prop_map(|(variant, a, b, ms)| {
+        match variant {
+            0 => SweepError::invalid(a, b),
+            1 => SweepError::workload(a, b),
+            2 => SweepError::evaluation(a, b),
+            3 => SweepError::cache_io(a, b),
+            4 => SweepError::schema(a, b),
+            5 => SweepError::Busy { retry_after_ms: ms },
+            _ => SweepError::UnknownGrid { name: a, known: b },
+        }
     })
+}
+
+/// Arbitrary streamed cell outcomes (`error` set exactly for `Failed`,
+/// mirroring the engine's invariant).
+fn cell_outcome_strategy() -> impl Strategy<Value = CellOutcome> {
+    (
+        string_strategy(),
+        string_strategy(),
+        0u8..3,
+        error_strategy(),
+    )
+        .prop_map(|(id, key, status, error)| {
+            let status = match status {
+                0 => CellStatus::Hit,
+                1 => CellStatus::Computed,
+                _ => CellStatus::Failed,
+            };
+            CellOutcome {
+                id,
+                key,
+                error: (status == CellStatus::Failed).then_some(error),
+                status,
+                metrics: None,
+            }
+        })
+}
+
+/// Every protocol-v2 frame variant (the v1 `Eval` variant is exercised
+/// by `eval_responses_round_trip` below).
+fn v2_frame_strategy() -> impl Strategy<Value = Response> {
+    (
+        0u8..7,
+        string_strategy(),
+        cell_outcome_strategy(),
+        (0usize..1 << 16, 0usize..1 << 16, 0u64..1 << 32),
+        error_strategy(),
+    )
+        .prop_map(|(variant, id, cell, (a, b, ms), error)| match variant {
+            0 => Response::Accepted { id, position: a },
+            1 => Response::Cell(cell),
+            2 => Response::Done {
+                id,
+                hits: a,
+                misses: b,
+            },
+            3 => Response::Busy {
+                id,
+                retry_after_ms: ms,
+            },
+            4 => Response::Pong,
+            5 => Response::Bye,
+            _ => Response::Error(error),
+        })
 }
 
 proptest! {
@@ -107,6 +165,25 @@ proptest! {
         prop_assert_eq!(&error, &back);
         // Display never panics and mentions no debug formatting.
         prop_assert!(!error.to_string().is_empty());
+    }
+
+    #[test]
+    fn v2_frames_round_trip(frame in v2_frame_strategy()) {
+        let text = serde_json::to_string(&frame).expect("serializes");
+        let back: Response = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn streaming_requests_round_trip_and_keep_their_version(
+        id in string_strategy(),
+        scenarios in prop::collection::vec(scenario_strategy(), 0..8),
+    ) {
+        let request = EvalRequest::streaming(id, scenarios);
+        prop_assert_eq!(request.version, yoco_sweep::api::API_V2);
+        let text = serde_json::to_string(&request).expect("serializes");
+        let back: EvalRequest = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(request, back);
     }
 
     #[test]

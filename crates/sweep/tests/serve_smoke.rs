@@ -1,16 +1,22 @@
-//! End-to-end smoke test of the `yoco-serve` frontend: spawn the real
+//! End-to-end smoke tests of the `yoco-serve` frontend: spawn the real
 //! binary, drive the NDJSON protocol over a real socket, and check that
-//! hit/miss accounting matches a direct engine run and that warm
-//! responses are byte-stable.
+//! hit/miss accounting matches a direct engine run, warm responses are
+//! byte-stable, protocol v2 streams `Accepted` → `Cell`… → `Done`,
+//! admission control rejects beyond `--queue-depth`, and `Shutdown`
+//! drains an in-flight stream instead of cutting it off.
+//!
+//! Readiness is the server's announce line ("yoco-serve listening on
+//! …") — never a sleep.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
-use yoco_sweep::api::{EvalRequest, Request, Response};
+use yoco_sweep::api::{CellStatus, EvalRequest, Request, Response};
 use yoco_sweep::{
-    AcceleratorKind, DesignPoint, Engine, ResultCache, Scenario, StudyId, WorkloadSpec,
+    AcceleratorKind, DesignPoint, Engine, ResultCache, Scenario, ServeClient, StreamOutcome,
+    StudyId, WorkloadSpec,
 };
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -20,6 +26,10 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 fn spawn_server(cache_dir: &Path) -> (Child, u16) {
+    spawn_server_with(cache_dir, &[])
+}
+
+fn spawn_server_with(cache_dir: &Path, extra: &[&str]) -> (Child, u16) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_yoco-serve"))
         .args([
             "--addr",
@@ -30,6 +40,7 @@ fn spawn_server(cache_dir: &Path) -> (Child, u16) {
             "2",
             "--quiet",
         ])
+        .args(extra)
         .stdout(Stdio::piped())
         .spawn()
         .expect("yoco-serve spawns");
@@ -45,6 +56,14 @@ fn spawn_server(cache_dir: &Path) -> (Child, u16) {
         .and_then(|p| p.parse().ok())
         .unwrap_or_else(|| panic!("unparseable announce line {line:?}"));
     (child, port)
+}
+
+fn client(port: u16) -> ServeClient {
+    let mut client = ServeClient::connect(&format!("127.0.0.1:{port}")).expect("connects");
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout set");
+    client
 }
 
 fn exchange(
@@ -172,6 +191,172 @@ fn malformed_lines_get_an_error_response_not_a_hangup() {
         serde_json::from_str::<Response>(&bye).expect("bye parses"),
         Response::Bye
     );
+    assert!(child.wait().expect("exits").success());
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn v2_streams_accepted_cells_done_and_serves_warm_hits() {
+    let cache = temp_dir("stream");
+    let (mut child, port) = spawn_server(&cache);
+    let mut c = client(port);
+
+    // Cold streamed exchange: Accepted first, one Cell per scenario (in
+    // completion order — compare as a set), Done last.
+    let mut frames: Vec<Response> = Vec::new();
+    let outcome = c
+        .eval_streaming(EvalRequest::streaming("s-1", batch()), |_, frame| {
+            frames.push(frame.clone())
+        })
+        .expect("cold stream completes");
+    assert_eq!(
+        outcome,
+        StreamOutcome::Done {
+            position: 0,
+            cells: 3,
+            hits: 0,
+            misses: 3
+        }
+    );
+    assert_eq!(frames.len(), 5, "accepted + 3 cells + done: {frames:?}");
+    assert_eq!(
+        frames[0],
+        Response::Accepted {
+            id: "s-1".into(),
+            position: 0
+        }
+    );
+    assert!(matches!(frames[4], Response::Done { .. }));
+    let mut cold_cells: Vec<_> = frames[1..4]
+        .iter()
+        .map(|f| match f {
+            Response::Cell(cell) => {
+                assert_eq!(cell.status, CellStatus::Computed);
+                assert!(cell.metrics.is_some());
+                cell.clone()
+            }
+            other => panic!("expected Cell frames in the middle, got {other:?}"),
+        })
+        .collect();
+    cold_cells.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut expected_ids: Vec<String> = batch().iter().map(|s| s.id.clone()).collect();
+    expected_ids.sort_unstable();
+    let streamed_ids: Vec<&str> = cold_cells.iter().map(|c| c.id.as_str()).collect();
+    assert_eq!(
+        streamed_ids,
+        expected_ids.iter().map(String::as_str).collect::<Vec<_>>()
+    );
+
+    // Warm re-submission: every cell a Hit, payloads unchanged.
+    let mut warm_frames: Vec<Response> = Vec::new();
+    let outcome = c
+        .eval_streaming(EvalRequest::streaming("s-2", batch()), |_, frame| {
+            warm_frames.push(frame.clone())
+        })
+        .expect("warm stream completes");
+    assert_eq!(
+        outcome,
+        StreamOutcome::Done {
+            position: 0,
+            cells: 3,
+            hits: 3,
+            misses: 0
+        }
+    );
+    let mut warm_cells: Vec<_> = warm_frames
+        .iter()
+        .filter_map(|f| match f {
+            Response::Cell(cell) => Some(cell.clone()),
+            _ => None,
+        })
+        .collect();
+    warm_cells.sort_by(|a, b| a.id.cmp(&b.id));
+    for (cold, warm) in cold_cells.iter().zip(warm_cells.iter()) {
+        assert_eq!(cold.id, warm.id);
+        assert_eq!(cold.key, warm.key);
+        assert_eq!(warm.status, CellStatus::Hit);
+        assert_eq!(cold.metrics, warm.metrics, "{}", cold.id);
+    }
+
+    // The same connection still speaks v1 (buffered) afterwards.
+    let (_, buffered) = c
+        .eval_buffered(EvalRequest::new("v1-after-v2", batch()))
+        .expect("buffered exchange works");
+    assert_eq!((buffered.hits, buffered.misses), (3, 0));
+
+    c.shutdown().expect("clean shutdown");
+    assert!(child.wait().expect("exits").success());
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn queue_full_rejects_and_shutdown_drains_an_inflight_stream() {
+    let cache = temp_dir("busy");
+    // One admission slot: the heavy stream below owns it for seconds.
+    let (mut child, port) = spawn_server_with(&cache, &["--queue-depth", "1"]);
+
+    // Connection A: a forced streamed batch anchored by the fig6d
+    // Monte-Carlo study (seconds of compute), admitted first.
+    let mut a = client(port);
+    let mut heavy = EvalRequest::streaming(
+        "heavy",
+        vec![
+            Scenario::study(StudyId::Fig6d),
+            Scenario::study(StudyId::Fig9a),
+        ],
+    );
+    heavy.force = true;
+    a.send(&Request::Eval(heavy)).expect("heavy request sends");
+    let (_, first) = a.recv().expect("first frame arrives");
+    assert_eq!(
+        first,
+        Response::Accepted {
+            id: "heavy".into(),
+            position: 0
+        },
+        "the heavy stream holds the only slot from here on"
+    );
+
+    // Connection B, while A computes: v2 gets a Busy frame…
+    let mut b = client(port);
+    let tiny = || vec![Scenario::study(StudyId::Table2)];
+    let outcome = b
+        .eval_streaming(EvalRequest::streaming("tiny-v2", tiny()), |_, _| {})
+        .expect("exchange completes");
+    let StreamOutcome::Busy { retry_after_ms } = outcome else {
+        panic!("expected Busy beyond --queue-depth 1, got {outcome:?}");
+    };
+    assert!(retry_after_ms > 0, "hint must be actionable");
+
+    // …and v1 gets a typed refusal, not a hang.
+    let (_, refusal) = b
+        .eval_buffered(EvalRequest::new("tiny-v1", tiny()))
+        .expect("refusal arrives");
+    assert!(refusal.cells.is_empty());
+    assert_eq!(refusal.error.as_ref().unwrap().category(), "busy");
+
+    // B asks the server to shut down while A is still mid-stream.
+    b.shutdown().expect("bye mid-stream");
+
+    // A's stream must drain: both Cell frames, then Done.
+    let mut cells = 0;
+    loop {
+        match a.recv().expect("stream keeps flowing during drain") {
+            (_, Response::Cell(cell)) => {
+                assert_eq!(cell.status, CellStatus::Computed, "forced: never a hit");
+                cells += 1;
+            }
+            (_, Response::Done { id, hits, misses }) => {
+                assert_eq!(id, "heavy");
+                assert_eq!((hits, misses), (0, 2));
+                break;
+            }
+            (raw, other) => panic!("unexpected frame {other:?} ({raw})"),
+        }
+    }
+    assert_eq!(cells, 2);
+
+    // Only after the drain does the process exit, cleanly.
     assert!(child.wait().expect("exits").success());
     let _ = std::fs::remove_dir_all(cache);
 }
