@@ -38,7 +38,7 @@ pub use error::SweepError;
 pub use metrics::Metrics;
 pub use wire::{
     handle_line, handle_request, CellOutcome, CellStatus, EvalRequest, EvalResponse, Request,
-    Response, API_V1, API_V2, API_VERSION,
+    Response, StatusReport, API_V1, API_V2, API_VERSION,
 };
 
 use crate::scenario::Scenario;
@@ -78,13 +78,21 @@ impl Shard {
         Ok(Self { index, count })
     }
 
+    /// The positions (into a list of length `len`) this shard owns, in
+    /// ascending order — the round-robin rule itself, shared by
+    /// [`Shard::select`] and the cluster coordinator's fan-out
+    /// partitioning so the two cannot drift.
+    pub fn select_indices(&self, len: usize) -> Vec<usize> {
+        (0..len)
+            .filter(|i| i % self.count == self.index - 1)
+            .collect()
+    }
+
     /// The scenarios this shard owns, in original order.
     pub fn select(&self, scenarios: &[Scenario]) -> Vec<Scenario> {
-        scenarios
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % self.count == self.index - 1)
-            .map(|(_, s)| s.clone())
+        self.select_indices(scenarios.len())
+            .into_iter()
+            .map(|i| scenarios[i].clone())
             .collect()
     }
 }

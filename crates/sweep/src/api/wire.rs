@@ -24,8 +24,11 @@
 //! ← {"Done":{"id":"r-2","hits":0,"misses":2}}
 //! ```
 //!
-//! Control lines (`"Ping"`/`"Pong"`, `"Shutdown"`/`"Bye"`, `{"Error":…}`)
-//! are version-independent and byte-identical under both protocols.
+//! Control lines (`"Ping"`/`"Pong"`, `"Shutdown"`/`"Bye"`,
+//! `"Status"`/`{"Status":…}`, `{"Error":…}`) are version-independent and
+//! byte-identical under both protocols. The [`StatusReport`] answered to
+//! `"Status"` is the load-balancing input of the cluster coordinator:
+//! occupancy, queue depth, worker budget, and service counters.
 //!
 //! Responses deliberately exclude wall-clock timing: re-submitting the
 //! same request against a warm cache returns byte-identical bytes, which
@@ -186,8 +189,40 @@ pub enum Request {
     Eval(EvalRequest),
     /// Liveness check.
     Ping,
+    /// Occupancy/queue/counter snapshot — the load-balancing probe.
+    Status,
     /// Stop accepting connections and exit after responding.
     Shutdown,
+}
+
+/// A point-in-time snapshot of a server's load and service counters,
+/// answered to [`Request::Status`]. Control-plane only: it bypasses
+/// admission control, so a fully busy server still answers, which is
+/// what makes it usable as a load-balancing probe — the cluster
+/// coordinator ranks workers by `occupancy` before dispatching shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// What is answering: `"serve"` (a worker runtime), `"coordinator"`
+    /// (a cluster fan-out front), or `"inline"` (the in-process helper).
+    pub role: String,
+    /// Configured downstream worker hosts (0 for a single-box runtime).
+    pub workers: usize,
+    /// Evaluation requests currently admitted.
+    pub occupancy: usize,
+    /// The admission bound (`--queue-depth`).
+    pub queue_depth: usize,
+    /// The worker-thread budget (`--jobs`; 0 when not applicable).
+    pub jobs: usize,
+    /// Evaluation requests completed since startup.
+    pub served: u64,
+    /// Cells delivered across all completed requests.
+    pub cells: u64,
+    /// Cells served from the cache (or response memo).
+    pub hits: u64,
+    /// Cells computed (or failed) fresh.
+    pub misses: u64,
+    /// Evaluation requests rejected at admission (Busy).
+    pub rejected: u64,
 }
 
 /// One server line: a buffered v1 answer, a streamed v2 frame, or a
@@ -229,6 +264,8 @@ pub enum Response {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Status`]: load and service counters.
+    Status(StatusReport),
     /// Answer to [`Request::Shutdown`]; the server exits after sending.
     Bye,
     /// The line could not be decoded as a [`Request`] at all.
@@ -244,6 +281,13 @@ pub fn handle_request(request: Request, engine: &Engine) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::Shutdown => Response::Bye,
+        // The in-process helper has no gate or counters; it answers a
+        // degenerate report so `Status` stays version-independent here
+        // too. Live numbers come from `serve::Runtime`.
+        Request::Status => Response::Status(StatusReport {
+            role: "inline".into(),
+            ..StatusReport::default()
+        }),
         Request::Eval(req) => {
             if req.version != API_V1 {
                 return Response::Eval(EvalResponse::refusal(
@@ -370,6 +414,14 @@ mod tests {
         ));
         assert_eq!(handle_line("\"Ping\"", &engine), Response::Pong);
         assert_eq!(handle_line("\"Shutdown\"", &engine), Response::Bye);
+        let Response::Status(status) = handle_line("\"Status\"", &engine) else {
+            panic!("Status must answer a report even inline");
+        };
+        assert_eq!(status.role, "inline");
+        // The report survives the wire like every other frame.
+        let text = serde_json::to_string(&Response::Status(status.clone())).unwrap();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, Response::Status(status));
     }
 
     #[test]

@@ -1,16 +1,27 @@
 //! `yoco-serve` — the long-running service frontend of the sweep engine.
 //!
-//! Speaks the versioned NDJSON protocol of [`yoco_sweep::api`] over TCP
-//! through the shared [`yoco_sweep::serve::Runtime`]: one engine + cache
-//! for every connection, a bounded admission queue (`--queue-depth`), a
-//! worker budget split across in-flight requests (`--jobs`), and
-//! streamed protocol-v2 responses. Cache hits are served instantly; a
-//! warm re-submission of any batch is 100 % hits and byte-identical
-//! bytes.
+//! Speaks the versioned NDJSON protocol of [`yoco_sweep::api`] over TCP.
+//! Two modes share one accept loop ([`yoco_sweep::serve::serve_loop`]):
+//!
+//! * **single box** (default) — the shared [`yoco_sweep::serve::Runtime`]:
+//!   one engine + cache for every connection, a bounded admission queue
+//!   (`--queue-depth`, adaptive `retry_after_ms` hints), a worker budget
+//!   split across in-flight requests (`--jobs`), streamed protocol-v2
+//!   responses, and warm-response memoization. Cache hits are served
+//!   instantly; a warm re-submission of any batch is 100 % hits and
+//!   byte-identical bytes.
+//! * **coordinator** (`--coordinator`, with one `--worker HOST:PORT` per
+//!   worker host) — the [`yoco_sweep::cluster::Coordinator`]: client
+//!   requests are partitioned round-robin over the (occupancy-probed)
+//!   workers, streamed `Cell` frames merge back into one exchange, and
+//!   a worker lost mid-stream has its unfinished cells requeued onto
+//!   the survivors.
 //!
 //! ```text
 //! yoco-serve [--addr HOST:PORT] [--queue-depth N] [--jobs N]
 //!            [--no-cache] [--cache-dir PATH] [--quiet]
+//! yoco-serve --coordinator --worker HOST:PORT [--worker HOST:PORT]...
+//!            [--addr HOST:PORT] [--queue-depth N] [--quiet]
 //! ```
 //!
 //! The bound address is printed as the first stdout line — the ready
@@ -20,24 +31,26 @@
 //! drains in-flight work (streamed responses finish their frames), and
 //! exits 0.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::Write;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
-use yoco_sweep::serve::{LineSink, Runtime, ServeConfig, Served};
+use yoco_sweep::cluster::{serve_coordinator, ClusterConfig};
+use yoco_sweep::serve::{listen, serve_loop, LineHandler, Runtime, ServeConfig};
 use yoco_sweep::{Engine, ResultCache};
 
 fn usage() -> &'static str {
     "usage:\n  \
      yoco-serve [--addr HOST:PORT] [--queue-depth N] [--jobs N]\n             \
-     [--no-cache] [--cache-dir PATH] [--quiet]\n\n\
+     [--no-cache] [--cache-dir PATH] [--quiet]\n  \
+     yoco-serve --coordinator --worker HOST:PORT [--worker HOST:PORT]...\n             \
+     [--addr HOST:PORT] [--queue-depth N] [--quiet]\n\n\
      protocol: one JSON Request per line in, one or more JSON frames per line out\n  \
      {\"Eval\": {\"version\": 1, ...}}  -> one buffered EvalResponse line\n  \
      {\"Eval\": {\"version\": 2, ...}}  -> Accepted, Cell... (completion order), Done\n                                     \
      (or Busy when --queue-depth is exceeded)\n  \
-     \"Ping\" | \"Shutdown\""
+     \"Ping\" | \"Status\" | \"Shutdown\"\n\n\
+     with --coordinator, evaluations fan out over the --worker hosts\n  \
+     (each a stock yoco-serve) and merge back into one exchange"
 }
 
 fn main() -> ExitCode {
@@ -45,6 +58,9 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7177".to_owned();
     let mut engine = Engine::cached();
     let mut config = ServeConfig::default();
+    let mut coordinator = false;
+    let mut workers: Vec<String> = Vec::new();
+    let mut engine_flags: Vec<&str> = Vec::new();
     let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
@@ -58,6 +74,7 @@ fn main() -> ExitCode {
             }
             "--jobs" => {
                 i += 1;
+                engine_flags.push("--jobs");
                 match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
                     Some(n) if n > 0 => config.jobs = n,
                     _ => return fail("--jobs needs a positive integer"),
@@ -74,131 +91,76 @@ fn main() -> ExitCode {
             }
             "--cache-dir" => {
                 i += 1;
+                engine_flags.push("--cache-dir");
                 match args.get(i) {
                     Some(dir) => engine = engine.with_cache(ResultCache::at(dir)),
                     None => return fail("--cache-dir needs a path"),
                 }
             }
-            "--no-cache" => engine = engine.no_cache(),
+            "--no-cache" => {
+                engine_flags.push("--no-cache");
+                engine = engine.no_cache();
+            }
+            "--coordinator" => coordinator = true,
+            "--worker" => {
+                i += 1;
+                match args.get(i) {
+                    Some(w) => workers.push(w.clone()),
+                    None => return fail("--worker needs HOST:PORT"),
+                }
+            }
             "--quiet" => quiet = true,
             other => return fail(&format!("unknown flag `{other}`")),
         }
         i += 1;
     }
-
-    let listener = match TcpListener::bind(&addr) {
-        Ok(l) => l,
-        Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
-    };
-    let local = match listener.local_addr() {
-        Ok(a) => a,
-        Err(e) => return fail(&format!("cannot read bound address: {e}")),
-    };
-    println!("yoco-serve listening on {local}");
-    if !quiet {
-        if let Some(cache) = engine.cache() {
-            println!("cache: {}", cache.dir().display());
-        }
-        println!(
-            "queue depth {}, jobs budget {}",
-            config.queue_depth, config.jobs
-        );
+    if coordinator && workers.is_empty() {
+        return fail("--coordinator needs at least one --worker HOST:PORT");
     }
-    let _ = std::io::stdout().flush();
+    if !coordinator && !workers.is_empty() {
+        return fail("--worker only makes sense with --coordinator");
+    }
+    if coordinator && !engine_flags.is_empty() {
+        // Refuse rather than silently ignore: the coordinator evaluates
+        // nothing itself — workers own their engines and caches.
+        return fail(&format!(
+            "{} configure the single-box engine; a --coordinator evaluates nothing \
+             itself (set them on the workers instead)",
+            engine_flags.join("/")
+        ));
+    }
 
-    let runtime = Arc::new(Runtime::new(engine, config));
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let in_flight = Arc::new(AtomicUsize::new(0));
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match stream {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("warning: failed accept: {e}");
-                continue;
-            }
+    if coordinator {
+        let cluster = ClusterConfig {
+            workers,
+            queue_depth: config.queue_depth,
         };
-        let runtime = Arc::clone(&runtime);
-        let shutdown = Arc::clone(&shutdown);
-        let in_flight = Arc::clone(&in_flight);
-        std::thread::spawn(move || {
-            if let Err(e) = serve_connection(stream, &runtime, &shutdown, &in_flight, local, quiet)
-            {
-                eprintln!("warning: connection error: {e}");
-            }
-        });
-    }
-    // Drain: requests already being processed on other connections get
-    // their responses before the process exits (idle connections are
-    // dropped — only active work holds the counter). Evaluations are
-    // finite, pure compute, so this terminates. The counter is taken at
-    // line receipt, so the only droppable request is one whose line the
-    // kernel delivered but the handler thread has not yet observed —
-    // requiring two consecutive quiet observations keeps that window to
-    // a few instructions rather than a whole evaluation.
-    let mut quiet_checks = 0;
-    while quiet_checks < 2 {
-        if in_flight.load(Ordering::SeqCst) == 0 {
-            quiet_checks += 1;
-        } else {
-            quiet_checks = 0;
+        if let Err(e) = serve_coordinator(&addr, cluster, "yoco-serve", quiet) {
+            return fail(&format!("cannot bind {addr}: {e}"));
         }
-        std::thread::sleep(Duration::from_millis(25));
+    } else {
+        let (listener, local) = match listen(&addr) {
+            Ok(pair) => pair,
+            Err(e) => return fail(&format!("cannot bind {addr}: {e}")),
+        };
+        println!("yoco-serve listening on {local}");
+        if !quiet {
+            if let Some(cache) = engine.cache() {
+                println!("cache: {}", cache.dir().display());
+            }
+            println!(
+                "queue depth {}, jobs budget {}",
+                config.queue_depth, config.jobs
+            );
+        }
+        let _ = std::io::stdout().flush();
+        let handler: Arc<dyn LineHandler> = Arc::new(Runtime::new(engine, config));
+        serve_loop(listener, handler, quiet);
     }
     if !quiet {
         println!("yoco-serve shutting down");
     }
     ExitCode::SUCCESS
-}
-
-/// Handles one client connection: request lines in, response frames out
-/// through the shared runtime. Every request holds `in_flight` from
-/// decode to flushed response, so shutdown can drain active work
-/// (including streams mid-flight). On `Shutdown`, flips the flag and
-/// pokes the acceptor awake with a loopback connection so the process
-/// can exit.
-fn serve_connection(
-    stream: TcpStream,
-    runtime: &Runtime,
-    shutdown: &AtomicBool,
-    in_flight: &AtomicUsize,
-    local: std::net::SocketAddr,
-    quiet: bool,
-) -> std::io::Result<()> {
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "<unknown>".into());
-    // Streamed Cell frames are written from engine worker threads while
-    // the request holds an admission slot; a client that stops reading
-    // must time out (surfacing as a sink error that ends the stream)
-    // rather than blocking a worker — and the slot — forever.
-    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut sink = LineSink::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        in_flight.fetch_add(1, Ordering::SeqCst);
-        let served = runtime.handle_line(&line, &mut sink);
-        in_flight.fetch_sub(1, Ordering::SeqCst);
-        let served = served?;
-        if !quiet {
-            println!("[{peer}] {}", served.label());
-            let _ = std::io::stdout().flush();
-        }
-        if served == Served::Shutdown {
-            shutdown.store(true, Ordering::SeqCst);
-            // Unblock the accept loop; the flag makes it exit.
-            let _ = TcpStream::connect(local);
-            return Ok(());
-        }
-    }
-    Ok(())
 }
 
 fn fail(msg: &str) -> ExitCode {

@@ -11,16 +11,25 @@
 //! sweep cache stats|clear             # inspect / clear results/cache
 //! sweep cache gc --max-age-days 30 --max-bytes 64m
 //! sweep client ping                   # liveness check against yoco-serve
+//! sweep client status                 # occupancy/queue/counter probe
 //! sweep client run fig8               # evaluate on a server, streamed (v2)
 //! sweep client run fig8 --v1 --raw    # buffered v1 exchange, raw NDJSON out
 //! sweep client bench fig8 --requests 64 --out results/serve_bench.json
 //! sweep client shutdown               # drain and stop the server
+//! sweep cluster workers --worker H:P ...      # probe every worker's Status
+//! sweep cluster run fig8 --worker H:P ...     # one-shot multi-host fan-out
+//! sweep cluster serve --worker H:P ...        # long-running coordinator
 //! ```
 
 use serde::Serialize;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-use yoco_sweep::api::{CellStatus, EvalRequest, Response};
+use yoco_sweep::api::{CellStatus, EvalRequest, Request, Response, StatusReport};
+use yoco_sweep::cluster::{
+    fan_out, report_from_outcomes, select_workers, serve_coordinator, ClusterConfig, FanoutResult,
+    TcpPool,
+};
+use yoco_sweep::serve::DEFAULT_QUEUE_DEPTH;
 use yoco_sweep::{
     grids, root, Engine, GcBudget, ResultCache, Scenario, ServeClient, Shard, StreamOutcome,
     StudyId,
@@ -38,11 +47,17 @@ fn usage() -> &'static str {
      sweep cache stats|clear\n  \
      sweep cache gc [--max-age-days D] [--max-bytes N[k|m|g]]\n  \
      sweep client ping|shutdown [--addr HOST:PORT]\n  \
+     sweep client status [--addr HOST:PORT] [--raw]\n  \
      sweep client run <grid>|--file <path> [--addr HOST:PORT] [--v1] [--force]\n               \
      [--id ID] [--raw] [--quiet]\n  \
-     sweep client bench <grid> [--addr HOST:PORT] [--requests N] [--out <path>]\n\n\
-     run `sweep list` for the available grids; `client` exits 3 when the\n  \
-     server rejects the request with Busy"
+     sweep client bench <grid> [--addr HOST:PORT] [--requests N] [--out <path>]\n  \
+     sweep cluster workers --worker HOST:PORT [--worker HOST:PORT]...\n  \
+     sweep cluster run <grid>|--file <path> --worker HOST:PORT [--worker ...]\n                \
+     [--force] [--id ID] [--report <path>] [--quiet]\n  \
+     sweep cluster serve --worker HOST:PORT [--worker ...] [--addr HOST:PORT]\n                  \
+     [--queue-depth N] [--quiet]\n\n\
+     run `sweep list` for the available grids; `client` and `cluster run`\n  \
+     exit 3 when the server (or every worker) rejects the request with Busy"
 }
 
 fn main() -> ExitCode {
@@ -55,6 +70,7 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..]),
         Some("cache") => cache_cmd(&args[1..]),
         Some("client") => client_cmd(&args[1..]),
+        Some("cluster") => cluster_cmd(&args[1..]),
         _ => {
             eprintln!("{}", usage());
             ExitCode::FAILURE
@@ -343,9 +359,67 @@ fn client_cmd(args: &[String]) -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e),
         },
+        Some("status") => client_status(&addr, &rest),
         Some("run") => client_run(&addr, &rest),
         Some("bench") => client_bench(&addr, &rest),
-        _ => fail("client needs an action: ping, shutdown, run, or bench"),
+        _ => fail("client needs an action: ping, status, shutdown, run, or bench"),
+    }
+}
+
+/// One human-readable line per [`StatusReport`], shared by
+/// `sweep client status` and `sweep cluster workers`.
+fn status_line(report: &StatusReport) -> String {
+    let workers = if report.workers > 0 {
+        format!(", {} workers", report.workers)
+    } else {
+        String::new()
+    };
+    format!(
+        "{} occupancy {}/{}, jobs {}{workers}, served {} ({} cells: {} hits, {} misses), rejected {}",
+        report.role,
+        report.occupancy,
+        report.queue_depth,
+        report.jobs,
+        report.served,
+        report.cells,
+        report.hits,
+        report.misses,
+        report.rejected
+    )
+}
+
+fn client_status(addr: &str, args: &[String]) -> ExitCode {
+    let mut raw = false;
+    for arg in args {
+        match arg.as_str() {
+            "--raw" => raw = true,
+            other => return fail(&format!("unknown status flag `{other}`")),
+        }
+    }
+    let mut client = match connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    if raw {
+        if let Err(e) = client.send(&Request::Status) {
+            return fail(&format!("status failed: {e}"));
+        }
+        match client.recv() {
+            Ok((line, Response::Status(_))) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Ok((line, _)) => fail(&format!("expected Status, got {line}")),
+            Err(e) => fail(&format!("status failed: {e}")),
+        }
+    } else {
+        match client.status() {
+            Ok(report) => {
+                println!("{addr}: {}", status_line(&report));
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("status failed: {e}")),
+        }
     }
 }
 
@@ -622,6 +696,238 @@ fn client_bench(addr: &str, args: &[String]) -> ExitCode {
         eprintln!("error: bench was not warm ({misses} misses) — is the cache enabled?");
         ExitCode::FAILURE
     }
+}
+
+/// Pulls every `--worker HOST:PORT` out of a flag list, returning the
+/// workers and the remainder.
+fn take_workers(args: &[String]) -> Result<(Vec<String>, Vec<String>), String> {
+    let mut workers = Vec::new();
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--worker" {
+            i += 1;
+            match args.get(i) {
+                Some(w) => workers.push(w.clone()),
+                None => return Err("--worker needs HOST:PORT".into()),
+            }
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    Ok((workers, rest))
+}
+
+/// `sweep cluster …` — probe, drive, or front a set of worker hosts
+/// (each a stock `yoco-serve`) through the shard fan-out coordinator.
+fn cluster_cmd(args: &[String]) -> ExitCode {
+    let action = args.first().map(String::as_str);
+    let (workers, rest) = match take_workers(args.get(1..).unwrap_or(&[])) {
+        Ok(pair) => pair,
+        Err(e) => return fail(&e),
+    };
+    if workers.is_empty() {
+        return fail("cluster commands need at least one --worker HOST:PORT");
+    }
+    match action {
+        Some("workers") => cluster_workers(&workers, &rest),
+        Some("run") => cluster_run(&workers, &rest),
+        Some("serve") => cluster_serve(&workers, &rest),
+        _ => fail("cluster needs an action: workers, run, or serve"),
+    }
+}
+
+/// Probes every worker's `Status` and prints one line each; exits 0
+/// when at least one worker is reachable.
+fn cluster_workers(workers: &[String], rest: &[String]) -> ExitCode {
+    if let Some(flag) = rest.first() {
+        return fail(&format!("unknown workers flag `{flag}`"));
+    }
+    let pool = TcpPool::default();
+    // Probe concurrently (dead hosts cost one timeout, not their sum),
+    // print in configured order.
+    let results: Vec<Result<StatusReport, std::io::Error>> = std::thread::scope(|scope| {
+        let pool = &pool;
+        let handles: Vec<_> = workers
+            .iter()
+            .map(|addr| scope.spawn(move || yoco_sweep::cluster::WorkerPool::status(pool, addr)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("probe thread"))
+            .collect()
+    });
+    let mut live = 0;
+    for (addr, result) in workers.iter().zip(results) {
+        match result {
+            Ok(report) => {
+                live += 1;
+                println!("worker {addr}: {}", status_line(&report));
+            }
+            Err(e) => println!("worker {addr}: unreachable ({e})"),
+        }
+    }
+    println!("{live} of {} workers reachable", workers.len());
+    if live > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One-shot multi-host run: partition the grid over the live workers,
+/// merge the streamed cells, and (optionally) write the canonical
+/// report — which byte-diffs clean against `sweep run <grid> --report`
+/// on a single box.
+fn cluster_run(workers: &[String], args: &[String]) -> ExitCode {
+    let mut grid_name: Option<&str> = None;
+    let mut file: Option<&str> = None;
+    let mut report_path: Option<&str> = None;
+    let mut force = false;
+    let mut quiet = false;
+    let mut id = "cluster".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => file = Some(path),
+                    None => return fail("--file needs a path"),
+                }
+            }
+            "--report" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => report_path = Some(path),
+                    None => return fail("--report needs a path"),
+                }
+            }
+            "--id" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => id = v.clone(),
+                    None => return fail("--id needs a value"),
+                }
+            }
+            "--force" => force = true,
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag `{flag}`")),
+            name => {
+                if grid_name.is_some() {
+                    return fail("only one grid per run");
+                }
+                grid_name = Some(name);
+            }
+        }
+        i += 1;
+    }
+    let scenarios = match load_scenarios(grid_name, file) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let pool = TcpPool::default();
+    let selected = select_workers(&pool, workers);
+    if selected.is_empty() {
+        return fail(&format!(
+            "none of the {} configured workers is reachable",
+            workers.len()
+        ));
+    }
+    if !quiet {
+        println!(
+            "fan-out over {} of {} workers: {}",
+            selected.len(),
+            workers.len(),
+            selected.join(", ")
+        );
+    }
+    let start = Instant::now();
+    let result = fan_out(&pool, &selected, &id, &scenarios, force, &|cell, _| {
+        if !quiet {
+            println!("  cell {} {}", cell.id, status_word(cell.status));
+        }
+    });
+    let outcome = match result {
+        FanoutResult::AllBusy { retry_after_ms } => {
+            eprintln!("error: every worker is busy (retry after {retry_after_ms} ms)");
+            return ExitCode::from(EXIT_BUSY);
+        }
+        FanoutResult::Ran(outcome) => outcome,
+    };
+    let report = report_from_outcomes(
+        &scenarios,
+        &outcome.cells,
+        start.elapsed().as_millis() as u64,
+    );
+    if !outcome.dead.is_empty() {
+        eprintln!(
+            "warning: lost {} worker(s) mid-run ({}); unfinished shards were requeued \
+             over {} round(s)",
+            outcome.dead.len(),
+            outcome.dead.join(", "),
+            outcome.rounds
+        );
+    }
+    println!("{}", report.cache_summary());
+    for (cell_id, e) in report.errors() {
+        eprintln!("error: {cell_id}: {e}");
+    }
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(path, report.canonical_json()) {
+            return fail(&format!("cannot write report {path}: {e}"));
+        }
+        if !quiet {
+            println!("canonical report written to {path}");
+        }
+    }
+    if report.errors().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Long-running coordinator over TCP: the same protocol endpoint as
+/// `yoco-serve --coordinator`, on the shared accept loop.
+fn cluster_serve(workers: &[String], args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7178".to_owned();
+    let mut queue_depth = DEFAULT_QUEUE_DEPTH;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => addr = a.clone(),
+                    None => return fail("--addr needs HOST:PORT"),
+                }
+            }
+            "--queue-depth" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => queue_depth = n,
+                    None => return fail("--queue-depth needs a non-negative integer"),
+                }
+            }
+            "--quiet" => quiet = true,
+            other => return fail(&format!("unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+    let cluster = ClusterConfig {
+        workers: workers.to_vec(),
+        queue_depth,
+    };
+    if let Err(e) = serve_coordinator(&addr, cluster, "yoco-cluster", quiet) {
+        return fail(&format!("cannot bind {addr}: {e}"));
+    }
+    if !quiet {
+        println!("yoco-cluster shutting down");
+    }
+    ExitCode::SUCCESS
 }
 
 fn status_word(status: CellStatus) -> &'static str {

@@ -7,9 +7,9 @@
 //! service-level tests both drive the server through this type instead
 //! of hand-rolled socket code.
 
-use crate::api::{EvalRequest, Request, Response};
+use crate::api::{EvalRequest, Request, Response, StatusReport};
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// How a streamed (protocol-v2) exchange ended.
@@ -41,9 +41,41 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connects to `addr` (`HOST:PORT`).
+    /// Connects to `addr` (`HOST:PORT`) with the OS default connect
+    /// timeout.
     pub fn connect(addr: &str) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects to `addr` (`HOST:PORT`), giving up on each resolved
+    /// address after `timeout` (like `TcpStream::connect`, every
+    /// address is tried — a dual-stack hostname whose first record is
+    /// unreachable still connects via the next; worst case is one
+    /// timeout per address). This is what the cluster coordinator's
+    /// worker probes use: a host that blackholes SYNs must cost a
+    /// bounded wait, not the OS default of minutes.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let mut last_err = None;
+        for target in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&target, timeout) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("`{addr}` resolves to no address"),
+            )
+        }))
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        // The protocol is many small frames with request/response
+        // turnarounds; leaving Nagle on costs a delayed-ACK stall
+        // (~40 ms) per exchange, which used to dominate warm-path
+        // latency end to end.
+        stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self { stream, reader })
     }
@@ -83,6 +115,18 @@ impl ServeClient {
         match self.recv()? {
             (_, Response::Pong) => Ok(()),
             (raw, _) => Err(io::Error::other(format!("expected Pong, got {raw}"))),
+        }
+    }
+
+    /// Load probe: `Status` → the server's [`StatusReport`]. Control
+    /// plane — answers even when the admission queue is full, which is
+    /// what makes it usable for load balancing (the cluster coordinator
+    /// ranks workers with exactly this call).
+    pub fn status(&mut self) -> io::Result<StatusReport> {
+        self.send(&Request::Status)?;
+        match self.recv()? {
+            (_, Response::Status(report)) => Ok(report),
+            (raw, _) => Err(io::Error::other(format!("expected Status, got {raw}"))),
         }
     }
 
@@ -152,7 +196,7 @@ impl ServeClient {
                 Response::Error(e) => {
                     return Err(io::Error::other(format!("server rejected the line: {e}")));
                 }
-                Response::Pong | Response::Bye => {
+                Response::Pong | Response::Bye | Response::Status(_) => {
                     return Err(io::Error::other(format!(
                         "unexpected control frame mid-stream: {raw}"
                     )));

@@ -17,10 +17,17 @@
 //!   frontends;
 //! * [`serve`] — the server runtime behind `yoco-serve`: one shared
 //!   engine + cache behind an admission [`serve::Gate`]
-//!   (`--queue-depth`), a worker budget split across in-flight requests,
-//!   and streamed protocol-v2 responses;
+//!   (`--queue-depth`, adaptive `retry_after_ms` hints), a worker budget
+//!   split across in-flight requests, streamed protocol-v2 responses,
+//!   warm-response memoization, and the `Status` observability frame;
+//! * [`cluster`] — the multi-host shard fan-out coordinator
+//!   ([`Coordinator`]): one client request partitioned round-robin over
+//!   worker hosts (each a stock `yoco-serve`), streamed `Cell` frames
+//!   merged back into one v1/v2 exchange, unfinished shards requeued on
+//!   worker loss;
 //! * [`client`] — the matching blocking client ([`ServeClient`]), used
-//!   by `sweep client` and the service-level tests;
+//!   by `sweep client`, the cluster coordinator's dispatch path, and the
+//!   service-level tests;
 //! * [`cache`] — a content-addressed result cache under `results/cache/`,
 //!   keyed by a stable hash of the scenario plus the evaluator version
 //!   ([`hash`]), with age/size garbage collection ([`cache::GcBudget`]);
@@ -53,6 +60,7 @@
 pub mod api;
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod engine;
 pub mod eval;
 pub mod executor;
@@ -65,10 +73,12 @@ pub mod serve;
 pub mod studies;
 
 pub use api::{
-    EvalRequest, EvalResponse, Metrics, ScenarioBuilder, Shard, SweepError, API_VERSION,
+    EvalRequest, EvalResponse, Metrics, ScenarioBuilder, Shard, StatusReport, SweepError,
+    API_VERSION,
 };
 pub use cache::{CacheStats, GcBudget, GcOutcome, ResultCache};
 pub use client::{ServeClient, StreamOutcome};
+pub use cluster::{ClusterConfig, Coordinator};
 pub use engine::{CellResult, Engine, SweepReport};
 pub use eval::{AttentionMetrics, GemmMetrics};
 pub use grids::{DseGrid, GridSpec, DSE_AXES, DSE_GRIDS, DSE_WORKLOADS};

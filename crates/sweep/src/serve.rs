@@ -9,7 +9,9 @@
 //!   requests in flight (`--queue-depth`). Requests beyond the bound are
 //!   answered immediately — a `Busy` frame for protocol-v2 clients, a
 //!   [`SweepError::Busy`] refusal for v1 clients — instead of queueing
-//!   without limit.
+//!   without limit. The `retry_after_ms` hint adapts: it is derived from
+//!   an EWMA of observed per-request service time ([`Gate::record_service`]),
+//!   with the fixed [`RETRY_QUANTUM_MS`] as the cold-start prior.
 //! * **Worker budgeting** — the server's `--jobs` budget is split
 //!   evenly across requests in flight at admission time
 //!   ([`split_jobs`]), so a request arriving behind a huge batch still
@@ -19,26 +21,56 @@
 //!   (`Accepted` at admission, one `Cell` frame per scenario in
 //!   completion order via [`Engine::run_with`], then `Done`), so large
 //!   grids report progress instead of going silent.
+//! * **Warm-path memoization** — a bounded in-memory memo keyed by the
+//!   request's scenario list holds the pre-serialized `Cell` frame bytes
+//!   (and the matching buffered cells) of completed batches, so a warm
+//!   repeat skips both the per-cell cache re-reads and the per-request
+//!   re-serialization that bounded throughput before.
+//! * **Observability** — a `"Status"` control line answers a
+//!   [`StatusReport`] (occupancy, queue depth, jobs, service counters)
+//!   without touching the gate, so load balancers — including the
+//!   [`crate::cluster`] coordinator — can probe a fully busy server.
 //!
 //! Frames leave through the [`FrameSink`] trait, so the whole dispatch
 //! ([`Runtime::handle_line`]) is testable in process — `Vec<Response>`
-//! is a sink — while the binary plugs in a [`LineSink`] over the TCP
-//! stream.
+//! is a sink — while the binaries plug a [`LineSink`] over the TCP
+//! stream via the shared accept loop ([`serve_loop`], generic over
+//! [`LineHandler`] so the cluster coordinator reuses it unchanged).
 
-use crate::api::{CellOutcome, EvalResponse, Request, Response, SweepError, API_V1, API_V2};
-use crate::engine::Engine;
+use crate::api::{
+    CellOutcome, CellStatus, EvalResponse, Request, Response, StatusReport, SweepError, API_V1,
+    API_V2,
+};
+use crate::engine::{Engine, SweepReport};
 use crate::executor;
-use std::io::{self, Write};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Default bound on concurrently admitted evaluation requests.
 pub const DEFAULT_QUEUE_DEPTH: usize = 4;
 
-/// The per-request service quantum the `retry_after_ms` hint is derived
-/// from: a rejected client is told to back off roughly one quantum
-/// divided by the queue depth — slots drain concurrently, so the deeper
-/// the queue, the sooner one is expected to free up.
+/// The cold-start prior for the `retry_after_ms` hint: before any
+/// request has completed, a rejected client is told to back off roughly
+/// one quantum divided by the queue depth — slots drain concurrently, so
+/// the deeper the queue, the sooner one is expected to free up. Once
+/// requests complete, the observed service-time EWMA replaces this
+/// constant as the numerator.
 pub const RETRY_QUANTUM_MS: u64 = 250;
+
+/// Smoothing factor of the service-time EWMA: each completed request
+/// pulls the estimate a quarter of the way toward its own service time,
+/// so the hint tracks load shifts within a few requests without
+/// thrashing on one outlier.
+pub const SERVICE_EWMA_ALPHA: f64 = 0.25;
+
+/// Bound on memoized warm responses. Past it the memo is cleared
+/// wholesale before inserting — crude, but the memo is a pure cache of
+/// deterministic results, so eviction can never be wrong, only cold.
+const MEMO_CAP: usize = 64;
 
 /// Sizing of the runtime: admission bound and worker budget.
 #[derive(Debug, Clone, Copy)]
@@ -71,11 +103,16 @@ pub struct Busy {
 ///
 /// Admission order is arrival order at the lock; there is deliberately
 /// no waiting list — a full gate answers [`Busy`] immediately so clients
-/// hold the backoff, not the server.
+/// hold the backoff, not the server. Dropped tickets feed the observed
+/// service time into an EWMA ([`Gate::record_service`]) that the busy
+/// hint is derived from.
 #[derive(Debug)]
 pub struct Gate {
     depth: usize,
     occupied: Mutex<usize>,
+    /// EWMA of observed per-request service time in milliseconds;
+    /// `None` until the first request completes (cold-start prior).
+    service_ewma_ms: Mutex<Option<f64>>,
 }
 
 impl Gate {
@@ -84,19 +121,19 @@ impl Gate {
         Self {
             depth,
             occupied: Mutex::new(0),
+            service_ewma_ms: Mutex::new(None),
         }
     }
 
     /// Tries to admit one request. On success the returned [`Ticket`]
     /// holds the slot until dropped; its `position` is the number of
     /// requests already in flight (`0` = running alone). On rejection
-    /// the [`Busy`] hint shrinks as depth grows (more slots drain
-    /// concurrently, so one frees up sooner).
+    /// the [`Busy`] hint is [`Gate::retry_hint_ms`].
     pub fn try_enter(&self) -> Result<Ticket<'_>, Busy> {
         let mut occupied = self.occupied.lock().expect("gate lock");
         if *occupied >= self.depth {
             return Err(Busy {
-                retry_after_ms: (RETRY_QUANTUM_MS / self.depth.max(1) as u64).max(1),
+                retry_after_ms: self.retry_hint_ms(),
             });
         }
         let position = *occupied;
@@ -104,6 +141,8 @@ impl Gate {
         Ok(Ticket {
             gate: self,
             position,
+            entered: Instant::now(),
+            record: true,
         })
     }
 
@@ -116,13 +155,48 @@ impl Gate {
     pub fn depth(&self) -> usize {
         self.depth
     }
+
+    /// Folds one completed request's service time into the EWMA behind
+    /// the busy hint. Called by [`Ticket`] on drop; exposed so tests can
+    /// drive convergence with synthetic durations.
+    pub fn record_service(&self, elapsed: Duration) {
+        let ms = elapsed.as_secs_f64() * 1e3;
+        let mut ewma = self.service_ewma_ms.lock().expect("gate ewma lock");
+        *ewma = Some(match *ewma {
+            None => ms,
+            Some(prev) => prev + SERVICE_EWMA_ALPHA * (ms - prev),
+        });
+    }
+
+    /// The current per-request service-time estimate in milliseconds:
+    /// the EWMA of completed requests, or the [`RETRY_QUANTUM_MS`] prior
+    /// before anything has completed.
+    pub fn service_estimate_ms(&self) -> f64 {
+        self.service_ewma_ms
+            .lock()
+            .expect("gate ewma lock")
+            .unwrap_or(RETRY_QUANTUM_MS as f64)
+    }
+
+    /// The backoff hint for a rejected request: the service-time
+    /// estimate divided by the queue depth (slots drain concurrently, so
+    /// one is expected to free up after an estimate's worth of work
+    /// spread over `depth` lanes), rounded to the nearest millisecond
+    /// and floored at 1 ms so the hint is always actionable.
+    pub fn retry_hint_ms(&self) -> u64 {
+        let per_slot = self.service_estimate_ms() / self.depth.max(1) as f64;
+        (per_slot.round() as u64).max(1)
+    }
 }
 
-/// An admitted request's slot; dropping it releases the slot.
+/// An admitted request's slot; dropping it releases the slot and
+/// records the held duration as one service-time observation.
 #[derive(Debug)]
 pub struct Ticket<'a> {
     gate: &'a Gate,
     position: usize,
+    entered: Instant,
+    record: bool,
 }
 
 impl Ticket<'_> {
@@ -130,10 +204,22 @@ impl Ticket<'_> {
     pub fn position(&self) -> usize {
         self.position
     }
+
+    /// Excludes this request from the service-time EWMA. Used by the
+    /// warm-memo replay path: memo hits complete in microseconds and
+    /// never cause queueing, so folding them in would collapse the
+    /// busy hint to nothing while the *slow* requests that actually
+    /// occupy slots keep clients waiting.
+    pub fn skip_service_record(&mut self) {
+        self.record = false;
+    }
 }
 
 impl Drop for Ticket<'_> {
     fn drop(&mut self) {
+        if self.record {
+            self.gate.record_service(self.entered.elapsed());
+        }
         *self.gate.occupied.lock().expect("gate lock") -= 1;
     }
 }
@@ -151,6 +237,42 @@ pub fn split_jobs(budget: usize, in_flight: usize) -> usize {
     (budget / in_flight.max(1)).max(1)
 }
 
+/// Monotonic service counters shared by the runtime and the cluster
+/// coordinator, surfaced through [`StatusReport`].
+#[derive(Debug, Default)]
+pub struct Tally {
+    served: AtomicU64,
+    cells: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Tally {
+    /// Records one completed evaluation.
+    pub fn note_eval(&self, cells: usize, hits: usize, misses: usize) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.cells.fetch_add(cells as u64, Ordering::Relaxed);
+        self.hits.fetch_add(hits as u64, Ordering::Relaxed);
+        self.misses.fetch_add(misses as u64, Ordering::Relaxed);
+    }
+
+    /// Records one admission rejection.
+    pub fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters into a partially filled [`StatusReport`]
+    /// (the caller supplies role, sizing, and occupancy).
+    pub fn fill(&self, report: &mut StatusReport) {
+        report.served = self.served.load(Ordering::Relaxed);
+        report.cells = self.cells.load(Ordering::Relaxed);
+        report.hits = self.hits.load(Ordering::Relaxed);
+        report.misses = self.misses.load(Ordering::Relaxed);
+        report.rejected = self.rejected.load(Ordering::Relaxed);
+    }
+}
+
 /// Where response frames go: the runtime's only output channel.
 ///
 /// `Send` because streamed `Cell` frames are emitted from the engine's
@@ -159,6 +281,17 @@ pub trait FrameSink: Send {
     /// Delivers one frame; for socket sinks this is serialize + write +
     /// flush, so a returned error means the client is gone.
     fn send(&mut self, frame: &Response) -> io::Result<()>;
+
+    /// Delivers one already-serialized frame line (no trailing newline).
+    /// The warm-path memo and the cluster coordinator forward frames as
+    /// raw bytes through this, skipping re-serialization; the default
+    /// decodes and falls back to [`FrameSink::send`] so in-process
+    /// collector sinks still see typed frames.
+    fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        let frame = serde_json::from_str::<Response>(line)
+            .map_err(|e| io::Error::other(format!("undecodable raw frame {line:?}: {e}")))?;
+        self.send(&frame)
+    }
 }
 
 /// The in-process collector sink used by tests and embedders.
@@ -188,6 +321,11 @@ impl<W: Write + Send> FrameSink for LineSink<W> {
     fn send(&mut self, frame: &Response) -> io::Result<()> {
         let text = serde_json::to_string(frame).map_err(|e| io::Error::other(e.to_string()))?;
         writeln!(self.inner, "{text}")?;
+        self.inner.flush()
+    }
+
+    fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.inner, "{line}")?;
         self.inner.flush()
     }
 }
@@ -225,6 +363,8 @@ pub enum Served {
     },
     /// A liveness check.
     Ping,
+    /// A load/counter probe.
+    Status,
     /// A shutdown request — the caller should stop accepting and drain.
     Shutdown,
     /// A line that did not decode as a request.
@@ -250,10 +390,20 @@ impl Served {
             }
             Served::Refused { id } => format!("eval {id}: refused (unsupported version)"),
             Served::Ping => "ping".into(),
+            Served::Status => "status".into(),
             Served::Shutdown => "shutdown".into(),
             Served::Malformed => "bad request".into(),
         }
     }
+}
+
+/// One fully served batch, memoized for warm repeats: the buffered cell
+/// outcomes (statuses already rewritten to `Hit`, scenario order) and
+/// the matching pre-serialized `Cell` frame lines.
+#[derive(Debug)]
+struct WarmEntry {
+    cells: Vec<CellOutcome>,
+    lines: Vec<String>,
 }
 
 /// The shared server runtime: one engine + cache + admission gate,
@@ -265,6 +415,8 @@ pub struct Runtime {
     engine: Engine,
     gate: Gate,
     jobs_budget: usize,
+    tally: Tally,
+    memo: Mutex<HashMap<String, Arc<WarmEntry>>>,
 }
 
 impl Runtime {
@@ -275,6 +427,8 @@ impl Runtime {
             engine,
             gate: Gate::new(config.queue_depth),
             jobs_budget: config.jobs.max(1),
+            tally: Tally::default(),
+            memo: Mutex::new(HashMap::new()),
         }
     }
 
@@ -288,44 +442,90 @@ impl Runtime {
         &self.engine
     }
 
+    /// The current [`StatusReport`]: occupancy, sizing, and service
+    /// counters. Control-plane — never touches the gate.
+    pub fn status(&self) -> StatusReport {
+        let mut report = StatusReport {
+            role: "serve".into(),
+            occupancy: self.gate.occupancy(),
+            queue_depth: self.gate.depth(),
+            jobs: self.jobs_budget,
+            ..StatusReport::default()
+        };
+        self.tally.fill(&mut report);
+        report
+    }
+
     /// Handles one request line end to end, emitting every reply frame
     /// through `sink`. An `Err` means the sink failed (client gone) —
     /// the protocol itself never errors out of this function.
     pub fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served> {
-        let request = match serde_json::from_str::<Request>(line) {
-            Ok(request) => request,
-            Err(e) => {
-                sink.send(&Response::Error(SweepError::schema("request line", e)))?;
-                return Ok(Served::Malformed);
-            }
-        };
-        match request {
-            Request::Ping => {
-                sink.send(&Response::Pong)?;
-                Ok(Served::Ping)
-            }
-            Request::Shutdown => {
-                sink.send(&Response::Bye)?;
-                Ok(Served::Shutdown)
-            }
-            Request::Eval(req) => match req.version {
-                API_V1 => self.eval_buffered(req, sink),
-                API_V2 => self.eval_streaming(req, sink),
-                other => {
-                    sink.send(&Response::Eval(EvalResponse::refusal(
-                        req.id.clone(),
-                        SweepError::schema(
-                            "request envelope",
-                            format!(
-                                "client speaks version {other}, server speaks {API_V1} \
-                                 (buffered) and {API_V2} (streamed)"
-                            ),
-                        ),
-                    )))?;
-                    Ok(Served::Refused { id: req.id })
-                }
-            },
+        dispatch_line(
+            line,
+            sink,
+            "server",
+            || self.status(),
+            |req, sink| self.eval_buffered(req, sink),
+            |req, sink| self.eval_streaming(req, sink),
+        )
+    }
+
+    /// The memo key of a request: a stable content hash over the full
+    /// scenario list (display ids included — they appear in cell
+    /// frames, so differently labeled but otherwise identical batches
+    /// must not share an entry).
+    fn memo_key(scenarios: &[crate::scenario::Scenario]) -> String {
+        let canonical =
+            serde_json::to_string(scenarios).expect("scenario serialization is infallible");
+        crate::hash::content_key(&canonical)
+    }
+
+    /// The memoized warm entry for a request, if the warm path applies:
+    /// the memo mirrors the result cache, so it is only consulted when a
+    /// cache is attached (without one, a repeat request genuinely
+    /// recomputes and must report misses) and never under `force`.
+    fn memo_lookup(&self, req: &crate::api::EvalRequest) -> Option<Arc<WarmEntry>> {
+        if req.force || self.engine.cache().is_none() {
+            return None;
         }
+        self.memo
+            .lock()
+            .expect("memo lock")
+            .get(&Self::memo_key(&req.scenarios))
+            .cloned()
+    }
+
+    /// Memoizes a completed batch for warm repeats. Failed cells are
+    /// never memoized (a retry should re-attempt them), and without a
+    /// cache the memo stays off entirely.
+    fn memo_store(&self, req: &crate::api::EvalRequest, report: &SweepReport) {
+        if self.engine.cache().is_none() || report.cells.iter().any(|c| c.error.is_some()) {
+            return;
+        }
+        let cells: Vec<CellOutcome> = report
+            .cells
+            .iter()
+            .map(|c| {
+                let mut outcome = CellOutcome::from_cell(c);
+                outcome.status = CellStatus::Hit;
+                outcome
+            })
+            .collect();
+        let lines: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                serde_json::to_string(&Response::Cell(c.clone()))
+                    .expect("frame serialization is infallible")
+            })
+            .collect();
+        let mut memo = self.memo.lock().expect("memo lock");
+        if memo.len() >= MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(
+            Self::memo_key(&req.scenarios),
+            Arc::new(WarmEntry { cells, lines }),
+        );
     }
 
     /// Protocol v1: admission, then one buffered [`EvalResponse`] line.
@@ -337,22 +537,39 @@ impl Runtime {
         let ticket = match self.gate.try_enter() {
             Ok(ticket) => ticket,
             Err(busy) => {
-                sink.send(&Response::Eval(EvalResponse::refusal(
-                    req.id.clone(),
-                    SweepError::Busy {
-                        retry_after_ms: busy.retry_after_ms,
-                    },
-                )))?;
-                return Ok(Served::Rejected {
-                    id: req.id,
-                    retry_after_ms: busy.retry_after_ms,
-                });
+                return reject_buffered(sink, &self.tally, req.id, busy.retry_after_ms);
             }
         };
+        if let Some(entry) = self.memo_lookup(&req) {
+            let mut ticket = ticket;
+            ticket.skip_service_record();
+            let n = entry.cells.len();
+            let response = EvalResponse {
+                version: API_V1,
+                id: req.id.clone(),
+                cells: entry.cells.clone(),
+                hits: n,
+                misses: 0,
+                error: None,
+            };
+            sink.send(&Response::Eval(response))?;
+            drop(ticket);
+            self.tally.note_eval(n, n, 0);
+            return Ok(Served::Eval {
+                id: req.id,
+                cells: n,
+                hits: n,
+                misses: 0,
+                streamed: false,
+            });
+        }
         let report = self.request_engine(req.force).run(&req.scenarios);
+        self.memo_store(&req, &report);
         let response = EvalResponse::from_report(req.id.clone(), &report);
         sink.send(&Response::Eval(response))?;
         drop(ticket);
+        self.tally
+            .note_eval(report.cells.len(), report.hits, report.misses);
         Ok(Served::Eval {
             id: req.id,
             cells: report.cells.len(),
@@ -364,7 +581,8 @@ impl Runtime {
 
     /// Protocol v2: `Accepted` at admission, a `Cell` frame per scenario
     /// in completion order, then `Done` — or one `Busy` frame when the
-    /// gate is full.
+    /// gate is full. Warm repeats of memoized batches replay the
+    /// pre-serialized frame bytes instead of re-reading the cache.
     fn eval_streaming(
         &self,
         req: crate::api::EvalRequest,
@@ -373,38 +591,47 @@ impl Runtime {
         let ticket = match self.gate.try_enter() {
             Ok(ticket) => ticket,
             Err(busy) => {
-                sink.send(&Response::Busy {
-                    id: req.id.clone(),
-                    retry_after_ms: busy.retry_after_ms,
-                })?;
-                return Ok(Served::Rejected {
-                    id: req.id,
-                    retry_after_ms: busy.retry_after_ms,
-                });
+                return reject_streaming(sink, &self.tally, req.id, busy.retry_after_ms);
             }
         };
         sink.send(&Response::Accepted {
             id: req.id.clone(),
             position: ticket.position(),
         })?;
+        if let Some(entry) = self.memo_lookup(&req) {
+            let mut ticket = ticket;
+            ticket.skip_service_record();
+            let n = entry.lines.len();
+            for line in &entry.lines {
+                sink.send_raw(line)?;
+            }
+            sink.send(&Response::Done {
+                id: req.id.clone(),
+                hits: n,
+                misses: 0,
+            })?;
+            drop(ticket);
+            self.tally.note_eval(n, n, 0);
+            return Ok(Served::Eval {
+                id: req.id,
+                cells: n,
+                hits: n,
+                misses: 0,
+                streamed: true,
+            });
+        }
         // Cell frames are written from the engine's worker threads;
-        // serialize them through a mutex, and past the first transport
-        // error stop writing but let the computation finish (the cache
-        // still fills, so the client's retry is warm).
-        let shared: Mutex<(&mut dyn FrameSink, Option<io::Error>)> = Mutex::new((sink, None));
+        // the latch serializes them and, past the first transport
+        // error, stops writing but lets the computation finish (the
+        // cache still fills, so the client's retry is warm).
+        let latch = LatchSink::new(sink);
         let report = self
             .request_engine(req.force)
             .run_with(&req.scenarios, |_, cell| {
-                let mut guard = shared.lock().expect("sink lock");
-                if guard.1.is_some() {
-                    return;
-                }
-                let frame = Response::Cell(CellOutcome::from_cell(cell));
-                if let Err(e) = guard.0.send(&frame) {
-                    guard.1 = Some(e);
-                }
+                latch.send(&Response::Cell(CellOutcome::from_cell(cell)));
             });
-        let (sink, error) = shared.into_inner().expect("sink lock");
+        self.memo_store(&req, &report);
+        let (sink, error) = latch.finish();
         if let Some(e) = error {
             return Err(e);
         }
@@ -414,6 +641,8 @@ impl Runtime {
             misses: report.misses,
         })?;
         drop(ticket);
+        self.tally
+            .note_eval(report.cells.len(), report.hits, report.misses);
         Ok(Served::Eval {
             id: req.id,
             cells: report.cells.len(),
@@ -432,10 +661,283 @@ impl Runtime {
     }
 }
 
+/// The shared request-line dispatch of the single-box [`Runtime`] and
+/// the cluster [`Coordinator`](crate::cluster::Coordinator): decode,
+/// control frames (`Ping`/`Status`/`Shutdown`), malformed lines, and
+/// version routing with the unsupported-version refusal — everything
+/// that must stay byte-identical between the two endpoints lives here
+/// exactly once. The caller supplies its status snapshot and the two
+/// eval paths; `speaker` names the endpoint in the refusal text.
+pub(crate) fn dispatch_line(
+    line: &str,
+    sink: &mut dyn FrameSink,
+    speaker: &str,
+    status: impl FnOnce() -> StatusReport,
+    eval_buffered: impl FnOnce(crate::api::EvalRequest, &mut dyn FrameSink) -> io::Result<Served>,
+    eval_streaming: impl FnOnce(crate::api::EvalRequest, &mut dyn FrameSink) -> io::Result<Served>,
+) -> io::Result<Served> {
+    let request = match serde_json::from_str::<Request>(line) {
+        Ok(request) => request,
+        Err(e) => {
+            sink.send(&Response::Error(SweepError::schema("request line", e)))?;
+            return Ok(Served::Malformed);
+        }
+    };
+    match request {
+        Request::Ping => {
+            sink.send(&Response::Pong)?;
+            Ok(Served::Ping)
+        }
+        Request::Status => {
+            sink.send(&Response::Status(status()))?;
+            Ok(Served::Status)
+        }
+        Request::Shutdown => {
+            sink.send(&Response::Bye)?;
+            Ok(Served::Shutdown)
+        }
+        Request::Eval(req) => match req.version {
+            API_V1 => eval_buffered(req, sink),
+            API_V2 => eval_streaming(req, sink),
+            other => {
+                sink.send(&Response::Eval(EvalResponse::refusal(
+                    req.id.clone(),
+                    SweepError::schema(
+                        "request envelope",
+                        format!(
+                            "client speaks version {other}, {speaker} speaks {API_V1} \
+                             (buffered) and {API_V2} (streamed)"
+                        ),
+                    ),
+                )))?;
+                Ok(Served::Refused { id: req.id })
+            }
+        },
+    }
+}
+
+/// The shared admission-rejection path for buffered (v1) requests: a
+/// typed `Busy` refusal inside the envelope, with the tally and
+/// [`Served`] bookkeeping both endpoints need.
+pub(crate) fn reject_buffered(
+    sink: &mut dyn FrameSink,
+    tally: &Tally,
+    id: String,
+    retry_after_ms: u64,
+) -> io::Result<Served> {
+    tally.note_rejected();
+    sink.send(&Response::Eval(EvalResponse::refusal(
+        id.clone(),
+        SweepError::Busy { retry_after_ms },
+    )))?;
+    Ok(Served::Rejected { id, retry_after_ms })
+}
+
+/// The shared admission-rejection path for streamed (v2) requests: one
+/// `Busy` frame (also used when a cluster fan-out finds every worker
+/// busy after `Accepted` already went out).
+pub(crate) fn reject_streaming(
+    sink: &mut dyn FrameSink,
+    tally: &Tally,
+    id: String,
+    retry_after_ms: u64,
+) -> io::Result<Served> {
+    tally.note_rejected();
+    sink.send(&Response::Busy {
+        id: id.clone(),
+        retry_after_ms,
+    })?;
+    Ok(Served::Rejected { id, retry_after_ms })
+}
+
+/// A shared-by-reference adapter over a [`FrameSink`] for streamed
+/// responses: frames are emitted from several threads (engine workers,
+/// cluster dispatch threads), so sends are serialized through a mutex,
+/// and the *first* transport error is latched instead of propagated —
+/// later sends become no-ops so the producing computation can finish
+/// (its results still land in caches), and the caller surfaces the
+/// latched error once the stream is over via [`LatchSink::finish`].
+pub(crate) struct LatchSink<'a> {
+    inner: Mutex<(&'a mut dyn FrameSink, Option<io::Error>)>,
+}
+
+impl<'a> LatchSink<'a> {
+    pub(crate) fn new(sink: &'a mut dyn FrameSink) -> Self {
+        Self {
+            inner: Mutex::new((sink, None)),
+        }
+    }
+
+    fn dispatch(&self, send: impl FnOnce(&mut dyn FrameSink) -> io::Result<()>) {
+        let mut guard = self.inner.lock().expect("sink lock");
+        if guard.1.is_some() {
+            return;
+        }
+        if let Err(e) = send(guard.0) {
+            guard.1 = Some(e);
+        }
+    }
+
+    /// Sends one typed frame (no-op once an error is latched).
+    pub(crate) fn send(&self, frame: &Response) {
+        self.dispatch(|sink| sink.send(frame));
+    }
+
+    /// Forwards one already-serialized frame line (no-op once an error
+    /// is latched).
+    pub(crate) fn send_raw(&self, line: &str) {
+        self.dispatch(|sink| sink.send_raw(line));
+    }
+
+    /// Hands the sink back along with the first error, if any.
+    pub(crate) fn finish(self) -> (&'a mut dyn FrameSink, Option<io::Error>) {
+        self.inner.into_inner().expect("sink lock")
+    }
+}
+
+/// One NDJSON dispatch endpoint: request line in, frames out. Both the
+/// single-box [`Runtime`] and the cluster
+/// [`Coordinator`](crate::cluster::Coordinator) implement this, so the
+/// TCP accept loop ([`serve_loop`]) serves either without change.
+pub trait LineHandler: Send + Sync {
+    /// Handles one request line end to end (see [`Runtime::handle_line`]).
+    fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served>;
+}
+
+impl LineHandler for Runtime {
+    fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served> {
+        Runtime::handle_line(self, line, sink)
+    }
+}
+
+/// Binds `addr`, returning the listener and its resolved local address
+/// (callers bind port `0` and announce the ephemeral port).
+pub fn listen(addr: &str) -> io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    Ok((listener, local))
+}
+
+/// The shared accept loop of `yoco-serve` and `sweep cluster serve`:
+/// one thread per connection feeding request lines to `handler`, a
+/// graceful exit on `Shutdown` (stop accepting, then drain requests
+/// already being processed on other connections before returning).
+///
+/// Evaluations are finite, pure compute, so the drain terminates. The
+/// in-flight counter is taken at line receipt, so the only droppable
+/// request is one whose line the kernel delivered but the handler
+/// thread has not yet observed — requiring two consecutive quiet
+/// observations keeps that window to a few instructions rather than a
+/// whole evaluation.
+pub fn serve_loop(listener: TcpListener, handler: Arc<dyn LineHandler>, quiet: bool) {
+    let local = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("warning: cannot read bound address: {e}");
+            return;
+        }
+    };
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("warning: failed accept: {e}");
+                continue;
+            }
+        };
+        let handler = Arc::clone(&handler);
+        let shutdown = Arc::clone(&shutdown);
+        let in_flight = Arc::clone(&in_flight);
+        std::thread::spawn(move || {
+            if let Err(e) = serve_connection(stream, &*handler, &shutdown, &in_flight, local, quiet)
+            {
+                eprintln!("warning: connection error: {e}");
+            }
+        });
+    }
+    let mut quiet_checks = 0;
+    while quiet_checks < 2 {
+        if in_flight.load(Ordering::SeqCst) == 0 {
+            quiet_checks += 1;
+        } else {
+            quiet_checks = 0;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Handles one client connection: request lines in, response frames out
+/// through the shared handler. Every request holds `in_flight` from
+/// decode to flushed response, so shutdown can drain active work
+/// (including streams mid-flight). On `Shutdown`, flips the flag and
+/// pokes the acceptor awake with a loopback connection so the process
+/// can exit.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn LineHandler,
+    shutdown: &AtomicBool,
+    in_flight: &AtomicUsize,
+    local: SocketAddr,
+    quiet: bool,
+) -> io::Result<()> {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
+    // Streamed Cell frames are written from engine worker threads while
+    // the request holds an admission slot; a client that stops reading
+    // must time out (surfacing as a sink error that ends the stream)
+    // rather than blocking a worker — and the slot — forever.
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    // One flushed frame per line: with Nagle on, each small write can
+    // stall a delayed-ACK interval (~40 ms), capping warm throughput at
+    // ~11 req/s regardless of how fast frames are produced.
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut sink = LineSink::new(stream);
+    // Balances the in-flight increment even if the handler panics (an
+    // evaluator panic unwinds through handle_line) — a leaked increment
+    // would make the shutdown drain loop spin forever.
+    struct InFlight<'a>(&'a AtomicUsize);
+    impl Drop for InFlight<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        let guard = InFlight(in_flight);
+        let served = handler.handle_line(&line, &mut sink);
+        drop(guard);
+        let served = served?;
+        if !quiet {
+            println!("[{peer}] {}", served.label());
+            let _ = std::io::stdout().flush();
+        }
+        if served == Served::Shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop; the flag makes it exit.
+            let _ = TcpStream::connect(local);
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::api::{CellStatus, EvalRequest};
+    use crate::cache::ResultCache;
     use crate::scenario::{Scenario, StudyId};
 
     fn tiny_batch() -> Vec<Scenario> {
@@ -459,6 +961,15 @@ mod tests {
         serde_json::to_string(request).expect("request serializes")
     }
 
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "yoco-serve-runtime-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::at(dir)
+    }
+
     #[test]
     fn gate_admits_to_depth_rejects_beyond_and_releases_on_drop() {
         let gate = Gate::new(2);
@@ -473,7 +984,7 @@ mod tests {
         assert_eq!(
             busy.retry_after_ms,
             RETRY_QUANTUM_MS / 2,
-            "two slots drain concurrently: half a quantum until one frees"
+            "cold gate: the prior quantum over two concurrently draining slots"
         );
 
         drop(t1);
@@ -490,6 +1001,58 @@ mod tests {
         let gate = Gate::new(0);
         let busy = gate.try_enter().expect_err("depth 0 admits nothing");
         assert_eq!(busy.retry_after_ms, RETRY_QUANTUM_MS);
+    }
+
+    #[test]
+    fn retry_hint_converges_to_the_observed_service_time() {
+        let gate = Gate::new(2);
+        // Cold start: the fixed quantum is the prior.
+        assert_eq!(gate.retry_hint_ms(), RETRY_QUANTUM_MS / 2);
+
+        // A steady stream of 1-second requests pulls the EWMA to 1000 ms
+        // within a few observations (alpha 0.25: ~3% of the gap left
+        // after 12 steps), so the hint converges to 1000 / depth.
+        for _ in 0..64 {
+            gate.record_service(Duration::from_millis(1000));
+        }
+        let estimate = gate.service_estimate_ms();
+        assert!(
+            (estimate - 1000.0).abs() < 1.0,
+            "EWMA should converge to the observed 1000 ms, got {estimate}"
+        );
+        assert_eq!(gate.retry_hint_ms(), 500, "estimate over two slots");
+
+        // Load drops to 10 ms requests: the hint follows back down.
+        for _ in 0..64 {
+            gate.record_service(Duration::from_millis(10));
+        }
+        assert_eq!(gate.retry_hint_ms(), 5);
+
+        // The hint is floored at 1 ms even for microsecond services.
+        for _ in 0..64 {
+            gate.record_service(Duration::from_micros(5));
+        }
+        assert_eq!(gate.retry_hint_ms(), 1);
+    }
+
+    #[test]
+    fn dropping_a_ticket_feeds_the_service_ewma() {
+        let gate = Gate::new(1);
+        assert!(
+            gate.service_ewma_ms.lock().unwrap().is_none(),
+            "no observations before the first drop"
+        );
+        drop(gate.try_enter().expect("slot"));
+        let observed = gate
+            .service_ewma_ms
+            .lock()
+            .unwrap()
+            .expect("one observation");
+        assert!(
+            observed < RETRY_QUANTUM_MS as f64,
+            "an instant request must pull the estimate below the prior"
+        );
+        assert!(gate.retry_hint_ms() >= 1);
     }
 
     #[test]
@@ -626,6 +1189,10 @@ mod tests {
         assert_eq!(refusal.id, "b-3");
         assert!(refusal.cells.is_empty());
         assert_eq!(refusal.error.as_ref().unwrap().category(), "busy");
+
+        let status = rt.status();
+        assert_eq!(status.rejected, 2, "both rejections counted");
+        assert_eq!(status.served, 0);
     }
 
     #[test]
@@ -662,6 +1229,10 @@ mod tests {
             Served::Ping
         );
         assert_eq!(
+            rt.handle_line("\"Status\"", &mut frames).unwrap(),
+            Served::Status
+        );
+        assert_eq!(
             rt.handle_line("\"Shutdown\"", &mut frames).unwrap(),
             Served::Shutdown
         );
@@ -669,10 +1240,15 @@ mod tests {
             rt.handle_line("not json", &mut frames).unwrap(),
             Served::Malformed
         );
-        assert_eq!(frames.len(), 3);
+        assert_eq!(frames.len(), 4);
         assert_eq!(frames[0], Response::Pong);
-        assert_eq!(frames[1], Response::Bye);
-        assert!(matches!(frames[2], Response::Error(_)));
+        let Response::Status(status) = &frames[1] else {
+            panic!("expected a Status report, got {:?}", frames[1]);
+        };
+        assert_eq!(status.role, "serve");
+        assert_eq!(status.queue_depth, 0);
+        assert_eq!(frames[2], Response::Bye);
+        assert!(matches!(frames[3], Response::Error(_)));
         // …while evals are rejected, not hung.
         let mut frames: Vec<Response> = Vec::new();
         let served = rt
@@ -682,5 +1258,229 @@ mod tests {
             )
             .unwrap();
         assert!(matches!(served, Served::Rejected { .. }));
+    }
+
+    #[test]
+    fn status_counters_track_served_cells_and_hit_miss_split() {
+        let cache = temp_cache("status");
+        let rt = Runtime::new(
+            Engine::ephemeral().with_cache(cache.clone()),
+            ServeConfig {
+                queue_depth: 2,
+                jobs: 2,
+            },
+        );
+        let mut frames: Vec<Response> = Vec::new();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::streaming("c-1", tiny_batch()))),
+            &mut frames,
+        )
+        .unwrap();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::new("c-2", tiny_batch()))),
+            &mut frames,
+        )
+        .unwrap();
+        let status = rt.status();
+        assert_eq!(status.served, 2);
+        assert_eq!(status.cells, 4);
+        assert_eq!(status.hits, 2, "second request warm");
+        assert_eq!(status.misses, 2, "first request cold");
+        assert_eq!(status.occupancy, 0);
+        assert_eq!(status.queue_depth, 2);
+        assert_eq!(status.jobs, 2);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn warm_memo_replays_batches_without_touching_the_cache() {
+        let cache = temp_cache("memo");
+        let rt = Runtime::new(
+            Engine::ephemeral().with_cache(cache.clone()),
+            ServeConfig {
+                queue_depth: 2,
+                jobs: 2,
+            },
+        );
+        // Cold run populates cache and memo.
+        let mut cold: Vec<Response> = Vec::new();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::streaming("m-1", tiny_batch()))),
+            &mut cold,
+        )
+        .unwrap();
+
+        // Deleting the cache directory proves the warm replay reads the
+        // memo, not the disk.
+        std::fs::remove_dir_all(cache.dir()).expect("cache dir removable");
+
+        let mut warm: Vec<Response> = Vec::new();
+        let served = rt
+            .handle_line(
+                &line(&Request::Eval(EvalRequest::streaming("m-2", tiny_batch()))),
+                &mut warm,
+            )
+            .unwrap();
+        assert_eq!(
+            served,
+            Served::Eval {
+                id: "m-2".into(),
+                cells: 2,
+                hits: 2,
+                misses: 0,
+                streamed: true,
+            }
+        );
+        // Payloads are identical to the cold run's, statuses are Hit,
+        // and frames arrive in scenario order (the memo replays in
+        // request order).
+        let warm_cells: Vec<&CellOutcome> = warm
+            .iter()
+            .filter_map(|f| match f {
+                Response::Cell(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(warm_cells.len(), 2);
+        let ids: Vec<&str> = warm_cells.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids, ["study/fig9a", "study/table2"]);
+        for cell in &warm_cells {
+            assert_eq!(cell.status, CellStatus::Hit);
+            let cold_match = cold.iter().find_map(|f| match f {
+                Response::Cell(c) if c.id == cell.id => Some(c),
+                _ => None,
+            });
+            assert_eq!(cold_match.unwrap().metrics, cell.metrics, "{}", cell.id);
+        }
+
+        // The buffered path serves the same memo, byte-for-byte stable
+        // across repeats.
+        let mut v1a: Vec<Response> = Vec::new();
+        let mut v1b: Vec<Response> = Vec::new();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::new("m-3", tiny_batch()))),
+            &mut v1a,
+        )
+        .unwrap();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::new("m-3", tiny_batch()))),
+            &mut v1b,
+        )
+        .unwrap();
+        let (a, b) = (
+            serde_json::to_string(&v1a[0]).unwrap(),
+            serde_json::to_string(&v1b[0]).unwrap(),
+        );
+        assert_eq!(a, b, "memoized v1 responses are byte-stable");
+        assert!(a.contains("\"hits\":2,\"misses\":0"));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn memo_replays_do_not_pollute_the_service_time_ewma() {
+        let cache = temp_cache("memo-ewma");
+        let rt = Runtime::new(
+            Engine::ephemeral().with_cache(cache.clone()),
+            ServeConfig {
+                queue_depth: 1,
+                jobs: 2,
+            },
+        );
+        let mut frames: Vec<Response> = Vec::new();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::streaming("e-1", tiny_batch()))),
+            &mut frames,
+        )
+        .unwrap();
+        let after_cold = rt.gate().service_estimate_ms();
+        // A burst of instant memo replays must not drag the estimate
+        // toward zero — the busy hint has to reflect the requests that
+        // actually occupy slots.
+        for n in 0..32 {
+            rt.handle_line(
+                &line(&Request::Eval(EvalRequest::streaming(
+                    format!("e-w{n}"),
+                    tiny_batch(),
+                ))),
+                &mut frames,
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            rt.gate().service_estimate_ms(),
+            after_cold,
+            "memo-served requests are excluded from the EWMA"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn memo_is_off_without_a_cache_and_under_force() {
+        // No cache: a repeat request genuinely recomputes (misses), as
+        // the warm path must mirror the cache semantics exactly.
+        let rt = runtime(2);
+        let mut frames: Vec<Response> = Vec::new();
+        for id in ["n-1", "n-2"] {
+            let served = rt
+                .handle_line(
+                    &line(&Request::Eval(EvalRequest::streaming(id, tiny_batch()))),
+                    &mut frames,
+                )
+                .unwrap();
+            assert_eq!(
+                served,
+                Served::Eval {
+                    id: id.into(),
+                    cells: 2,
+                    hits: 0,
+                    misses: 2,
+                    streamed: true,
+                },
+                "without a cache every run recomputes"
+            );
+        }
+
+        // With a cache but force=true: the memo is bypassed and the run
+        // recomputes (refreshing cache and memo).
+        let cache = temp_cache("memo-force");
+        let rt = Runtime::new(
+            Engine::ephemeral().with_cache(cache.clone()),
+            ServeConfig {
+                queue_depth: 2,
+                jobs: 2,
+            },
+        );
+        let mut frames: Vec<Response> = Vec::new();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::streaming("f-1", tiny_batch()))),
+            &mut frames,
+        )
+        .unwrap();
+        let mut forced = EvalRequest::streaming("f-2", tiny_batch());
+        forced.force = true;
+        let served = rt
+            .handle_line(&line(&Request::Eval(forced)), &mut frames)
+            .unwrap();
+        assert_eq!(
+            served,
+            Served::Eval {
+                id: "f-2".into(),
+                cells: 2,
+                hits: 0,
+                misses: 2,
+                streamed: true,
+            },
+            "force recomputes even with a warm memo"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn raw_frames_decode_through_the_default_sink_path() {
+        let mut frames: Vec<Response> = Vec::new();
+        let sink: &mut dyn FrameSink = &mut frames;
+        sink.send_raw("\"Pong\"").unwrap();
+        assert!(sink.send_raw("not a frame").is_err());
+        assert_eq!(frames, vec![Response::Pong]);
     }
 }

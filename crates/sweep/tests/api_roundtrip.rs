@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use yoco_sweep::api::{
-    CellOutcome, CellStatus, EvalRequest, EvalResponse, Request, Response, Shard,
+    CellOutcome, CellStatus, EvalRequest, EvalResponse, Request, Response, Shard, StatusReport,
 };
 use yoco_sweep::{
     AcceleratorKind, DesignPoint, Engine, Scenario, StudyId, SweepError, WorkloadSpec,
@@ -108,32 +108,60 @@ fn cell_outcome_strategy() -> impl Strategy<Value = CellOutcome> {
         })
 }
 
+/// Arbitrary status reports: every role the wire can carry, counter
+/// values across the u64 range.
+fn status_report_strategy() -> impl Strategy<Value = StatusReport> {
+    (
+        0u8..3,
+        (0usize..64, 0usize..1 << 10, 0usize..1 << 10, 0usize..256),
+        prop::collection::vec(0u64..1 << 48, 5),
+    )
+        .prop_map(
+            |(role, (workers, occupancy, queue_depth, jobs), counters)| StatusReport {
+                role: ["serve", "coordinator", "inline"][role as usize].into(),
+                workers,
+                occupancy,
+                queue_depth,
+                jobs,
+                served: counters[0],
+                cells: counters[1],
+                hits: counters[2],
+                misses: counters[3],
+                rejected: counters[4],
+            },
+        )
+}
+
 /// Every protocol-v2 frame variant (the v1 `Eval` variant is exercised
 /// by `eval_responses_round_trip` below).
 fn v2_frame_strategy() -> impl Strategy<Value = Response> {
     (
-        0u8..7,
+        0u8..8,
         string_strategy(),
         cell_outcome_strategy(),
         (0usize..1 << 16, 0usize..1 << 16, 0u64..1 << 32),
         error_strategy(),
+        status_report_strategy(),
     )
-        .prop_map(|(variant, id, cell, (a, b, ms), error)| match variant {
-            0 => Response::Accepted { id, position: a },
-            1 => Response::Cell(cell),
-            2 => Response::Done {
-                id,
-                hits: a,
-                misses: b,
+        .prop_map(
+            |(variant, id, cell, (a, b, ms), error, status)| match variant {
+                0 => Response::Accepted { id, position: a },
+                1 => Response::Cell(cell),
+                2 => Response::Done {
+                    id,
+                    hits: a,
+                    misses: b,
+                },
+                3 => Response::Busy {
+                    id,
+                    retry_after_ms: ms,
+                },
+                4 => Response::Pong,
+                5 => Response::Bye,
+                6 => Response::Status(status),
+                _ => Response::Error(error),
             },
-            3 => Response::Busy {
-                id,
-                retry_after_ms: ms,
-            },
-            4 => Response::Pong,
-            5 => Response::Bye,
-            _ => Response::Error(error),
-        })
+        )
 }
 
 proptest! {
@@ -187,6 +215,39 @@ proptest! {
     }
 
     #[test]
+    fn status_reports_round_trip_bare_and_framed(report in status_report_strategy()) {
+        let text = serde_json::to_string(&report).expect("serializes");
+        let back: StatusReport = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(&report, &back);
+        // …and wrapped in the response frame the server actually sends.
+        let frame = Response::Status(report);
+        let text = serde_json::to_string(&frame).expect("serializes");
+        let back: Response = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(frame, back);
+    }
+
+    #[test]
+    fn worker_dispatch_sub_requests_round_trip(
+        id in string_strategy(),
+        round in 0usize..8,
+        shard in 0usize..8,
+        scenarios in prop::collection::vec(scenario_strategy(), 1..6),
+        force in 0u8..2,
+    ) {
+        // The coordinator's sub-request framing: a streamed request with
+        // a `<client-id>#r<round>w<shard>` id and the client's force
+        // flag. It must survive the wire like any client request —
+        // workers cannot tell a coordinator from an ordinary client.
+        let mut sub = EvalRequest::streaming(format!("{id}#r{round}w{shard}"), scenarios);
+        sub.force = force == 1;
+        prop_assert_eq!(sub.version, yoco_sweep::api::API_V2);
+        let envelope = Request::Eval(sub);
+        let text = serde_json::to_string(&envelope).expect("serializes");
+        let back: Request = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(envelope, back);
+    }
+
+    #[test]
     fn shards_partition_any_grid(
         scenarios in prop::collection::vec(scenario_strategy(), 0..40),
         count in 1usize..9,
@@ -226,6 +287,17 @@ proptest! {
         let back: EvalResponse = serde_json::from_str(&text).expect("parses");
         prop_assert_eq!(response, back);
     }
+}
+
+#[test]
+fn status_request_is_a_stable_control_line() {
+    // The probe the cluster coordinator's worker selection sends.
+    assert_eq!(
+        serde_json::to_string(&Request::Status).unwrap(),
+        "\"Status\""
+    );
+    let back: Request = serde_json::from_str("\"Status\"").unwrap();
+    assert_eq!(back, Request::Status);
 }
 
 #[test]

@@ -290,6 +290,36 @@ fn v2_streams_accepted_cells_done_and_serves_warm_hits() {
 }
 
 #[test]
+fn status_probe_reports_counters_over_the_wire() {
+    let cache = temp_dir("status");
+    let (mut child, port) = spawn_server(&cache);
+    let mut c = client(port);
+
+    let idle = c.status().expect("status answers");
+    assert_eq!(idle.role, "serve");
+    assert_eq!(idle.workers, 0);
+    assert_eq!((idle.served, idle.cells, idle.rejected), (0, 0, 0));
+    assert_eq!(idle.occupancy, 0);
+    assert!(idle.queue_depth > 0);
+    assert_eq!(idle.jobs, 2, "--jobs 2 is what the harness passes");
+
+    // One streamed batch moves the counters.
+    let outcome = c
+        .eval_streaming(EvalRequest::streaming("st-1", batch()), |_, _| {})
+        .expect("stream completes");
+    assert!(matches!(outcome, StreamOutcome::Done { .. }));
+    let after = c.status().expect("status after a batch");
+    assert_eq!(after.served, 1);
+    assert_eq!(after.cells, 3);
+    assert_eq!(after.misses, 3, "cold batch: all computed");
+    assert_eq!(after.occupancy, 0, "probe taken at idle");
+
+    c.shutdown().expect("clean shutdown");
+    assert!(child.wait().expect("exits").success());
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
 fn queue_full_rejects_and_shutdown_drains_an_inflight_stream() {
     let cache = temp_dir("busy");
     // One admission slot: the heavy stream below owns it for seconds.
