@@ -61,6 +61,13 @@ pub struct EvalRequest {
     pub scenarios: Vec<Scenario>,
     /// Recompute every cell, refreshing (but not consulting) the cache.
     pub force: bool,
+    /// The client's patience budget in milliseconds, measured from the
+    /// server's receipt of the request line. A request still queued
+    /// (unadmitted) past its deadline is answered `Busy` instead of
+    /// occupying an admission slot — the client already gave up, so
+    /// evaluating for it would only delay live requests. `None` (the
+    /// wire default, so old clients are unaffected) never expires.
+    pub deadline_ms: Option<u64>,
 }
 
 impl EvalRequest {
@@ -72,6 +79,7 @@ impl EvalRequest {
             id: id.into(),
             scenarios,
             force: false,
+            deadline_ms: None,
         }
     }
 
@@ -83,6 +91,13 @@ impl EvalRequest {
             version: API_V2,
             ..Self::new(id, scenarios)
         }
+    }
+
+    /// Sets the patience budget: give up (answer `Busy`) if not
+    /// admitted within `ms` of the server receiving the line.
+    pub fn with_deadline(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
     }
 }
 

@@ -8,9 +8,16 @@
 //! of hand-rolled socket code.
 
 use crate::api::{EvalRequest, Request, Response, StatusReport};
-use std::io::{self, BufRead, BufReader, Write};
+use crate::serve::reactor::LineBuf;
+use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// How much a single `read` may pull off the socket. A streamed batch
+/// answers with hundreds of small `Cell` frames back to back; reading
+/// them a chunk at a time and splitting lines in memory turns one
+/// syscall into a whole batch of frames.
+const READ_CHUNK: usize = 64 * 1024;
 
 /// How a streamed (protocol-v2) exchange ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +44,11 @@ pub enum StreamOutcome {
 #[derive(Debug)]
 pub struct ServeClient {
     stream: TcpStream,
-    reader: BufReader<TcpStream>,
+    /// Already-read bytes, split into frames in batches: one socket
+    /// read typically delivers many pipelined response lines at once
+    /// (the reactor writes them back to back), and [`LineBuf`] pops
+    /// them without re-reading or re-scanning.
+    lines: LineBuf,
 }
 
 impl ServeClient {
@@ -76,8 +87,10 @@ impl ServeClient {
         // (~40 ms) per exchange, which used to dominate warm-path
         // latency end to end.
         stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Self { stream, reader })
+        Ok(Self {
+            stream,
+            lines: LineBuf::default(),
+        })
     }
 
     /// Bounds every subsequent read (`None` blocks forever).
@@ -88,7 +101,15 @@ impl ServeClient {
     /// Sends one request line.
     pub fn send(&mut self, request: &Request) -> io::Result<()> {
         let text = serde_json::to_string(request).map_err(|e| io::Error::other(e.to_string()))?;
-        writeln!(self.stream, "{text}")?;
+        self.send_line(&text)
+    }
+
+    /// Sends one already-serialized request line (no trailing
+    /// newline). The bench reuses a single serialized line across
+    /// repeats — re-serializing an identical 9 KB request per repeat
+    /// would make the client the bottleneck of its own measurement.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.stream, "{line}")?;
         self.stream.flush()
     }
 
@@ -96,17 +117,29 @@ impl ServeClient {
     /// alongside the decoded frame. EOF and undecodable lines are
     /// errors — the server never sends either mid-protocol.
     pub fn recv(&mut self) -> io::Result<(String, Response)> {
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        let raw = line.trim_end_matches(['\n', '\r']).to_owned();
+        let raw = self.recv_line()?;
         let frame = serde_json::from_str::<Response>(&raw)
             .map_err(|e| io::Error::other(format!("undecodable server line {raw:?}: {e}")))?;
         Ok((raw, frame))
+    }
+
+    /// Reads the next raw server line without decoding it. EOF is an
+    /// error — the server never closes mid-protocol.
+    pub fn recv_line(&mut self) -> io::Result<String> {
+        loop {
+            if let Some(line) = self.lines.next_line() {
+                return Ok(line);
+            }
+            let mut chunk = [0u8; READ_CHUNK];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.lines.feed(&chunk[..n]);
+        }
     }
 
     /// Liveness round trip: `Ping` → `Pong`.

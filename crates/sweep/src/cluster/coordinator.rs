@@ -21,6 +21,7 @@ use crate::serve::{
 };
 use std::io;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How a fan-out ended.
 #[derive(Debug)]
@@ -378,13 +379,26 @@ impl Coordinator {
     /// of [`crate::serve::Runtime::handle_line`], on the same shared
     /// dispatch.
     pub fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served> {
+        self.handle_line_at(line, Instant::now(), sink)
+    }
+
+    /// [`Coordinator::handle_line`] with an explicit receipt instant
+    /// (see [`crate::serve::Runtime::handle_line_at`]): deadline
+    /// checks measure queueing from when the transport parsed the
+    /// line, which under the reactor includes worker-pool wait.
+    pub fn handle_line_at(
+        &self,
+        line: &str,
+        received: Instant,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
         crate::serve::dispatch_line(
             line,
             sink,
             "this coordinator",
             || self.status(),
-            |req, sink| self.eval_buffered(req, sink),
-            |req, sink| self.eval_streaming(req, sink),
+            |req, sink| self.eval_buffered(req, received, sink),
+            |req, sink| self.eval_streaming(req, received, sink),
         )
     }
 
@@ -397,8 +411,13 @@ impl Coordinator {
     /// buffered [`EvalResponse`] — byte-identical to a single box's
     /// response for the same batch (cells in request order, identical
     /// statuses and payloads).
-    fn eval_buffered(&self, req: EvalRequest, sink: &mut dyn FrameSink) -> io::Result<Served> {
-        let mut ticket = match self.gate.try_enter() {
+    fn eval_buffered(
+        &self,
+        req: EvalRequest,
+        received: Instant,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
+        let mut ticket = match self.gate.admit(received, req.deadline_ms) {
             Ok(ticket) => ticket,
             Err(busy) => {
                 return reject_buffered(sink, &self.tally, req.id, busy.retry_after_ms);
@@ -437,8 +456,10 @@ impl Coordinator {
                     error: None,
                 };
                 let cells = response.cells.len();
-                sink.send(&Response::Eval(response))?;
+                // Free the slot before the response line: a client
+                // reacting to it instantly must see its slot back.
                 drop(ticket);
+                sink.send(&Response::Eval(response))?;
                 self.tally.note_eval(cells, out.hits, out.misses);
                 Ok(Served::Eval {
                     id: req.id,
@@ -456,8 +477,13 @@ impl Coordinator {
     /// arrive from any worker, then one merged `Done`. If every worker
     /// refuses admission before any cell flows, the stream closes with
     /// a `Busy` frame instead of `Done`.
-    fn eval_streaming(&self, req: EvalRequest, sink: &mut dyn FrameSink) -> io::Result<Served> {
-        let mut ticket = match self.gate.try_enter() {
+    fn eval_streaming(
+        &self,
+        req: EvalRequest,
+        received: Instant,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
+        let mut ticket = match self.gate.admit(received, req.deadline_ms) {
             Ok(ticket) => ticket,
             Err(busy) => {
                 return reject_streaming(sink, &self.tally, req.id, busy.retry_after_ms);
@@ -498,12 +524,12 @@ impl Coordinator {
                 reject_streaming(sink, &self.tally, req.id, retry_after_ms)
             }
             FanoutResult::Ran(out) => {
+                drop(ticket);
                 sink.send(&Response::Done {
                     id: req.id.clone(),
                     hits: out.hits,
                     misses: out.misses,
                 })?;
-                drop(ticket);
                 self.tally.note_eval(out.cells.len(), out.hits, out.misses);
                 Ok(Served::Eval {
                     id: req.id,
@@ -518,22 +544,29 @@ impl Coordinator {
 }
 
 impl LineHandler for Coordinator {
-    fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served> {
-        Coordinator::handle_line(self, line, sink)
+    fn handle_line_at(
+        &self,
+        line: &str,
+        received: Instant,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
+        Coordinator::handle_line_at(self, line, received, sink)
     }
 }
 
 /// The whole coordinator bring-up shared by `yoco-serve --coordinator`
 /// and `sweep cluster serve`: bind, print the ready line
-/// (`<announce> listening on <local>`) and topology, then run the
-/// shared accept loop until `Shutdown` drains it. Returns the bind
-/// error, if any; everything after the ready line follows
-/// [`crate::serve::serve_loop`] semantics.
+/// (`<announce> listening on <local>`) and topology, then serve until
+/// `Shutdown` drains it — through the event-driven reactor
+/// ([`crate::serve::serve_reactor`]) by default, or the legacy
+/// thread-per-connection loop ([`crate::serve::serve_loop`]) when
+/// `threaded`. Returns the bind error, if any.
 pub fn serve_coordinator(
     addr: &str,
     config: ClusterConfig,
     announce: &str,
     quiet: bool,
+    threaded: bool,
 ) -> io::Result<()> {
     let (listener, local) = crate::serve::listen(addr)?;
     println!("{announce} listening on {local}");
@@ -546,9 +579,14 @@ pub fn serve_coordinator(
         println!("queue depth {}", config.queue_depth);
     }
     let _ = std::io::Write::flush(&mut std::io::stdout());
+    let reactor_config = crate::serve::ReactorConfig::for_queue_depth(config.queue_depth);
     let handler: std::sync::Arc<dyn LineHandler> = std::sync::Arc::new(Coordinator::new(config));
-    crate::serve::serve_loop(listener, handler, quiet);
-    Ok(())
+    if threaded {
+        crate::serve::serve_loop(listener, handler, quiet);
+        Ok(())
+    } else {
+        crate::serve::serve_reactor(listener, handler, quiet, reactor_config)
+    }
 }
 
 #[cfg(test)]

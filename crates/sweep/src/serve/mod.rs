@@ -43,12 +43,18 @@ use crate::api::{
 };
 use crate::engine::{Engine, SweepReport};
 use crate::executor;
-use std::collections::HashMap;
+use crate::scenario::Scenario;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+pub mod reactor;
+
+pub use reactor::{serve_reactor, ReactorConfig, DEFAULT_OUTBUF_CAP};
 
 /// Default bound on concurrently admitted evaluation requests.
 pub const DEFAULT_QUEUE_DEPTH: usize = 4;
@@ -67,10 +73,10 @@ pub const RETRY_QUANTUM_MS: u64 = 250;
 /// thrashing on one outlier.
 pub const SERVICE_EWMA_ALPHA: f64 = 0.25;
 
-/// Bound on memoized warm responses. Past it the memo is cleared
-/// wholesale before inserting — crude, but the memo is a pure cache of
-/// deterministic results, so eviction can never be wrong, only cold.
-const MEMO_CAP: usize = 64;
+/// Bound on memoized warm cells. Insertion past it evicts the oldest
+/// entries first (FIFO) — the memo is a pure cache of deterministic
+/// results, so eviction can never be wrong, only cold.
+const MEMO_CAP: usize = 4096;
 
 /// Sizing of the runtime: admission bound and worker budget.
 #[derive(Debug, Clone, Copy)]
@@ -144,6 +150,25 @@ impl Gate {
             entered: Instant::now(),
             record: true,
         })
+    }
+
+    /// Deadline-aware admission: like [`Gate::try_enter`], but a
+    /// request whose `deadline_ms` budget was already spent between
+    /// receipt (`received`, stamped by the transport when the line was
+    /// parsed) and this call is answered [`Busy`] without occupying a
+    /// slot — by its own declaration the client has stopped waiting,
+    /// so evaluating would burn a slot on an abandoned request. The
+    /// hint still carries the current estimate, so a retrying client
+    /// backs off sensibly.
+    pub fn admit(&self, received: Instant, deadline_ms: Option<u64>) -> Result<Ticket<'_>, Busy> {
+        if let Some(ms) = deadline_ms {
+            if received.elapsed() >= Duration::from_millis(ms) {
+                return Err(Busy {
+                    retry_after_ms: self.retry_hint_ms(),
+                });
+            }
+        }
+        self.try_enter()
     }
 
     /// Requests currently admitted.
@@ -397,13 +422,247 @@ impl Served {
     }
 }
 
-/// One fully served batch, memoized for warm repeats: the buffered cell
-/// outcomes (statuses already rewritten to `Hit`, scenario order) and
-/// the matching pre-serialized `Cell` frame lines.
+/// One memoized cell (status already rewritten to `Hit`), held as its
+/// two pre-serialized wire forms: the v2 `Cell` frame line and the
+/// standalone outcome object spliced into buffered v1 `cells` arrays.
 #[derive(Debug)]
-struct WarmEntry {
-    cells: Vec<CellOutcome>,
-    lines: Vec<String>,
+struct MemoCell {
+    line: String,
+    outcome_json: String,
+}
+
+impl MemoCell {
+    fn new(outcome: CellOutcome) -> Self {
+        let line = serde_json::to_string(&Response::Cell(outcome.clone()))
+            .expect("frame serialization is infallible");
+        let outcome_json =
+            serde_json::to_string(&outcome).expect("frame serialization is infallible");
+        Self { line, outcome_json }
+    }
+}
+
+/// The per-cell warm memo: scenario content (plus display id, which
+/// appears verbatim in frames) → pre-serialized `Cell` frame. Keyed
+/// per cell rather than per batch so overlapping grids share entries —
+/// a batch warmed by *any* combination of earlier requests replays
+/// without touching the cache. Bounded FIFO: inserting past `cap`
+/// evicts the oldest keys.
+#[derive(Debug)]
+struct CellMemo {
+    entries: HashMap<String, Arc<MemoCell>>,
+    /// Insertion order of `entries` keys (no duplicates: re-inserting
+    /// an existing key replaces the value in place), the FIFO eviction
+    /// queue.
+    order: VecDeque<String>,
+    cap: usize,
+}
+
+impl CellMemo {
+    fn new(cap: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The memo key of one scenario. [`Scenario::cache_key`] hashes
+    /// normalized content only — the display id is deliberately not
+    /// part of it — but `Cell` frames embed the id, so two scenarios
+    /// with identical content and different labels must not share a
+    /// memoized frame.
+    fn key(scenario: &Scenario) -> String {
+        format!("{}\u{1f}{}", scenario.id, scenario.cache_key())
+    }
+
+    /// All-or-nothing lookup: the memoized cells of `scenarios` in
+    /// request order, or `None` if any cell is missing (the engine run
+    /// then recomputes only what the result cache cannot answer).
+    fn lookup_all(&self, scenarios: &[Scenario]) -> Option<Vec<Arc<MemoCell>>> {
+        scenarios
+            .iter()
+            .map(|s| self.entries.get(&Self::key(s)).cloned())
+            .collect()
+    }
+
+    fn insert(&mut self, key: String, cell: MemoCell) {
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = Arc::new(cell);
+            return;
+        }
+        while self.entries.len() >= self.cap {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(key.clone());
+        self.entries.insert(key, Arc::new(cell));
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// One fully-memoized batch: the shared per-cell entries in request
+/// order plus the pre-assembled v1 `cells` array fragment, so a
+/// buffered warm response splices cached bytes instead of cloning and
+/// re-serializing every outcome.
+#[derive(Debug)]
+struct BatchEntry {
+    cells: Vec<Arc<MemoCell>>,
+    /// `[<outcome>,<outcome>,…]` — byte-identical to serde's
+    /// serialization of the response's `cells` vector.
+    cells_json: String,
+}
+
+impl BatchEntry {
+    fn assemble(cells: Vec<Arc<MemoCell>>) -> Self {
+        let mut cells_json = String::with_capacity(
+            2 + cells
+                .iter()
+                .map(|c| c.outcome_json.len() + 1)
+                .sum::<usize>(),
+        );
+        cells_json.push('[');
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                cells_json.push(',');
+            }
+            cells_json.push_str(&cell.outcome_json);
+        }
+        cells_json.push(']');
+        Self { cells, cells_json }
+    }
+}
+
+/// The batch-level front of the warm memo: one fingerprint of the
+/// request's scenario list (a single serialize + hash) instead of a
+/// per-cell key computation per request — on a warm repeat the key
+/// derivation was most of the server's CPU. Entries are assembled from
+/// [`CellMemo`] hits, whose values are deterministic, so a batch entry
+/// can never go stale — only cold. Bounded FIFO like the cell memo.
+#[derive(Debug)]
+struct BatchMemo {
+    entries: HashMap<u64, Arc<BatchEntry>>,
+    order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl BatchMemo {
+    fn new(cap: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The batch fingerprint: every scenario hashed structurally, in
+    /// order ([`hash_scenario`]). Structural rather than serialized —
+    /// formatting 40 scenarios' floats back into JSON costs more than
+    /// the whole warm lookup it would key. Identical batches collide
+    /// (which is the point); normalized-equal but differently-spelled
+    /// batches get separate entries that share the underlying
+    /// [`MemoCell`]s.
+    fn key(scenarios: &[Scenario]) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        scenarios.len().hash(&mut h);
+        for scenario in scenarios {
+            hash_scenario(scenario, &mut h);
+        }
+        h.finish()
+    }
+
+    fn lookup(&self, key: u64) -> Option<Arc<BatchEntry>> {
+        self.entries.get(&key).cloned()
+    }
+
+    fn insert(&mut self, key: u64, entry: Arc<BatchEntry>) {
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = entry;
+            return;
+        }
+        while self.entries.len() >= self.cap {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(key);
+        self.entries.insert(key, entry);
+    }
+}
+
+/// Bound on memoized batch entries ([`BatchMemo`]). Smaller than
+/// [`MEMO_CAP`]: entries are per distinct request shape, not per cell.
+const MEMO_BATCH_CAP: usize = 256;
+
+/// Feeds one scenario into `h` structurally: strings as bytes, enums
+/// as discriminants, floats by bit pattern — no text formatting. Every
+/// field that distinguishes two scenarios on the wire must be hashed
+/// here; an omission would let [`BatchMemo`] answer one batch with
+/// another's cells.
+fn hash_scenario(s: &Scenario, h: &mut impl Hasher) {
+    use crate::scenario::{ScenarioKind, WorkloadSpec};
+    use std::mem::discriminant;
+    s.id.hash(h);
+    discriminant(&s.kind).hash(h);
+    match &s.kind {
+        ScenarioKind::Gemm {
+            accelerator,
+            design,
+            workload,
+        } => {
+            discriminant(accelerator).hash(h);
+            hash_design(design, h);
+            discriminant(workload).hash(h);
+            match workload {
+                WorkloadSpec::Zoo { model } => model.hash(h),
+                WorkloadSpec::Gemm {
+                    name,
+                    m,
+                    k,
+                    n,
+                    kind,
+                } => {
+                    name.hash(h);
+                    (m, k, n).hash(h);
+                    discriminant(kind).hash(h);
+                }
+            }
+        }
+        ScenarioKind::Attention {
+            model,
+            dims,
+            design,
+        } => {
+            model.hash(h);
+            (dims.seq, dims.d_model, dims.heads).hash(h);
+            hash_design(design, h);
+        }
+        ScenarioKind::Study { study } => discriminant(study).hash(h),
+    }
+}
+
+/// The [`hash_scenario`] leaf for design points: `Option` knobs hash
+/// directly, the float knob hashes by bit pattern.
+fn hash_design(d: &crate::scenario::DesignPoint, h: &mut impl Hasher) {
+    (
+        d.ima_stack,
+        d.ima_width,
+        d.dimas_per_tile,
+        d.simas_per_tile,
+        d.tiles,
+    )
+        .hash(h);
+    d.activity.map(f64::to_bits).hash(h);
 }
 
 /// The shared server runtime: one engine + cache + admission gate,
@@ -416,7 +675,8 @@ pub struct Runtime {
     gate: Gate,
     jobs_budget: usize,
     tally: Tally,
-    memo: Mutex<HashMap<String, Arc<WarmEntry>>>,
+    memo: Mutex<CellMemo>,
+    batch_memo: Mutex<BatchMemo>,
 }
 
 impl Runtime {
@@ -428,7 +688,8 @@ impl Runtime {
             gate: Gate::new(config.queue_depth),
             jobs_budget: config.jobs.max(1),
             tally: Tally::default(),
-            memo: Mutex::new(HashMap::new()),
+            memo: Mutex::new(CellMemo::new(MEMO_CAP)),
+            batch_memo: Mutex::new(BatchMemo::new(MEMO_BATCH_CAP)),
         }
     }
 
@@ -460,116 +721,144 @@ impl Runtime {
     /// through `sink`. An `Err` means the sink failed (client gone) —
     /// the protocol itself never errors out of this function.
     pub fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served> {
+        self.handle_line_at(line, Instant::now(), sink)
+    }
+
+    /// [`Runtime::handle_line`] with an explicit receipt instant: the
+    /// reactor stamps each line as it is parsed off the socket, so a
+    /// request's `deadline_ms` measures real queueing time (parse →
+    /// worker pickup → admission), not just the final dispatch hop.
+    pub fn handle_line_at(
+        &self,
+        line: &str,
+        received: Instant,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
         dispatch_line(
             line,
             sink,
             "server",
             || self.status(),
-            |req, sink| self.eval_buffered(req, sink),
-            |req, sink| self.eval_streaming(req, sink),
+            |req, sink| self.eval_buffered(req, received, sink),
+            |req, sink| self.eval_streaming(req, received, sink),
         )
     }
 
-    /// The memo key of a request: a stable content hash over the full
-    /// scenario list (display ids included — they appear in cell
-    /// frames, so differently labeled but otherwise identical batches
-    /// must not share an entry).
-    fn memo_key(scenarios: &[crate::scenario::Scenario]) -> String {
-        let canonical =
-            serde_json::to_string(scenarios).expect("scenario serialization is infallible");
-        crate::hash::content_key(&canonical)
+    /// Answers `line` on the calling thread iff it can be served
+    /// without compute: an eval request whose every cell is memoized
+    /// (or that the gate rejects outright). `None` defers to
+    /// [`Runtime::handle_line_at`] with no frames emitted. The reactor
+    /// calls this from its event thread, sparing warm repeats the
+    /// worker handoff — two context switches per request, which is
+    /// most of a warm request's latency on a loaded box.
+    pub fn try_handle_warm(
+        &self,
+        line: &str,
+        received: Instant,
+        sink: &mut dyn FrameSink,
+    ) -> Option<io::Result<Served>> {
+        let Ok(Request::Eval(req)) = serde_json::from_str::<Request>(line) else {
+            return None;
+        };
+        if req.version != API_V1 && req.version != API_V2 {
+            return None;
+        }
+        // The memo probe comes before admission: it holds no slot, and
+        // on a miss the line is re-dispatched untouched (the worker
+        // repeats the admission verdict, so rejection bytes are
+        // identical either way).
+        let entry = self.memo_lookup(&req)?;
+        let streamed = req.version == API_V2;
+        let ticket = match self.gate.admit(received, req.deadline_ms) {
+            Ok(ticket) => ticket,
+            Err(busy) => {
+                return Some(if streamed {
+                    reject_streaming(sink, &self.tally, req.id, busy.retry_after_ms)
+                } else {
+                    reject_buffered(sink, &self.tally, req.id, busy.retry_after_ms)
+                });
+            }
+        };
+        Some(if streamed {
+            self.eval_streaming_warm(req, ticket, entry, sink)
+        } else {
+            self.eval_buffered_warm(req, ticket, entry, sink)
+        })
     }
 
-    /// The memoized warm entry for a request, if the warm path applies:
-    /// the memo mirrors the result cache, so it is only consulted when a
-    /// cache is attached (without one, a repeat request genuinely
-    /// recomputes and must report misses) and never under `force`.
-    fn memo_lookup(&self, req: &crate::api::EvalRequest) -> Option<Arc<WarmEntry>> {
+    /// The memoized cells answering a request, if the warm path
+    /// applies: the memo mirrors the result cache, so it is only
+    /// consulted when a cache is attached (without one, a repeat
+    /// request genuinely recomputes and must report misses), never
+    /// under `force`, and only when *every* cell of the batch is
+    /// memoized (cells memoized by any earlier batch count — the keys
+    /// are per cell, so overlapping grids share).
+    fn memo_lookup(&self, req: &crate::api::EvalRequest) -> Option<Arc<BatchEntry>> {
         if req.force || self.engine.cache().is_none() {
             return None;
         }
-        self.memo
+        // Batch fingerprint first: a repeat of a known request shape
+        // answers with one hash and one map probe, skipping the
+        // per-cell key derivation below entirely.
+        let key = BatchMemo::key(&req.scenarios);
+        if let Some(entry) = self.batch_memo.lock().expect("batch memo lock").lookup(key) {
+            return Some(entry);
+        }
+        let cells = self
+            .memo
             .lock()
             .expect("memo lock")
-            .get(&Self::memo_key(&req.scenarios))
-            .cloned()
+            .lookup_all(&req.scenarios)?;
+        let entry = Arc::new(BatchEntry::assemble(cells));
+        self.batch_memo
+            .lock()
+            .expect("batch memo lock")
+            .insert(key, Arc::clone(&entry));
+        Some(entry)
     }
 
-    /// Memoizes a completed batch for warm repeats. Failed cells are
-    /// never memoized (a retry should re-attempt them), and without a
-    /// cache the memo stays off entirely.
-    fn memo_store(&self, req: &crate::api::EvalRequest, report: &SweepReport) {
-        if self.engine.cache().is_none() || report.cells.iter().any(|c| c.error.is_some()) {
+    /// Memoizes a completed batch's cells for warm repeats. Failed
+    /// cells are never memoized (a retry should re-attempt them, and a
+    /// replay must not resurrect stale failures), and without a cache
+    /// the memo stays off entirely.
+    fn memo_store(&self, report: &SweepReport) {
+        if self.engine.cache().is_none() {
             return;
         }
-        let cells: Vec<CellOutcome> = report
-            .cells
-            .iter()
-            .map(|c| {
-                let mut outcome = CellOutcome::from_cell(c);
-                outcome.status = CellStatus::Hit;
-                outcome
-            })
-            .collect();
-        let lines: Vec<String> = cells
-            .iter()
-            .map(|c| {
-                serde_json::to_string(&Response::Cell(c.clone()))
-                    .expect("frame serialization is infallible")
-            })
-            .collect();
         let mut memo = self.memo.lock().expect("memo lock");
-        if memo.len() >= MEMO_CAP {
-            memo.clear();
+        for cell in report.cells.iter().filter(|c| c.error.is_none()) {
+            let mut outcome = CellOutcome::from_cell(cell);
+            outcome.status = CellStatus::Hit;
+            memo.insert(CellMemo::key(&cell.scenario), MemoCell::new(outcome));
         }
-        memo.insert(
-            Self::memo_key(&req.scenarios),
-            Arc::new(WarmEntry { cells, lines }),
-        );
     }
 
     /// Protocol v1: admission, then one buffered [`EvalResponse`] line.
     fn eval_buffered(
         &self,
         req: crate::api::EvalRequest,
+        received: Instant,
         sink: &mut dyn FrameSink,
     ) -> io::Result<Served> {
-        let ticket = match self.gate.try_enter() {
+        let ticket = match self.gate.admit(received, req.deadline_ms) {
             Ok(ticket) => ticket,
             Err(busy) => {
                 return reject_buffered(sink, &self.tally, req.id, busy.retry_after_ms);
             }
         };
         if let Some(entry) = self.memo_lookup(&req) {
-            let mut ticket = ticket;
-            ticket.skip_service_record();
-            let n = entry.cells.len();
-            let response = EvalResponse {
-                version: API_V1,
-                id: req.id.clone(),
-                cells: entry.cells.clone(),
-                hits: n,
-                misses: 0,
-                error: None,
-            };
-            sink.send(&Response::Eval(response))?;
-            drop(ticket);
-            self.tally.note_eval(n, n, 0);
-            return Ok(Served::Eval {
-                id: req.id,
-                cells: n,
-                hits: n,
-                misses: 0,
-                streamed: false,
-            });
+            return self.eval_buffered_warm(req, ticket, entry, sink);
         }
         let report = self.request_engine(req.force).run(&req.scenarios);
-        self.memo_store(&req, &report);
+        self.memo_store(&report);
         let response = EvalResponse::from_report(req.id.clone(), &report);
-        sink.send(&Response::Eval(response))?;
         drop(ticket);
+        // Counters commit before the terminal frame: a client reacting
+        // to the response instantly (a `Status` probe, say) must see
+        // this exchange already counted.
         self.tally
             .note_eval(report.cells.len(), report.hits, report.misses);
+        sink.send(&Response::Eval(response))?;
         Ok(Served::Eval {
             id: req.id,
             cells: report.cells.len(),
@@ -586,40 +875,22 @@ impl Runtime {
     fn eval_streaming(
         &self,
         req: crate::api::EvalRequest,
+        received: Instant,
         sink: &mut dyn FrameSink,
     ) -> io::Result<Served> {
-        let ticket = match self.gate.try_enter() {
+        let ticket = match self.gate.admit(received, req.deadline_ms) {
             Ok(ticket) => ticket,
             Err(busy) => {
                 return reject_streaming(sink, &self.tally, req.id, busy.retry_after_ms);
             }
         };
+        if let Some(entry) = self.memo_lookup(&req) {
+            return self.eval_streaming_warm(req, ticket, entry, sink);
+        }
         sink.send(&Response::Accepted {
             id: req.id.clone(),
             position: ticket.position(),
         })?;
-        if let Some(entry) = self.memo_lookup(&req) {
-            let mut ticket = ticket;
-            ticket.skip_service_record();
-            let n = entry.lines.len();
-            for line in &entry.lines {
-                sink.send_raw(line)?;
-            }
-            sink.send(&Response::Done {
-                id: req.id.clone(),
-                hits: n,
-                misses: 0,
-            })?;
-            drop(ticket);
-            self.tally.note_eval(n, n, 0);
-            return Ok(Served::Eval {
-                id: req.id,
-                cells: n,
-                hits: n,
-                misses: 0,
-                streamed: true,
-            });
-        }
         // Cell frames are written from the engine's worker threads;
         // the latch serializes them and, past the first transport
         // error, stops writing but lets the computation finish (the
@@ -630,24 +901,90 @@ impl Runtime {
             .run_with(&req.scenarios, |_, cell| {
                 latch.send(&Response::Cell(CellOutcome::from_cell(cell)));
             });
-        self.memo_store(&req, &report);
+        self.memo_store(&report);
         let (sink, error) = latch.finish();
         if let Some(e) = error {
             return Err(e);
         }
+        drop(ticket);
+        self.tally
+            .note_eval(report.cells.len(), report.hits, report.misses);
         sink.send(&Response::Done {
             id: req.id.clone(),
             hits: report.hits,
             misses: report.misses,
         })?;
-        drop(ticket);
-        self.tally
-            .note_eval(report.cells.len(), report.hits, report.misses);
         Ok(Served::Eval {
             id: req.id,
             cells: report.cells.len(),
             hits: report.hits,
             misses: report.misses,
+            streamed: true,
+        })
+    }
+
+    /// The warm (memoized) tail of [`Runtime::eval_buffered`]: the
+    /// response line is spliced around the batch's pre-assembled
+    /// `cells` fragment ([`warm_eval_line`]) instead of cloning and
+    /// re-serializing every outcome. Factored out so
+    /// [`Runtime::try_handle_warm`] can run it on the reactor thread —
+    /// by construction it never computes.
+    fn eval_buffered_warm(
+        &self,
+        req: crate::api::EvalRequest,
+        mut ticket: Ticket<'_>,
+        entry: Arc<BatchEntry>,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
+        ticket.skip_service_record();
+        let n = entry.cells.len();
+        let line = warm_eval_line(&req.id, entry.as_ref());
+        // The slot is freed before the response line: a client
+        // reacting to it instantly must see its slot available,
+        // not a stale occupancy (or a spurious `Busy` at depth 1).
+        drop(ticket);
+        self.tally.note_eval(n, n, 0);
+        sink.send_raw(&line)?;
+        Ok(Served::Eval {
+            id: req.id,
+            cells: n,
+            hits: n,
+            misses: 0,
+            streamed: false,
+        })
+    }
+
+    /// The warm tail of [`Runtime::eval_streaming`]: `Accepted`, the
+    /// pre-serialized cell frames, `Done`. Shared with
+    /// [`Runtime::try_handle_warm`]; never computes.
+    fn eval_streaming_warm(
+        &self,
+        req: crate::api::EvalRequest,
+        mut ticket: Ticket<'_>,
+        entry: Arc<BatchEntry>,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
+        sink.send(&Response::Accepted {
+            id: req.id.clone(),
+            position: ticket.position(),
+        })?;
+        ticket.skip_service_record();
+        let n = entry.cells.len();
+        for cell in &entry.cells {
+            sink.send_raw(&cell.line)?;
+        }
+        drop(ticket);
+        self.tally.note_eval(n, n, 0);
+        sink.send(&Response::Done {
+            id: req.id.clone(),
+            hits: n,
+            misses: 0,
+        })?;
+        Ok(Served::Eval {
+            id: req.id,
+            cells: n,
+            hits: n,
+            misses: 0,
             streamed: true,
         })
     }
@@ -714,6 +1051,24 @@ pub(crate) fn dispatch_line(
             }
         },
     }
+}
+
+/// Assembles the buffered v1 warm response line around a batch's
+/// pre-serialized `cells` fragment — splicing cached bytes instead of
+/// cloning and re-serializing every outcome. Byte-identical to
+/// serializing the equivalent [`Response::Eval`] (a unit test pins
+/// this): the fast path must not be distinguishable on the wire.
+fn warm_eval_line(id: &str, entry: &BatchEntry) -> String {
+    use std::fmt::Write as _;
+    let id_json = serde_json::to_string(id).expect("string serialization is infallible");
+    let n = entry.cells.len();
+    let mut line = String::with_capacity(entry.cells_json.len() + id_json.len() + 64);
+    let _ = write!(
+        line,
+        "{{\"Eval\":{{\"version\":{API_V1},\"id\":{id_json},\"cells\":{cells},\"hits\":{n},\"misses\":0,\"error\":null}}}}",
+        cells = entry.cells_json,
+    );
+    line
 }
 
 /// The shared admission-rejection path for buffered (v1) requests: a
@@ -800,13 +1155,55 @@ impl<'a> LatchSink<'a> {
 /// [`Coordinator`](crate::cluster::Coordinator) implement this, so the
 /// TCP accept loop ([`serve_loop`]) serves either without change.
 pub trait LineHandler: Send + Sync {
-    /// Handles one request line end to end (see [`Runtime::handle_line`]).
-    fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served>;
+    /// Handles one request line end to end (see
+    /// [`Runtime::handle_line_at`]). `received` is when the transport
+    /// parsed the line off the wire; deadline checks measure from it.
+    fn handle_line_at(
+        &self,
+        line: &str,
+        received: Instant,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served>;
+
+    /// [`LineHandler::handle_line_at`] with receipt = now, for
+    /// transports that dispatch synchronously with the read (the
+    /// threaded accept loop).
+    fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served> {
+        self.handle_line_at(line, Instant::now(), sink)
+    }
+
+    /// Answers `line` on the calling thread when that cannot involve
+    /// compute, or returns `None` (emitting nothing) to defer it to
+    /// [`LineHandler::handle_line_at`]. The reactor probes this from
+    /// its event thread before paying the worker handoff; the default
+    /// defers everything.
+    fn try_handle_warm(
+        &self,
+        _line: &str,
+        _received: Instant,
+        _sink: &mut dyn FrameSink,
+    ) -> Option<io::Result<Served>> {
+        None
+    }
 }
 
 impl LineHandler for Runtime {
-    fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served> {
-        Runtime::handle_line(self, line, sink)
+    fn handle_line_at(
+        &self,
+        line: &str,
+        received: Instant,
+        sink: &mut dyn FrameSink,
+    ) -> io::Result<Served> {
+        Runtime::handle_line_at(self, line, received, sink)
+    }
+
+    fn try_handle_warm(
+        &self,
+        line: &str,
+        received: Instant,
+        sink: &mut dyn FrameSink,
+    ) -> Option<io::Result<Served>> {
+        Runtime::try_handle_warm(self, line, received, sink)
     }
 }
 
@@ -1476,11 +1873,283 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadlines_answer_busy_without_occupying_a_slot() {
+        let rt = runtime(2);
+        let stale = Instant::now()
+            .checked_sub(Duration::from_millis(50))
+            .expect("clock has history");
+
+        // v2: the Busy frame, not a slot.
+        let request = EvalRequest::streaming("d-1", tiny_batch()).with_deadline(10);
+        let mut frames: Vec<Response> = Vec::new();
+        let served = rt
+            .handle_line_at(&line(&Request::Eval(request)), stale, &mut frames)
+            .unwrap();
+        assert!(
+            matches!(served, Served::Rejected { ref id, .. } if id == "d-1"),
+            "expired v2 deadline must reject, got {served:?}"
+        );
+        assert!(
+            matches!(frames.first(), Some(Response::Busy { id, .. }) if id == "d-1"),
+            "expected a Busy frame, got {frames:?}"
+        );
+        assert_eq!(rt.gate().occupancy(), 0, "no slot was occupied");
+
+        // v1: the same refusal comes back buffered and typed.
+        let request = EvalRequest::new("d-2", tiny_batch()).with_deadline(10);
+        let mut frames: Vec<Response> = Vec::new();
+        rt.handle_line_at(&line(&Request::Eval(request)), stale, &mut frames)
+            .unwrap();
+        let Some(Response::Eval(refusal)) = frames.first() else {
+            panic!("expected a v1 refusal, got {frames:?}");
+        };
+        assert_eq!(refusal.error.as_ref().unwrap().category(), "busy");
+
+        // An unexpired deadline admits and evaluates normally.
+        let request = EvalRequest::streaming("d-3", tiny_batch()).with_deadline(60_000);
+        let mut frames: Vec<Response> = Vec::new();
+        let served = rt
+            .handle_line(&line(&Request::Eval(request)), &mut frames)
+            .unwrap();
+        assert_eq!(
+            served,
+            Served::Eval {
+                id: "d-3".into(),
+                cells: 2,
+                hits: 0,
+                misses: 2,
+                streamed: true,
+            }
+        );
+        assert_eq!(rt.status().rejected, 2);
+    }
+
+    /// A sink capturing raw wire lines: typed frames serialize exactly
+    /// as the TCP `LineSink` would, raw lines pass through untouched.
+    #[derive(Default)]
+    struct RawLines(Vec<String>);
+
+    impl FrameSink for RawLines {
+        fn send(&mut self, frame: &Response) -> io::Result<()> {
+            self.0
+                .push(serde_json::to_string(frame).expect("frame serializes"));
+            Ok(())
+        }
+
+        fn send_raw(&mut self, line: &str) -> io::Result<()> {
+            self.0.push(line.to_string());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn warm_buffered_line_is_byte_identical_to_serde_serialization() {
+        let cache = temp_cache("memo-bytes");
+        let rt = Runtime::new(
+            Engine::ephemeral().with_cache(cache.clone()),
+            ServeConfig {
+                queue_depth: 2,
+                jobs: 2,
+            },
+        );
+        let mut cold = RawLines::default();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::new("b-cold", tiny_batch()))),
+            &mut cold,
+        )
+        .unwrap();
+
+        // The id exercises JSON string escaping in the spliced line.
+        let id = "b-warm \"quoted\" \\ ünïcode";
+        let mut warm = RawLines::default();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::new(id, tiny_batch()))),
+            &mut warm,
+        )
+        .unwrap();
+        assert_eq!(warm.0.len(), 1, "one buffered response line");
+        let spliced = &warm.0[0];
+
+        // Parse the spliced line and push it back through serde: the
+        // bytes must survive the round trip unchanged, proving the
+        // splice is indistinguishable from full serialization.
+        let parsed: Response = serde_json::from_str(spliced).expect("warm line parses");
+        let Response::Eval(response) = parsed else {
+            panic!("expected a buffered Eval response");
+        };
+        assert_eq!(response.id, id);
+        assert_eq!((response.hits, response.misses), (2, 0));
+        assert_eq!(response.cells.len(), 2);
+        let rebuilt =
+            serde_json::to_string(&Response::Eval(response)).expect("response serializes");
+        assert_eq!(
+            *spliced, rebuilt,
+            "spliced warm line must match serde byte-for-byte"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cell_memo_evicts_oldest_entries_at_cap() {
+        let mut memo = CellMemo::new(2);
+        let scenarios = [
+            Scenario::study(StudyId::Fig9a),
+            Scenario::study(StudyId::Table2),
+            Scenario::study(StudyId::Fig7),
+        ];
+        for s in &scenarios {
+            memo.insert(
+                CellMemo::key(s),
+                MemoCell {
+                    line: format!("frame-{}", s.id),
+                    outcome_json: format!("outcome-{}", s.id),
+                },
+            );
+        }
+        assert_eq!(memo.len(), 2, "cap bounds the entry count");
+        assert!(
+            memo.lookup_all(&scenarios[1..]).is_some(),
+            "the two newest entries survive"
+        );
+        assert!(
+            memo.lookup_all(&scenarios[..1]).is_none(),
+            "the oldest entry was evicted first"
+        );
+
+        // Re-inserting a live key replaces in place: nothing else is
+        // evicted and the count stays at cap.
+        memo.insert(
+            CellMemo::key(&scenarios[1]),
+            MemoCell {
+                line: "frame-refreshed".into(),
+                outcome_json: "outcome-refreshed".into(),
+            },
+        );
+        assert_eq!(memo.len(), 2);
+        let cells = memo
+            .lookup_all(&scenarios[1..2])
+            .expect("refreshed key still present");
+        assert_eq!(cells[0].line, "frame-refreshed");
+        assert!(
+            memo.lookup_all(&scenarios[2..]).is_some(),
+            "replacing a live key must not evict its neighbour"
+        );
+    }
+
+    #[test]
+    fn overlapping_batches_share_per_cell_memo_entries() {
+        let cache = temp_cache("memo-overlap");
+        let rt = Runtime::new(
+            Engine::ephemeral().with_cache(cache.clone()),
+            ServeConfig {
+                queue_depth: 2,
+                jobs: 2,
+            },
+        );
+        // Batch A computes {Fig9a, Table2} and memoizes each cell.
+        let mut cold: Vec<Response> = Vec::new();
+        rt.handle_line(
+            &line(&Request::Eval(EvalRequest::streaming("o-1", tiny_batch()))),
+            &mut cold,
+        )
+        .unwrap();
+
+        // Deleting the cache dir proves the overlap is served from the
+        // memo, not the disk.
+        std::fs::remove_dir_all(cache.dir()).expect("cache dir removable");
+
+        // Batch B is a different batch that overlaps A in Table2 only.
+        // Under per-batch keying this would be a full recompute; with
+        // per-cell keys the shared cell replays warm.
+        let sub = vec![Scenario::study(StudyId::Table2)];
+        let mut warm: Vec<Response> = Vec::new();
+        let served = rt
+            .handle_line(
+                &line(&Request::Eval(EvalRequest::streaming("o-2", sub.clone()))),
+                &mut warm,
+            )
+            .unwrap();
+        assert_eq!(
+            served,
+            Served::Eval {
+                id: "o-2".into(),
+                cells: 1,
+                hits: 1,
+                misses: 0,
+                streamed: true,
+            },
+            "the overlapping cell must come out of the memo"
+        );
+        let Some(Response::Cell(cell)) = warm.iter().find(|f| matches!(f, Response::Cell(_)))
+        else {
+            panic!("expected a Cell frame, got {warm:?}");
+        };
+        let cold_match = cold.iter().find_map(|f| match f {
+            Response::Cell(c) if c.id == cell.id => Some(c),
+            _ => None,
+        });
+        assert_eq!(
+            cold_match.unwrap().metrics,
+            cell.metrics,
+            "the shared cell replays batch A's payload"
+        );
+
+        // The buffered protocol shares the same per-cell entries.
+        let mut v1: Vec<Response> = Vec::new();
+        rt.handle_line(&line(&Request::Eval(EvalRequest::new("o-3", sub))), &mut v1)
+            .unwrap();
+        let Some(Response::Eval(response)) = v1.first() else {
+            panic!("expected a buffered response, got {v1:?}");
+        };
+        assert_eq!(response.hits, 1);
+        assert_eq!(response.misses, 0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
     fn raw_frames_decode_through_the_default_sink_path() {
         let mut frames: Vec<Response> = Vec::new();
         let sink: &mut dyn FrameSink = &mut frames;
         sink.send_raw("\"Pong\"").unwrap();
         assert!(sink.send_raw("not a frame").is_err());
         assert_eq!(frames, vec![Response::Pong]);
+    }
+}
+
+/// Ignored-by-default timing probes for the warm fast path. Run with
+/// `cargo test -p yoco-sweep --release -- --ignored microbench` when
+/// chasing a serve-bench regression: the request parse dominates, and
+/// the batch fingerprint must stay orders of magnitude below it.
+#[cfg(test)]
+mod microbench {
+    use super::*;
+    use crate::api::{EvalRequest, Request};
+    use crate::grids;
+    use std::time::Instant;
+
+    #[test]
+    #[ignore]
+    fn warm_path_piece_timings() {
+        let scenarios = grids::resolve("fig8").expect("grid");
+        let req = EvalRequest::new("bench", scenarios.clone());
+        let line = serde_json::to_string(&Request::Eval(req)).unwrap();
+        eprintln!("request line bytes: {}", line.len());
+        let n = 2000;
+        let t = Instant::now();
+        for _ in 0..n {
+            let _ = serde_json::from_str::<Request>(&line).unwrap();
+        }
+        eprintln!("parse request: {:?}/iter", t.elapsed() / n);
+        let t = Instant::now();
+        for _ in 0..n {
+            let _ = BatchMemo::key(&scenarios);
+        }
+        eprintln!("batch key: {:?}/iter", t.elapsed() / n);
+        let t = Instant::now();
+        for _ in 0..n {
+            let c = scenarios.iter().map(CellMemo::key).collect::<Vec<_>>();
+            std::hint::black_box(c);
+        }
+        eprintln!("per-cell keys: {:?}/iter", t.elapsed() / n);
     }
 }

@@ -1,0 +1,892 @@
+//! The event-driven serve core: one reactor thread multiplexing the
+//! listener and every client connection over the vendored epoll shim
+//! ([`mio`]), with a small worker pool executing request lines against
+//! the socket-free [`LineHandler`].
+//!
+//! The thread-per-connection loop ([`super::serve_loop`]) caps
+//! concurrent connections at "how many stacks can you afford" long
+//! before the shared engine is the limit. Here a connection costs two
+//! heap buffers:
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!                    │  reactor thread (epoll)                    │
+//!  accept ──────────▶│  listener ── token 0                       │
+//!                    │  waker ───── token 1 (eventfd)             │
+//!  readable ────────▶│  conn N ──── read → LineBuf → lines        │
+//!                    │                │ dispatch (line, Instant)  │
+//!                    │                ▼                           │
+//!                    │        job queue (mpsc)                    │
+//!                    │                │                           │
+//!                    │   workers: handler.handle_line_at(...)     │
+//!                    │                │ frames                    │
+//!                    │                ▼                           │
+//!                    │  OutBuf (bounded) ─ dirty queue ─ waker    │
+//!  writable ────────▶│  conn N ──── flush until EAGAIN            │
+//!                    └────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Pipelining** — a client may write any number of request lines
+//!   without waiting for responses; the reactor parses them all out of
+//!   the shared read buffer and answers each exactly once, **in
+//!   request order**. At most one line per connection is in flight at
+//!   a time (the rest wait in the connection's queue), because frames
+//!   of concurrently-served requests would interleave — a v2 `Cell`
+//!   carries no request id, so ordering *is* the framing. Distinct
+//!   connections still run fully in parallel.
+//! * **Backpressure** — frames are appended to a bounded
+//!   per-connection [`OutBuf`]; a partial write keeps the remainder
+//!   and arms `WRITABLE` interest (EAGAIN requeues the flush), and a
+//!   client that stops reading until the buffer hits its cap is
+//!   disconnected instead of holding server memory hostage.
+//! * **Deadlines** — each line is stamped with its receipt
+//!   [`Instant`]; the admission gate answers `Busy` for requests whose
+//!   `deadline_ms` expired while queued, instead of occupying a slot.
+//! * **Shutdown** — on a served `Shutdown` the reactor stops
+//!   accepting and stops reading, then drains: every dispatched line
+//!   finishes and every outbuf flushes (the `Bye` reaches its client)
+//!   before the loop exits, bounded by a grace period mirroring the
+//!   threaded path's write timeout.
+
+use super::{FrameSink, LineHandler, Served};
+use crate::api::Response;
+use mio::unix::SourceFd;
+use mio::{Events, Interest, Poll, Token, Waker};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default bound on one connection's pending response bytes. Generous —
+/// a full `fig8` v1 response is tens of kilobytes — but finite: past
+/// it the client is deemed a slow reader and disconnected.
+pub const DEFAULT_OUTBUF_CAP: usize = 16 * 1024 * 1024;
+
+/// How long a shutdown drain may wait on unflushed outbufs before
+/// force-closing them — the reactor's analogue of the threaded path's
+/// 60 s write timeout.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(60);
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+const FIRST_CONN: usize = 2;
+
+/// Sizing of the reactor: handler workers and the outbuf bound.
+#[derive(Debug, Clone, Copy)]
+pub struct ReactorConfig {
+    /// Threads executing request lines. More than the admission depth,
+    /// so control frames (`Ping`/`Status`) and fast rejections keep
+    /// flowing while every slot runs an evaluation.
+    pub workers: usize,
+    /// Per-connection bound on buffered response bytes; exceeding it
+    /// disconnects the (slow-reading) client.
+    pub outbuf_cap: usize,
+}
+
+impl ReactorConfig {
+    /// The sizing for a runtime admitting `queue_depth` evaluations.
+    pub fn for_queue_depth(queue_depth: usize) -> Self {
+        Self {
+            workers: queue_depth.saturating_add(2).clamp(2, 32),
+            outbuf_cap: DEFAULT_OUTBUF_CAP,
+        }
+    }
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self::for_queue_depth(super::DEFAULT_QUEUE_DEPTH)
+    }
+}
+
+/// An incremental NDJSON line parser over a growing byte buffer:
+/// `feed` appends whatever the socket delivered (any framing — bytes
+/// may split a line anywhere), `next_line` pops complete lines.
+#[derive(Debug, Default)]
+pub(crate) struct LineBuf {
+    buf: Vec<u8>,
+    /// How far the buffer has been scanned for a newline, so repeated
+    /// partial reads do not rescan the same prefix.
+    scanned: usize,
+}
+
+impl LineBuf {
+    /// Appends freshly read bytes.
+    pub(crate) fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete line (newline stripped, CRLF tolerated).
+    /// Invalid UTF-8 is replaced rather than fatal — the dispatch
+    /// answers such lines as malformed requests.
+    pub(crate) fn next_line(&mut self) -> Option<String> {
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(offset) => {
+                let end = self.scanned + offset;
+                let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+                self.scanned = 0;
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                Some(String::from_utf8_lossy(&line).into_owned())
+            }
+            None => {
+                self.scanned = self.buf.len();
+                None
+            }
+        }
+    }
+}
+
+/// One connection's bounded, partially flushed response bytes.
+#[derive(Debug)]
+pub(crate) struct OutBuf {
+    data: Vec<u8>,
+    /// Bytes already written to the socket (a partial write's cursor).
+    pos: usize,
+    cap: usize,
+    overflowed: bool,
+    closed: bool,
+}
+
+impl OutBuf {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            pos: 0,
+            cap,
+            overflowed: false,
+            closed: false,
+        }
+    }
+
+    /// Pending (unwritten) bytes.
+    pub(crate) fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Marks the connection gone: subsequent pushes fail fast so an
+    /// in-flight handler aborts its stream instead of buffering into
+    /// the void.
+    pub(crate) fn close(&mut self) {
+        self.closed = true;
+        self.data = Vec::new();
+        self.pos = 0;
+    }
+
+    /// Appends one frame line (newline added). Exceeding the cap
+    /// latches `overflowed` — the reactor disconnects the client — and
+    /// the push fails so the producing handler stops emitting.
+    pub(crate) fn push(&mut self, line: &str) -> io::Result<()> {
+        if self.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection closed",
+            ));
+        }
+        if self.overflowed || self.len() + line.len() + 1 > self.cap {
+            self.overflowed = true;
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "per-connection output buffer full (slow reader)",
+            ));
+        }
+        // Compact once the flushed prefix dominates, so a long-lived
+        // connection does not grow its buffer by its whole history.
+        if self.pos > 0 && self.pos >= self.data.len() / 2 {
+            self.data.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.data.extend_from_slice(line.as_bytes());
+        self.data.push(b'\n');
+        Ok(())
+    }
+
+    /// Writes as much as the socket accepts. `Ok(true)` means drained,
+    /// `Ok(false)` means the socket would block with bytes remaining
+    /// (the caller arms `WRITABLE` interest and resumes later).
+    pub(crate) fn write_to(&mut self, writer: &mut dyn Write) -> io::Result<bool> {
+        while self.pos < self.data.len() {
+            match writer.write(&self.data[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        self.data.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+/// The cross-thread state of one connection's output side.
+#[derive(Debug)]
+struct ConnOut {
+    buf: Mutex<OutBuf>,
+}
+
+/// What reactor and workers share: the wakeup channel back into the
+/// poll loop and the queues it drains.
+struct Shared {
+    waker: Waker,
+    /// Connections whose outbuf gained bytes since the last flush.
+    dirty: Mutex<Vec<usize>>,
+    /// Completed handler calls awaiting reactor bookkeeping.
+    done: Mutex<Vec<DoneMsg>>,
+}
+
+impl Shared {
+    fn mark_dirty(&self, conn: usize) {
+        self.dirty.lock().expect("dirty lock").push(conn);
+        let _ = self.waker.wake();
+    }
+
+    fn push_done(&self, msg: DoneMsg) {
+        self.done.lock().expect("done lock").push(msg);
+        let _ = self.waker.wake();
+    }
+}
+
+/// One line for a worker to execute.
+struct Job {
+    conn: usize,
+    line: String,
+    received: Instant,
+    out: Arc<ConnOut>,
+}
+
+/// One finished handler call.
+struct DoneMsg {
+    conn: usize,
+    result: io::Result<Served>,
+}
+
+/// The [`FrameSink`] workers hand to the handler: frames serialize
+/// into the connection's bounded outbuf, and the reactor is woken to
+/// flush. Failures (overflow, closed connection) propagate into the
+/// handler so streams abort instead of buffering blindly.
+struct ReactorSink {
+    conn: usize,
+    out: Arc<ConnOut>,
+    shared: Arc<Shared>,
+}
+
+impl FrameSink for ReactorSink {
+    fn send(&mut self, frame: &Response) -> io::Result<()> {
+        let line = serde_json::to_string(frame).map_err(|e| io::Error::other(e.to_string()))?;
+        self.send_raw(&line)
+    }
+
+    fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.out.buf.lock().expect("outbuf lock").push(line)?;
+        self.shared.mark_dirty(self.conn);
+        Ok(())
+    }
+}
+
+/// The sink for lines answered on the reactor thread itself
+/// ([`LineHandler::try_handle_warm`]): frames append straight to the
+/// connection's outbuf with no waker round trip — the event loop
+/// flushes every touched connection in the same pass.
+struct InlineSink {
+    out: Arc<ConnOut>,
+}
+
+impl FrameSink for InlineSink {
+    fn send(&mut self, frame: &Response) -> io::Result<()> {
+        let line = serde_json::to_string(frame).map_err(|e| io::Error::other(e.to_string()))?;
+        self.send_raw(&line)
+    }
+
+    fn send_raw(&mut self, line: &str) -> io::Result<()> {
+        self.out.buf.lock().expect("outbuf lock").push(line)
+    }
+}
+
+/// One registered client connection, owned by the reactor thread.
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    inbuf: LineBuf,
+    out: Arc<ConnOut>,
+    /// Parsed request lines (with their receipt stamp) waiting behind
+    /// the in-flight one. Responses must come back in request order —
+    /// the threaded path got that for free by being sequential, so the
+    /// reactor keeps at most ONE line per connection in flight and
+    /// queues the rest here; [`Reactor::advance`] drains it.
+    queued: VecDeque<(String, Instant)>,
+    /// Lines dispatched to workers and not yet reported done (0 or 1).
+    pending: usize,
+    /// EOF observed (or reads stopped by shutdown); no more dispatch.
+    read_closed: bool,
+    /// Close once pending work and the outbuf drain (a served
+    /// `Shutdown`'s connection, mirroring the threaded path's return).
+    closing: bool,
+    /// The current epoll registration, `None` when deregistered.
+    registered: Option<(bool, bool)>,
+}
+
+impl Conn {
+    fn outbuf_is_empty(&self) -> bool {
+        self.out.buf.lock().expect("outbuf lock").is_empty()
+    }
+}
+
+/// Runs the event-driven accept loop until a `Shutdown` request
+/// drains it — the reactor-backed replacement for [`super::serve_loop`],
+/// same contract: serve every connection through `handler`, log one
+/// line per served request unless `quiet`.
+pub fn serve_reactor(
+    listener: TcpListener,
+    handler: Arc<dyn LineHandler>,
+    quiet: bool,
+    config: ReactorConfig,
+) -> io::Result<()> {
+    let poll = Poll::new()?;
+    listener.set_nonblocking(true)?;
+    let listener_fd = listener.as_raw_fd();
+    poll.registry()
+        .register(&mut SourceFd(&listener_fd), LISTENER, Interest::READABLE)?;
+    let shared = Arc::new(Shared {
+        waker: Waker::new(poll.registry(), WAKER)?,
+        dirty: Mutex::new(Vec::new()),
+        done: Mutex::new(Vec::new()),
+    });
+
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let worker_handles: Vec<_> = (0..config.workers.max(1))
+        .map(|n| {
+            let rx = Arc::clone(&job_rx);
+            let handler = Arc::clone(&handler);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("reactor-worker-{n}"))
+                .spawn(move || worker_loop(rx, handler, shared))
+                .expect("spawn reactor worker")
+        })
+        .collect();
+
+    let mut reactor = Reactor {
+        poll,
+        listener: Some(listener),
+        conns: HashMap::new(),
+        next_token: FIRST_CONN,
+        shared,
+        handler,
+        job_tx: Some(job_tx),
+        outbuf_cap: config.outbuf_cap,
+        quiet,
+        shutdown: None,
+    };
+    let result = reactor.run();
+
+    // Closing the job channel ends the workers once the queue drains
+    // (any stragglers write into closed outbufs and fail fast).
+    drop(reactor);
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    result
+}
+
+fn worker_loop(
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    handler: Arc<dyn LineHandler>,
+    shared: Arc<Shared>,
+) {
+    loop {
+        // Holding the lock across `recv` just parks the other workers
+        // on the mutex instead of the channel; handoff order is
+        // unchanged and the lock is released with each job.
+        let job = match rx.lock().expect("job queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut sink = ReactorSink {
+            conn: job.conn,
+            out: Arc::clone(&job.out),
+            shared: Arc::clone(&shared),
+        };
+        let result = handler.handle_line_at(&job.line, job.received, &mut sink);
+        shared.push_done(DoneMsg {
+            conn: job.conn,
+            result,
+        });
+    }
+}
+
+struct Reactor {
+    poll: Poll,
+    listener: Option<TcpListener>,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    shared: Arc<Shared>,
+    handler: Arc<dyn LineHandler>,
+    job_tx: Option<mpsc::Sender<Job>>,
+    outbuf_cap: usize,
+    quiet: bool,
+    /// When a `Shutdown` was served — the drain deadline's anchor.
+    shutdown: Option<Instant>,
+}
+
+impl Reactor {
+    fn run(&mut self) -> io::Result<()> {
+        let mut events = Events::with_capacity(1024);
+        loop {
+            let timeout = self.shutdown.map(|_| Duration::from_millis(25));
+            self.poll.poll(&mut events, timeout)?;
+            let mut touched: Vec<usize> = Vec::new();
+            for event in &events {
+                match event.token() {
+                    LISTENER => self.accept_ready(),
+                    WAKER => {} // queues are drained below on every pass
+                    Token(id) => {
+                        if event.is_readable() {
+                            self.read_ready(id);
+                        }
+                        touched.push(id);
+                    }
+                }
+            }
+            // Handler completions: bookkeeping, logging, shutdown —
+            // then the connection's next queued line, if any.
+            let done = std::mem::take(&mut *self.shared.done.lock().expect("done lock"));
+            for msg in done {
+                touched.push(msg.conn);
+                let Some(conn) = self.conns.get_mut(&msg.conn) else {
+                    continue; // connection already closed (slow reader, error)
+                };
+                conn.pending -= 1;
+                match msg.result {
+                    Ok(served) => {
+                        if !self.quiet {
+                            println!("[{}] {}", conn.peer, served.label());
+                            let _ = io::stdout().flush();
+                        }
+                        if served == Served::Shutdown {
+                            conn.closing = true;
+                            self.begin_shutdown();
+                            touched = self.conns.keys().copied().collect();
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("warning: connection error: {e}");
+                        self.close_conn(msg.conn);
+                    }
+                }
+                self.advance(msg.conn);
+            }
+            // Fresh response bytes: flush opportunistically.
+            touched.extend(std::mem::take(
+                &mut *self.shared.dirty.lock().expect("dirty lock"),
+            ));
+            for id in touched {
+                self.refresh(id);
+            }
+            if let Some(since) = self.shutdown {
+                let drained = self
+                    .conns
+                    .values()
+                    .all(|c| c.pending == 0 && c.queued.is_empty() && c.outbuf_is_empty());
+                if drained || since.elapsed() >= SHUTDOWN_GRACE {
+                    break;
+                }
+            }
+        }
+        for id in self.conns.keys().copied().collect::<Vec<_>>() {
+            self.close_conn(id);
+        }
+        self.job_tx = None;
+        Ok(())
+    }
+
+    /// Accepts every pending connection (the listener is level-
+    /// triggered, but draining the backlog per event is cheaper than
+    /// one wakeup per connection under fan-in).
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    if let Err(e) = self.add_conn(stream, peer.to_string()) {
+                        eprintln!("warning: failed to register connection: {e}");
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("warning: failed accept: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    fn add_conn(&mut self, stream: TcpStream, peer: String) -> io::Result<()> {
+        stream.set_nonblocking(true)?;
+        // One flushed frame per line: with Nagle on, each small write
+        // can stall a delayed-ACK interval (~40 ms).
+        stream.set_nodelay(true)?;
+        let id = self.next_token;
+        self.next_token += 1;
+        let fd = stream.as_raw_fd();
+        self.poll
+            .registry()
+            .register(&mut SourceFd(&fd), Token(id), Interest::READABLE)?;
+        self.conns.insert(
+            id,
+            Conn {
+                stream,
+                peer,
+                inbuf: LineBuf::default(),
+                out: Arc::new(ConnOut {
+                    buf: Mutex::new(OutBuf::new(self.outbuf_cap)),
+                }),
+                queued: VecDeque::new(),
+                pending: 0,
+                read_closed: false,
+                closing: false,
+                registered: Some((true, false)),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drains the socket to EAGAIN, dispatching every complete line.
+    fn read_ready(&mut self, id: usize) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if conn.read_closed {
+            return;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Ok(n) => conn.inbuf.feed(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("warning: connection error: {e}");
+                    self.close_conn(id);
+                    return;
+                }
+            }
+        }
+        let conn = self.conns.get_mut(&id).expect("conn still present");
+        let received = Instant::now();
+        while let Some(line) = conn.inbuf.next_line() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Lines parsed after a shutdown are dropped: the drain
+            // covers work in flight (queued included), not new work.
+            if self.shutdown.is_some() {
+                continue;
+            }
+            conn.queued.push_back((line, received));
+        }
+        self.advance(id);
+    }
+
+    /// Serves the connection's queued lines in request order: warm
+    /// lines ([`LineHandler::try_handle_warm`]) are answered right on
+    /// this thread — no worker handoff, no waker round trip; the
+    /// response bytes flush in this same event-loop pass — and the
+    /// first line needing compute is dispatched to the worker pool.
+    /// At most one line per connection is ever in flight, so responses
+    /// come back in request order even under pipelining (a warm line
+    /// never jumps ahead of a queued cold one, and two cold streams
+    /// can't interleave their frames). Called again on each job
+    /// completion to keep the queue moving.
+    fn advance(&mut self, id: usize) {
+        let handler = Arc::clone(&self.handler);
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            if conn.pending > 0 {
+                return;
+            }
+            let Some((line, received)) = conn.queued.pop_front() else {
+                return;
+            };
+            let out = Arc::clone(&conn.out);
+            let peer = conn.peer.clone();
+            let mut sink = InlineSink {
+                out: Arc::clone(&out),
+            };
+            match handler.try_handle_warm(&line, received, &mut sink) {
+                Some(Ok(served)) => {
+                    if !self.quiet {
+                        println!("[{peer}] {}", served.label());
+                        let _ = io::stdout().flush();
+                    }
+                }
+                Some(Err(e)) => {
+                    eprintln!("warning: connection error: {e}");
+                    self.close_conn(id);
+                    return;
+                }
+                None => {
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.pending += 1;
+                    }
+                    let tx = self.job_tx.as_ref().expect("job queue open");
+                    tx.send(Job {
+                        conn: id,
+                        line,
+                        received,
+                        out,
+                    })
+                    .expect("worker pool alive");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Flushes, closes finished connections, and reconciles the epoll
+    /// registration with what the connection still needs.
+    fn refresh(&mut self, id: usize) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        {
+            let mut out = conn.out.buf.lock().expect("outbuf lock");
+            if out.overflowed() {
+                drop(out);
+                eprintln!(
+                    "warning: [{}] output buffer full (slow reader) — disconnecting",
+                    conn.peer
+                );
+                self.close_conn(id);
+                return;
+            }
+            match out.write_to(&mut conn.stream) {
+                Ok(_) => {}
+                Err(e) => {
+                    drop(out);
+                    eprintln!("warning: connection error: {e}");
+                    self.close_conn(id);
+                    return;
+                }
+            }
+        }
+        let conn = self.conns.get_mut(&id).expect("conn still present");
+        let done = (conn.read_closed || conn.closing)
+            && conn.pending == 0
+            && conn.queued.is_empty()
+            && conn.outbuf_is_empty();
+        if done {
+            self.close_conn(id);
+            return;
+        }
+        let want_read = !conn.read_closed && !conn.closing && self.shutdown.is_none();
+        let want_write = !conn.outbuf_is_empty();
+        let desired = (want_read, want_write);
+        if conn.registered == Some(desired) {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        let interest = match desired {
+            (true, true) => Some(Interest::READABLE | Interest::WRITABLE),
+            (true, false) => Some(Interest::READABLE),
+            (false, true) => Some(Interest::WRITABLE),
+            // No interest at all (e.g. EOF seen, waiting on workers):
+            // deregister so level-triggered hangup events do not spin
+            // the loop; completions arrive via the waker.
+            (false, false) => None,
+        };
+        let registry = self.poll.registry();
+        let result = match (conn.registered.is_some(), interest) {
+            (true, Some(i)) => registry.reregister(&mut SourceFd(&fd), Token(id), i),
+            (false, Some(i)) => registry.register(&mut SourceFd(&fd), Token(id), i),
+            (true, None) => registry.deregister(&mut SourceFd(&fd)),
+            (false, None) => Ok(()),
+        };
+        match result {
+            Ok(()) => {
+                conn.registered = interest.map(|_| desired);
+            }
+            Err(e) => {
+                eprintln!("warning: epoll registration failed: {e}");
+                self.close_conn(id);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, id: usize) {
+        let Some(conn) = self.conns.remove(&id) else {
+            return;
+        };
+        conn.out.buf.lock().expect("outbuf lock").close();
+        if conn.registered.is_some() {
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.poll.registry().deregister(&mut SourceFd(&fd));
+        }
+    }
+
+    /// Stops accepting and stops reading; the main loop then drains
+    /// pending work and outbufs before exiting.
+    fn begin_shutdown(&mut self) {
+        if self.shutdown.is_some() {
+            return;
+        }
+        self.shutdown = Some(Instant::now());
+        if let Some(listener) = self.listener.take() {
+            let fd = listener.as_raw_fd();
+            let _ = self.poll.registry().deregister(&mut SourceFd(&fd));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{LineBuf, OutBuf};
+    use std::io::{self, Write};
+
+    #[test]
+    fn linebuf_reassembles_lines_split_anywhere() {
+        let mut buf = LineBuf::default();
+        assert_eq!(buf.next_line(), None);
+        buf.feed(b"{\"a\"");
+        assert_eq!(buf.next_line(), None, "partial line is held back");
+        buf.feed(b":1}\n{\"b\":2}\r\n{\"c\"");
+        assert_eq!(buf.next_line().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(
+            buf.next_line().as_deref(),
+            Some("{\"b\":2}"),
+            "CRLF framing is tolerated"
+        );
+        assert_eq!(buf.next_line(), None);
+        buf.feed(b":3}");
+        assert_eq!(buf.next_line(), None, "still no newline");
+        buf.feed(b"\n");
+        assert_eq!(buf.next_line().as_deref(), Some("{\"c\":3}"));
+        assert_eq!(buf.next_line(), None);
+    }
+
+    #[test]
+    fn linebuf_yields_every_line_of_a_pipelined_burst() {
+        let mut buf = LineBuf::default();
+        buf.feed(b"one\ntwo\nthree\n\nfour\n");
+        let lines: Vec<String> = std::iter::from_fn(|| buf.next_line()).collect();
+        assert_eq!(lines, ["one", "two", "three", "", "four"]);
+    }
+
+    /// A writer accepting a fixed number of bytes per call, then
+    /// `WouldBlock` — a socket with a tiny send buffer.
+    struct Trickle {
+        accepted: Vec<u8>,
+        per_call: usize,
+        calls_left: usize,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.calls_left == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            self.calls_left -= 1;
+            let n = buf.len().min(self.per_call);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn outbuf_resumes_partial_writes_across_eagain() {
+        let mut out = OutBuf::new(1024);
+        out.push("{\"frame\":1}").unwrap();
+        out.push("{\"frame\":2}").unwrap();
+        let total = out.len();
+
+        let mut sink = Trickle {
+            accepted: Vec::new(),
+            per_call: 5,
+            calls_left: 2,
+        };
+        assert!(!out.write_to(&mut sink).unwrap(), "EAGAIN mid-buffer");
+        assert_eq!(sink.accepted.len(), 10);
+        assert_eq!(out.len(), total - 10, "cursor holds the remainder");
+
+        // More frames arrive while blocked; the flush later resumes
+        // exactly where it stopped, no bytes duplicated or dropped.
+        out.push("{\"frame\":3}").unwrap();
+        sink.calls_left = usize::MAX;
+        sink.per_call = 7;
+        assert!(out.write_to(&mut sink).unwrap(), "drains once writable");
+        assert_eq!(
+            String::from_utf8(sink.accepted).unwrap(),
+            "{\"frame\":1}\n{\"frame\":2}\n{\"frame\":3}\n"
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn outbuf_overflow_latches_and_rejects_further_pushes() {
+        let mut out = OutBuf::new(16);
+        out.push("0123456789").unwrap();
+        let err = out.push("0123456789").expect_err("cap exceeded");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(out.overflowed());
+        let err = out.push("x").expect_err("stays rejected after overflow");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn outbuf_close_fails_pushes_with_broken_pipe() {
+        let mut out = OutBuf::new(64);
+        out.push("alive").unwrap();
+        out.close();
+        assert!(out.is_empty(), "closing discards pending bytes");
+        let err = out.push("dead").expect_err("closed outbuf rejects");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn outbuf_compacts_the_flushed_prefix() {
+        let mut out = OutBuf::new(64);
+        out.push("aaaaaaaaaa").unwrap();
+        let mut sink = Trickle {
+            accepted: Vec::new(),
+            per_call: 8,
+            calls_left: 1,
+        };
+        assert!(!out.write_to(&mut sink).unwrap());
+        // The next push compacts: capacity accounting is on *pending*
+        // bytes, so the flushed prefix must not count against the cap.
+        out.push(&"b".repeat(50)).unwrap();
+        assert_eq!(out.len(), 3 + 51);
+    }
+}

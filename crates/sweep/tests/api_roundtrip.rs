@@ -172,12 +172,22 @@ proptest! {
         id in string_strategy(),
         scenarios in prop::collection::vec(scenario_strategy(), 0..8),
         force in 0u8..2,
+        deadline_ms in prop::option::of(0u64..120_000),
     ) {
         let mut request = EvalRequest::new(id, scenarios);
         request.force = force == 1;
+        request.deadline_ms = deadline_ms;
         let text = serde_json::to_string(&request).expect("serializes");
         let back: EvalRequest = serde_json::from_str(&text).expect("parses");
         prop_assert_eq!(&request, &back);
+
+        // A pre-deadline request line (no `deadline_ms` key at all)
+        // still parses, defaulting to no deadline.
+        let legacy = text.replacen(",\"deadline_ms\":null", "", 1);
+        let back: EvalRequest = serde_json::from_str(&legacy).expect("legacy line parses");
+        if request.deadline_ms.is_none() {
+            prop_assert_eq!(&request, &back);
+        }
 
         // And inside the envelope.
         let envelope = Request::Eval(request);

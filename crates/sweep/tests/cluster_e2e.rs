@@ -15,7 +15,7 @@
 
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, Command, ExitStatus, Stdio};
 use std::time::Duration;
 use yoco_sweep::api::{CellOutcome, CellStatus, EvalRequest, Request, Response};
 use yoco_sweep::cluster::report_from_outcomes;
@@ -27,8 +27,34 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
+/// A spawned `yoco-serve`, killed on drop so a failing test cannot
+/// leak a server (a leaked child also holds the test harness's stdout
+/// pipe open, wedging `cargo test`'s output).
+struct Server(Child);
+
+impl Server {
+    fn wait(mut self) -> ExitStatus {
+        self.0.wait().expect("server exits")
+    }
+
+    /// The mid-stream worker kill: terminate and reap in place.
+    fn kill(&mut self) {
+        self.0.kill().expect("server killable");
+        self.0.wait().expect("server reaped");
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if matches!(self.0.try_wait(), Ok(None)) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+}
+
 /// Spawns a `yoco-serve` process and parses its announce line.
-fn spawn_serve(args: &[String]) -> (Child, u16) {
+fn spawn_serve(args: &[String]) -> (Server, u16) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_yoco-serve"))
         .args(args)
         .stdout(Stdio::piped())
@@ -45,10 +71,10 @@ fn spawn_serve(args: &[String]) -> (Child, u16) {
         .next()
         .and_then(|p| p.parse().ok())
         .unwrap_or_else(|| panic!("unparseable announce line {line:?}"));
-    (child, port)
+    (Server(child), port)
 }
 
-fn spawn_worker(cache_dir: &Path) -> (Child, u16) {
+fn spawn_worker(cache_dir: &Path) -> (Server, u16) {
     spawn_serve(&[
         "--addr".into(),
         "127.0.0.1:0".into(),
@@ -60,7 +86,7 @@ fn spawn_worker(cache_dir: &Path) -> (Child, u16) {
     ])
 }
 
-fn spawn_coordinator(worker_ports: &[u16]) -> (Child, u16) {
+fn spawn_coordinator(worker_ports: &[u16]) -> (Server, u16) {
     let mut args: Vec<String> = vec![
         "--coordinator".into(),
         "--addr".into(),
@@ -100,9 +126,9 @@ fn in_scenario_order(scenarios: &[Scenario], cells: &[CellOutcome]) -> Vec<CellO
 #[test]
 fn coordinator_with_two_workers_matches_the_single_box_report_byte_for_byte() {
     let caches = [temp_dir("w1"), temp_dir("w2"), temp_dir("solo")];
-    let (mut w1, p1) = spawn_worker(&caches[0]);
-    let (mut w2, p2) = spawn_worker(&caches[1]);
-    let (mut coord, cport) = spawn_coordinator(&[p1, p2]);
+    let (w1, p1) = spawn_worker(&caches[0]);
+    let (w2, p2) = spawn_worker(&caches[1]);
+    let (coord, cport) = spawn_coordinator(&[p1, p2]);
 
     let scenarios = grids::resolve("fig10").expect("named grid");
     let mut c = client(cport);
@@ -182,10 +208,10 @@ fn coordinator_with_two_workers_matches_the_single_box_report_byte_for_byte() {
 
     // Clean shutdown of all three processes.
     c.shutdown().expect("coordinator shutdown");
-    assert!(coord.wait().expect("coordinator exits").success());
-    for (child, port) in [(&mut w1, p1), (&mut w2, p2)] {
+    assert!(coord.wait().success());
+    for (server, port) in [(w1, p1), (w2, p2)] {
         client(port).shutdown().expect("worker shutdown");
-        assert!(child.wait().expect("worker exits").success());
+        assert!(server.wait().success());
     }
     for dir in &caches {
         let _ = std::fs::remove_dir_all(dir);
@@ -200,8 +226,8 @@ fn killing_a_worker_mid_stream_requeues_its_cells_onto_the_survivor() {
         temp_dir("kill-solo"),
     ];
     let (mut w1, p1) = spawn_worker(&caches[0]);
-    let (mut w2, p2) = spawn_worker(&caches[1]);
-    let (mut coord, cport) = spawn_coordinator(&[p1, p2]);
+    let (w2, p2) = spawn_worker(&caches[1]);
+    let (coord, cport) = spawn_coordinator(&[p1, p2]);
 
     // Six unique cells; index 0 is the fig6d Monte-Carlo study (seconds
     // of forced compute). Both workers idle at selection, so the
@@ -242,8 +268,7 @@ fn killing_a_worker_mid_stream_requeues_its_cells_onto_the_survivor() {
                 cells.push(cell);
                 let fig6d_pending = !cells.iter().any(|c| c.id == "study/fig6d");
                 if !killed && cells.len() >= 2 && fig6d_pending {
-                    w1.kill().expect("worker 1 killable");
-                    w1.wait().expect("worker 1 reaped");
+                    w1.kill();
                     killed = true;
                     cells_at_kill = cells.len();
                 }
@@ -293,9 +318,9 @@ fn killing_a_worker_mid_stream_requeues_its_cells_onto_the_survivor() {
     assert_eq!(status.served, 1);
 
     c.shutdown().expect("coordinator shutdown");
-    assert!(coord.wait().expect("coordinator exits").success());
+    assert!(coord.wait().success());
     client(p2).shutdown().expect("worker 2 shutdown");
-    assert!(w2.wait().expect("worker 2 exits").success());
+    assert!(w2.wait().success());
     for dir in &caches {
         let _ = std::fs::remove_dir_all(dir);
     }

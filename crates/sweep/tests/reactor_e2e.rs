@@ -1,0 +1,443 @@
+//! End-to-end tests of the epoll reactor serve core: pipelined
+//! requests multiplexed on one connection, frames split across
+//! arbitrary write boundaries, slow-reader disconnects under a tiny
+//! output budget, a 256-connection concurrency smoke, and byte parity
+//! between the reactor and the legacy `--threaded` accept loop.
+//!
+//! Readiness is the server's announce line ("yoco-serve listening on
+//! …") — never a sleep.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use yoco_sweep::api::{EvalRequest, Request, Response};
+use yoco_sweep::serve::{listen, serve_reactor, LineHandler, ReactorConfig, ServeConfig};
+use yoco_sweep::{Engine, ResultCache, Runtime, Scenario, ServeClient, StreamOutcome, StudyId};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("yoco-reactor-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A spawned `yoco-serve`, killed on drop so a failing test cannot
+/// leak a server (a leaked child also holds the test harness's stdout
+/// pipe open, wedging `cargo test`'s output).
+struct Server(Child);
+
+impl Server {
+    fn wait(mut self) -> ExitStatus {
+        self.0.wait().expect("server exits")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if matches!(self.0.try_wait(), Ok(None)) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+}
+
+fn spawn_server_with(cache_dir: &Path, extra: &[&str]) -> (Server, u16) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_yoco-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-dir",
+            cache_dir.to_str().expect("utf-8 temp path"),
+            "--jobs",
+            "2",
+            "--quiet",
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("yoco-serve spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("announce line");
+    let port = line
+        .trim()
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable announce line {line:?}"));
+    (Server(child), port)
+}
+
+fn client(port: u16) -> ServeClient {
+    let mut client = ServeClient::connect(&format!("127.0.0.1:{port}")).expect("connects");
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout set");
+    client
+}
+
+fn batch() -> Vec<Scenario> {
+    vec![
+        Scenario::study(StudyId::Fig9a),
+        Scenario::study(StudyId::Table2),
+    ]
+}
+
+fn request_line(request: &Request) -> String {
+    let mut text = serde_json::to_string(request).expect("request serializes");
+    text.push('\n');
+    text
+}
+
+#[test]
+fn pipelined_v1_requests_on_one_connection_all_answer() {
+    let cache = temp_dir("pipeline-v1");
+    let (server, port) = spawn_server_with(&cache, &["--queue-depth", "8"]);
+
+    // Prime so the pipelined burst below is all warm (and instant).
+    let mut c = client(port);
+    let (_, cold) = c
+        .eval_buffered(EvalRequest::new("p-prime", batch()))
+        .expect("prime completes");
+    assert!(cold.is_ok(), "{:?}", cold.error);
+
+    // Eight buffered requests in ONE write: the reactor must parse
+    // them all out of the shared read buffer and answer each exactly
+    // once, in request order.
+    let mut burst = String::new();
+    for n in 0..8 {
+        burst.push_str(&request_line(&Request::Eval(EvalRequest::new(
+            format!("p-{n}"),
+            batch(),
+        ))));
+    }
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout set");
+    stream.write_all(burst.as_bytes()).expect("burst sends");
+    stream.flush().expect("burst flushes");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut ids = Vec::new();
+    for _ in 0..8 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response arrives");
+        let Response::Eval(response) = serde_json::from_str(&line).expect("parses") else {
+            panic!("expected a buffered Eval response, got {line}");
+        };
+        assert_eq!(
+            (response.hits, response.misses),
+            (2, 0),
+            "{}: warm burst must be all hits",
+            response.id
+        );
+        ids.push(response.id);
+    }
+    let expected: Vec<String> = (0..8).map(|n| format!("p-{n}")).collect();
+    assert_eq!(
+        ids, expected,
+        "every pipelined request answered exactly once, in request order"
+    );
+
+    c.shutdown().expect("clean shutdown");
+    assert!(server.wait().success());
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn pipelined_v2_streams_never_interleave_their_frames() {
+    let cache = temp_dir("pipeline-v2");
+    let (server, port) = spawn_server_with(&cache, &["--queue-depth", "8"]);
+
+    // Two FORCED streamed requests in one write: both need real
+    // compute, so both go through the worker pool — where frames of
+    // concurrently-running streams would interleave if the reactor
+    // allowed two in-flight lines per connection. A v2 `Cell` carries
+    // no request id, so the protocol is only parseable because the
+    // reactor serializes: every frame of q-0 strictly precedes every
+    // frame of q-1.
+    let mut burst = String::new();
+    for n in 0..2 {
+        let mut request = EvalRequest::streaming(format!("q-{n}"), batch());
+        request.force = true;
+        burst.push_str(&request_line(&Request::Eval(request)));
+    }
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout set");
+    stream.write_all(burst.as_bytes()).expect("burst sends");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut frames = Vec::new();
+    let mut done_seen = 0;
+    while done_seen < 2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("frame arrives");
+        let frame = serde_json::from_str::<Response>(&line).expect("frame parses");
+        if matches!(frame, Response::Done { .. }) {
+            done_seen += 1;
+        }
+        frames.push(frame);
+    }
+    let shape: Vec<String> = frames
+        .iter()
+        .map(|f| match f {
+            Response::Accepted { id, .. } => format!("accepted:{id}"),
+            Response::Cell(_) => "cell".into(),
+            Response::Done { id, hits, misses } => {
+                assert_eq!((*hits, *misses), (0, 2), "{id}: forced streams recompute");
+                format!("done:{id}")
+            }
+            other => panic!("unexpected frame {other:?}"),
+        })
+        .collect();
+    assert_eq!(
+        shape,
+        [
+            "accepted:q-0",
+            "cell",
+            "cell",
+            "done:q-0",
+            "accepted:q-1",
+            "cell",
+            "cell",
+            "done:q-1"
+        ],
+        "frames of pipelined streams arrive whole, in request order"
+    );
+
+    let mut c = client(port);
+    c.shutdown().expect("clean shutdown");
+    assert!(server.wait().success());
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn frames_split_across_arbitrary_write_boundaries_reassemble() {
+    let cache = temp_dir("partial");
+    let (server, port) = spawn_server_with(&cache, &[]);
+
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout set");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // Two requests serialized back to back, then written in slow
+    // 3-byte chunks: every chunk boundary lands mid-frame somewhere,
+    // including across the newline between the two requests.
+    let mut wire = request_line(&Request::Ping);
+    wire.push_str(&request_line(&Request::Eval(EvalRequest::new(
+        "split-1",
+        batch(),
+    ))));
+    for chunk in wire.as_bytes().chunks(3) {
+        stream.write_all(chunk).expect("chunk sends");
+        stream.flush().expect("chunk flushes");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("pong arrives");
+    assert_eq!(
+        serde_json::from_str::<Response>(&line).expect("parses"),
+        Response::Pong
+    );
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("eval response arrives");
+    let Response::Eval(response) = serde_json::from_str(&line).expect("parses") else {
+        panic!("expected an Eval response, got {line}");
+    };
+    assert_eq!(response.id, "split-1");
+    assert!(response.is_ok(), "{:?}", response.error);
+
+    let bye = request_line(&Request::Shutdown);
+    stream.write_all(bye.as_bytes()).expect("shutdown sends");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("bye arrives");
+    assert_eq!(
+        serde_json::from_str::<Response>(&line).expect("parses"),
+        Response::Bye
+    );
+    assert!(server.wait().success());
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn slow_reader_overflowing_the_outbuf_is_disconnected() {
+    // In-process reactor with a deliberately tiny per-connection
+    // output budget, so a reader that never drains trips the cap.
+    let cache_dir = temp_dir("slow-reader");
+    let (listener, local) = listen("127.0.0.1:0").expect("binds");
+    let runtime = Runtime::new(
+        Engine::ephemeral().with_cache(ResultCache::at(&cache_dir)),
+        ServeConfig {
+            queue_depth: 4,
+            jobs: 2,
+        },
+    );
+    let handler: Arc<dyn LineHandler> = Arc::new(runtime);
+    let reactor = std::thread::spawn(move || {
+        serve_reactor(
+            listener,
+            handler,
+            true,
+            ReactorConfig {
+                workers: 2,
+                outbuf_cap: 2048,
+            },
+        )
+    });
+
+    // Prime through a well-behaved connection.
+    let mut well_behaved = ServeClient::connect(&local.to_string()).expect("connects");
+    well_behaved
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("timeout set");
+    let outcome = well_behaved
+        .eval_streaming(EvalRequest::streaming("slow-prime", batch()), |_, _| {})
+        .expect("prime completes");
+    assert!(matches!(outcome, StreamOutcome::Done { .. }));
+
+    // The slow reader: pour warm requests in at full speed, never
+    // read a byte. Responses outweigh requests several-fold, so once
+    // the kernel's socket buffers fill, the server's writes hit
+    // EAGAIN, the 2 KiB budget overflows within one more answer, and
+    // the server must cut the connection (a stalled write would
+    // otherwise wedge the whole event loop).
+    let mut slow = TcpStream::connect(local).expect("connects");
+    slow.set_nodelay(true).expect("nodelay");
+    slow.set_write_timeout(Some(Duration::from_secs(2)))
+        .expect("write timeout");
+    let warm = request_line(&Request::Eval(EvalRequest::new("slow", batch())));
+    let started = Instant::now();
+    let disconnected = loop {
+        match slow.write_all(warm.as_bytes()) {
+            Ok(()) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Our own send buffer is full (the server stopped
+                // draining it); keep pushing until the disconnect.
+            }
+            // EPIPE / ECONNRESET: the server dropped us.
+            Err(_) => break true,
+        }
+        if started.elapsed() > Duration::from_secs(60) {
+            break false;
+        }
+    };
+    assert!(
+        disconnected,
+        "a reader that never drains must be disconnected"
+    );
+
+    // The rest of the server is unaffected: the well-behaved
+    // connection still round-trips and can shut the reactor down.
+    well_behaved.ping().expect("server is still healthy");
+    well_behaved.shutdown().expect("clean shutdown");
+    reactor
+        .join()
+        .expect("reactor thread joins")
+        .expect("reactor exits cleanly");
+    let _ = std::fs::remove_dir_all(cache_dir);
+}
+
+#[test]
+fn smoke_256_concurrent_connections_serve_one_warm_batch_each() {
+    let cache = temp_dir("smoke-256");
+    let (server, port) = spawn_server_with(&cache, &["--queue-depth", "512"]);
+
+    let mut primer = client(port);
+    let outcome = primer
+        .eval_streaming(EvalRequest::streaming("smoke-prime", batch()), |_, _| {})
+        .expect("prime completes");
+    assert!(matches!(outcome, StreamOutcome::Done { .. }));
+
+    // All 256 connections are open at once before any request flows —
+    // the reactor holds them all on one epoll set.
+    let conns: Vec<ServeClient> = (0..256).map(|_| client(port)).collect();
+    let handles: Vec<_> = conns
+        .into_iter()
+        .enumerate()
+        .map(|(n, mut c)| {
+            std::thread::spawn(move || {
+                c.eval_streaming(
+                    EvalRequest::streaming(format!("smoke-{n}"), batch()),
+                    |_, _| {},
+                )
+            })
+        })
+        .collect();
+    let mut completed = 0;
+    for handle in handles {
+        let outcome = handle
+            .join()
+            .expect("connection thread joins")
+            .expect("exchange completes");
+        // `position` is the admission queue position at accept time —
+        // with 256 requests legitimately in flight it is usually
+        // nonzero; the contract is the evaluated cells.
+        match outcome {
+            StreamOutcome::Done {
+                cells,
+                hits,
+                misses,
+                ..
+            } => assert_eq!(
+                (cells, hits, misses),
+                (2, 2, 0),
+                "every connection's batch replays warm"
+            ),
+            other => panic!("expected a completed stream, got {other:?}"),
+        }
+        completed += 1;
+    }
+    assert_eq!(completed, 256);
+
+    primer.shutdown().expect("clean shutdown");
+    assert!(server.wait().success());
+    let _ = std::fs::remove_dir_all(cache);
+}
+
+#[test]
+fn warm_v1_bytes_match_between_reactor_and_threaded_paths() {
+    let reactor_cache = temp_dir("parity-reactor");
+    let threaded_cache = temp_dir("parity-threaded");
+    let (reactor_server, reactor_port) = spawn_server_with(&reactor_cache, &[]);
+    let (threaded_server, threaded_port) = spawn_server_with(&threaded_cache, &["--threaded"]);
+
+    let warm_line = |port: u16| {
+        let mut c = client(port);
+        let request = EvalRequest::new("parity-1", batch());
+        let (_, cold) = c
+            .eval_buffered(request.clone())
+            .expect("cold exchange completes");
+        assert!(cold.is_ok(), "{:?}", cold.error);
+        let (raw, warm) = c.eval_buffered(request).expect("warm exchange completes");
+        assert_eq!((warm.hits, warm.misses), (2, 0));
+        c.shutdown().expect("clean shutdown");
+        raw
+    };
+    let via_reactor = warm_line(reactor_port);
+    let via_threaded = warm_line(threaded_port);
+    assert_eq!(
+        via_reactor, via_threaded,
+        "the reactor must serve byte-identical warm v1 responses"
+    );
+
+    assert!(reactor_server.wait().success());
+    assert!(threaded_server.wait().success());
+    let _ = std::fs::remove_dir_all(reactor_cache);
+    let _ = std::fs::remove_dir_all(threaded_cache);
+}

@@ -11,7 +11,7 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, Command, ExitStatus, Stdio};
 use std::time::Duration;
 use yoco_sweep::api::{CellStatus, EvalRequest, Request, Response};
 use yoco_sweep::{
@@ -25,11 +25,31 @@ fn temp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn spawn_server(cache_dir: &Path) -> (Child, u16) {
+/// A spawned `yoco-serve`, killed on drop so a failing test cannot
+/// leak a server (a leaked child also holds the test harness's stdout
+/// pipe open, wedging `cargo test`'s output).
+struct Server(Child);
+
+impl Server {
+    fn wait(mut self) -> ExitStatus {
+        self.0.wait().expect("server exits")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if matches!(self.0.try_wait(), Ok(None)) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+}
+
+fn spawn_server(cache_dir: &Path) -> (Server, u16) {
     spawn_server_with(cache_dir, &[])
 }
 
-fn spawn_server_with(cache_dir: &Path, extra: &[&str]) -> (Child, u16) {
+fn spawn_server_with(cache_dir: &Path, extra: &[&str]) -> (Server, u16) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_yoco-serve"))
         .args([
             "--addr",
@@ -55,7 +75,7 @@ fn spawn_server_with(cache_dir: &Path, extra: &[&str]) -> (Child, u16) {
         .next()
         .and_then(|p| p.parse().ok())
         .unwrap_or_else(|| panic!("unparseable announce line {line:?}"));
-    (child, port)
+    (Server(child), port)
 }
 
 fn client(port: u16) -> ServeClient {
@@ -101,7 +121,7 @@ fn batch() -> Vec<Scenario> {
 fn serve_round_trip_matches_direct_engine_and_is_byte_stable_when_warm() {
     let serve_cache = temp_dir("server");
     let direct_cache = temp_dir("direct");
-    let (mut child, port) = spawn_server(&serve_cache);
+    let (server, port) = spawn_server(&serve_cache);
 
     let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
     stream
@@ -155,7 +175,7 @@ fn serve_round_trip_matches_direct_engine_and_is_byte_stable_when_warm() {
         serde_json::from_str::<Response>(&bye).expect("bye parses"),
         Response::Bye
     );
-    let status = child.wait().expect("server exits");
+    let status = server.wait();
     assert!(status.success(), "server exit status {status:?}");
 
     let _ = std::fs::remove_dir_all(serve_cache);
@@ -165,7 +185,7 @@ fn serve_round_trip_matches_direct_engine_and_is_byte_stable_when_warm() {
 #[test]
 fn malformed_lines_get_an_error_response_not_a_hangup() {
     let cache = temp_dir("malformed");
-    let (mut child, port) = spawn_server(&cache);
+    let (server, port) = spawn_server(&cache);
     let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connects");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
@@ -191,14 +211,14 @@ fn malformed_lines_get_an_error_response_not_a_hangup() {
         serde_json::from_str::<Response>(&bye).expect("bye parses"),
         Response::Bye
     );
-    assert!(child.wait().expect("exits").success());
+    assert!(server.wait().success());
     let _ = std::fs::remove_dir_all(cache);
 }
 
 #[test]
 fn v2_streams_accepted_cells_done_and_serves_warm_hits() {
     let cache = temp_dir("stream");
-    let (mut child, port) = spawn_server(&cache);
+    let (server, port) = spawn_server(&cache);
     let mut c = client(port);
 
     // Cold streamed exchange: Accepted first, one Cell per scenario (in
@@ -285,14 +305,14 @@ fn v2_streams_accepted_cells_done_and_serves_warm_hits() {
     assert_eq!((buffered.hits, buffered.misses), (3, 0));
 
     c.shutdown().expect("clean shutdown");
-    assert!(child.wait().expect("exits").success());
+    assert!(server.wait().success());
     let _ = std::fs::remove_dir_all(cache);
 }
 
 #[test]
 fn status_probe_reports_counters_over_the_wire() {
     let cache = temp_dir("status");
-    let (mut child, port) = spawn_server(&cache);
+    let (server, port) = spawn_server(&cache);
     let mut c = client(port);
 
     let idle = c.status().expect("status answers");
@@ -315,7 +335,7 @@ fn status_probe_reports_counters_over_the_wire() {
     assert_eq!(after.occupancy, 0, "probe taken at idle");
 
     c.shutdown().expect("clean shutdown");
-    assert!(child.wait().expect("exits").success());
+    assert!(server.wait().success());
     let _ = std::fs::remove_dir_all(cache);
 }
 
@@ -323,7 +343,7 @@ fn status_probe_reports_counters_over_the_wire() {
 fn queue_full_rejects_and_shutdown_drains_an_inflight_stream() {
     let cache = temp_dir("busy");
     // One admission slot: the heavy stream below owns it for seconds.
-    let (mut child, port) = spawn_server_with(&cache, &["--queue-depth", "1"]);
+    let (server, port) = spawn_server_with(&cache, &["--queue-depth", "1"]);
 
     // Connection A: a forced streamed batch anchored by the fig6d
     // Monte-Carlo study (seconds of compute), admitted first.
@@ -387,6 +407,6 @@ fn queue_full_rejects_and_shutdown_drains_an_inflight_stream() {
     assert_eq!(cells, 2);
 
     // Only after the drain does the process exit, cleanly.
-    assert!(child.wait().expect("exits").success());
+    assert!(server.wait().success());
     let _ = std::fs::remove_dir_all(cache);
 }

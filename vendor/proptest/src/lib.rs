@@ -74,6 +74,10 @@ pub mod prelude {
         pub mod collection {
             pub use crate::strategy::vec;
         }
+        /// `Option` strategies.
+        pub mod option {
+            pub use crate::strategy::option_of as of;
+        }
     }
 }
 

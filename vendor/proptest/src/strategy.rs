@@ -167,6 +167,30 @@ pub fn vec<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
     }
 }
 
+/// Strategy for `Option<T>`: `None` for roughly one case in four,
+/// matching the real crate's default `prop::option::of` weighting.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0u8..4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `prop::option::of(element)`.
+pub fn option_of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy { inner: element }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
