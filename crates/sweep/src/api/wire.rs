@@ -238,6 +238,15 @@ pub struct StatusReport {
     pub misses: u64,
     /// Evaluation requests rejected at admission (Busy).
     pub rejected: u64,
+    /// The server's per-request service-time estimate (the EWMA behind
+    /// `retry_after_ms` hints), rounded to whole milliseconds. Integer
+    /// so the report stays `Eq` (it is compared in tests).
+    pub service_estimate_ms: u64,
+    /// Cumulative milliseconds requests have held admission slots since
+    /// startup. Divided by uptime this is the achieved server-side
+    /// concurrency — the open-loop load generator reads it to tell
+    /// "slots saturated" from "arrivals too slow".
+    pub busy_ms: u64,
 }
 
 /// One server line: a buffered v1 answer, a streamed v2 frame, or a

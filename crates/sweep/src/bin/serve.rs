@@ -2,10 +2,9 @@
 //!
 //! Speaks the versioned NDJSON protocol of [`yoco_sweep::api`] over TCP.
 //! Connections are served by the event-driven epoll reactor
-//! ([`yoco_sweep::serve::serve_reactor`]) by default; `--threaded`
-//! keeps the legacy thread-per-connection accept loop
-//! ([`yoco_sweep::serve::serve_loop`]) around for one release. Two
-//! modes share whichever loop is selected:
+//! ([`yoco_sweep::serve::serve_reactor`]); the legacy
+//! thread-per-connection accept loop has been removed, and passing the
+//! old `--threaded` flag is a hard error. Two modes share the reactor:
 //!
 //! * **single box** (default) — the shared [`yoco_sweep::serve::Runtime`]:
 //!   one engine + cache for every connection, a bounded admission queue
@@ -23,9 +22,9 @@
 //!
 //! ```text
 //! yoco-serve [--addr HOST:PORT] [--queue-depth N] [--jobs N]
-//!            [--no-cache] [--cache-dir PATH] [--threaded] [--quiet]
+//!            [--no-cache] [--cache-dir PATH] [--quiet]
 //! yoco-serve --coordinator --worker HOST:PORT [--worker HOST:PORT]...
-//!            [--addr HOST:PORT] [--queue-depth N] [--threaded] [--quiet]
+//!            [--addr HOST:PORT] [--queue-depth N] [--quiet]
 //! ```
 //!
 //! The bound address is printed as the first stdout line — the ready
@@ -39,19 +38,16 @@ use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
 use yoco_sweep::cluster::{serve_coordinator, ClusterConfig};
-use yoco_sweep::serve::{
-    listen, serve_loop, serve_reactor, LineHandler, ReactorConfig, Runtime, ServeConfig,
-};
+use yoco_sweep::serve::{listen, serve_reactor, LineHandler, ReactorConfig, Runtime, ServeConfig};
 use yoco_sweep::{Engine, ResultCache};
 
 fn usage() -> &'static str {
     "usage:\n  \
      yoco-serve [--addr HOST:PORT] [--queue-depth N] [--jobs N]\n             \
-     [--no-cache] [--cache-dir PATH] [--threaded] [--quiet]\n  \
+     [--no-cache] [--cache-dir PATH] [--quiet]\n  \
      yoco-serve --coordinator --worker HOST:PORT [--worker HOST:PORT]...\n             \
-     [--addr HOST:PORT] [--queue-depth N] [--threaded] [--quiet]\n\n\
-     connections are multiplexed on one epoll event loop; --threaded\n  \
-     restores the legacy thread-per-connection accept loop\n\n\
+     [--addr HOST:PORT] [--queue-depth N] [--quiet]\n\n\
+     connections are multiplexed on one epoll event loop\n\n\
      protocol: one JSON Request per line in, one or more JSON frames per line out\n  \
      {\"Eval\": {\"version\": 1, ...}}  -> one buffered EvalResponse line\n  \
      {\"Eval\": {\"version\": 2, ...}}  -> Accepted, Cell... (completion order), Done\n                                     \
@@ -70,7 +66,6 @@ fn main() -> ExitCode {
     let mut workers: Vec<String> = Vec::new();
     let mut engine_flags: Vec<&str> = Vec::new();
     let mut quiet = false;
-    let mut threaded = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -118,7 +113,12 @@ fn main() -> ExitCode {
                     None => return fail("--worker needs HOST:PORT"),
                 }
             }
-            "--threaded" => threaded = true,
+            "--threaded" => {
+                return fail(
+                    "--threaded was removed: the thread-per-connection accept loop is gone \
+                     and every connection is served by the epoll reactor (drop the flag)",
+                )
+            }
             "--quiet" => quiet = true,
             other => return fail(&format!("unknown flag `{other}`")),
         }
@@ -145,7 +145,7 @@ fn main() -> ExitCode {
             workers,
             queue_depth: config.queue_depth,
         };
-        if let Err(e) = serve_coordinator(&addr, cluster, "yoco-serve", quiet, threaded) {
+        if let Err(e) = serve_coordinator(&addr, cluster, "yoco-serve", quiet) {
             return fail(&format!("cannot bind {addr}: {e}"));
         }
     } else {
@@ -166,9 +166,7 @@ fn main() -> ExitCode {
         let _ = std::io::stdout().flush();
         let reactor_config = ReactorConfig::for_queue_depth(config.queue_depth);
         let handler: Arc<dyn LineHandler> = Arc::new(Runtime::new(engine, config));
-        if threaded {
-            serve_loop(listener, handler, quiet);
-        } else if let Err(e) = serve_reactor(listener, handler, quiet, reactor_config) {
+        if let Err(e) = serve_reactor(listener, handler, quiet, reactor_config) {
             return fail(&format!("reactor failed: {e}"));
         }
     }

@@ -20,6 +20,10 @@
 //! sweep cluster workers --worker H:P ...      # probe every worker's Status
 //! sweep cluster run fig8 --worker H:P ...     # one-shot multi-host fan-out
 //! sweep cluster serve --worker H:P ...        # long-running coordinator
+//! sweep loadgen --rate 200 --duration 10s \
+//!     --mix fig9a=9,fig10:v1=1                # open-loop latency trajectory
+//! sweep loadgen report                        # render the history table
+//! sweep loadgen gate --factor 2.0             # CI p99 regression gate
 //! ```
 
 use serde::{Deserialize, Serialize};
@@ -32,8 +36,8 @@ use yoco_sweep::cluster::{
 };
 use yoco_sweep::serve::DEFAULT_QUEUE_DEPTH;
 use yoco_sweep::{
-    grids, root, Engine, GcBudget, ResultCache, Scenario, ServeClient, Shard, StreamOutcome,
-    StudyId,
+    grids, loadgen, root, Engine, GcBudget, ResultCache, Scenario, ServeClient, Shard,
+    StreamOutcome, StudyId,
 };
 
 /// Exit code of `sweep client` when the server answers `Busy`: distinct
@@ -57,7 +61,13 @@ fn usage() -> &'static str {
      sweep cluster run <grid>|--file <path> --worker HOST:PORT [--worker ...]\n                \
      [--force] [--id ID] [--report <path>] [--quiet]\n  \
      sweep cluster serve --worker HOST:PORT [--worker ...] [--addr HOST:PORT]\n                  \
-     [--queue-depth N] [--threaded] [--quiet]\n\n\
+     [--queue-depth N] [--quiet]\n  \
+     sweep loadgen [run] [--addr HOST:PORT] [--rate R] [--duration D]\n                \
+     [--connections N] [--mix SPEC] [--arrivals fixed|poisson|burstN]\n                \
+     [--burst N] [--target NAME] [--seed N] [--deadline-ms N]\n                \
+     [--out <path>] [--no-out]\n  \
+     sweep loadgen report [--out <path>]\n  \
+     sweep loadgen gate [--out <path>] [--factor F] [--max-p99-ms MS]\n\n\
      run `sweep list` for the available grids; `client` and `cluster run`\n  \
      exit 3 when the server (or every worker) rejects the request with Busy"
 }
@@ -73,6 +83,7 @@ fn main() -> ExitCode {
         Some("cache") => cache_cmd(&args[1..]),
         Some("client") => client_cmd(&args[1..]),
         Some("cluster") => cluster_cmd(&args[1..]),
+        Some("loadgen") => loadgen_cmd(&args[1..]),
         _ => {
             eprintln!("{}", usage());
             ExitCode::FAILURE
@@ -377,7 +388,8 @@ fn status_line(report: &StatusReport) -> String {
         String::new()
     };
     format!(
-        "{} occupancy {}/{}, jobs {}{workers}, served {} ({} cells: {} hits, {} misses), rejected {}",
+        "{} occupancy {}/{}, jobs {}{workers}, served {} ({} cells: {} hits, {} misses), \
+         rejected {}, service est {} ms, busy {} ms",
         report.role,
         report.occupancy,
         report.queue_depth,
@@ -386,7 +398,9 @@ fn status_line(report: &StatusReport) -> String {
         report.cells,
         report.hits,
         report.misses,
-        report.rejected
+        report.rejected,
+        report.service_estimate_ms,
+        report.busy_ms
     )
 }
 
@@ -432,6 +446,7 @@ fn client_run(addr: &str, args: &[String]) -> ExitCode {
     let mut force = false;
     let mut raw = false;
     let mut quiet = false;
+    let mut no_retry = false;
     let mut id = "client".to_owned();
     let mut i = 0;
     while i < args.len() {
@@ -454,6 +469,7 @@ fn client_run(addr: &str, args: &[String]) -> ExitCode {
             "--force" => force = true,
             "--raw" => raw = true,
             "--quiet" => quiet = true,
+            "--no-retry" => no_retry = true,
             flag if flag.starts_with("--") => return fail(&format!("unknown flag `{flag}`")),
             name => {
                 if grid_name.is_some() {
@@ -479,8 +495,17 @@ fn client_run(addr: &str, args: &[String]) -> ExitCode {
         Ok(c) => c,
         Err(e) => return fail(&e),
     };
+    // Busy answers are retried in-request on a jittered exponential
+    // backoff honoring the server's hint; `--no-retry` keeps the raw
+    // single-shot semantics (exit 3 on the first Busy), which is what
+    // loadgen-style measurement scripts want.
+    let policy = if no_retry {
+        yoco_sweep::RetryPolicy::none()
+    } else {
+        yoco_sweep::RetryPolicy::default()
+    };
     if v1 {
-        let (raw_line, response) = match client.eval_buffered(request) {
+        let (raw_line, response) = match client.eval_buffered_with_retry(request, &policy) {
             Ok(pair) => pair,
             Err(e) => return fail(&format!("exchange failed: {e}")),
         };
@@ -516,7 +541,7 @@ fn client_run(addr: &str, args: &[String]) -> ExitCode {
         }
     } else {
         let mut failed = 0usize;
-        let outcome = client.eval_streaming(request, |raw_line, frame| {
+        let outcome = client.eval_streaming_with_retry(request, &policy, |raw_line, frame| {
             // Failure accounting happens in every output mode — the exit
             // code must not depend on how frames are rendered.
             if let Response::Cell(cell) = frame {
@@ -1016,13 +1041,11 @@ fn cluster_run(workers: &[String], args: &[String]) -> ExitCode {
 }
 
 /// Long-running coordinator over TCP: the same protocol endpoint as
-/// `yoco-serve --coordinator`, on the shared reactor (or `--threaded`
-/// legacy accept loop).
+/// `yoco-serve --coordinator`, on the shared epoll reactor.
 fn cluster_serve(workers: &[String], args: &[String]) -> ExitCode {
     let mut addr = "127.0.0.1:7178".to_owned();
     let mut queue_depth = DEFAULT_QUEUE_DEPTH;
     let mut quiet = false;
-    let mut threaded = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1040,7 +1063,12 @@ fn cluster_serve(workers: &[String], args: &[String]) -> ExitCode {
                     None => return fail("--queue-depth needs a non-negative integer"),
                 }
             }
-            "--threaded" => threaded = true,
+            "--threaded" => {
+                return fail(
+                    "--threaded was removed: the thread-per-connection accept loop is gone \
+                     and every connection is served by the epoll reactor (drop the flag)",
+                )
+            }
             "--quiet" => quiet = true,
             other => return fail(&format!("unknown flag `{other}`")),
         }
@@ -1050,7 +1078,7 @@ fn cluster_serve(workers: &[String], args: &[String]) -> ExitCode {
         workers: workers.to_vec(),
         queue_depth,
     };
-    if let Err(e) = serve_coordinator(&addr, cluster, "yoco-cluster", quiet, threaded) {
+    if let Err(e) = serve_coordinator(&addr, cluster, "yoco-cluster", quiet) {
         return fail(&format!("cannot bind {addr}: {e}"));
     }
     if !quiet {
@@ -1064,6 +1092,330 @@ fn status_word(status: CellStatus) -> &'static str {
         CellStatus::Hit => "hit",
         CellStatus::Computed => "computed",
         CellStatus::Failed => "failed",
+    }
+}
+
+/// Where `sweep loadgen` reads and appends its trajectory by default.
+fn default_loadgen_history() -> String {
+    root::results_dir()
+        .join("loadgen_history.json")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Parses `10s`, `500ms`, `2m`, or a bare number of seconds.
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    let (digits, scale) = if let Some(t) = text.strip_suffix("ms") {
+        (t, 0.001)
+    } else if let Some(t) = text.strip_suffix('s') {
+        (t, 1.0)
+    } else if let Some(t) = text.strip_suffix('m') {
+        (t, 60.0)
+    } else {
+        (text, 1.0)
+    };
+    digits
+        .parse::<f64>()
+        .ok()
+        .filter(|v| *v > 0.0 && v.is_finite())
+        .map(|v| Duration::from_secs_f64(v * scale))
+        .ok_or_else(|| format!("unparseable duration `{text}` (try 10s, 500ms, 2m)"))
+}
+
+/// `sweep loadgen …` — drive, render, or gate the open-loop latency
+/// trajectory. A leading flag means an implicit `run`.
+fn loadgen_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("run") => loadgen_run(&args[1..]),
+        Some("report") => loadgen_report(&args[1..]),
+        Some("gate") => loadgen_gate(&args[1..]),
+        Some(flag) if flag.starts_with("--") => loadgen_run(args),
+        _ => fail("loadgen needs an action: run (or its flags directly), report, or gate"),
+    }
+}
+
+fn loadgen_run(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_owned();
+    let mut target = "serve".to_owned();
+    let mut rate = 50.0f64;
+    let mut duration = Duration::from_secs(10);
+    let mut connections = 4usize;
+    let mut mix_spec = "fig9a".to_owned();
+    let mut arrivals = loadgen::ArrivalKind::Poisson;
+    let mut seed = 0x10ad_u64;
+    let mut deadline_ms: Option<u64> = None;
+    let mut out = Some(default_loadgen_history());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                match args.get(i) {
+                    Some(a) => addr = a.clone(),
+                    None => return fail("--addr needs HOST:PORT"),
+                }
+            }
+            "--target" => {
+                i += 1;
+                match args.get(i) {
+                    Some(t) => target = t.clone(),
+                    None => return fail("--target needs a label (serve, coordinator, cluster)"),
+                }
+            }
+            "--rate" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(r) if r > 0.0 && r.is_finite() => rate = r,
+                    _ => return fail("--rate needs a positive requests/s"),
+                }
+            }
+            "--duration" => {
+                i += 1;
+                match args.get(i).map(|v| parse_duration(v)) {
+                    Some(Ok(d)) => duration = d,
+                    Some(Err(e)) => return fail(&e),
+                    None => return fail("--duration needs a value (e.g. 10s)"),
+                }
+            }
+            "--connections" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => connections = n,
+                    _ => return fail("--connections needs a positive integer"),
+                }
+            }
+            "--mix" => {
+                i += 1;
+                match args.get(i) {
+                    Some(m) => mix_spec = m.clone(),
+                    None => return fail("--mix needs a spec (e.g. fig9a=9,fig10:v1=1)"),
+                }
+            }
+            "--arrivals" => {
+                i += 1;
+                match args.get(i).map(|v| loadgen::ArrivalKind::parse(v)) {
+                    Some(Ok(kind)) => arrivals = kind,
+                    Some(Err(e)) => return fail(&e),
+                    None => return fail("--arrivals needs fixed, poisson, or burstN"),
+                }
+            }
+            "--burst" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => arrivals = loadgen::ArrivalKind::Bursty { burst: n },
+                    _ => return fail("--burst needs a positive integer"),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(s) => seed = s,
+                    None => return fail("--seed needs an integer"),
+                }
+            }
+            "--deadline-ms" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) if ms > 0 => deadline_ms = Some(ms),
+                    _ => return fail("--deadline-ms needs a positive integer"),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = Some(path.clone()),
+                    None => return fail("--out needs a path"),
+                }
+            }
+            "--no-out" => out = None,
+            other => return fail(&format!("unknown loadgen flag `{other}`")),
+        }
+        i += 1;
+    }
+    let mix = match loadgen::Mix::parse(&mix_spec) {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+
+    // Prime every warm entry's grid once, so "warm" measures the memo
+    // path instead of one accidental first-compute outlier per grid.
+    let warm_grids: Vec<&loadgen::MixEntry> = {
+        let mut seen: Vec<&str> = Vec::new();
+        mix.entries()
+            .iter()
+            .filter(|e| !e.cold)
+            .filter(|e| {
+                let fresh = !seen.contains(&e.grid.as_str());
+                if fresh {
+                    seen.push(&e.grid);
+                }
+                fresh
+            })
+            .collect()
+    };
+    if !warm_grids.is_empty() {
+        let mut primer = match connect(&addr) {
+            Ok(c) => c,
+            Err(e) => return fail(&e),
+        };
+        for entry in warm_grids {
+            let request =
+                EvalRequest::streaming(format!("lg-prime-{}", entry.grid), entry.scenarios.clone());
+            match primer.eval_streaming(request, |_, _| {}) {
+                Ok(StreamOutcome::Done { .. }) => {}
+                Ok(StreamOutcome::Busy { retry_after_ms }) => {
+                    return fail(&format!(
+                        "server busy priming `{}` (retry after {retry_after_ms} ms) — \
+                         loadgen needs an idle server to start from",
+                        entry.grid
+                    ));
+                }
+                Err(e) => return fail(&format!("prime of `{}` failed: {e}", entry.grid)),
+            }
+        }
+    }
+
+    let plan = loadgen::schedule(arrivals, rate, duration, seed);
+    if plan.is_empty() {
+        return fail("rate × duration offers zero arrivals — raise one of them");
+    }
+    let assignment = mix.assign(plan.len(), seed);
+    let mut issuers: Vec<Box<dyn loadgen::Issuer>> = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        match loadgen::TcpIssuer::connect(&addr, deadline_ms) {
+            Ok(issuer) => issuers.push(Box::new(issuer)),
+            Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+        }
+    }
+    println!(
+        "loadgen {target}: {} arrivals ({} at {rate:.0}/s over {:.1}s) on {connections} \
+         connection(s), mix {}",
+        plan.len(),
+        arrivals.label(),
+        duration.as_secs_f64(),
+        mix.label()
+    );
+    let summary = loadgen::run(&plan, &assignment, mix.entries(), issuers, duration);
+    let shape = loadgen::RunShape {
+        target: target.clone(),
+        mix: mix.label(),
+        arrivals: arrivals.label(),
+        rate,
+        duration,
+        connections,
+    };
+    let record = loadgen::LoadgenRecord::from_summary(
+        &summary,
+        &shape,
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    );
+    println!(
+        "  offered {:.1}/s, achieved {:.1}/s ({} sent: {} ok, {} busy, {} errors; \
+         busy rate {:.1}%)",
+        record.rate,
+        record.achieved_rps,
+        record.sent,
+        record.completed,
+        record.busy,
+        record.errors,
+        record.busy_rate * 100.0
+    );
+    println!(
+        "  latency p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms, \
+         max {:.2} ms (mean {:.2} ms)",
+        record.p50_ms, record.p90_ms, record.p99_ms, record.p999_ms, record.max_ms, record.mean_ms
+    );
+    if let Some(path) = out {
+        match loadgen::append_history(&path, record) {
+            Ok(total) => println!("  appended to {path} ({total} runs)"),
+            Err(e) => return fail(&e),
+        }
+    }
+    if summary.errors > 0 {
+        eprintln!("error: {} request(s) failed outright", summary.errors);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn loadgen_report(args: &[String]) -> ExitCode {
+    let mut path = default_loadgen_history();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => path = p.clone(),
+                    None => return fail("--out needs a path"),
+                }
+            }
+            other => return fail(&format!("unknown report flag `{other}`")),
+        }
+        i += 1;
+    }
+    let runs = match loadgen::read_history(&path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    if runs.is_empty() {
+        println!("no loadgen history at {path} yet — run `sweep loadgen` first");
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", loadgen::render_table(&runs));
+    ExitCode::SUCCESS
+}
+
+fn loadgen_gate(args: &[String]) -> ExitCode {
+    let mut path = default_loadgen_history();
+    let mut factor = 2.0f64;
+    let mut max_p99_ms: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => path = p.clone(),
+                    None => return fail("--out needs a path"),
+                }
+            }
+            "--factor" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(f) if f >= 1.0 => factor = f,
+                    _ => return fail("--factor needs a number ≥ 1.0"),
+                }
+            }
+            "--max-p99-ms" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(ms) if ms > 0.0 => max_p99_ms = Some(ms),
+                    _ => return fail("--max-p99-ms needs a positive number"),
+                }
+            }
+            other => return fail(&format!("unknown gate flag `{other}`")),
+        }
+        i += 1;
+    }
+    let runs = match loadgen::read_history(&path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
+    };
+    match loadgen::gate(&runs, factor, max_p99_ms) {
+        Ok(verdicts) => {
+            for v in verdicts {
+                println!("ok: {v}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: loadgen gate failed: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -7,8 +7,9 @@
 //! service-level tests both drive the server through this type instead
 //! of hand-rolled socket code.
 
-use crate::api::{EvalRequest, Request, Response, StatusReport};
+use crate::api::{EvalRequest, EvalResponse, Request, Response, StatusReport};
 use crate::serve::reactor::LineBuf;
+use rand::{Rng, SplitMix64};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -38,6 +39,60 @@ pub enum StreamOutcome {
         /// Suggested backoff before retrying, in milliseconds.
         retry_after_ms: u64,
     },
+}
+
+/// How `Busy` answers are retried inside one logical exchange:
+/// exponential backoff with jitter, seeded from the server's own EWMA
+/// `retry_after_ms` hint.
+///
+/// The k-th backoff is `max(hint, base_ms) · 2^k`, capped at `cap_ms`,
+/// then jittered by a uniform factor in `[0.5, 1.5)` so a fleet of
+/// rejected clients doesn't re-arrive in lockstep. Deterministic per
+/// `seed` (the vendored SplitMix64), so tests can pin the exact sleep
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries, including the first (1 = no retry).
+    pub attempts: u32,
+    /// Backoff floor in milliseconds when the server's hint is smaller.
+    pub base_ms: u64,
+    /// Backoff ceiling in milliseconds (pre-jitter).
+    pub cap_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 4,
+            base_ms: 25,
+            cap_ms: 2_000,
+            seed: 0x59C0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: the raw-measurement escape hatch
+    /// (`--no-retry`) the load generator uses to observe Busy rates.
+    pub fn none() -> Self {
+        Self {
+            attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The jittered backoff before retry number `attempt` (0-based),
+    /// honoring the server's `retry_after_ms` hint.
+    pub fn backoff_ms(&self, attempt: u32, hint_ms: u64, rng: &mut SplitMix64) -> u64 {
+        let floor = hint_ms.max(self.base_ms).max(1);
+        let exp = floor
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.cap_ms);
+        let jitter: f64 = 0.5 + rng.gen::<f64>();
+        ((exp as f64 * jitter) as u64).max(1)
+    }
 }
 
 /// One connection to a `yoco-serve` instance.
@@ -236,5 +291,107 @@ impl ServeClient {
                 }
             }
         }
+    }
+
+    /// [`ServeClient::eval_streaming`] with in-request `Busy` retry:
+    /// re-submits after a jittered exponential backoff (see
+    /// [`RetryPolicy`]), returning the final outcome — `Busy` only when
+    /// every attempt was rejected. `on_frame` sees the frames of every
+    /// attempt, terminal `Busy` frames of retried attempts included.
+    pub fn eval_streaming_with_retry(
+        &mut self,
+        request: EvalRequest,
+        policy: &RetryPolicy,
+        mut on_frame: impl FnMut(&str, &Response),
+    ) -> io::Result<StreamOutcome> {
+        let mut rng = SplitMix64::new(policy.seed);
+        let attempts = policy.attempts.max(1);
+        for attempt in 0..attempts {
+            match self.eval_streaming(request.clone(), &mut on_frame)? {
+                StreamOutcome::Busy { retry_after_ms } if attempt + 1 < attempts => {
+                    std::thread::sleep(Duration::from_millis(policy.backoff_ms(
+                        attempt,
+                        retry_after_ms,
+                        &mut rng,
+                    )));
+                }
+                outcome => return Ok(outcome),
+            }
+        }
+        unreachable!("the loop returns on its last attempt")
+    }
+
+    /// [`ServeClient::eval_buffered`] with in-request `Busy` retry —
+    /// the protocol-v1 mirror of
+    /// [`ServeClient::eval_streaming_with_retry`]: a `Busy` refusal
+    /// (an `EvalResponse` whose error category is `"busy"`) is retried
+    /// on the same backoff schedule; any other response returns
+    /// immediately.
+    pub fn eval_buffered_with_retry(
+        &mut self,
+        request: EvalRequest,
+        policy: &RetryPolicy,
+    ) -> io::Result<(String, EvalResponse)> {
+        let mut rng = SplitMix64::new(policy.seed);
+        let attempts = policy.attempts.max(1);
+        for attempt in 0..attempts {
+            let (raw, response) = self.eval_buffered(request.clone())?;
+            let busy_hint = match &response.error {
+                Some(crate::api::SweepError::Busy { retry_after_ms }) => Some(*retry_after_ms),
+                _ => None,
+            };
+            match busy_hint {
+                Some(hint) if attempt + 1 < attempts => {
+                    std::thread::sleep(Duration::from_millis(
+                        policy.backoff_ms(attempt, hint, &mut rng),
+                    ));
+                }
+                _ => return Ok((raw, response)),
+            }
+        }
+        unreachable!("the loop returns on its last attempt")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_honors_hint_doubles_caps_and_jitters_within_bounds() {
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_ms: 25,
+            cap_ms: 400,
+            seed: 1,
+        };
+        let mut rng = SplitMix64::new(policy.seed);
+        // Server hint above the base floors the schedule; each step
+        // doubles pre-jitter, capped, with jitter in [0.5, 1.5).
+        for (attempt, expected) in [(0u32, 100u64), (1, 200), (2, 400), (3, 400)] {
+            let ms = policy.backoff_ms(attempt, 100, &mut rng);
+            let lo = expected / 2;
+            let hi = expected * 3 / 2;
+            assert!(
+                (lo..=hi).contains(&ms),
+                "attempt {attempt}: {ms} outside [{lo}, {hi}]"
+            );
+        }
+        // A tiny hint falls back to the base floor.
+        let mut rng = SplitMix64::new(policy.seed);
+        let ms = policy.backoff_ms(0, 1, &mut rng);
+        assert!((12..=38).contains(&ms), "floored backoff {ms}");
+        // Deterministic per seed.
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        assert_eq!(
+            policy.backoff_ms(1, 50, &mut a),
+            policy.backoff_ms(1, 50, &mut b)
+        );
+    }
+
+    #[test]
+    fn none_policy_is_single_shot() {
+        assert_eq!(RetryPolicy::none().attempts, 1);
     }
 }

@@ -6,7 +6,8 @@
 //! [`Coordinator`] wraps it with the same admission gate, tally, and
 //! NDJSON dispatch shape as the single-box
 //! [`Runtime`](crate::serve::Runtime), so both plug into the shared
-//! [`serve_loop`](crate::serve::serve_loop) unchanged.
+//! epoll reactor ([`serve_reactor`](crate::serve::serve_reactor))
+//! unchanged.
 
 use crate::api::{
     CellOutcome, CellStatus, EvalRequest, EvalResponse, Response, Shard, StatusReport, SweepError,
@@ -316,8 +317,8 @@ impl ClusterConfig {
 
 /// The cluster front: speaks the ordinary v1/v2 NDJSON protocol to
 /// clients and fans admitted requests out over the worker hosts.
-/// Plugs into [`crate::serve::serve_loop`] exactly like the single-box
-/// runtime.
+/// Plugs into [`crate::serve::serve_reactor`] exactly like the
+/// single-box runtime.
 pub struct Coordinator {
     pool: Box<dyn WorkerPool + Send + Sync>,
     workers: Vec<String>,
@@ -369,6 +370,8 @@ impl Coordinator {
             workers: self.workers.len(),
             occupancy: self.gate.occupancy(),
             queue_depth: self.gate.depth(),
+            service_estimate_ms: self.gate.service_estimate_ms().round() as u64,
+            busy_ms: self.gate.slot_held_ms(),
             ..StatusReport::default()
         };
         self.tally.fill(&mut report);
@@ -558,15 +561,12 @@ impl LineHandler for Coordinator {
 /// and `sweep cluster serve`: bind, print the ready line
 /// (`<announce> listening on <local>`) and topology, then serve until
 /// `Shutdown` drains it — through the event-driven reactor
-/// ([`crate::serve::serve_reactor`]) by default, or the legacy
-/// thread-per-connection loop ([`crate::serve::serve_loop`]) when
-/// `threaded`. Returns the bind error, if any.
+/// ([`crate::serve::serve_reactor`]). Returns the bind error, if any.
 pub fn serve_coordinator(
     addr: &str,
     config: ClusterConfig,
     announce: &str,
     quiet: bool,
-    threaded: bool,
 ) -> io::Result<()> {
     let (listener, local) = crate::serve::listen(addr)?;
     println!("{announce} listening on {local}");
@@ -581,12 +581,7 @@ pub fn serve_coordinator(
     let _ = std::io::Write::flush(&mut std::io::stdout());
     let reactor_config = crate::serve::ReactorConfig::for_queue_depth(config.queue_depth);
     let handler: std::sync::Arc<dyn LineHandler> = std::sync::Arc::new(Coordinator::new(config));
-    if threaded {
-        crate::serve::serve_loop(listener, handler, quiet);
-        Ok(())
-    } else {
-        crate::serve::serve_reactor(listener, handler, quiet, reactor_config)
-    }
+    crate::serve::serve_reactor(listener, handler, quiet, reactor_config)
 }
 
 #[cfg(test)]

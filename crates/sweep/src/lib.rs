@@ -28,6 +28,12 @@
 //! * [`client`] — the matching blocking client ([`ServeClient`]), used
 //!   by `sweep client`, the cluster coordinator's dispatch path, and the
 //!   service-level tests;
+//! * [`loadgen`] — open-loop load generation against any of the above:
+//!   deterministic Poisson/bursty/fixed arrival schedules, weighted
+//!   grid × protocol × cache-temperature mixes, a multi-connection
+//!   driver that charges coordinated omission to the tail, and the
+//!   p50/p99/p999 + Busy-rate trajectory persisted in
+//!   `results/loadgen_history.json`;
 //! * [`cache`] — a content-addressed result cache under `results/cache/`,
 //!   keyed by a stable hash of the scenario plus the evaluator version
 //!   ([`hash`]), with age/size garbage collection ([`cache::GcBudget`]);
@@ -67,6 +73,7 @@ pub mod executor;
 pub mod figures;
 pub mod grids;
 pub mod hash;
+pub mod loadgen;
 pub mod root;
 pub mod scenario;
 pub mod serve;
@@ -77,11 +84,12 @@ pub use api::{
     API_VERSION,
 };
 pub use cache::{CacheStats, GcBudget, GcOutcome, ResultCache};
-pub use client::{ServeClient, StreamOutcome};
+pub use client::{RetryPolicy, ServeClient, StreamOutcome};
 pub use cluster::{ClusterConfig, Coordinator};
 pub use engine::{CellResult, Engine, SweepReport};
 pub use eval::{AttentionMetrics, GemmMetrics};
 pub use grids::{DseGrid, GridSpec, DSE_AXES, DSE_GRIDS, DSE_WORKLOADS};
+pub use loadgen::{ArrivalKind, LatencyHistogram, LoadgenRecord, Mix};
 pub use scenario::{AcceleratorKind, DesignPoint, Scenario, ScenarioKind, StudyId, WorkloadSpec};
 pub use serve::{Runtime, ServeConfig};
 pub use studies::StudyMetrics;

@@ -1,0 +1,267 @@
+//! The open-loop multi-connection driver.
+//!
+//! The driver owns N connections and a pre-built schedule. Arrivals are
+//! assigned to connections round-robin; each connection thread walks
+//! its sub-schedule in order, sleeps until each scheduled instant, and
+//! issues the request *whether or not the previous one has completed* —
+//! a connection that falls behind fires late, and the lateness is
+//! charged to the request's latency because latency is measured from
+//! the **scheduled** instant, not the actual send. This is the
+//! wrk2-style correction for coordinated omission: a stalled server
+//! inflates the recorded tail instead of silently slowing the offered
+//! rate.
+//!
+//! The transport is abstracted behind [`Issuer`] so the accounting can
+//! be tested against a deliberately stalled fake without a socket; the
+//! real transport is [`TcpIssuer`], one blocking [`ServeClient`] per
+//! connection.
+
+use super::mix::MixEntry;
+use super::report::{LatencyHistogram, Outcome, Summary};
+use crate::api::{CellStatus, EvalRequest, Response};
+use crate::client::{ServeClient, StreamOutcome};
+use std::io;
+use std::time::{Duration, Instant};
+
+/// One blocking request issue: the driver's transport seam.
+pub trait Issuer: Send {
+    /// Issues the request described by `entry` under `id`, blocking
+    /// until the exchange ends, and classifies how it ended.
+    fn issue(&mut self, entry: &MixEntry, id: &str) -> Outcome;
+}
+
+/// The TCP transport: one [`ServeClient`] per driver connection.
+#[derive(Debug)]
+pub struct TcpIssuer {
+    client: ServeClient,
+    deadline_ms: Option<u64>,
+}
+
+impl TcpIssuer {
+    /// Connects to `addr`, optionally stamping every request with a
+    /// `deadline_ms` patience budget (so a backed-up server sheds
+    /// overdue queued requests as `Busy` instead of serving them to a
+    /// client that stopped caring — the loadgen then *measures* that
+    /// shedding as the deadline/Busy rate).
+    pub fn connect(addr: &str, deadline_ms: Option<u64>) -> io::Result<Self> {
+        let mut client = ServeClient::connect(addr)?;
+        // A wedged server must fail the request, not hang the run.
+        client.set_read_timeout(Some(Duration::from_secs(600)))?;
+        Ok(Self {
+            client,
+            deadline_ms,
+        })
+    }
+}
+
+impl Issuer for TcpIssuer {
+    fn issue(&mut self, entry: &MixEntry, id: &str) -> Outcome {
+        let mut request = if entry.v1 {
+            EvalRequest::new(id, entry.scenarios.clone())
+        } else {
+            EvalRequest::streaming(id, entry.scenarios.clone())
+        };
+        request.force = entry.cold;
+        request.deadline_ms = self.deadline_ms;
+        if entry.v1 {
+            match self.client.eval_buffered(request) {
+                Ok((_, response)) => match &response.error {
+                    Some(e) if e.category() == "busy" => Outcome::Busy,
+                    Some(_) => Outcome::Error,
+                    None if response.is_ok() => Outcome::Ok,
+                    None => Outcome::Error,
+                },
+                Err(_) => Outcome::Error,
+            }
+        } else {
+            let mut failed = 0usize;
+            let outcome = self.client.eval_streaming(request, |_, frame| {
+                if let Response::Cell(cell) = frame {
+                    if cell.status == CellStatus::Failed {
+                        failed += 1;
+                    }
+                }
+            });
+            match outcome {
+                Ok(StreamOutcome::Done { .. }) if failed == 0 => Outcome::Ok,
+                Ok(StreamOutcome::Done { .. }) => Outcome::Error,
+                Ok(StreamOutcome::Busy { .. }) => Outcome::Busy,
+                Err(_) => Outcome::Error,
+            }
+        }
+    }
+}
+
+/// Runs the open loop: `schedule[i]` fires entry
+/// `entries[assignment[i]]` on connection `i % issuers.len()`. Returns
+/// the aggregated [`Summary`]; `duration` is the configured window the
+/// schedule was built for (it sets the offered rate — the wall clock
+/// may run longer when the server lags, and that shows up as
+/// `achieved_rps < offered_rps`).
+pub fn run(
+    schedule: &[Duration],
+    assignment: &[usize],
+    entries: &[MixEntry],
+    issuers: Vec<Box<dyn Issuer>>,
+    duration: Duration,
+) -> Summary {
+    assert_eq!(schedule.len(), assignment.len());
+    assert!(!issuers.is_empty(), "the driver needs at least one issuer");
+    let connections = issuers.len();
+    let start = Instant::now();
+    // (latency from the scheduled instant, outcome) per issued request.
+    let per_conn: Vec<Vec<(Duration, Outcome)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = issuers
+            .into_iter()
+            .enumerate()
+            .map(|(conn, mut issuer)| {
+                scope.spawn(move || {
+                    let mut samples = Vec::new();
+                    for (i, (offset, entry_idx)) in
+                        schedule.iter().zip(assignment).enumerate().skip(conn)
+                    {
+                        if (i - conn) % connections != 0 {
+                            continue;
+                        }
+                        let scheduled = start + *offset;
+                        // Fire at the scheduled instant; if the previous
+                        // request on this connection overran it, fire
+                        // immediately — the overrun is part of this
+                        // request's latency.
+                        let now = Instant::now();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let outcome = issuer.issue(&entries[*entry_idx], &format!("lg-{i}"));
+                        samples.push((scheduled.elapsed(), outcome));
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("driver connection thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut latency = LatencyHistogram::default();
+    let (mut sent, mut completed, mut busy, mut errors) = (0usize, 0usize, 0usize, 0usize);
+    for (lat, outcome) in per_conn.into_iter().flatten() {
+        sent += 1;
+        match outcome {
+            Outcome::Ok => {
+                completed += 1;
+                latency.record(lat);
+            }
+            Outcome::Busy => busy += 1,
+            Outcome::Error => errors += 1,
+        }
+    }
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    Summary {
+        offered: schedule.len(),
+        sent,
+        completed,
+        busy,
+        errors,
+        elapsed,
+        offered_rps: schedule.len() as f64 / duration.as_secs_f64().max(1e-9),
+        achieved_rps: completed as f64 / secs,
+        latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::arrivals::{schedule, ArrivalKind};
+    use crate::loadgen::mix::Mix;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A server standing perfectly still: every issue blocks `stall`
+    /// then answers `outcome`.
+    struct Stalled {
+        stall: Duration,
+        outcome: Outcome,
+        issued: Arc<AtomicUsize>,
+    }
+
+    impl Issuer for Stalled {
+        fn issue(&mut self, _entry: &MixEntry, _id: &str) -> Outcome {
+            std::thread::sleep(self.stall);
+            self.issued.fetch_add(1, Ordering::SeqCst);
+            self.outcome
+        }
+    }
+
+    fn stalled_fleet(
+        n: usize,
+        stall: Duration,
+        outcome: Outcome,
+    ) -> (Vec<Box<dyn Issuer>>, Arc<AtomicUsize>) {
+        let issued = Arc::new(AtomicUsize::new(0));
+        let fleet = (0..n)
+            .map(|_| {
+                Box::new(Stalled {
+                    stall,
+                    outcome,
+                    issued: Arc::clone(&issued),
+                }) as Box<dyn Issuer>
+            })
+            .collect();
+        (fleet, issued)
+    }
+
+    #[test]
+    fn offered_vs_achieved_accounting_is_exact_under_a_stalled_server() {
+        // 40 arrivals over 200 ms; the "server" takes 20 ms per request
+        // on each of 2 connections, so it can only absorb ~10 in the
+        // window — yet the open loop issues every single arrival.
+        let duration = Duration::from_millis(200);
+        let plan = schedule(ArrivalKind::Fixed, 200.0, duration, 0);
+        let mix = Mix::parse("fig9a").unwrap();
+        let assignment = mix.assign(plan.len(), 0);
+        let (fleet, issued) = stalled_fleet(2, Duration::from_millis(20), Outcome::Ok);
+        let summary = run(&plan, &assignment, mix.entries(), fleet, duration);
+        assert_eq!(summary.offered, 40);
+        assert_eq!(summary.sent, 40, "open loop issues every arrival");
+        assert_eq!(issued.load(Ordering::SeqCst), 40);
+        assert_eq!(summary.completed, 40);
+        assert_eq!(summary.busy + summary.errors, 0);
+        // 40 requests × 20 ms over 2 connections = ~400 ms of work for
+        // a 200 ms window: achieved must trail offered.
+        assert!(
+            summary.achieved_rps < summary.offered_rps * 0.8,
+            "achieved {:.1} should trail offered {:.1}",
+            summary.achieved_rps,
+            summary.offered_rps
+        );
+        // Coordinated omission shows up: the tail (scheduled-instant
+        // latency) must reflect the queue that built up, far above the
+        // 20 ms service time.
+        assert!(
+            summary.latency.quantile_ms(0.99) > 60.0,
+            "p99 {:.1} ms should carry the backlog",
+            summary.latency.quantile_ms(0.99)
+        );
+    }
+
+    #[test]
+    fn busy_answers_are_counted_not_retried() {
+        let duration = Duration::from_millis(50);
+        let plan = schedule(ArrivalKind::Fixed, 400.0, duration, 0);
+        let mix = Mix::parse("fig9a").unwrap();
+        let assignment = mix.assign(plan.len(), 0);
+        let (fleet, _) = stalled_fleet(4, Duration::from_millis(1), Outcome::Busy);
+        let summary = run(&plan, &assignment, mix.entries(), fleet, duration);
+        assert_eq!(summary.offered, 20);
+        assert_eq!(summary.sent, 20);
+        assert_eq!(summary.completed, 0);
+        assert_eq!(summary.busy, 20);
+        assert_eq!(summary.achieved_rps, 0.0);
+        assert_eq!(summary.busy_rate(), 1.0);
+        assert_eq!(summary.latency.count(), 0, "Busy has no service latency");
+    }
+}

@@ -1,0 +1,193 @@
+//! Weighted request mixes: *what* each scheduled arrival asks for.
+//!
+//! A mix is a comma-separated list of entries, each a named grid plus
+//! optional per-entry protocol and cache-temperature modifiers and an
+//! optional integer weight:
+//!
+//! ```text
+//! fig9a                    # one entry, v2 streamed, warm (cached)
+//! fig9a=3,fig10:v1=1       # 3:1 fig9a-v2 to fig10-v1
+//! fig9a:cold=1,fig9a=9     # 10% forced recomputes in a warm stream
+//! ```
+//!
+//! Modifiers: `:v1` (buffered protocol-v1 exchange; default is `:v2`
+//! streaming), `:cold` (send `force`, so the server recomputes and the
+//! request exercises the full evaluation path; default `:warm` consults
+//! the cache). Weights are relative integers, default 1; each arrival
+//! is assigned an entry by a seeded draw, so the realized mix converges
+//! to the weights while remaining reproducible per seed.
+
+use crate::grids;
+use crate::scenario::Scenario;
+use rand::{Rng, SplitMix64};
+
+/// One weighted component of a mix.
+#[derive(Debug, Clone)]
+pub struct MixEntry {
+    /// The named grid this entry evaluates.
+    pub grid: String,
+    /// Buffered protocol-v1 exchange instead of v2 streaming.
+    pub v1: bool,
+    /// Force recomputation (`force: true`): a cache-cold request.
+    pub cold: bool,
+    /// Relative weight (≥ 1).
+    pub weight: u32,
+    /// The resolved scenarios of `grid`.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl MixEntry {
+    /// The canonical per-entry label (`fig9a`, `fig10:v1`,
+    /// `fig9a:cold=3`, …) — weights of 1 and default modifiers are
+    /// omitted so equal specs collapse to equal labels.
+    fn label(&self) -> String {
+        let mut s = self.grid.clone();
+        if self.v1 {
+            s.push_str(":v1");
+        }
+        if self.cold {
+            s.push_str(":cold");
+        }
+        if self.weight != 1 {
+            s.push_str(&format!("={}", self.weight));
+        }
+        s
+    }
+}
+
+/// A parsed, grid-resolved request mix.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    entries: Vec<MixEntry>,
+}
+
+impl Mix {
+    /// Parses and resolves a mix spec (see the module docs for the
+    /// grammar). Every grid is resolved eagerly so a typo fails the
+    /// run before any load is offered.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (head, weight) = match part.split_once('=') {
+                Some((head, w)) => {
+                    let weight: u32 = w
+                        .parse()
+                        .ok()
+                        .filter(|w| *w >= 1)
+                        .ok_or_else(|| format!("mix entry `{part}`: weight must be ≥ 1"))?;
+                    (head, weight)
+                }
+                None => (part, 1),
+            };
+            let mut segments = head.split(':');
+            let grid = segments.next().unwrap_or_default().to_owned();
+            let (mut v1, mut cold) = (false, false);
+            for modifier in segments {
+                match modifier {
+                    "v1" => v1 = true,
+                    "v2" => v1 = false,
+                    "cold" => cold = true,
+                    "warm" => cold = false,
+                    other => {
+                        return Err(format!(
+                            "mix entry `{part}`: unknown modifier `:{other}` \
+                             (expected :v1, :v2, :warm, or :cold)"
+                        ));
+                    }
+                }
+            }
+            let scenarios = grids::resolve(&grid).map_err(|e| e.to_string())?;
+            entries.push(MixEntry {
+                grid,
+                v1,
+                cold,
+                weight,
+                scenarios,
+            });
+        }
+        if entries.is_empty() {
+            return Err("empty mix spec".into());
+        }
+        Ok(Self { entries })
+    }
+
+    /// The mix's components.
+    pub fn entries(&self) -> &[MixEntry] {
+        &self.entries
+    }
+
+    /// The canonical label persisted into history rows, stable across
+    /// re-parses of the same spec.
+    pub fn label(&self) -> String {
+        self.entries
+            .iter()
+            .map(MixEntry::label)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Assigns an entry index to each of `n` arrivals by seeded
+    /// weighted draw: reproducible per seed, converging to the weights.
+    pub fn assign(&self, n: usize, seed: u64) -> Vec<usize> {
+        let total: u64 = self.entries.iter().map(|e| u64::from(e.weight)).sum();
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let mut draw = rng.gen_range(0..total);
+                for (idx, entry) in self.entries.iter().enumerate() {
+                    let w = u64::from(entry.weight);
+                    if draw < w {
+                        return idx;
+                    }
+                    draw -= w;
+                }
+                self.entries.len() - 1
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_modifiers_weights_and_round_trips_the_label() {
+        let mix = Mix::parse("fig9a=3, fig10:v1 ,fig9a:cold=2").expect("parses");
+        assert_eq!(mix.entries().len(), 3);
+        assert_eq!(mix.label(), "fig9a=3,fig10:v1,fig9a:cold=2");
+        let e = &mix.entries()[0];
+        assert!(!e.v1 && !e.cold && e.weight == 3 && e.scenarios.len() == 1);
+        let e = &mix.entries()[1];
+        assert!(e.v1 && !e.cold && e.weight == 1 && e.scenarios.len() == 5);
+        let e = &mix.entries()[2];
+        assert!(!e.v1 && e.cold && e.weight == 2);
+        // Re-parsing the canonical label is a fixed point.
+        assert_eq!(Mix::parse(&mix.label()).unwrap().label(), mix.label());
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(Mix::parse("").is_err());
+        assert!(Mix::parse("no-such-grid").is_err());
+        assert!(Mix::parse("fig9a=0").is_err());
+        assert!(Mix::parse("fig9a:v3").is_err());
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_tracks_weights() {
+        let mix = Mix::parse("fig9a=9,fig10:v1=1").expect("parses");
+        let a = mix.assign(10_000, 42);
+        assert_eq!(a, mix.assign(10_000, 42));
+        let heavy = a.iter().filter(|i| **i == 0).count();
+        // 90% ± a loose statistical margin.
+        assert!(
+            (8_700..=9_300).contains(&heavy),
+            "weighted draw far off: {heavy}/10000"
+        );
+    }
+}

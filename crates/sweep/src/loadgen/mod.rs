@@ -1,0 +1,50 @@
+//! # yoco-loadgen — open-loop load generation for the serve runtime
+//!
+//! Everything `sweep loadgen` runs on: deterministic arrival schedules
+//! ([`arrivals`]), weighted request mixes over named grids
+//! ([`mix`]), the open-loop multi-connection driver ([`driver`]), and
+//! latency aggregation plus the persisted trajectory history
+//! ([`report`]).
+//!
+//! ## Open loop vs closed loop
+//!
+//! `sweep client bench` is a **closed loop**: each connection sends the
+//! next request only after the previous one returns, so the measured
+//! rate is whatever the server sustains and latency under *overload* is
+//! invisible — when the server stalls, the bench politely stops
+//! offering load (coordinated omission). The loadgen is an **open
+//! loop**: the arrival schedule is fixed up front and requests fire at
+//! their scheduled instants regardless of completions, with latency
+//! measured from the scheduled instant. Overload therefore shows up
+//! where it belongs: in the p99/p999 tail and the `Busy` rate, not as a
+//! quietly reduced request count.
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use yoco_sweep::loadgen::{arrivals, driver, mix, ArrivalKind, Issuer, TcpIssuer};
+//!
+//! let duration = Duration::from_secs(10);
+//! let plan = arrivals::schedule(ArrivalKind::Poisson, 200.0, duration, 42);
+//! let mix = mix::Mix::parse("fig9a=9,fig9a:v1=1").unwrap();
+//! let assignment = mix.assign(plan.len(), 42);
+//! let issuers: Vec<Box<dyn Issuer>> = (0..8)
+//!     .map(|_| {
+//!         Box::new(TcpIssuer::connect("127.0.0.1:7177", None).unwrap()) as Box<dyn Issuer>
+//!     })
+//!     .collect();
+//! let summary = driver::run(&plan, &assignment, mix.entries(), issuers, duration);
+//! println!("p99 {:.2} ms", summary.latency.quantile_ms(0.99));
+//! ```
+
+pub mod arrivals;
+pub mod driver;
+pub mod mix;
+pub mod report;
+
+pub use arrivals::{offered_count, schedule, ArrivalKind};
+pub use driver::{run, Issuer, TcpIssuer};
+pub use mix::{Mix, MixEntry};
+pub use report::{
+    append_history, gate, read_history, render_table, LatencyHistogram, LoadgenHistory,
+    LoadgenRecord, Outcome, RunShape, Summary, LOADGEN_HISTORY_SCHEMA, LOADGEN_SCHEMA,
+};

@@ -1,0 +1,515 @@
+//! Latency aggregation and the persisted loadgen trajectory.
+//!
+//! * [`LatencyHistogram`] — an HDR-style log-linear histogram over
+//!   microseconds: exact below 64 µs, then 64 linear sub-buckets per
+//!   power of two (≤ ~1.6% relative error) up to `u64::MAX`. Constant
+//!   memory regardless of sample count, so a long run costs nothing to
+//!   aggregate.
+//! * [`Summary`] — one run boiled down: achieved-vs-offered rate,
+//!   Busy/error/deadline shares, and the latency percentiles.
+//! * [`LoadgenRecord`] / history helpers — the append-only
+//!   `results/loadgen_history.json` rows (method × config × timestamp),
+//!   the `loadgen report` trajectory table, and the CI p99 gate.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^6 = 64 linear buckets per octave.
+const SUB_BITS: u32 = 6;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// An HDR-style log-linear latency histogram over microsecond values.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_us: u64,
+    sum_us: u128,
+}
+
+/// Bucket index of a microsecond value: identity below [`SUB_BUCKETS`],
+/// then `(octave, 64 linear sub-buckets)`.
+fn bucket_index(us: u64) -> usize {
+    if us < SUB_BUCKETS {
+        return us as usize;
+    }
+    let msb = 63 - us.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as u64;
+    let sub = (us >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1);
+    (octave * SUB_BUCKETS + sub) as usize
+}
+
+/// Representative (upper-edge) microsecond value of a bucket index —
+/// the inverse of [`bucket_index`] up to sub-bucket resolution.
+fn bucket_value(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let octave = index / SUB_BUCKETS;
+    let sub = index % SUB_BUCKETS;
+    ((SUB_BUCKETS + sub + 1) << (octave - 1)) - 1
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        // 64 octaves cover the full u64 µs range (~584k years).
+        Self {
+            counts: vec![0; (64 * SUB_BUCKETS) as usize],
+            total: 0,
+            max_us: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[bucket_index(us)] += 1;
+        self.total += 1;
+        self.max_us = self.max_us.max(us);
+        self.sum_us += u128::from(us);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact maximum recorded value, in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1e3
+    }
+
+    /// The exact mean of recorded values, in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.sum_us as f64 / self.total as f64) / 1e3
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`), in milliseconds —
+    /// bucket-upper-edge resolution (≤ ~1.6% high). Returns 0 for an
+    /// empty histogram.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // The true max beats the bucket edge for the tail.
+                return (bucket_value(index).min(self.max_us)) as f64 / 1e3;
+            }
+        }
+        self.max_us as f64 / 1e3
+    }
+}
+
+/// How one issued request ended, as the driver saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The exchange completed (all cells delivered).
+    Ok,
+    /// The server answered `Busy` (admission queue full or deadline
+    /// expired in queue).
+    Busy,
+    /// A transport or protocol error (connection lost, undecodable
+    /// frame, per-cell evaluation failure).
+    Error,
+}
+
+/// One run summarized: counts, rates, and percentiles.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Arrivals the schedule offered.
+    pub offered: usize,
+    /// Requests actually issued (== offered unless the run was cut).
+    pub sent: usize,
+    /// Requests that completed successfully.
+    pub completed: usize,
+    /// Requests answered `Busy`.
+    pub busy: usize,
+    /// Requests that failed in transport or evaluation.
+    pub errors: usize,
+    /// Wall-clock run time.
+    pub elapsed: Duration,
+    /// Offered arrival rate (requests/s).
+    pub offered_rps: f64,
+    /// Completed requests per wall-clock second.
+    pub achieved_rps: f64,
+    /// Latency of *successful* requests, measured from the scheduled
+    /// send instant (coordinated-omission-aware: queueing behind a
+    /// stalled connection counts against the server).
+    pub latency: LatencyHistogram,
+}
+
+impl Summary {
+    /// `Busy` share of issued requests (`0.0..=1.0`).
+    pub fn busy_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.busy as f64 / self.sent as f64
+    }
+
+    /// Error share of issued requests (`0.0..=1.0`).
+    pub fn error_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.errors as f64 / self.sent as f64
+    }
+}
+
+/// Schema tag of one history row.
+pub const LOADGEN_SCHEMA: &str = "yoco-loadgen/v1";
+/// Schema tag of the history envelope.
+pub const LOADGEN_HISTORY_SCHEMA: &str = "yoco-loadgen-history/v1";
+
+/// One persisted loadgen run: method × config × outcome × timestamp.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenRecord {
+    /// Always [`LOADGEN_SCHEMA`].
+    pub schema: String,
+    /// What was driven: `serve`, `coordinator`, or `cluster` (free-form
+    /// label; gate comparisons group by it).
+    pub target: String,
+    /// Canonical mix label ([`super::Mix::label`]).
+    pub mix: String,
+    /// Arrival-kind label ([`super::ArrivalKind::label`]).
+    pub arrivals: String,
+    /// Offered arrival rate (requests/s).
+    pub rate: f64,
+    /// Configured run duration in milliseconds.
+    pub duration_ms: u64,
+    /// Driver connections.
+    pub connections: usize,
+    /// Arrivals the schedule offered.
+    pub offered: usize,
+    /// Requests issued.
+    pub sent: usize,
+    /// Requests completed successfully.
+    pub completed: usize,
+    /// Requests answered `Busy`.
+    pub busy: usize,
+    /// Requests failed (transport/evaluation).
+    pub errors: usize,
+    /// Completed requests per wall-clock second.
+    pub achieved_rps: f64,
+    /// `Busy` share of issued requests.
+    pub busy_rate: f64,
+    /// Latency percentiles (successful requests, scheduled-instant
+    /// based), milliseconds.
+    pub p50_ms: f64,
+    /// 90th percentile latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th percentile latency, milliseconds.
+    pub p999_ms: f64,
+    /// Maximum latency, milliseconds.
+    pub max_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Unix timestamp of the run.
+    pub recorded_at_unix_s: u64,
+}
+
+/// The configuration labels identifying one loadgen run: everything
+/// about a row that was chosen up front rather than measured.
+#[derive(Debug, Clone)]
+pub struct RunShape {
+    /// What was driven (`serve`, `coordinator`, `cluster`, ...).
+    pub target: String,
+    /// Request mix label.
+    pub mix: String,
+    /// Arrival schedule label.
+    pub arrivals: String,
+    /// Offered rate, requests/second.
+    pub rate: f64,
+    /// Run window.
+    pub duration: Duration,
+    /// Driver connections.
+    pub connections: usize,
+}
+
+impl LoadgenRecord {
+    /// Builds a row from a run summary plus its configuration labels.
+    pub fn from_summary(summary: &Summary, shape: &RunShape, recorded_at_unix_s: u64) -> Self {
+        Self {
+            schema: LOADGEN_SCHEMA.to_owned(),
+            target: shape.target.clone(),
+            mix: shape.mix.clone(),
+            arrivals: shape.arrivals.clone(),
+            rate: shape.rate,
+            duration_ms: shape.duration.as_millis() as u64,
+            connections: shape.connections,
+            offered: summary.offered,
+            sent: summary.sent,
+            completed: summary.completed,
+            busy: summary.busy,
+            errors: summary.errors,
+            achieved_rps: summary.achieved_rps,
+            busy_rate: summary.busy_rate(),
+            p50_ms: summary.latency.quantile_ms(0.50),
+            p90_ms: summary.latency.quantile_ms(0.90),
+            p99_ms: summary.latency.quantile_ms(0.99),
+            p999_ms: summary.latency.quantile_ms(0.999),
+            max_ms: summary.latency.max_ms(),
+            mean_ms: summary.latency.mean_ms(),
+            recorded_at_unix_s,
+        }
+    }
+
+    /// The grouping key for trajectory comparison: two rows with equal
+    /// keys measured the same thing and may be gated against each
+    /// other.
+    pub fn config_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.target, self.mix, self.arrivals, self.rate, self.connections
+        )
+    }
+}
+
+/// The on-disk envelope of `results/loadgen_history.json`.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct LoadgenHistory {
+    /// Always [`LOADGEN_HISTORY_SCHEMA`].
+    pub schema: String,
+    /// Append-only rows, oldest first.
+    pub runs: Vec<LoadgenRecord>,
+}
+
+/// Reads a history file; a missing file is an empty history.
+pub fn read_history(path: &str) -> Result<Vec<LoadgenRecord>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    };
+    let history: LoadgenHistory =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not a loadgen history: {e}"))?;
+    Ok(history.runs)
+}
+
+/// Appends one row and rewrites the history file.
+pub fn append_history(path: &str, record: LoadgenRecord) -> Result<usize, String> {
+    let mut runs = read_history(path)?;
+    runs.push(record);
+    let history = LoadgenHistory {
+        schema: LOADGEN_HISTORY_SCHEMA.to_owned(),
+        runs,
+    };
+    let json = serde_json::to_string_pretty(&history)
+        .map_err(|e| format!("cannot serialize loadgen history: {e}"))?;
+    std::fs::write(path, json + "\n").map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(history.runs.len())
+}
+
+/// Renders the `results.md`-style trajectory table: one row per run,
+/// oldest first, grouped by nothing — the timestamp column *is* the
+/// trajectory.
+pub fn render_table(runs: &[LoadgenRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| recorded (unix) | target | mix | arrivals | rate | conns | achieved | busy% | p50 ms | p99 ms | p999 ms |\n\
+         |---|---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in runs {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.0}/s | {} | {:.1}/s | {:.1} | {:.2} | {:.2} | {:.2} |\n",
+            r.recorded_at_unix_s,
+            r.target,
+            r.mix,
+            r.arrivals,
+            r.rate,
+            r.connections,
+            r.achieved_rps,
+            r.busy_rate * 100.0,
+            r.p50_ms,
+            r.p99_ms,
+            r.p999_ms,
+        ));
+    }
+    out
+}
+
+/// The CI regression gate over the latest row of each config key:
+/// fails when a latest p99 exceeds `factor` × the best earlier p99 for
+/// the same key, or `max_p99_ms` when set. Keys with a single row pass
+/// (nothing to regress against) unless they break the absolute floor.
+/// Returns a human-readable verdict per gated key, or the first
+/// failure.
+pub fn gate(
+    runs: &[LoadgenRecord],
+    factor: f64,
+    max_p99_ms: Option<f64>,
+) -> Result<Vec<String>, String> {
+    if runs.is_empty() {
+        return Err("loadgen history is empty — nothing to gate".into());
+    }
+    let mut verdicts = Vec::new();
+    let mut seen_keys: Vec<String> = Vec::new();
+    for (i, latest) in runs.iter().enumerate() {
+        let key = latest.config_key();
+        // Gate only each key's latest row.
+        if runs[i + 1..].iter().any(|r| r.config_key() == key) {
+            continue;
+        }
+        if seen_keys.contains(&key) {
+            continue;
+        }
+        seen_keys.push(key.clone());
+        if let Some(floor) = max_p99_ms {
+            if latest.p99_ms > floor {
+                return Err(format!(
+                    "{key}: p99 {:.2} ms exceeds the absolute floor {floor:.2} ms",
+                    latest.p99_ms
+                ));
+            }
+        }
+        let best_prior = runs[..i]
+            .iter()
+            .filter(|r| r.config_key() == key)
+            .map(|r| r.p99_ms)
+            .fold(f64::INFINITY, f64::min);
+        if best_prior.is_finite() {
+            let limit = best_prior * factor;
+            if latest.p99_ms > limit {
+                return Err(format!(
+                    "{key}: p99 regressed to {:.2} ms (best prior {:.2} ms, limit {:.2} ms = \
+                     {factor}x)",
+                    latest.p99_ms, best_prior, limit
+                ));
+            }
+            verdicts.push(format!(
+                "{key}: p99 {:.2} ms within {factor}x of best prior {:.2} ms",
+                latest.p99_ms, best_prior
+            ));
+        } else {
+            verdicts.push(format!(
+                "{key}: p99 {:.2} ms (first row for this config)",
+                latest.p99_ms
+            ));
+        }
+    }
+    Ok(verdicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_is_within_one_sub_bucket() {
+        for us in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            65_535,
+            1_000_000,
+            123_456_789,
+        ] {
+            let back = bucket_value(bucket_index(us));
+            assert!(back >= us, "bucket edge below the value: {us} -> {back}");
+            let err = (back - us) as f64 / us.max(1) as f64;
+            assert!(err <= 0.016, "relative error {err} too large for {us}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_percentiles_on_a_uniform_ramp() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=10_000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10_000);
+        // Exact p50 is 5.0 ms; bucket resolution allows ~1.6% upward.
+        let p50 = h.quantile_ms(0.50);
+        assert!((5.0..5.2).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_ms(0.99);
+        assert!((9.9..10.1).contains(&p99), "p99 {p99}");
+        assert!((h.mean_ms() - 5.0005).abs() < 1e-3);
+        assert_eq!(h.max_ms(), 10.0);
+        // The tail quantile never exceeds the recorded max.
+        assert!(h.quantile_ms(0.999) <= h.max_ms());
+    }
+
+    fn row(target: &str, p99: f64, at: u64) -> LoadgenRecord {
+        LoadgenRecord {
+            schema: LOADGEN_SCHEMA.into(),
+            target: target.into(),
+            mix: "fig9a".into(),
+            arrivals: "fixed".into(),
+            rate: 100.0,
+            duration_ms: 1000,
+            connections: 4,
+            offered: 100,
+            sent: 100,
+            completed: 100,
+            busy: 0,
+            errors: 0,
+            achieved_rps: 99.0,
+            busy_rate: 0.0,
+            p50_ms: p99 / 2.0,
+            p90_ms: p99 / 1.5,
+            p99_ms: p99,
+            p999_ms: p99 * 1.2,
+            max_ms: p99 * 1.5,
+            mean_ms: p99 / 2.0,
+            recorded_at_unix_s: at,
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_factor_and_rejects_regressions() {
+        let runs = vec![row("serve", 2.0, 1), row("serve", 3.0, 2)];
+        assert!(gate(&runs, 2.0, None).is_ok(), "1.5x within a 2x factor");
+        let runs = vec![row("serve", 2.0, 1), row("serve", 5.0, 2)];
+        let err = gate(&runs, 2.0, None).expect_err("2.5x beyond a 2x factor");
+        assert!(err.contains("regressed"), "{err}");
+        // Only the latest row per key is gated: a past spike that later
+        // recovered passes.
+        let runs = vec![
+            row("serve", 2.0, 1),
+            row("serve", 9.0, 2),
+            row("serve", 2.1, 3),
+        ];
+        assert!(gate(&runs, 2.0, None).is_ok());
+        // Distinct targets gate independently.
+        let runs = vec![row("serve", 2.0, 1), row("cluster", 50.0, 2)];
+        assert!(gate(&runs, 2.0, None).is_ok());
+        // The absolute floor applies even to first rows.
+        let err = gate(&[row("serve", 30.0, 1)], 2.0, Some(10.0)).expect_err("absolute floor");
+        assert!(err.contains("absolute floor"), "{err}");
+        assert!(gate(&[], 2.0, None).is_err(), "empty history fails loudly");
+    }
+
+    #[test]
+    fn history_round_trips_and_renders() {
+        let dir = std::env::temp_dir().join(format!("loadgen-hist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.json");
+        let path = path.to_str().unwrap();
+        assert_eq!(read_history(path).unwrap().len(), 0);
+        assert_eq!(append_history(path, row("serve", 2.0, 1)).unwrap(), 1);
+        assert_eq!(append_history(path, row("cluster", 4.0, 2)).unwrap(), 2);
+        let runs = read_history(path).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].target, "serve");
+        let table = render_table(&runs);
+        assert!(table.contains("| serve |") && table.contains("| cluster |"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

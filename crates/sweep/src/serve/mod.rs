@@ -33,8 +33,8 @@
 //!
 //! Frames leave through the [`FrameSink`] trait, so the whole dispatch
 //! ([`Runtime::handle_line`]) is testable in process — `Vec<Response>`
-//! is a sink — while the binaries plug a [`LineSink`] over the TCP
-//! stream via the shared accept loop ([`serve_loop`], generic over
+//! is a sink — while the binaries serve TCP through the event-driven
+//! epoll reactor ([`reactor::serve_reactor`], generic over
 //! [`LineHandler`] so the cluster coordinator reuses it unchanged).
 
 use crate::api::{
@@ -46,9 +46,9 @@ use crate::executor;
 use crate::scenario::Scenario;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -119,6 +119,10 @@ pub struct Gate {
     /// EWMA of observed per-request service time in milliseconds;
     /// `None` until the first request completes (cold-start prior).
     service_ewma_ms: Mutex<Option<f64>>,
+    /// Cumulative microseconds tickets have held slots (every ticket,
+    /// including memo replays the EWMA skips): slot-seconds / uptime =
+    /// achieved concurrency, surfaced as `busy_ms` in `Status`.
+    slot_held_us: AtomicU64,
 }
 
 impl Gate {
@@ -128,6 +132,7 @@ impl Gate {
             depth,
             occupied: Mutex::new(0),
             service_ewma_ms: Mutex::new(None),
+            slot_held_us: AtomicU64::new(0),
         }
     }
 
@@ -212,6 +217,13 @@ impl Gate {
         let per_slot = self.service_estimate_ms() / self.depth.max(1) as f64;
         (per_slot.round() as u64).max(1)
     }
+
+    /// Cumulative milliseconds requests have held admission slots —
+    /// every admitted request counts, including the warm replays the
+    /// service EWMA deliberately skips, because both occupy a slot.
+    pub fn slot_held_ms(&self) -> u64 {
+        self.slot_held_us.load(Ordering::Relaxed) / 1_000
+    }
 }
 
 /// An admitted request's slot; dropping it releases the slot and
@@ -242,9 +254,14 @@ impl Ticket<'_> {
 
 impl Drop for Ticket<'_> {
     fn drop(&mut self) {
+        let held = self.entered.elapsed();
         if self.record {
-            self.gate.record_service(self.entered.elapsed());
+            self.gate.record_service(held);
         }
+        self.gate.slot_held_us.fetch_add(
+            held.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
         *self.gate.occupied.lock().expect("gate lock") -= 1;
     }
 }
@@ -711,6 +728,8 @@ impl Runtime {
             occupancy: self.gate.occupancy(),
             queue_depth: self.gate.depth(),
             jobs: self.jobs_budget,
+            service_estimate_ms: self.gate.service_estimate_ms().round() as u64,
+            busy_ms: self.gate.slot_held_ms(),
             ..StatusReport::default()
         };
         self.tally.fill(&mut report);
@@ -1153,7 +1172,8 @@ impl<'a> LatchSink<'a> {
 /// One NDJSON dispatch endpoint: request line in, frames out. Both the
 /// single-box [`Runtime`] and the cluster
 /// [`Coordinator`](crate::cluster::Coordinator) implement this, so the
-/// TCP accept loop ([`serve_loop`]) serves either without change.
+/// epoll reactor ([`reactor::serve_reactor`]) serves either without
+/// change.
 pub trait LineHandler: Send + Sync {
     /// Handles one request line end to end (see
     /// [`Runtime::handle_line_at`]). `received` is when the transport
@@ -1165,9 +1185,9 @@ pub trait LineHandler: Send + Sync {
         sink: &mut dyn FrameSink,
     ) -> io::Result<Served>;
 
-    /// [`LineHandler::handle_line_at`] with receipt = now, for
-    /// transports that dispatch synchronously with the read (the
-    /// threaded accept loop).
+    /// [`LineHandler::handle_line_at`] with receipt = now, for callers
+    /// that dispatch synchronously with the read (in-process tests and
+    /// one-shot drivers).
     fn handle_line(&self, line: &str, sink: &mut dyn FrameSink) -> io::Result<Served> {
         self.handle_line_at(line, Instant::now(), sink)
     }
@@ -1213,121 +1233,6 @@ pub fn listen(addr: &str) -> io::Result<(TcpListener, SocketAddr)> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     Ok((listener, local))
-}
-
-/// The shared accept loop of `yoco-serve` and `sweep cluster serve`:
-/// one thread per connection feeding request lines to `handler`, a
-/// graceful exit on `Shutdown` (stop accepting, then drain requests
-/// already being processed on other connections before returning).
-///
-/// Evaluations are finite, pure compute, so the drain terminates. The
-/// in-flight counter is taken at line receipt, so the only droppable
-/// request is one whose line the kernel delivered but the handler
-/// thread has not yet observed — requiring two consecutive quiet
-/// observations keeps that window to a few instructions rather than a
-/// whole evaluation.
-pub fn serve_loop(listener: TcpListener, handler: Arc<dyn LineHandler>, quiet: bool) {
-    let local = match listener.local_addr() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("warning: cannot read bound address: {e}");
-            return;
-        }
-    };
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let in_flight = Arc::new(AtomicUsize::new(0));
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let stream = match stream {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("warning: failed accept: {e}");
-                continue;
-            }
-        };
-        let handler = Arc::clone(&handler);
-        let shutdown = Arc::clone(&shutdown);
-        let in_flight = Arc::clone(&in_flight);
-        std::thread::spawn(move || {
-            if let Err(e) = serve_connection(stream, &*handler, &shutdown, &in_flight, local, quiet)
-            {
-                eprintln!("warning: connection error: {e}");
-            }
-        });
-    }
-    let mut quiet_checks = 0;
-    while quiet_checks < 2 {
-        if in_flight.load(Ordering::SeqCst) == 0 {
-            quiet_checks += 1;
-        } else {
-            quiet_checks = 0;
-        }
-        std::thread::sleep(Duration::from_millis(25));
-    }
-}
-
-/// Handles one client connection: request lines in, response frames out
-/// through the shared handler. Every request holds `in_flight` from
-/// decode to flushed response, so shutdown can drain active work
-/// (including streams mid-flight). On `Shutdown`, flips the flag and
-/// pokes the acceptor awake with a loopback connection so the process
-/// can exit.
-fn serve_connection(
-    stream: TcpStream,
-    handler: &dyn LineHandler,
-    shutdown: &AtomicBool,
-    in_flight: &AtomicUsize,
-    local: SocketAddr,
-    quiet: bool,
-) -> io::Result<()> {
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "<unknown>".into());
-    // Streamed Cell frames are written from engine worker threads while
-    // the request holds an admission slot; a client that stops reading
-    // must time out (surfacing as a sink error that ends the stream)
-    // rather than blocking a worker — and the slot — forever.
-    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
-    // One flushed frame per line: with Nagle on, each small write can
-    // stall a delayed-ACK interval (~40 ms), capping warm throughput at
-    // ~11 req/s regardless of how fast frames are produced.
-    stream.set_nodelay(true)?;
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut sink = LineSink::new(stream);
-    // Balances the in-flight increment even if the handler panics (an
-    // evaluator panic unwinds through handle_line) — a leaked increment
-    // would make the shutdown drain loop spin forever.
-    struct InFlight<'a>(&'a AtomicUsize);
-    impl Drop for InFlight<'_> {
-        fn drop(&mut self) {
-            self.0.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        in_flight.fetch_add(1, Ordering::SeqCst);
-        let guard = InFlight(in_flight);
-        let served = handler.handle_line(&line, &mut sink);
-        drop(guard);
-        let served = served?;
-        if !quiet {
-            println!("[{peer}] {}", served.label());
-            let _ = std::io::stdout().flush();
-        }
-        if served == Served::Shutdown {
-            shutdown.store(true, Ordering::SeqCst);
-            // Unblock the accept loop; the flag makes it exit.
-            let _ = TcpStream::connect(local);
-            return Ok(());
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -3,10 +3,9 @@
 //! ([`mio`]), with a small worker pool executing request lines against
 //! the socket-free [`LineHandler`].
 //!
-//! The thread-per-connection loop ([`super::serve_loop`]) caps
-//! concurrent connections at "how many stacks can you afford" long
-//! before the shared engine is the limit. Here a connection costs two
-//! heap buffers:
+//! A thread-per-connection accept loop caps concurrent connections at
+//! "how many stacks can you afford" long before the shared engine is
+//! the limit. Here a connection costs two heap buffers:
 //!
 //! ```text
 //!                    ┌────────────────────────────────────────────┐
@@ -46,7 +45,7 @@
 //!   accepting and stops reading, then drains: every dispatched line
 //!   finishes and every outbuf flushes (the `Bye` reaches its client)
 //!   before the loop exits, bounded by a grace period mirroring the
-//!   threaded path's write timeout.
+//!   60 s per-connection write timeout.
 
 use super::{FrameSink, LineHandler, Served};
 use crate::api::Response;
@@ -66,7 +65,7 @@ use std::time::{Duration, Instant};
 pub const DEFAULT_OUTBUF_CAP: usize = 16 * 1024 * 1024;
 
 /// How long a shutdown drain may wait on unflushed outbufs before
-/// force-closing them — the reactor's analogue of the threaded path's
+/// force-closing them — the reactor's analogue of a per-connection
 /// 60 s write timeout.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(60);
 
@@ -330,7 +329,7 @@ struct Conn {
     out: Arc<ConnOut>,
     /// Parsed request lines (with their receipt stamp) waiting behind
     /// the in-flight one. Responses must come back in request order —
-    /// the threaded path got that for free by being sequential, so the
+    /// a sequential per-connection loop gets that for free, so the
     /// reactor keeps at most ONE line per connection in flight and
     /// queues the rest here; [`Reactor::advance`] drains it.
     queued: VecDeque<(String, Instant)>,
@@ -339,7 +338,7 @@ struct Conn {
     /// EOF observed (or reads stopped by shutdown); no more dispatch.
     read_closed: bool,
     /// Close once pending work and the outbuf drain (a served
-    /// `Shutdown`'s connection, mirroring the threaded path's return).
+    /// `Shutdown`'s connection stops reading further requests).
     closing: bool,
     /// The current epoll registration, `None` when deregistered.
     registered: Option<(bool, bool)>,
@@ -352,9 +351,8 @@ impl Conn {
 }
 
 /// Runs the event-driven accept loop until a `Shutdown` request
-/// drains it — the reactor-backed replacement for [`super::serve_loop`],
-/// same contract: serve every connection through `handler`, log one
-/// line per served request unless `quiet`.
+/// drains it: serve every connection through `handler`, log one line
+/// per served request unless `quiet`.
 pub fn serve_reactor(
     listener: TcpListener,
     handler: Arc<dyn LineHandler>,
@@ -397,6 +395,7 @@ pub fn serve_reactor(
         outbuf_cap: config.outbuf_cap,
         quiet,
         shutdown: None,
+        fd_reserve: std::fs::File::open("/dev/null").ok(),
     };
     let result = reactor.run();
 
@@ -447,6 +446,12 @@ struct Reactor {
     quiet: bool,
     /// When a `Shutdown` was served — the drain deadline's anchor.
     shutdown: Option<Instant>,
+    /// One spare descriptor held open so that hitting the process fd
+    /// limit (EMFILE/ENFILE) can still be handled: drop the reserve,
+    /// accept the pending connection, close it immediately (shedding
+    /// the client with a RST instead of leaving it in the backlog
+    /// forever), then re-arm the reserve.
+    fd_reserve: Option<std::fs::File>,
 }
 
 impl Reactor {
@@ -536,6 +541,29 @@ impl Reactor {
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // EMFILE (24) / ENFILE (23): the fd table is full, and a
+                // level-triggered listener would spin on the same event
+                // forever without an fd to accept into. Spend the
+                // reserve to accept-and-close the pending connection —
+                // the client sees an immediate close and can back off —
+                // then re-arm and let epoll re-fire for any backlog.
+                Err(e) if matches!(e.raw_os_error(), Some(23) | Some(24)) => {
+                    self.fd_reserve.take();
+                    if let Some(listener) = self.listener.as_ref() {
+                        match listener.accept() {
+                            Ok((stream, peer)) => {
+                                eprintln!(
+                                    "warning: fd limit reached ({e}); shedding connection \
+                                     from {peer}"
+                                );
+                                drop(stream);
+                            }
+                            Err(_) => eprintln!("warning: fd limit reached ({e})"),
+                        }
+                    }
+                    self.fd_reserve = std::fs::File::open("/dev/null").ok();
+                    return;
+                }
                 Err(e) => {
                     eprintln!("warning: failed accept: {e}");
                     return;

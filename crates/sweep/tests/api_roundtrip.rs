@@ -114,7 +114,7 @@ fn status_report_strategy() -> impl Strategy<Value = StatusReport> {
     (
         0u8..3,
         (0usize..64, 0usize..1 << 10, 0usize..1 << 10, 0usize..256),
-        prop::collection::vec(0u64..1 << 48, 5),
+        prop::collection::vec(0u64..1 << 48, 7),
     )
         .prop_map(
             |(role, (workers, occupancy, queue_depth, jobs), counters)| StatusReport {
@@ -128,6 +128,8 @@ fn status_report_strategy() -> impl Strategy<Value = StatusReport> {
                 hits: counters[2],
                 misses: counters[3],
                 rejected: counters[4],
+                service_estimate_ms: counters[5],
+                busy_ms: counters[6],
             },
         )
 }

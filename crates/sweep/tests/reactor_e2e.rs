@@ -1,8 +1,9 @@
 //! End-to-end tests of the epoll reactor serve core: pipelined
 //! requests multiplexed on one connection, frames split across
 //! arbitrary write boundaries, slow-reader disconnects under a tiny
-//! output budget, a 256-connection concurrency smoke, and byte parity
-//! between the reactor and the legacy `--threaded` accept loop.
+//! output budget, a 1024-connection concurrency smoke (guarded by the
+//! process fd limit), and byte parity between the single-box runtime
+//! and the cluster coordinator's merge.
 //!
 //! Readiness is the server's announce line ("yoco-serve listening on
 //! …") — never a sleep.
@@ -353,10 +354,34 @@ fn slow_reader_overflowing_the_outbuf_is_disconnected() {
     let _ = std::fs::remove_dir_all(cache_dir);
 }
 
+/// The soft "Max open files" rlimit of this process, from
+/// `/proc/self/limits` (no libc binding needed for a test guard).
+fn max_open_files() -> Option<u64> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
 #[test]
-fn smoke_256_concurrent_connections_serve_one_warm_batch_each() {
-    let cache = temp_dir("smoke-256");
-    let (server, port) = spawn_server_with(&cache, &["--queue-depth", "512"]);
+fn smoke_1024_concurrent_connections_serve_one_warm_batch_each() {
+    // Every connection costs the test one client fd and the server one
+    // accepted fd (same process tree in CI terms, but the guard only
+    // sees this process) — plus harness overhead. Demand comfortable
+    // headroom and skip cleanly where the sandbox is tighter.
+    const CONNS: usize = 1024;
+    match max_open_files() {
+        Some(limit) if limit >= 2 * CONNS as u64 + 256 => {}
+        limit => {
+            eprintln!(
+                "skipping {CONNS}-connection smoke: fd limit {limit:?} is too low \
+                 (need {})",
+                2 * CONNS + 256
+            );
+            return;
+        }
+    }
+    let cache = temp_dir("smoke-1024");
+    let (server, port) = spawn_server_with(&cache, &["--queue-depth", "2048"]);
 
     let mut primer = client(port);
     let outcome = primer
@@ -364,9 +389,9 @@ fn smoke_256_concurrent_connections_serve_one_warm_batch_each() {
         .expect("prime completes");
     assert!(matches!(outcome, StreamOutcome::Done { .. }));
 
-    // All 256 connections are open at once before any request flows —
-    // the reactor holds them all on one epoll set.
-    let conns: Vec<ServeClient> = (0..256).map(|_| client(port)).collect();
+    // All connections are open at once before any request flows — the
+    // reactor holds them all on one epoll set.
+    let conns: Vec<ServeClient> = (0..CONNS).map(|_| client(port)).collect();
     let handles: Vec<_> = conns
         .into_iter()
         .enumerate()
@@ -386,7 +411,7 @@ fn smoke_256_concurrent_connections_serve_one_warm_batch_each() {
             .expect("connection thread joins")
             .expect("exchange completes");
         // `position` is the admission queue position at accept time —
-        // with 256 requests legitimately in flight it is usually
+        // with 1024 requests legitimately in flight it is usually
         // nonzero; the contract is the evaluated cells.
         match outcome {
             StreamOutcome::Done {
@@ -403,7 +428,7 @@ fn smoke_256_concurrent_connections_serve_one_warm_batch_each() {
         }
         completed += 1;
     }
-    assert_eq!(completed, 256);
+    assert_eq!(completed, CONNS);
 
     primer.shutdown().expect("clean shutdown");
     assert!(server.wait().success());
@@ -411,11 +436,35 @@ fn smoke_256_concurrent_connections_serve_one_warm_batch_each() {
 }
 
 #[test]
-fn warm_v1_bytes_match_between_reactor_and_threaded_paths() {
-    let reactor_cache = temp_dir("parity-reactor");
-    let threaded_cache = temp_dir("parity-threaded");
-    let (reactor_server, reactor_port) = spawn_server_with(&reactor_cache, &[]);
-    let (threaded_server, threaded_port) = spawn_server_with(&threaded_cache, &["--threaded"]);
+fn warm_v1_bytes_match_between_runtime_and_coordinator() {
+    let runtime_cache = temp_dir("parity-runtime");
+    let worker_cache = temp_dir("parity-worker");
+    let (runtime_server, runtime_port) = spawn_server_with(&runtime_cache, &[]);
+    let (worker_server, worker_port) = spawn_server_with(&worker_cache, &[]);
+    let coordinator = Command::new(env!("CARGO_BIN_EXE_yoco-serve"))
+        .args([
+            "--coordinator",
+            "--worker",
+            &format!("127.0.0.1:{worker_port}"),
+            "--addr",
+            "127.0.0.1:0",
+            "--quiet",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("coordinator spawns");
+    let mut coordinator = Server(coordinator);
+    let stdout = coordinator.0.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("announce line");
+    let coordinator_port: u16 = line
+        .trim()
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable announce line {line:?}"));
 
     let warm_line = |port: u16| {
         let mut c = client(port);
@@ -429,15 +478,20 @@ fn warm_v1_bytes_match_between_reactor_and_threaded_paths() {
         c.shutdown().expect("clean shutdown");
         raw
     };
-    let via_reactor = warm_line(reactor_port);
-    let via_threaded = warm_line(threaded_port);
+    let via_runtime = warm_line(runtime_port);
+    let via_coordinator = warm_line(coordinator_port);
     assert_eq!(
-        via_reactor, via_threaded,
-        "the reactor must serve byte-identical warm v1 responses"
+        via_runtime, via_coordinator,
+        "the coordinator's merged warm v1 response must be byte-identical \
+         to the single-box runtime's"
     );
 
-    assert!(reactor_server.wait().success());
-    assert!(threaded_server.wait().success());
-    let _ = std::fs::remove_dir_all(reactor_cache);
-    let _ = std::fs::remove_dir_all(threaded_cache);
+    assert!(runtime_server.wait().success());
+    assert!(coordinator.wait().success());
+    // The coordinator's Shutdown does not propagate to workers.
+    let mut w = client(worker_port);
+    w.shutdown().expect("worker shuts down");
+    assert!(worker_server.wait().success());
+    let _ = std::fs::remove_dir_all(runtime_cache);
+    let _ = std::fs::remove_dir_all(worker_cache);
 }
