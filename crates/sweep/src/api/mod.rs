@@ -41,6 +41,8 @@ pub use wire::{
     Response, StatusReport, API_V1, API_V2, API_VERSION,
 };
 
+pub use crate::telemetry::MetricsReport;
+
 use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
 

@@ -37,6 +37,7 @@
 use crate::api::{Metrics, SweepError};
 use crate::engine::{CellResult, Engine, SweepReport};
 use crate::scenario::Scenario;
+use crate::telemetry::MetricsReport;
 use serde::{Deserialize, Serialize};
 
 /// Protocol v1: buffered single-line exchanges.
@@ -206,6 +207,10 @@ pub enum Request {
     Ping,
     /// Occupancy/queue/counter snapshot — the load-balancing probe.
     Status,
+    /// Full telemetry scrape: every counter, gauge, and histogram of
+    /// the process-wide registry. Like `Status` it bypasses admission
+    /// control, so a saturated server still answers mid-run scrapes.
+    Metrics,
     /// Stop accepting connections and exit after responding.
     Shutdown,
 }
@@ -247,6 +252,13 @@ pub struct StatusReport {
     /// concurrency — the open-loop load generator reads it to tell
     /// "slots saturated" from "arrivals too slow".
     pub busy_ms: u64,
+    /// Connections shed at accept because the process hit its fd limit
+    /// (EMFILE/ENFILE) — previously a log-only warning, invisible to
+    /// probes.
+    pub fd_sheds: u64,
+    /// Connections dropped for reading too slowly (output buffer
+    /// overflow) — likewise promoted from a log-only warning.
+    pub slow_reader_disconnects: u64,
 }
 
 /// One server line: a buffered v1 answer, a streamed v2 frame, or a
@@ -290,6 +302,8 @@ pub enum Response {
     Pong,
     /// Answer to [`Request::Status`]: load and service counters.
     Status(StatusReport),
+    /// Answer to [`Request::Metrics`]: the full telemetry snapshot.
+    Metrics(MetricsReport),
     /// Answer to [`Request::Shutdown`]; the server exits after sending.
     Bye,
     /// The line could not be decoded as a [`Request`] at all.
@@ -312,6 +326,9 @@ pub fn handle_request(request: Request, engine: &Engine) -> Response {
             role: "inline".into(),
             ..StatusReport::default()
         }),
+        // The registry is process-wide, so even the in-process helper
+        // answers the real numbers.
+        Request::Metrics => Response::Metrics(crate::telemetry::global().snapshot()),
         Request::Eval(req) => {
             if req.version != API_V1 {
                 return Response::Eval(EvalResponse::refusal(
@@ -446,6 +463,24 @@ mod tests {
         let text = serde_json::to_string(&Response::Status(status.clone())).unwrap();
         let back: Response = serde_json::from_str(&text).unwrap();
         assert_eq!(back, Response::Status(status));
+    }
+
+    #[test]
+    fn metrics_scrape_answers_and_round_trips() {
+        let engine = Engine::ephemeral();
+        // Drive one eval through the inline path so the scrape is
+        // histogram-bearing; the registry is process-global, so only
+        // deltas and shape are asserted.
+        crate::telemetry::global().observe_eval(std::time::Duration::from_micros(100));
+        let _ = handle_request(tiny_request("r-m"), &engine);
+        let Response::Metrics(report) = handle_line("\"Metrics\"", &engine) else {
+            panic!("Metrics must answer a report");
+        };
+        assert_eq!(report.schema, crate::telemetry::METRICS_SCHEMA);
+        assert!(report.hist("eval_us").is_some());
+        let text = serde_json::to_string(&Response::Metrics(report.clone())).unwrap();
+        let back: Response = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, Response::Metrics(report));
     }
 
     #[test]

@@ -22,10 +22,16 @@
 //!
 //! ```text
 //! yoco-serve [--addr HOST:PORT] [--queue-depth N] [--jobs N]
-//!            [--no-cache] [--cache-dir PATH] [--quiet]
+//!            [--no-cache] [--cache-dir PATH] [--trace-dir PATH] [--quiet]
 //! yoco-serve --coordinator --worker HOST:PORT [--worker HOST:PORT]...
-//!            [--addr HOST:PORT] [--queue-depth N] [--quiet]
+//!            [--addr HOST:PORT] [--queue-depth N] [--trace-dir PATH] [--quiet]
 //! ```
+//!
+//! `--trace-dir PATH` turns on request tracing: every admitted request
+//! gets a span id and per-stage (`queued`/`eval`/`flush`) records are
+//! appended to `PATH/spans-<pid>.ndjson`. Aggregate them with
+//! `sweep trace report --dir PATH`. Tracing never changes response
+//! bytes — span ids travel only in worker-bound sub-request ids.
 //!
 //! The bound address is printed as the first stdout line — the ready
 //! line — (`yoco-serve listening on 127.0.0.1:PORT`), so callers bind
@@ -44,9 +50,11 @@ use yoco_sweep::{Engine, ResultCache};
 fn usage() -> &'static str {
     "usage:\n  \
      yoco-serve [--addr HOST:PORT] [--queue-depth N] [--jobs N]\n             \
-     [--no-cache] [--cache-dir PATH] [--quiet]\n  \
+     [--no-cache] [--cache-dir PATH] [--trace-dir PATH] [--quiet]\n  \
      yoco-serve --coordinator --worker HOST:PORT [--worker HOST:PORT]...\n             \
-     [--addr HOST:PORT] [--queue-depth N] [--quiet]\n\n\
+     [--addr HOST:PORT] [--queue-depth N] [--trace-dir PATH] [--quiet]\n\n\
+     --trace-dir appends per-request span records (queued/eval/flush)\n  \
+     as NDJSON under PATH; aggregate with `sweep trace report`\n\n\
      connections are multiplexed on one epoll event loop\n\n\
      protocol: one JSON Request per line in, one or more JSON frames per line out\n  \
      {\"Eval\": {\"version\": 1, ...}}  -> one buffered EvalResponse line\n  \
@@ -65,6 +73,7 @@ fn main() -> ExitCode {
     let mut coordinator = false;
     let mut workers: Vec<String> = Vec::new();
     let mut engine_flags: Vec<&str> = Vec::new();
+    let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut quiet = false;
     let mut i = 0;
     while i < args.len() {
@@ -105,6 +114,13 @@ fn main() -> ExitCode {
                 engine_flags.push("--no-cache");
                 engine = engine.no_cache();
             }
+            "--trace-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => trace_dir = Some(dir.into()),
+                    None => return fail("--trace-dir needs a path"),
+                }
+            }
             "--coordinator" => coordinator = true,
             "--worker" => {
                 i += 1;
@@ -140,6 +156,13 @@ fn main() -> ExitCode {
         ));
     }
 
+    // Before binding: the ready line must stay the first stdout line.
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = yoco_sweep::telemetry::trace::init(dir) {
+            return fail(&format!("cannot open trace dir {}: {e}", dir.display()));
+        }
+    }
+
     if coordinator {
         let cluster = ClusterConfig {
             workers,
@@ -162,6 +185,9 @@ fn main() -> ExitCode {
                 "queue depth {}, jobs budget {}",
                 config.queue_depth, config.jobs
             );
+            if let Some(dir) = &trace_dir {
+                println!("tracing spans to {}", dir.display());
+            }
         }
         let _ = std::io::stdout().flush();
         let reactor_config = ReactorConfig::for_queue_depth(config.queue_depth);

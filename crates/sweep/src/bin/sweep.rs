@@ -24,6 +24,9 @@
 //!     --mix fig9a=9,fig10:v1=1                # open-loop latency trajectory
 //! sweep loadgen report                        # render the history table
 //! sweep loadgen gate --factor 2.0             # CI p99 regression gate
+//! sweep client metrics                        # Prometheus-style scrape
+//! sweep client status --watch 2               # periodic re-probe
+//! sweep trace report                          # span files -> stage table
 //! ```
 
 use serde::{Deserialize, Serialize};
@@ -67,7 +70,10 @@ fn usage() -> &'static str {
      [--burst N] [--target NAME] [--seed N] [--deadline-ms N]\n                \
      [--out <path>] [--no-out]\n  \
      sweep loadgen report [--out <path>]\n  \
-     sweep loadgen gate [--out <path>] [--factor F] [--max-p99-ms MS]\n\n\
+     sweep loadgen gate [--out <path>] [--factor F] [--max-p99-ms MS]\n  \
+     sweep client metrics [--addr HOST:PORT] [--raw]\n  \
+     sweep client status --watch SECS [--raw]     # re-probe until q/EOF\n  \
+     sweep trace report [--dir <path>]            # aggregate span files\n\n\
      run `sweep list` for the available grids; `client` and `cluster run`\n  \
      exit 3 when the server (or every worker) rejects the request with Busy"
 }
@@ -84,6 +90,7 @@ fn main() -> ExitCode {
         Some("client") => client_cmd(&args[1..]),
         Some("cluster") => cluster_cmd(&args[1..]),
         Some("loadgen") => loadgen_cmd(&args[1..]),
+        Some("trace") => trace_cmd(&args[1..]),
         _ => {
             eprintln!("{}", usage());
             ExitCode::FAILURE
@@ -373,9 +380,10 @@ fn client_cmd(args: &[String]) -> ExitCode {
             Err(e) => fail(&e),
         },
         Some("status") => client_status(&addr, &rest),
+        Some("metrics") => client_metrics(&addr, &rest),
         Some("run") => client_run(&addr, &rest),
         Some("bench") => client_bench(&addr, &rest),
-        _ => fail("client needs an action: ping, status, shutdown, run, or bench"),
+        _ => fail("client needs an action: ping, status, metrics, shutdown, run, or bench"),
     }
 }
 
@@ -387,9 +395,18 @@ fn status_line(report: &StatusReport) -> String {
     } else {
         String::new()
     };
+    // Transport-layer sheds are rare enough that zero lines stay short.
+    let sheds = if report.fd_sheds > 0 || report.slow_reader_disconnects > 0 {
+        format!(
+            ", fd sheds {}, slow readers dropped {}",
+            report.fd_sheds, report.slow_reader_disconnects
+        )
+    } else {
+        String::new()
+    };
     format!(
         "{} occupancy {}/{}, jobs {}{workers}, served {} ({} cells: {} hits, {} misses), \
-         rejected {}, service est {} ms, busy {} ms",
+         rejected {}, service est {} ms, busy {} ms{sheds}",
         report.role,
         report.occupancy,
         report.queue_depth,
@@ -406,36 +423,136 @@ fn status_line(report: &StatusReport) -> String {
 
 fn client_status(addr: &str, args: &[String]) -> ExitCode {
     let mut raw = false;
+    let mut watch: Option<Duration> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--raw" => raw = true,
+            "--watch" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(secs) if secs > 0.0 => watch = Some(Duration::from_secs_f64(secs)),
+                    _ => return fail("--watch needs a positive number of seconds"),
+                }
+            }
+            other => return fail(&format!("unknown status flag `{other}`")),
+        }
+        i += 1;
+    }
+    match watch {
+        Some(period) => client_status_watch(addr, raw, period),
+        None => {
+            let mut client = match connect(addr) {
+                Ok(c) => c,
+                Err(e) => return fail(&e),
+            };
+            match render_status_once(addr, &mut client, raw) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&e),
+            }
+        }
+    }
+}
+
+/// One probe, rendered: the raw NDJSON `Status` line or the
+/// human-readable summary.
+fn render_status_once(addr: &str, client: &mut ServeClient, raw: bool) -> Result<(), String> {
+    if raw {
+        client
+            .send(&Request::Status)
+            .map_err(|e| format!("status failed: {e}"))?;
+        match client.recv() {
+            Ok((line, Response::Status(_))) => {
+                println!("{line}");
+                Ok(())
+            }
+            Ok((line, _)) => Err(format!("expected Status, got {line}")),
+            Err(e) => Err(format!("status failed: {e}")),
+        }
+    } else {
+        match client.status() {
+            Ok(report) => {
+                println!("{addr}: {}", status_line(&report));
+                Ok(())
+            }
+            Err(e) => Err(format!("status failed: {e}")),
+        }
+    }
+}
+
+/// `sweep client status --watch <secs>`: re-probe on a fixed period
+/// until stdin closes (EOF) or a line starting with `q` arrives — both
+/// exit 0. Ctrl-C terminates through the default SIGINT disposition,
+/// which is equally clean since the terminal is never put in raw mode.
+/// Each probe opens a fresh connection so a server restart mid-watch
+/// shows up as one failed line, not a dead loop.
+fn client_status_watch(addr: &str, raw: bool, period: Duration) -> ExitCode {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::stdin().read_line(&mut line) {
+                    Ok(0) => break, // EOF
+                    Ok(_) if line.trim_start().starts_with('q') => break,
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    loop {
+        // Probe before checking for exit, so even an immediately-closed
+        // stdin gets one rendered line.
+        match connect(addr) {
+            Ok(mut client) => {
+                if let Err(e) = render_status_once(addr, &mut client, raw) {
+                    eprintln!("{e}");
+                }
+            }
+            Err(e) => eprintln!("{e}"),
+        }
+        // Sleep in short slices so `q`/EOF exits promptly, not after a
+        // full period.
+        let deadline = Instant::now() + period;
+        while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        if stop.load(Ordering::Relaxed) {
+            return ExitCode::SUCCESS;
+        }
+    }
+}
+
+fn client_metrics(addr: &str, args: &[String]) -> ExitCode {
+    let mut raw = false;
     for arg in args {
         match arg.as_str() {
             "--raw" => raw = true,
-            other => return fail(&format!("unknown status flag `{other}`")),
+            other => return fail(&format!("unknown metrics flag `{other}`")),
         }
     }
     let mut client = match connect(addr) {
         Ok(c) => c,
         Err(e) => return fail(&e),
     };
-    if raw {
-        if let Err(e) = client.send(&Request::Status) {
-            return fail(&format!("status failed: {e}"));
-        }
-        match client.recv() {
-            Ok((line, Response::Status(_))) => {
+    match client.metrics() {
+        Ok((line, report)) => {
+            if raw {
                 println!("{line}");
-                ExitCode::SUCCESS
+            } else {
+                print!("{}", report.render_prometheus());
             }
-            Ok((line, _)) => fail(&format!("expected Status, got {line}")),
-            Err(e) => fail(&format!("status failed: {e}")),
+            ExitCode::SUCCESS
         }
-    } else {
-        match client.status() {
-            Ok(report) => {
-                println!("{addr}: {}", status_line(&report));
-                ExitCode::SUCCESS
-            }
-            Err(e) => fail(&format!("status failed: {e}")),
-        }
+        Err(e) => fail(&format!("metrics failed: {e}")),
     }
 }
 
@@ -1328,6 +1445,20 @@ fn loadgen_run(args: &[String]) -> ExitCode {
          max {:.2} ms (mean {:.2} ms)",
         record.p50_ms, record.p90_ms, record.p99_ms, record.p999_ms, record.max_ms, record.mean_ms
     );
+    if summary.entries.len() > 1 {
+        for entry in &summary.entries {
+            println!(
+                "    {}: {} sent ({} ok, {} busy, {} err), p50 {:.2} ms, p99 {:.2} ms",
+                entry.label,
+                entry.sent,
+                entry.completed,
+                entry.busy,
+                entry.errors,
+                entry.latency.quantile_ms(0.50),
+                entry.latency.quantile_ms(0.99)
+            );
+        }
+    }
     if let Some(path) = out {
         match loadgen::append_history(&path, record) {
             Ok(total) => println!("  appended to {path} ({total} runs)"),
@@ -1417,6 +1548,49 @@ fn loadgen_gate(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `sweep trace …` — aggregate the span files a `--trace-dir` server
+/// wrote.
+fn trace_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("report") => trace_report(&args[1..]),
+        _ => fail("trace needs an action: report"),
+    }
+}
+
+fn trace_report(args: &[String]) -> ExitCode {
+    let mut dir = root::results_dir().join("telemetry");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => dir = p.into(),
+                    None => return fail("--dir needs a path"),
+                }
+            }
+            other => return fail(&format!("unknown trace report flag `{other}`")),
+        }
+        i += 1;
+    }
+    let spans = match yoco_sweep::telemetry::trace::read_spans(&dir) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    if spans.is_empty() {
+        println!(
+            "no span records under {} — start the server with --trace-dir and send traffic",
+            dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    print!(
+        "{}",
+        yoco_sweep::telemetry::trace::render_stage_table(&spans)
+    );
+    ExitCode::SUCCESS
 }
 
 fn fail(msg: &str) -> ExitCode {

@@ -7,7 +7,7 @@
 //! service-level tests both drive the server through this type instead
 //! of hand-rolled socket code.
 
-use crate::api::{EvalRequest, EvalResponse, Request, Response, StatusReport};
+use crate::api::{EvalRequest, EvalResponse, MetricsReport, Request, Response, StatusReport};
 use crate::serve::reactor::LineBuf;
 use rand::{Rng, SplitMix64};
 use std::io::{self, Read, Write};
@@ -218,6 +218,18 @@ impl ServeClient {
         }
     }
 
+    /// Telemetry scrape: `Metrics` → the server's [`MetricsReport`],
+    /// with the raw NDJSON line alongside (for `--raw` passthrough).
+    /// Control plane like [`ServeClient::status`] — bypasses the gate,
+    /// so a saturated server can still be scraped mid-run.
+    pub fn metrics(&mut self) -> io::Result<(String, MetricsReport)> {
+        self.send(&Request::Metrics)?;
+        match self.recv()? {
+            (raw, Response::Metrics(report)) => Ok((raw, report)),
+            (raw, _) => Err(io::Error::other(format!("expected Metrics, got {raw}"))),
+        }
+    }
+
     /// Asks the server to drain and exit: `Shutdown` → `Bye`.
     pub fn shutdown(&mut self) -> io::Result<()> {
         self.send(&Request::Shutdown)?;
@@ -284,7 +296,7 @@ impl ServeClient {
                 Response::Error(e) => {
                     return Err(io::Error::other(format!("server rejected the line: {e}")));
                 }
-                Response::Pong | Response::Bye | Response::Status(_) => {
+                Response::Pong | Response::Bye | Response::Status(_) | Response::Metrics(_) => {
                     return Err(io::Error::other(format!(
                         "unexpected control frame mid-stream: {raw}"
                     )));

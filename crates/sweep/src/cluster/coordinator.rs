@@ -20,6 +20,7 @@ use crate::serve::{
     reject_buffered, reject_streaming, FrameSink, Gate, LatchSink, LineHandler, Served, Tally,
     DEFAULT_QUEUE_DEPTH, RETRY_QUANTUM_MS,
 };
+use crate::telemetry::{self, trace};
 use std::io;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -129,6 +130,11 @@ pub fn fan_out(
         if remaining.is_empty() || live.is_empty() {
             break;
         }
+        // Rounds past the first re-dispatch cells a lost worker left
+        // unfinished — the requeue volume the metrics surface.
+        if rounds > 0 {
+            telemetry::global().note_requeued_cells(remaining.len() as u64);
+        }
         let shards = live.len().min(remaining.len());
         let parts: Vec<Vec<usize>> = (1..=shards)
             .map(|k| {
@@ -157,7 +163,8 @@ pub fn fan_out(
                     let state = &state;
                     let keys = &keys;
                     scope.spawn(move || {
-                        pool.dispatch(&addr, sub, &mut |cell, raw| {
+                        let dispatch_started = Instant::now();
+                        let result = pool.dispatch(&addr, sub, &mut |cell, raw| {
                             // Claim under the merge lock, emit outside
                             // it: a slow consumer must not block other
                             // workers' arrivals on the merge state
@@ -175,7 +182,9 @@ pub fn fan_out(
                             if claimed {
                                 emit(&cell, raw);
                             }
-                        })
+                        });
+                        telemetry::global().observe_dispatch(&addr, dispatch_started.elapsed());
+                        result
                     })
                 })
                 .collect();
@@ -365,6 +374,7 @@ impl Coordinator {
     /// (`role: "coordinator"`), not an aggregate over workers — probe
     /// each worker for theirs.
     pub fn status(&self) -> StatusReport {
+        let telem = telemetry::global();
         let mut report = StatusReport {
             role: "coordinator".into(),
             workers: self.workers.len(),
@@ -372,6 +382,8 @@ impl Coordinator {
             queue_depth: self.gate.depth(),
             service_estimate_ms: self.gate.service_estimate_ms().round() as u64,
             busy_ms: self.gate.slot_held_ms(),
+            fd_sheds: telem.fd_sheds(),
+            slow_reader_disconnects: telem.slow_reader_disconnects(),
             ..StatusReport::default()
         };
         self.tally.fill(&mut report);
@@ -426,6 +438,7 @@ impl Coordinator {
                 return reject_buffered(sink, &self.tally, req.id, busy.retry_after_ms);
             }
         };
+        let (span, fan_id) = observe_fanout_admission(&req, received);
         let selected = self.selection();
         if selected.is_empty() {
             // No worker answered its probe — most likely transient
@@ -436,14 +449,16 @@ impl Coordinator {
             ticket.skip_service_record();
             return reject_buffered(sink, &self.tally, req.id, RETRY_QUANTUM_MS);
         }
+        let fan_started = Instant::now();
         let result = fan_out(
             &*self.pool,
             &selected,
-            &req.id,
+            &fan_id,
             &req.scenarios,
             req.force,
             &|_, _| {},
         );
+        observe_fanout_eval(&req, span.as_deref(), fan_started);
         match result {
             FanoutResult::AllBusy { retry_after_ms } => {
                 ticket.skip_service_record();
@@ -462,8 +477,10 @@ impl Coordinator {
                 // Free the slot before the response line: a client
                 // reacting to it instantly must see its slot back.
                 drop(ticket);
+                let flush_started = Instant::now();
                 sink.send(&Response::Eval(response))?;
                 self.tally.note_eval(cells, out.hits, out.misses);
+                observe_fanout_flush(&req, span.as_deref(), flush_started, cells);
                 Ok(Served::Eval {
                     id: req.id,
                     cells,
@@ -492,6 +509,7 @@ impl Coordinator {
                 return reject_streaming(sink, &self.tally, req.id, busy.retry_after_ms);
             }
         };
+        let (span, fan_id) = observe_fanout_admission(&req, received);
         let selected = self.selection();
         if selected.is_empty() {
             // No worker answered its probe — most likely transient, so
@@ -508,11 +526,12 @@ impl Coordinator {
         // latch serializes the forwards and, past the first transport
         // error, stops writing but lets the fan-out finish — the
         // workers' caches still fill, so the client's retry is warm.
+        let fan_started = Instant::now();
         let latch = LatchSink::new(sink);
         let result = fan_out(
             &*self.pool,
             &selected,
-            &req.id,
+            &fan_id,
             &req.scenarios,
             req.force,
             &|_, raw| latch.send_raw(raw),
@@ -521,6 +540,7 @@ impl Coordinator {
         if let Some(e) = error {
             return Err(e);
         }
+        observe_fanout_eval(&req, span.as_deref(), fan_started);
         match result {
             FanoutResult::AllBusy { retry_after_ms } => {
                 ticket.skip_service_record();
@@ -528,12 +548,14 @@ impl Coordinator {
             }
             FanoutResult::Ran(out) => {
                 drop(ticket);
+                let flush_started = Instant::now();
                 sink.send(&Response::Done {
                     id: req.id.clone(),
                     hits: out.hits,
                     misses: out.misses,
                 })?;
                 self.tally.note_eval(out.cells.len(), out.hits, out.misses);
+                observe_fanout_flush(&req, span.as_deref(), flush_started, out.cells.len());
                 Ok(Served::Eval {
                     id: req.id,
                     cells: out.cells.len(),
@@ -543,6 +565,64 @@ impl Coordinator {
                 })
             }
         }
+    }
+}
+
+/// The coordinator's post-admission bookkeeping: the queue-wait sample
+/// plus, when tracing is on, the request's span with its `queued`
+/// record — and the fan-out id workers see. Embedding the span after a
+/// `#t` marker inside the sub-request id is what stitches a fan-out
+/// trace across hosts: each worker adopts the embedded span for its own
+/// stage records instead of minting a fresh one.
+fn observe_fanout_admission(req: &EvalRequest, received: Instant) -> (Option<String>, String) {
+    let queued = received.elapsed();
+    telemetry::global().observe_queue_wait(queued);
+    let Some(span) = trace::span_for_request(&req.id) else {
+        return (None, req.id.clone());
+    };
+    trace::record(
+        &span,
+        &req.id,
+        &crate::serve::trace_grid(&req.scenarios),
+        "queued",
+        queued,
+        req.scenarios.len(),
+    );
+    let fan_id = format!("{}#t{}", req.id, span);
+    (Some(span), fan_id)
+}
+
+/// The coordinator's `eval` stage is the fan-out itself: dispatch,
+/// merge, and any requeue rounds.
+fn observe_fanout_eval(req: &EvalRequest, span: Option<&str>, started: Instant) {
+    let fanned = started.elapsed();
+    telemetry::global().observe_eval(fanned);
+    if let Some(span) = span {
+        trace::record(
+            span,
+            &req.id,
+            &crate::serve::trace_grid(&req.scenarios),
+            "eval",
+            fanned,
+            req.scenarios.len(),
+        );
+    }
+}
+
+/// The coordinator's `flush` stage: merged result → terminal frame
+/// buffered toward the client.
+fn observe_fanout_flush(req: &EvalRequest, span: Option<&str>, started: Instant, cells: usize) {
+    let flushed = started.elapsed();
+    telemetry::global().observe_flush(flushed);
+    if let Some(span) = span {
+        trace::record(
+            span,
+            &req.id,
+            &crate::serve::trace_grid(&req.scenarios),
+            "flush",
+            flushed,
+            cells,
+        );
     }
 }
 
@@ -768,8 +848,12 @@ mod tests {
         );
         assert_eq!(cells_seen.lock().unwrap().len(), 5, "one emit per cell");
         assert_eq!(raws_seen.lock().unwrap().len(), 5);
-        // Round-robin split: a gets indices 0,2,4; b gets 1,3.
-        assert_eq!(pool.dispatch_log(), ["a", "b"]);
+        // Round-robin split: a gets indices 0,2,4; b gets 1,3. Shards
+        // dispatch on parallel threads, so log order within a round is
+        // unspecified — compare sorted.
+        let mut log = pool.dispatch_log();
+        log.sort_unstable();
+        assert_eq!(log, ["a", "b"]);
     }
 
     #[test]
@@ -814,8 +898,13 @@ mod tests {
         let mut expected: Vec<String> = scenarios.iter().map(|s| s.id.clone()).collect();
         expected.sort();
         assert_eq!(seen, expected);
-        // Dispatch log: round 1 fans to a and b; round 2 only to b.
-        assert_eq!(pool.dispatch_log(), ["a", "b", "b"]);
+        // Dispatch log: round 1 fans to a and b (parallel threads, so
+        // order within the round is unspecified); round 2 only to b.
+        let log = pool.dispatch_log();
+        let mut round1 = log[..2].to_vec();
+        round1.sort_unstable();
+        assert_eq!(round1, ["a", "b"]);
+        assert_eq!(log[2..], ["b".to_owned()]);
     }
 
     #[test]
@@ -839,8 +928,13 @@ mod tests {
         assert_eq!(out.dead, vec!["busy".to_owned()]);
         assert_eq!(out.cells.len(), 4);
         assert!(out.cells.iter().all(|c| c.status == CellStatus::Computed));
-        // The busy host is excluded from the requeue round.
-        assert_eq!(pool.dispatch_log(), ["busy", "ok", "ok"]);
+        // The busy host is excluded from the requeue round. Round-1
+        // dispatches race on parallel threads — compare sorted.
+        let log = pool.dispatch_log();
+        let mut round1 = log[..2].to_vec();
+        round1.sort_unstable();
+        assert_eq!(round1, ["busy", "ok"]);
+        assert_eq!(log[2..], ["ok".to_owned()]);
     }
 
     #[test]

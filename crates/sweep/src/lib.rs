@@ -34,6 +34,12 @@
 //!   driver that charges coordinated omission to the tail, and the
 //!   p50/p99/p999 + Busy-rate trajectory persisted in
 //!   `results/loadgen_history.json`;
+//! * [`telemetry`] — server-side observability: the process-wide
+//!   metrics [`telemetry::Registry`] (counters, gauges, and the shared
+//!   log-linear [`LatencyHistogram`]) exposed through the
+//!   gate-bypassing `Metrics` control frame and Prometheus-style text,
+//!   plus request-scoped stage tracing (`--trace-dir`) aggregated by
+//!   `sweep trace report`;
 //! * [`cache`] — a content-addressed result cache under `results/cache/`,
 //!   keyed by a stable hash of the scenario plus the evaluator version
 //!   ([`hash`]), with age/size garbage collection ([`cache::GcBudget`]);
@@ -78,6 +84,7 @@ pub mod root;
 pub mod scenario;
 pub mod serve;
 pub mod studies;
+pub mod telemetry;
 
 pub use api::{
     EvalRequest, EvalResponse, Metrics, ScenarioBuilder, Shard, StatusReport, SweepError,
@@ -93,3 +100,4 @@ pub use loadgen::{ArrivalKind, LatencyHistogram, LoadgenRecord, Mix};
 pub use scenario::{AcceleratorKind, DesignPoint, Scenario, ScenarioKind, StudyId, WorkloadSpec};
 pub use serve::{Runtime, ServeConfig};
 pub use studies::StudyMetrics;
+pub use telemetry::{HistSnapshot, MetricsReport, SpanRecord};

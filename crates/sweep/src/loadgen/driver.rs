@@ -17,7 +17,7 @@
 //! connection.
 
 use super::mix::MixEntry;
-use super::report::{LatencyHistogram, Outcome, Summary};
+use super::report::{EntrySummary, LatencyHistogram, Outcome, Summary};
 use crate::api::{CellStatus, EvalRequest, Response};
 use crate::client::{ServeClient, StreamOutcome};
 use std::io;
@@ -109,8 +109,9 @@ pub fn run(
     assert!(!issuers.is_empty(), "the driver needs at least one issuer");
     let connections = issuers.len();
     let start = Instant::now();
-    // (latency from the scheduled instant, outcome) per issued request.
-    let per_conn: Vec<Vec<(Duration, Outcome)>> = std::thread::scope(|scope| {
+    // (mix entry, latency from the scheduled instant, outcome) per
+    // issued request — the entry index feeds the per-entry breakdown.
+    let per_conn: Vec<Vec<(usize, Duration, Outcome)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = issuers
             .into_iter()
             .enumerate()
@@ -133,7 +134,7 @@ pub fn run(
                             std::thread::sleep(scheduled - now);
                         }
                         let outcome = issuer.issue(&entries[*entry_idx], &format!("lg-{i}"));
-                        samples.push((scheduled.elapsed(), outcome));
+                        samples.push((*entry_idx, scheduled.elapsed(), outcome));
                     }
                     samples
                 })
@@ -145,18 +146,39 @@ pub fn run(
             .collect()
     });
     let elapsed = start.elapsed();
-    let mut latency = LatencyHistogram::default();
-    let (mut sent, mut completed, mut busy, mut errors) = (0usize, 0usize, 0usize, 0usize);
-    for (lat, outcome) in per_conn.into_iter().flatten() {
-        sent += 1;
+    let mut per_entry: Vec<EntrySummary> = entries
+        .iter()
+        .map(|entry| EntrySummary {
+            label: entry.label(),
+            sent: 0,
+            completed: 0,
+            busy: 0,
+            errors: 0,
+            latency: LatencyHistogram::default(),
+        })
+        .collect();
+    for (entry_idx, lat, outcome) in per_conn.into_iter().flatten() {
+        let slot = &mut per_entry[entry_idx];
+        slot.sent += 1;
         match outcome {
             Outcome::Ok => {
-                completed += 1;
-                latency.record(lat);
+                slot.completed += 1;
+                slot.latency.record(lat);
             }
-            Outcome::Busy => busy += 1,
-            Outcome::Error => errors += 1,
+            Outcome::Busy => slot.busy += 1,
+            Outcome::Error => slot.errors += 1,
         }
+    }
+    // The run totals are the entry slices folded back together — same
+    // buckets, disjoint samples, so nothing is lost to the split.
+    let mut latency = LatencyHistogram::default();
+    let (mut sent, mut completed, mut busy, mut errors) = (0usize, 0usize, 0usize, 0usize);
+    for slot in &per_entry {
+        sent += slot.sent;
+        completed += slot.completed;
+        busy += slot.busy;
+        errors += slot.errors;
+        latency.merge(&slot.latency);
     }
     let secs = elapsed.as_secs_f64().max(1e-9);
     Summary {
@@ -169,6 +191,7 @@ pub fn run(
         offered_rps: schedule.len() as f64 / duration.as_secs_f64().max(1e-9),
         achieved_rps: completed as f64 / secs,
         latency,
+        entries: per_entry,
     }
 }
 
@@ -263,5 +286,42 @@ mod tests {
         assert_eq!(summary.achieved_rps, 0.0);
         assert_eq!(summary.busy_rate(), 1.0);
         assert_eq!(summary.latency.count(), 0, "Busy has no service latency");
+    }
+
+    #[test]
+    fn per_entry_breakdown_partitions_the_run_exactly() {
+        let duration = Duration::from_millis(100);
+        let plan = schedule(ArrivalKind::Fixed, 400.0, duration, 0);
+        let mix = Mix::parse("fig9a=3,fig9a:v1=1").unwrap();
+        let assignment = mix.assign(plan.len(), 7);
+        let (fleet, _) = stalled_fleet(4, Duration::from_millis(1), Outcome::Ok);
+        let summary = run(&plan, &assignment, mix.entries(), fleet, duration);
+        assert_eq!(summary.entries.len(), 2);
+        assert_eq!(summary.entries[0].label, "fig9a=3");
+        assert_eq!(summary.entries[1].label, "fig9a:v1");
+        // The slices partition the totals: counts and histogram alike.
+        assert_eq!(
+            summary.entries.iter().map(|e| e.sent).sum::<usize>(),
+            summary.sent
+        );
+        assert_eq!(
+            summary.entries.iter().map(|e| e.completed).sum::<usize>(),
+            summary.completed
+        );
+        assert_eq!(
+            summary
+                .entries
+                .iter()
+                .map(|e| e.latency.count())
+                .sum::<u64>(),
+            summary.latency.count()
+        );
+        // The seeded 3:1 weighting shows up in the per-entry counts.
+        assert!(
+            summary.entries[0].sent > summary.entries[1].sent,
+            "heavier entry issues more requests ({} vs {})",
+            summary.entries[0].sent,
+            summary.entries[1].sent
+        );
     }
 }

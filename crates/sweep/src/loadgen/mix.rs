@@ -39,8 +39,9 @@ pub struct MixEntry {
 impl MixEntry {
     /// The canonical per-entry label (`fig9a`, `fig10:v1`,
     /// `fig9a:cold=3`, …) — weights of 1 and default modifiers are
-    /// omitted so equal specs collapse to equal labels.
-    fn label(&self) -> String {
+    /// omitted so equal specs collapse to equal labels. Public: the
+    /// per-entry latency breakdown keys its rows by this label.
+    pub fn label(&self) -> String {
         let mut s = self.grid.clone();
         if self.v1 {
             s.push_str(":v1");

@@ -45,6 +45,7 @@ pub use arrivals::{offered_count, schedule, ArrivalKind};
 pub use driver::{run, Issuer, TcpIssuer};
 pub use mix::{Mix, MixEntry};
 pub use report::{
-    append_history, gate, read_history, render_table, LatencyHistogram, LoadgenHistory,
-    LoadgenRecord, Outcome, RunShape, Summary, LOADGEN_HISTORY_SCHEMA, LOADGEN_SCHEMA,
+    append_history, gate, read_history, render_table, EntryRecord, EntrySummary, LatencyHistogram,
+    LoadgenHistory, LoadgenRecord, Outcome, RunShape, Summary, LOADGEN_HISTORY_SCHEMA,
+    LOADGEN_SCHEMA,
 };

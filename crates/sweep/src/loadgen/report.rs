@@ -1,115 +1,19 @@
 //! Latency aggregation and the persisted loadgen trajectory.
 //!
-//! * [`LatencyHistogram`] — an HDR-style log-linear histogram over
-//!   microseconds: exact below 64 µs, then 64 linear sub-buckets per
-//!   power of two (≤ ~1.6% relative error) up to `u64::MAX`. Constant
-//!   memory regardless of sample count, so a long run costs nothing to
-//!   aggregate.
+//! * [`LatencyHistogram`] — re-exported from [`crate::telemetry::hist`],
+//!   where the HDR-style log-linear histogram now lives so the server's
+//!   metrics registry and this client-side aggregation share one bucket
+//!   layout (and one `merge`).
 //! * [`Summary`] — one run boiled down: achieved-vs-offered rate,
-//!   Busy/error/deadline shares, and the latency percentiles.
+//!   Busy/error/deadline shares, the latency percentiles, and the
+//!   per-mix-entry breakdown ([`EntrySummary`]).
 //! * [`LoadgenRecord`] / history helpers — the append-only
 //!   `results/loadgen_history.json` rows (method × config × timestamp),
 //!   the `loadgen report` trajectory table, and the CI p99 gate.
 
+pub use crate::telemetry::hist::LatencyHistogram;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
-
-/// Sub-bucket resolution: 2^6 = 64 linear buckets per octave.
-const SUB_BITS: u32 = 6;
-const SUB_BUCKETS: u64 = 1 << SUB_BITS;
-
-/// An HDR-style log-linear latency histogram over microsecond values.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    total: u64,
-    max_us: u64,
-    sum_us: u128,
-}
-
-/// Bucket index of a microsecond value: identity below [`SUB_BUCKETS`],
-/// then `(octave, 64 linear sub-buckets)`.
-fn bucket_index(us: u64) -> usize {
-    if us < SUB_BUCKETS {
-        return us as usize;
-    }
-    let msb = 63 - us.leading_zeros();
-    let octave = (msb - SUB_BITS + 1) as u64;
-    let sub = (us >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1);
-    (octave * SUB_BUCKETS + sub) as usize
-}
-
-/// Representative (upper-edge) microsecond value of a bucket index —
-/// the inverse of [`bucket_index`] up to sub-bucket resolution.
-fn bucket_value(index: usize) -> u64 {
-    let index = index as u64;
-    if index < SUB_BUCKETS {
-        return index;
-    }
-    let octave = index / SUB_BUCKETS;
-    let sub = index % SUB_BUCKETS;
-    ((SUB_BUCKETS + sub + 1) << (octave - 1)) - 1
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        // 64 octaves cover the full u64 µs range (~584k years).
-        Self {
-            counts: vec![0; (64 * SUB_BUCKETS) as usize],
-            total: 0,
-            max_us: 0,
-            sum_us: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one latency observation.
-    pub fn record(&mut self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.counts[bucket_index(us)] += 1;
-        self.total += 1;
-        self.max_us = self.max_us.max(us);
-        self.sum_us += u128::from(us);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// The exact maximum recorded value, in milliseconds.
-    pub fn max_ms(&self) -> f64 {
-        self.max_us as f64 / 1e3
-    }
-
-    /// The exact mean of recorded values, in milliseconds.
-    pub fn mean_ms(&self) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        (self.sum_us as f64 / self.total as f64) / 1e3
-    }
-
-    /// The value at quantile `q` (`0.0..=1.0`), in milliseconds —
-    /// bucket-upper-edge resolution (≤ ~1.6% high). Returns 0 for an
-    /// empty histogram.
-    pub fn quantile_ms(&self, q: f64) -> f64 {
-        if self.total == 0 {
-            return 0.0;
-        }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (index, count) in self.counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                // The true max beats the bucket edge for the tail.
-                return (bucket_value(index).min(self.max_us)) as f64 / 1e3;
-            }
-        }
-        self.max_us as f64 / 1e3
-    }
-}
 
 /// How one issued request ended, as the driver saw it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +50,29 @@ pub struct Summary {
     /// Latency of *successful* requests, measured from the scheduled
     /// send instant (coordinated-omission-aware: queueing behind a
     /// stalled connection counts against the server).
+    pub latency: LatencyHistogram,
+    /// The same run sliced per mix entry, in mix order — one histogram
+    /// per entry, so a tail regression attributes to the grid /
+    /// protocol / cache-temperature combination that caused it.
+    pub entries: Vec<EntrySummary>,
+}
+
+/// One mix entry's slice of a run: its own counts and latency
+/// histogram. The entry histograms merge back into [`Summary::latency`]
+/// exactly (same buckets, disjoint samples).
+#[derive(Debug, Clone)]
+pub struct EntrySummary {
+    /// The entry's canonical label ([`super::MixEntry::label`]).
+    pub label: String,
+    /// Requests issued for this entry.
+    pub sent: usize,
+    /// Requests that completed successfully.
+    pub completed: usize,
+    /// Requests answered `Busy`.
+    pub busy: usize,
+    /// Requests that failed in transport or evaluation.
+    pub errors: usize,
+    /// Latency of this entry's successful requests.
     pub latency: LatencyHistogram,
 }
 
@@ -219,6 +146,30 @@ pub struct LoadgenRecord {
     pub mean_ms: f64,
     /// Unix timestamp of the run.
     pub recorded_at_unix_s: u64,
+    /// Per-mix-entry breakdown, in mix order. `None` for rows recorded
+    /// before the breakdown existed (committed history still parses).
+    pub entries: Option<Vec<EntryRecord>>,
+}
+
+/// One mix entry's persisted slice of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntryRecord {
+    /// The entry's canonical label (e.g. `fig9a:v1=3`).
+    pub label: String,
+    /// Requests issued for this entry.
+    pub sent: usize,
+    /// Requests completed successfully.
+    pub completed: usize,
+    /// Requests answered `Busy`.
+    pub busy: usize,
+    /// Requests failed (transport/evaluation).
+    pub errors: usize,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th percentile latency, milliseconds.
+    pub p999_ms: f64,
 }
 
 /// The configuration labels identifying one loadgen run: everything
@@ -264,6 +215,22 @@ impl LoadgenRecord {
             max_ms: summary.latency.max_ms(),
             mean_ms: summary.latency.mean_ms(),
             recorded_at_unix_s,
+            entries: Some(
+                summary
+                    .entries
+                    .iter()
+                    .map(|e| EntryRecord {
+                        label: e.label.clone(),
+                        sent: e.sent,
+                        completed: e.completed,
+                        busy: e.busy,
+                        errors: e.errors,
+                        p50_ms: e.latency.quantile_ms(0.50),
+                        p99_ms: e.latency.quantile_ms(0.99),
+                        p999_ms: e.latency.quantile_ms(0.999),
+                    })
+                    .collect(),
+            ),
         }
     }
 
@@ -337,6 +304,21 @@ pub fn render_table(runs: &[LoadgenRecord]) -> String {
             r.p99_ms,
             r.p999_ms,
         ));
+        // Per-mix-entry sub-rows: only worth a line when the mix has
+        // more than one entry (a single entry repeats the run row).
+        if let Some(entries) = r.entries.as_deref().filter(|e| e.len() > 1) {
+            for e in entries {
+                let busy_pct = if e.sent > 0 {
+                    e.busy as f64 * 100.0 / e.sent as f64
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "| | ↳ {} | | | | | {}/{} ok | {:.1} | {:.2} | {:.2} | {:.2} |\n",
+                    e.label, e.completed, e.sent, busy_pct, e.p50_ms, e.p99_ms, e.p999_ms,
+                ));
+            }
+        }
     }
     out
 }
@@ -407,45 +389,6 @@ pub fn gate(
 mod tests {
     use super::*;
 
-    #[test]
-    fn bucket_round_trip_is_within_one_sub_bucket() {
-        for us in [
-            0u64,
-            1,
-            63,
-            64,
-            65,
-            100,
-            1_000,
-            65_535,
-            1_000_000,
-            123_456_789,
-        ] {
-            let back = bucket_value(bucket_index(us));
-            assert!(back >= us, "bucket edge below the value: {us} -> {back}");
-            let err = (back - us) as f64 / us.max(1) as f64;
-            assert!(err <= 0.016, "relative error {err} too large for {us}");
-        }
-    }
-
-    #[test]
-    fn quantiles_track_exact_percentiles_on_a_uniform_ramp() {
-        let mut h = LatencyHistogram::default();
-        for us in 1..=10_000u64 {
-            h.record(Duration::from_micros(us));
-        }
-        assert_eq!(h.count(), 10_000);
-        // Exact p50 is 5.0 ms; bucket resolution allows ~1.6% upward.
-        let p50 = h.quantile_ms(0.50);
-        assert!((5.0..5.2).contains(&p50), "p50 {p50}");
-        let p99 = h.quantile_ms(0.99);
-        assert!((9.9..10.1).contains(&p99), "p99 {p99}");
-        assert!((h.mean_ms() - 5.0005).abs() < 1e-3);
-        assert_eq!(h.max_ms(), 10.0);
-        // The tail quantile never exceeds the recorded max.
-        assert!(h.quantile_ms(0.999) <= h.max_ms());
-    }
-
     fn row(target: &str, p99: f64, at: u64) -> LoadgenRecord {
         LoadgenRecord {
             schema: LOADGEN_SCHEMA.into(),
@@ -469,6 +412,7 @@ mod tests {
             max_ms: p99 * 1.5,
             mean_ms: p99 / 2.0,
             recorded_at_unix_s: at,
+            entries: None,
         }
     }
 
@@ -511,5 +455,43 @@ mod tests {
         let table = render_table(&runs);
         assert!(table.contains("| serve |") && table.contains("| cluster |"));
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn multi_entry_mixes_render_per_entry_sub_rows() {
+        let entry = |label: &str, sent: usize, p99: f64| EntryRecord {
+            label: label.into(),
+            sent,
+            completed: sent,
+            busy: 0,
+            errors: 0,
+            p50_ms: p99 / 2.0,
+            p99_ms: p99,
+            p999_ms: p99 * 1.1,
+        };
+        let mut run = row("serve", 2.0, 1);
+        run.mix = "fig9a=9,fig9a:v1=1".into();
+        run.entries = Some(vec![entry("fig9a=9", 90, 1.8), entry("fig9a:v1", 10, 4.2)]);
+        let table = render_table(std::slice::from_ref(&run));
+        assert!(table.contains("| | ↳ fig9a=9 |"), "{table}");
+        assert!(table.contains("| | ↳ fig9a:v1 |"), "{table}");
+        assert!(table.contains("90/90 ok"), "{table}");
+
+        // A single-entry mix keeps the table to one row per run.
+        run.entries = Some(vec![entry("fig9a", 100, 2.0)]);
+        let table = render_table(std::slice::from_ref(&run));
+        assert!(!table.contains('↳'), "{table}");
+
+        // Legacy rows (no `entries` key at all) still parse.
+        let serde_json::Value::Object(full) = serde_json::to_value(&row("serve", 2.0, 1)) else {
+            panic!("a record serializes as an object");
+        };
+        let mut legacy = serde_json::Map::new();
+        for (key, value) in full.iter().filter(|(k, _)| k.as_str() != "entries") {
+            legacy.insert(key.clone(), value.clone());
+        }
+        let back: LoadgenRecord =
+            serde_json::from_value(&serde_json::Value::Object(legacy)).unwrap();
+        assert!(back.entries.is_none());
     }
 }

@@ -44,6 +44,7 @@ use crate::api::{
 use crate::engine::{Engine, SweepReport};
 use crate::executor;
 use crate::scenario::Scenario;
+use crate::telemetry::{self, trace};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::io::{self, Write};
@@ -149,6 +150,7 @@ impl Gate {
         }
         let position = *occupied;
         *occupied += 1;
+        telemetry::global().gate_entered();
         Ok(Ticket {
             gate: self,
             position,
@@ -168,6 +170,7 @@ impl Gate {
     pub fn admit(&self, received: Instant, deadline_ms: Option<u64>) -> Result<Ticket<'_>, Busy> {
         if let Some(ms) = deadline_ms {
             if received.elapsed() >= Duration::from_millis(ms) {
+                telemetry::global().note_deadline_drop();
                 return Err(Busy {
                     retry_after_ms: self.retry_hint_ms(),
                 });
@@ -263,6 +266,7 @@ impl Drop for Ticket<'_> {
             Ordering::Relaxed,
         );
         *self.gate.occupied.lock().expect("gate lock") -= 1;
+        telemetry::global().gate_released();
     }
 }
 
@@ -291,17 +295,20 @@ pub struct Tally {
 }
 
 impl Tally {
-    /// Records one completed evaluation.
+    /// Records one completed evaluation (mirrored into the process-wide
+    /// [`telemetry`] registry so `Metrics` scrapes agree with `Status`).
     pub fn note_eval(&self, cells: usize, hits: usize, misses: usize) {
         self.served.fetch_add(1, Ordering::Relaxed);
         self.cells.fetch_add(cells as u64, Ordering::Relaxed);
         self.hits.fetch_add(hits as u64, Ordering::Relaxed);
         self.misses.fetch_add(misses as u64, Ordering::Relaxed);
+        telemetry::global().note_eval_cells(cells as u64, hits as u64, misses as u64);
     }
 
     /// Records one admission rejection.
     pub fn note_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        telemetry::global().note_rejected();
     }
 
     /// Copies the counters into a partially filled [`StatusReport`]
@@ -407,6 +414,8 @@ pub enum Served {
     Ping,
     /// A load/counter probe.
     Status,
+    /// A telemetry scrape ([`crate::telemetry::MetricsReport`]).
+    Metrics,
     /// A shutdown request — the caller should stop accepting and drain.
     Shutdown,
     /// A line that did not decode as a request.
@@ -433,6 +442,7 @@ impl Served {
             Served::Refused { id } => format!("eval {id}: refused (unsupported version)"),
             Served::Ping => "ping".into(),
             Served::Status => "status".into(),
+            Served::Metrics => "metrics".into(),
             Served::Shutdown => "shutdown".into(),
             Served::Malformed => "bad request".into(),
         }
@@ -723,6 +733,7 @@ impl Runtime {
     /// The current [`StatusReport`]: occupancy, sizing, and service
     /// counters. Control-plane — never touches the gate.
     pub fn status(&self) -> StatusReport {
+        let telem = telemetry::global();
         let mut report = StatusReport {
             role: "serve".into(),
             occupancy: self.gate.occupancy(),
@@ -730,6 +741,8 @@ impl Runtime {
             jobs: self.jobs_budget,
             service_estimate_ms: self.gate.service_estimate_ms().round() as u64,
             busy_ms: self.gate.slot_held_ms(),
+            fd_sheds: telem.fd_sheds(),
+            slow_reader_disconnects: telem.slow_reader_disconnects(),
             ..StatusReport::default()
         };
         self.tally.fill(&mut report);
@@ -787,6 +800,9 @@ impl Runtime {
         // repeats the admission verdict, so rejection bytes are
         // identical either way).
         let entry = self.memo_lookup(&req)?;
+        // This request is handled here for good — it never reaches
+        // `dispatch_line` — so it joins `requests_total` now.
+        telemetry::global().note_request();
         let streamed = req.version == API_V2;
         let ticket = match self.gate.admit(received, req.deadline_ms) {
             Ok(ticket) => ticket,
@@ -798,10 +814,11 @@ impl Runtime {
                 });
             }
         };
+        let span = self.observe_admission(&req, received);
         Some(if streamed {
-            self.eval_streaming_warm(req, ticket, entry, sink)
+            self.eval_streaming_warm(req, ticket, entry, span, sink)
         } else {
-            self.eval_buffered_warm(req, ticket, entry, sink)
+            self.eval_buffered_warm(req, ticket, entry, span, sink)
         })
     }
 
@@ -852,6 +869,52 @@ impl Runtime {
         }
     }
 
+    /// Post-admission bookkeeping shared by every eval path: the
+    /// queue-wait histogram sample (receipt → admission) and, when
+    /// tracing is on, the request's span with its `queued` stage
+    /// record. Returns the span id later stages append under.
+    fn observe_admission(
+        &self,
+        req: &crate::api::EvalRequest,
+        received: Instant,
+    ) -> Option<String> {
+        let queued = received.elapsed();
+        telemetry::global().observe_queue_wait(queued);
+        let span = trace::span_for_request(&req.id)?;
+        trace::record(
+            &span,
+            &req.id,
+            &trace_grid(&req.scenarios),
+            "queued",
+            queued,
+            req.scenarios.len(),
+        );
+        Some(span)
+    }
+
+    /// The `flush` stage sample: evaluation end → terminal frame
+    /// buffered toward the client.
+    fn observe_flush(
+        &self,
+        req: &crate::api::EvalRequest,
+        span: Option<&str>,
+        started: Instant,
+        cells: usize,
+    ) {
+        let flushed = started.elapsed();
+        telemetry::global().observe_flush(flushed);
+        if let Some(span) = span {
+            trace::record(
+                span,
+                &req.id,
+                &trace_grid(&req.scenarios),
+                "flush",
+                flushed,
+                cells,
+            );
+        }
+    }
+
     /// Protocol v1: admission, then one buffered [`EvalResponse`] line.
     fn eval_buffered(
         &self,
@@ -865,11 +928,26 @@ impl Runtime {
                 return reject_buffered(sink, &self.tally, req.id, busy.retry_after_ms);
             }
         };
+        let span = self.observe_admission(&req, received);
         if let Some(entry) = self.memo_lookup(&req) {
-            return self.eval_buffered_warm(req, ticket, entry, sink);
+            return self.eval_buffered_warm(req, ticket, entry, span, sink);
         }
+        let eval_started = Instant::now();
         let report = self.request_engine(req.force).run(&req.scenarios);
+        let evaled = eval_started.elapsed();
+        telemetry::global().observe_eval(evaled);
+        if let Some(span) = &span {
+            trace::record(
+                span,
+                &req.id,
+                &trace_grid(&req.scenarios),
+                "eval",
+                evaled,
+                report.cells.len(),
+            );
+        }
         self.memo_store(&report);
+        let flush_started = Instant::now();
         let response = EvalResponse::from_report(req.id.clone(), &report);
         drop(ticket);
         // Counters commit before the terminal frame: a client reacting
@@ -878,6 +956,7 @@ impl Runtime {
         self.tally
             .note_eval(report.cells.len(), report.hits, report.misses);
         sink.send(&Response::Eval(response))?;
+        self.observe_flush(&req, span.as_deref(), flush_started, report.cells.len());
         Ok(Served::Eval {
             id: req.id,
             cells: report.cells.len(),
@@ -903,8 +982,9 @@ impl Runtime {
                 return reject_streaming(sink, &self.tally, req.id, busy.retry_after_ms);
             }
         };
+        let span = self.observe_admission(&req, received);
         if let Some(entry) = self.memo_lookup(&req) {
-            return self.eval_streaming_warm(req, ticket, entry, sink);
+            return self.eval_streaming_warm(req, ticket, entry, span, sink);
         }
         sink.send(&Response::Accepted {
             id: req.id.clone(),
@@ -914,17 +994,31 @@ impl Runtime {
         // the latch serializes them and, past the first transport
         // error, stops writing but lets the computation finish (the
         // cache still fills, so the client's retry is warm).
+        let eval_started = Instant::now();
         let latch = LatchSink::new(sink);
         let report = self
             .request_engine(req.force)
             .run_with(&req.scenarios, |_, cell| {
                 latch.send(&Response::Cell(CellOutcome::from_cell(cell)));
             });
+        let evaled = eval_started.elapsed();
+        telemetry::global().observe_eval(evaled);
+        if let Some(span) = &span {
+            trace::record(
+                span,
+                &req.id,
+                &trace_grid(&req.scenarios),
+                "eval",
+                evaled,
+                report.cells.len(),
+            );
+        }
         self.memo_store(&report);
         let (sink, error) = latch.finish();
         if let Some(e) = error {
             return Err(e);
         }
+        let flush_started = Instant::now();
         drop(ticket);
         self.tally
             .note_eval(report.cells.len(), report.hits, report.misses);
@@ -933,6 +1027,7 @@ impl Runtime {
             hits: report.hits,
             misses: report.misses,
         })?;
+        self.observe_flush(&req, span.as_deref(), flush_started, report.cells.len());
         Ok(Served::Eval {
             id: req.id,
             cells: report.cells.len(),
@@ -953,10 +1048,13 @@ impl Runtime {
         req: crate::api::EvalRequest,
         mut ticket: Ticket<'_>,
         entry: Arc<BatchEntry>,
+        span: Option<String>,
         sink: &mut dyn FrameSink,
     ) -> io::Result<Served> {
         ticket.skip_service_record();
+        telemetry::global().note_memo_served();
         let n = entry.cells.len();
+        let flush_started = Instant::now();
         let line = warm_eval_line(&req.id, entry.as_ref());
         // The slot is freed before the response line: a client
         // reacting to it instantly must see its slot available,
@@ -964,6 +1062,7 @@ impl Runtime {
         drop(ticket);
         self.tally.note_eval(n, n, 0);
         sink.send_raw(&line)?;
+        self.observe_flush(&req, span.as_deref(), flush_started, n);
         Ok(Served::Eval {
             id: req.id,
             cells: n,
@@ -981,6 +1080,7 @@ impl Runtime {
         req: crate::api::EvalRequest,
         mut ticket: Ticket<'_>,
         entry: Arc<BatchEntry>,
+        span: Option<String>,
         sink: &mut dyn FrameSink,
     ) -> io::Result<Served> {
         sink.send(&Response::Accepted {
@@ -988,7 +1088,9 @@ impl Runtime {
             position: ticket.position(),
         })?;
         ticket.skip_service_record();
+        telemetry::global().note_memo_served();
         let n = entry.cells.len();
+        let flush_started = Instant::now();
         for cell in &entry.cells {
             sink.send_raw(&cell.line)?;
         }
@@ -999,6 +1101,7 @@ impl Runtime {
             hits: n,
             misses: 0,
         })?;
+        self.observe_flush(&req, span.as_deref(), flush_started, n);
         Ok(Served::Eval {
             id: req.id,
             cells: n,
@@ -1048,28 +1151,51 @@ pub(crate) fn dispatch_line(
             sink.send(&Response::Status(status()))?;
             Ok(Served::Status)
         }
+        // Control-plane like `Status`: never touches the gate, so a
+        // fully busy server can still be scraped mid-run.
+        Request::Metrics => {
+            sink.send(&Response::Metrics(telemetry::global().snapshot()))?;
+            Ok(Served::Metrics)
+        }
         Request::Shutdown => {
             sink.send(&Response::Bye)?;
             Ok(Served::Shutdown)
         }
-        Request::Eval(req) => match req.version {
-            API_V1 => eval_buffered(req, sink),
-            API_V2 => eval_streaming(req, sink),
-            other => {
-                sink.send(&Response::Eval(EvalResponse::refusal(
-                    req.id.clone(),
-                    SweepError::schema(
-                        "request envelope",
-                        format!(
-                            "client speaks version {other}, {speaker} speaks {API_V1} \
-                             (buffered) and {API_V2} (streamed)"
+        Request::Eval(req) => {
+            // Every evaluation request received counts — admitted,
+            // rejected, or refused — so `requests_total` reconciles
+            // with a load generator's sent count. Warm memo hits skip
+            // this dispatch entirely and count in `try_handle_warm`.
+            telemetry::global().note_request();
+            match req.version {
+                API_V1 => eval_buffered(req, sink),
+                API_V2 => eval_streaming(req, sink),
+                other => {
+                    sink.send(&Response::Eval(EvalResponse::refusal(
+                        req.id.clone(),
+                        SweepError::schema(
+                            "request envelope",
+                            format!(
+                                "client speaks version {other}, {speaker} speaks {API_V1} \
+                                 (buffered) and {API_V2} (streamed)"
+                            ),
                         ),
-                    ),
-                )))?;
-                Ok(Served::Refused { id: req.id })
+                    )))?;
+                    Ok(Served::Refused { id: req.id })
+                }
             }
-        },
+        }
     }
+}
+
+/// The grid label server-side span records aggregate under: the
+/// batch's first scenario id (requests built from the named-grid CLI
+/// are homogeneous, so one id names the whole batch), or `"empty"`.
+pub(crate) fn trace_grid(scenarios: &[Scenario]) -> String {
+    scenarios
+        .first()
+        .map(|s| s.id.clone())
+        .unwrap_or_else(|| "empty".into())
 }
 
 /// Assembles the buffered v1 warm response line around a batch's

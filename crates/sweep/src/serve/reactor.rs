@@ -49,6 +49,7 @@
 
 use super::{FrameSink, LineHandler, Served};
 use crate::api::Response;
+use crate::telemetry;
 use mio::unix::SourceFd;
 use mio::{Events, Interest, Poll, Token, Waker};
 use std::collections::{HashMap, VecDeque};
@@ -296,7 +297,12 @@ impl FrameSink for ReactorSink {
     }
 
     fn send_raw(&mut self, line: &str) -> io::Result<()> {
-        self.out.buf.lock().expect("outbuf lock").push(line)?;
+        let depth = {
+            let mut out = self.out.buf.lock().expect("outbuf lock");
+            out.push(line)?;
+            out.len()
+        };
+        telemetry::global().note_outbuf_depth(depth as u64);
         self.shared.mark_dirty(self.conn);
         Ok(())
     }
@@ -317,7 +323,13 @@ impl FrameSink for InlineSink {
     }
 
     fn send_raw(&mut self, line: &str) -> io::Result<()> {
-        self.out.buf.lock().expect("outbuf lock").push(line)
+        let depth = {
+            let mut out = self.out.buf.lock().expect("outbuf lock");
+            out.push(line)?;
+            out.len()
+        };
+        telemetry::global().note_outbuf_depth(depth as u64);
+        Ok(())
     }
 }
 
@@ -460,6 +472,10 @@ impl Reactor {
         loop {
             let timeout = self.shutdown.map(|_| Duration::from_millis(25));
             self.poll.poll(&mut events, timeout)?;
+            // Time the work of this pass, not the idle poll wait: the
+            // loop-iteration histogram answers "how long can one pass
+            // starve the event loop", and sleeping isn't starving.
+            let pass_started = Instant::now();
             let mut touched: Vec<usize> = Vec::new();
             for event in &events {
                 match event.token() {
@@ -508,6 +524,7 @@ impl Reactor {
             for id in touched {
                 self.refresh(id);
             }
+            telemetry::global().observe_loop_iter(pass_started.elapsed());
             if let Some(since) = self.shutdown {
                 let drained = self
                     .conns
@@ -548,6 +565,7 @@ impl Reactor {
                 // the client sees an immediate close and can back off —
                 // then re-arm and let epoll re-fire for any backlog.
                 Err(e) if matches!(e.raw_os_error(), Some(23) | Some(24)) => {
+                    telemetry::global().note_fd_shed();
                     self.fd_reserve.take();
                     if let Some(listener) = self.listener.as_ref() {
                         match listener.accept() {
@@ -604,6 +622,7 @@ impl Reactor {
 
     /// Drains the socket to EAGAIN, dispatching every complete line.
     fn read_ready(&mut self, id: usize) {
+        let read_started = Instant::now();
         let Some(conn) = self.conns.get_mut(&id) else {
             return;
         };
@@ -640,6 +659,7 @@ impl Reactor {
             }
             conn.queued.push_back((line, received));
         }
+        telemetry::global().observe_read_parse(read_started.elapsed());
         self.advance(id);
     }
 
@@ -710,6 +730,7 @@ impl Reactor {
             let mut out = conn.out.buf.lock().expect("outbuf lock");
             if out.overflowed() {
                 drop(out);
+                telemetry::global().note_slow_reader_disconnect();
                 eprintln!(
                     "warning: [{}] output buffer full (slow reader) — disconnecting",
                     conn.peer

@@ -1,0 +1,332 @@
+//! The shared HDR-style log-linear histogram.
+//!
+//! Promoted out of `loadgen::report` so the *server-side* metrics
+//! registry ([`super::Registry`]) and the *client-side* load generator
+//! aggregate latency with the same buckets: exact below 64 µs, then 64
+//! linear sub-buckets per power of two (≤ ~1.6% relative error) up to
+//! `u64::MAX` µs. Constant memory regardless of sample count, so a
+//! histogram per metric (or per mix entry) costs nothing to keep.
+//!
+//! Two additions over the loadgen original serve telemetry:
+//!
+//! * [`LatencyHistogram::merge`] — bucket-wise accumulation, so
+//!   per-connection (or per-host) histograms fold into one without
+//!   losing resolution. Merge is associative and commutative, which the
+//!   `telemetry_props` proptests pin down.
+//! * [`HistSnapshot`] — a sparse, serializable point-in-time copy
+//!   (nonzero buckets only) that travels inside the `Metrics` control
+//!   frame and reconstructs losslessly via
+//!   [`LatencyHistogram::from_snapshot`].
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Sub-bucket resolution: 2^6 = 64 linear buckets per octave.
+const SUB_BITS: u32 = 6;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// An HDR-style log-linear latency histogram over microsecond values.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_us: u64,
+    sum_us: u128,
+}
+
+/// Bucket index of a microsecond value: identity below [`SUB_BUCKETS`],
+/// then `(octave, 64 linear sub-buckets)`.
+fn bucket_index(us: u64) -> usize {
+    if us < SUB_BUCKETS {
+        return us as usize;
+    }
+    let msb = 63 - us.leading_zeros();
+    let octave = (msb - SUB_BITS + 1) as u64;
+    let sub = (us >> (msb - SUB_BITS)) & (SUB_BUCKETS - 1);
+    (octave * SUB_BUCKETS + sub) as usize
+}
+
+/// Representative (upper-edge) microsecond value of a bucket index —
+/// the inverse of [`bucket_index`] up to sub-bucket resolution.
+fn bucket_value(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let octave = index / SUB_BUCKETS;
+    let sub = index % SUB_BUCKETS;
+    ((SUB_BUCKETS + sub + 1) << (octave - 1)) - 1
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        // 64 octaves cover the full u64 µs range (~584k years).
+        Self {
+            counts: vec![0; (64 * SUB_BUCKETS) as usize],
+            total: 0,
+            max_us: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_us(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one observation already expressed in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[bucket_index(us)] += 1;
+        self.total += 1;
+        self.max_us = self.max_us.max(us);
+        self.sum_us += u128::from(us);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The exact maximum recorded value, in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_us as f64 / 1e3
+    }
+
+    /// The exact mean of recorded values, in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        (self.sum_us as f64 / self.total as f64) / 1e3
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`), in milliseconds —
+    /// bucket-upper-edge resolution (≤ ~1.6% high). Returns 0 for an
+    /// empty histogram.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile_us(q) as f64 / 1e3
+    }
+
+    /// The value at quantile `q`, in whole microseconds (bucket upper
+    /// edge, capped at the exact recorded max). 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // The true max beats the bucket edge for the tail.
+                return bucket_value(index).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Accumulates another histogram into this one, bucket-wise. Both
+    /// sides always share the one fixed bucket layout, so merging never
+    /// loses resolution; the operation is associative and commutative.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.max_us = self.max_us.max(other.max_us);
+        self.sum_us += other.sum_us;
+    }
+
+    /// A sparse, serializable copy of the current state under `name` —
+    /// nonzero buckets only, so an idle metric costs a few bytes on the
+    /// wire instead of 4096 zeros.
+    pub fn snapshot(&self, name: impl Into<String>) -> HistSnapshot {
+        HistSnapshot {
+            name: name.into(),
+            count: self.total,
+            sum_us: self.sum_us.min(u128::from(u64::MAX)) as u64,
+            max_us: self.max_us,
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(index, count)| HistBucket {
+                    index,
+                    count: *count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a histogram from a snapshot. Out-of-range bucket
+    /// indices (a corrupt or foreign snapshot) are dropped silently —
+    /// the counts stay self-consistent because `total` is recomputed
+    /// from the buckets actually applied.
+    pub fn from_snapshot(snap: &HistSnapshot) -> Self {
+        let mut hist = Self::default();
+        for bucket in &snap.buckets {
+            if let Some(slot) = hist.counts.get_mut(bucket.index) {
+                *slot += bucket.count;
+                hist.total += bucket.count;
+            }
+        }
+        hist.max_us = snap.max_us;
+        hist.sum_us = u128::from(snap.sum_us);
+        hist
+    }
+}
+
+/// One nonzero histogram bucket on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistBucket {
+    /// Position in the fixed log-linear layout (see `bucket_index`).
+    pub index: usize,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// A named, sparse, point-in-time copy of one histogram — the shape
+/// histograms take inside the `Metrics` control frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistSnapshot {
+    /// Metric name (e.g. `queue_wait_us`). Per-worker histograms embed
+    /// the worker after a colon: `cluster_dispatch_us:HOST:PORT`.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values, µs (saturating at `u64::MAX`).
+    pub sum_us: u64,
+    /// The exact maximum recorded value, µs.
+    pub max_us: u64,
+    /// Nonzero buckets only.
+    pub buckets: Vec<HistBucket>,
+}
+
+impl HistSnapshot {
+    /// The value at quantile `q`, in milliseconds, by reconstructing
+    /// the histogram — same resolution guarantees as
+    /// [`LatencyHistogram::quantile_ms`].
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        LatencyHistogram::from_snapshot(self).quantile_ms(q)
+    }
+
+    /// The exact mean of recorded values, in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        (self.sum_us as f64 / self.count as f64) / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_is_within_one_sub_bucket() {
+        for us in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            65_535,
+            1_000_000,
+            123_456_789,
+        ] {
+            let back = bucket_value(bucket_index(us));
+            assert!(back >= us, "bucket edge below the value: {us} -> {back}");
+            let err = (back - us) as f64 / us.max(1) as f64;
+            assert!(err <= 0.016, "relative error {err} too large for {us}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_percentiles_on_a_uniform_ramp() {
+        let mut h = LatencyHistogram::default();
+        for us in 1..=10_000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10_000);
+        // Exact p50 is 5.0 ms; bucket resolution allows ~1.6% upward.
+        let p50 = h.quantile_ms(0.50);
+        assert!((5.0..5.2).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_ms(0.99);
+        assert!((9.9..10.1).contains(&p99), "p99 {p99}");
+        assert!((h.mean_ms() - 5.0005).abs() < 1e-3);
+        assert_eq!(h.max_ms(), 10.0);
+        // The tail quantile never exceeds the recorded max.
+        assert!(h.quantile_ms(0.999) <= h.max_ms());
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let (mut a, mut b, mut union) = (
+            LatencyHistogram::default(),
+            LatencyHistogram::default(),
+            LatencyHistogram::default(),
+        );
+        for us in [3u64, 70, 900, 1_000_000] {
+            a.record_us(us);
+            union.record_us(us);
+        }
+        for us in [5u64, 70, 123_456] {
+            b.record_us(us);
+            union.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.max_ms(), union.max_ms());
+        assert_eq!(a.mean_ms(), union.mean_ms());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_ms(q), union.quantile_ms(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json_and_reconstructs() {
+        let mut h = LatencyHistogram::default();
+        for us in [1u64, 64, 64, 5_000, 987_654] {
+            h.record_us(us);
+        }
+        let snap = h.snapshot("queue_wait_us");
+        assert_eq!(snap.name, "queue_wait_us");
+        assert_eq!(snap.count, 5);
+        assert_eq!(
+            snap.buckets.len(),
+            4,
+            "64 µs recorded twice shares a bucket"
+        );
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: HistSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(snap, back);
+        let rebuilt = LatencyHistogram::from_snapshot(&back);
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.max_ms(), h.max_ms());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(rebuilt.quantile_ms(q), h.quantile_ms(q), "q={q}");
+        }
+        // A corrupt index is dropped, not a panic.
+        let mut corrupt = snap.clone();
+        corrupt.buckets.push(HistBucket {
+            index: usize::MAX,
+            count: 7,
+        });
+        assert_eq!(LatencyHistogram::from_snapshot(&corrupt).count(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_empty() {
+        let snap = LatencyHistogram::default().snapshot("idle");
+        assert_eq!(snap.count, 0);
+        assert!(snap.buckets.is_empty());
+        assert_eq!(snap.quantile_ms(0.99), 0.0);
+        assert_eq!(snap.mean_ms(), 0.0);
+    }
+}

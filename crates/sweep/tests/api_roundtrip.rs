@@ -114,7 +114,7 @@ fn status_report_strategy() -> impl Strategy<Value = StatusReport> {
     (
         0u8..3,
         (0usize..64, 0usize..1 << 10, 0usize..1 << 10, 0usize..256),
-        prop::collection::vec(0u64..1 << 48, 7),
+        prop::collection::vec(0u64..1 << 48, 9),
     )
         .prop_map(
             |(role, (workers, occupancy, queue_depth, jobs), counters)| StatusReport {
@@ -130,6 +130,8 @@ fn status_report_strategy() -> impl Strategy<Value = StatusReport> {
                 rejected: counters[4],
                 service_estimate_ms: counters[5],
                 busy_ms: counters[6],
+                fd_sheds: counters[7],
+                slow_reader_disconnects: counters[8],
             },
         )
 }

@@ -1,0 +1,98 @@
+//! Property tests for the shared telemetry histogram
+//! (`telemetry::hist`): merge is associative and commutative (so
+//! per-connection and per-host histograms fold in any order), quantiles
+//! stay within one log-linear sub-bucket of the exact sample quantile,
+//! and the sparse wire snapshot reconstructs losslessly.
+
+use proptest::prelude::*;
+use yoco_sweep::telemetry::{HistSnapshot, LatencyHistogram};
+
+/// Latency samples spanning the interesting range: sub-µs identity
+/// buckets through multi-minute octaves.
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..120_000_000, 1..200)
+}
+
+fn build(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    for &us in samples {
+        h.record_us(us);
+    }
+    h
+}
+
+/// Every observable of the histogram, for whole-state equality checks
+/// (the bucket array itself is private; count/max/mean/quantiles pin it
+/// down at the resolution callers can see).
+fn observables(h: &LatencyHistogram) -> (u64, f64, f64, Vec<u64>) {
+    let quantiles = [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0]
+        .iter()
+        .map(|&q| h.quantile_us(q))
+        .collect();
+    (h.count(), h.max_ms(), h.mean_ms(), quantiles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples_strategy(),
+        b in samples_strategy(),
+        c in samples_strategy(),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        // a ⊕ (b ⊕ c)
+        let mut bc = build(&b);
+        bc.merge(&build(&c));
+        let mut right = build(&a);
+        right.merge(&bc);
+        prop_assert_eq!(observables(&left), observables(&right));
+        // c ⊕ b ⊕ a — commutativity on top.
+        let mut rev = build(&c);
+        rev.merge(&build(&b));
+        rev.merge(&build(&a));
+        prop_assert_eq!(observables(&left), observables(&rev));
+        // And both equal recording the union directly.
+        let union: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(observables(&left), observables(&build(&union)));
+    }
+
+    #[test]
+    fn quantiles_err_by_at_most_one_sub_bucket(samples in samples_strategy()) {
+        let h = build(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = h.quantile_us(q);
+            // Bucket edges only round up, and a sub-bucket spans
+            // 1/64th of its octave: ≤ ~1.6% relative (+1 µs of
+            // integer-edge slack for tiny values).
+            prop_assert!(approx >= exact, "q={q}: {approx} below exact {exact}");
+            let bound = exact + exact / 64 + 1;
+            prop_assert!(
+                approx <= bound,
+                "q={q}: {approx} beyond one sub-bucket of exact {exact} (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_losslessly(samples in samples_strategy()) {
+        let h = build(&samples);
+        let snap = h.snapshot("prop_us");
+        // Through JSON — the exact shape the Metrics frame carries.
+        let text = serde_json::to_string(&snap).expect("snapshot serializes");
+        let back: HistSnapshot = serde_json::from_str(&text).expect("snapshot parses");
+        prop_assert_eq!(&snap, &back);
+        let rebuilt = LatencyHistogram::from_snapshot(&back);
+        prop_assert_eq!(observables(&h), observables(&rebuilt));
+        // Sparseness: never more nonzero buckets than samples.
+        prop_assert!(snap.buckets.len() <= samples.len());
+    }
+}
